@@ -1,0 +1,794 @@
+//! Weighted proportional-fair rate allocation — the paper's problem (4).
+//!
+//! Given the placements of all present Best-Effort applications, SPARCLE
+//! solves
+//!
+//! ```text
+//! maximize   Σ_i P_i log(x_i)
+//! subject to R X ≤ C,   X ≥ 0
+//! ```
+//!
+//! where column `i` of `R` is application `i`'s per-data-unit load on
+//! every (element, resource-kind) pair and `C` stacks the corresponding
+//! capacities. The objective is strictly concave and the feasible set is
+//! a polytope, so the optimum is unique.
+//!
+//! [`ProportionalFairSolver`] solves the problem with a log-barrier
+//! path-following method in the variables `u_i = log x_i` (a geometric
+//! program: the objective is linear in `u` and each constraint
+//! `Σ_i R_ji e^{u_i} ≤ C_j` is convex), which is robust for the small,
+//! dense systems that arise here (tens of applications, hundreds of
+//! constraint rows). The KKT conditions of the original problem are
+//! checked by [`Allocation::kkt_residual`].
+
+use sparcle_model::{LoadMap, Network, NetworkElement, ResourceKind};
+use std::error::Error;
+use std::fmt;
+
+/// One capacity constraint row: `Σ_i coeffs[i] · x_i ≤ capacity`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintRow {
+    /// Which network element and resource kind this row models (for
+    /// diagnostics; not used by the solver).
+    pub element: Option<(NetworkElement, ResourceKind)>,
+    /// Available capacity `C_j` (must be positive; zero-capacity rows
+    /// with any positive coefficient make the problem infeasible).
+    pub capacity: f64,
+    /// Per-application load coefficients `R_ji` (non-negative).
+    pub coeffs: Vec<f64>,
+}
+
+/// The constraint system `R X ≤ C` for a set of applications.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSystem {
+    rows: Vec<ConstraintRow>,
+    app_count: usize,
+}
+
+impl ConstraintSystem {
+    /// Creates an empty system for `app_count` applications.
+    pub fn new(app_count: usize) -> Self {
+        ConstraintSystem {
+            rows: Vec::new(),
+            app_count,
+        }
+    }
+
+    /// Number of applications (columns).
+    pub fn app_count(&self) -> usize {
+        self.app_count
+    }
+
+    /// The accumulated rows.
+    pub fn rows(&self) -> &[ConstraintRow] {
+        &self.rows
+    }
+
+    /// Adds a raw constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` length differs from the app count or any value
+    /// is negative/non-finite.
+    pub fn push_row(&mut self, row: ConstraintRow) {
+        assert_eq!(row.coeffs.len(), self.app_count, "coefficient arity");
+        assert!(
+            row.capacity.is_finite() && row.capacity >= 0.0,
+            "capacity must be finite and non-negative"
+        );
+        assert!(
+            row.coeffs.iter().all(|&c| c.is_finite() && c >= 0.0),
+            "coefficients must be finite and non-negative"
+        );
+        // Rows with no load never bind.
+        if row.coeffs.iter().any(|&c| c > 0.0) {
+            self.rows.push(row);
+        }
+    }
+
+    /// Builds the system from per-application [`LoadMap`]s over a network
+    /// with the given available capacities: one row per (NCP, resource
+    /// kind) with any load, one per link with any load.
+    pub fn from_loads(
+        network: &Network,
+        capacities: &sparcle_model::CapacityMap,
+        loads: &[&LoadMap],
+    ) -> Self {
+        let mut sys = ConstraintSystem::new(loads.len());
+        for ncp in network.ncp_ids() {
+            // Collect every resource kind any app loads on this NCP.
+            let mut kinds: Vec<ResourceKind> = Vec::new();
+            for load in loads {
+                for kind in load.ncp(ncp).kinds() {
+                    if !kinds.contains(&kind) {
+                        kinds.push(kind);
+                    }
+                }
+            }
+            kinds.sort();
+            for kind in kinds {
+                let coeffs: Vec<f64> = loads.iter().map(|l| l.ncp(ncp).amount(kind)).collect();
+                sys.push_row(ConstraintRow {
+                    element: Some((NetworkElement::Ncp(ncp), kind)),
+                    capacity: capacities.ncp(ncp).amount(kind),
+                    coeffs,
+                });
+            }
+        }
+        for link in network.link_ids() {
+            let coeffs: Vec<f64> = loads.iter().map(|l| l.link(link)).collect();
+            sys.push_row(ConstraintRow {
+                element: Some((NetworkElement::Link(link), ResourceKind::Bandwidth)),
+                capacity: capacities.link(link),
+                coeffs,
+            });
+        }
+        sys
+    }
+}
+
+/// Why the allocator failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AllocError {
+    /// An application has a positive load on a zero-capacity row — no
+    /// positive rate is feasible.
+    Infeasible {
+        /// The application (column) that cannot receive any rate.
+        app: usize,
+    },
+    /// An application has no binding constraint at all, so its
+    /// proportional-fair rate is unbounded.
+    Unbounded {
+        /// The unconstrained application.
+        app: usize,
+    },
+    /// A priority was non-positive or non-finite.
+    BadPriority(f64),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Infeasible { app } => {
+                write!(f, "application {app} loads a zero-capacity element")
+            }
+            AllocError::Unbounded { app } => {
+                write!(
+                    f,
+                    "application {app} is unconstrained; its fair rate is unbounded"
+                )
+            }
+            AllocError::BadPriority(p) => {
+                write!(f, "priority must be positive and finite, got {p}")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+/// The result of solving problem (4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Optimal processing rate `x_i` per application.
+    pub rates: Vec<f64>,
+    /// Dual price `λ_j` per constraint row.
+    pub duals: Vec<f64>,
+    /// Achieved objective `Σ P_i log x_i`.
+    pub utility: f64,
+}
+
+impl Allocation {
+    /// Maximum KKT stationarity residual `|P_i / x_i − Σ_j λ_j R_ji|`
+    /// relative to `P_i / x_i`, over all applications. Near-zero means
+    /// the allocation is (numerically) optimal.
+    pub fn kkt_residual(&self, system: &ConstraintSystem, priorities: &[f64]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (i, (&rate, &priority)) in self.rates.iter().zip(priorities).enumerate() {
+            let grad = priority / rate;
+            let price: f64 = system
+                .rows()
+                .iter()
+                .zip(&self.duals)
+                .map(|(row, &lambda)| lambda * row.coeffs[i])
+                .sum();
+            worst = worst.max((grad - price).abs() / grad.max(1e-300));
+        }
+        worst
+    }
+
+    /// Maximum relative constraint violation `max_j (R X − C)_j / C_j`
+    /// (zero when strictly feasible).
+    pub fn feasibility_violation(&self, system: &ConstraintSystem) -> f64 {
+        let mut worst: f64 = 0.0;
+        for row in system.rows() {
+            let used: f64 = row
+                .coeffs
+                .iter()
+                .zip(&self.rates)
+                .map(|(&c, &x)| c * x)
+                .sum();
+            if row.capacity > 0.0 {
+                worst = worst.max((used - row.capacity) / row.capacity);
+            } else if used > 0.0 {
+                worst = f64::INFINITY;
+            }
+        }
+        worst
+    }
+}
+
+/// Log-barrier path-following solver for the weighted proportional-fair
+/// allocation problem (4).
+///
+/// # Examples
+///
+/// Two applications sharing one unit-capacity link, one with twice the
+/// priority of the other, split the capacity 2:1 (Theorem 3's
+/// proportionality):
+///
+/// ```
+/// use sparcle_alloc::num::{ConstraintRow, ConstraintSystem, ProportionalFairSolver};
+///
+/// # fn main() -> Result<(), sparcle_alloc::num::AllocError> {
+/// let mut sys = ConstraintSystem::new(2);
+/// sys.push_row(ConstraintRow { element: None, capacity: 1.0, coeffs: vec![1.0, 1.0] });
+/// let alloc = ProportionalFairSolver::new().solve(&sys, &[2.0, 1.0])?;
+/// assert!((alloc.rates[0] - 2.0 / 3.0).abs() < 1e-6);
+/// assert!((alloc.rates[1] - 1.0 / 3.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProportionalFairSolver {
+    /// Initial barrier weight.
+    mu0: f64,
+    /// Barrier reduction factor per outer iteration.
+    mu_shrink: f64,
+    /// Outer iterations (final μ = mu0 · mu_shrink^outer).
+    outer_iters: usize,
+    /// Gradient-ascent steps per outer iteration.
+    inner_iters: usize,
+}
+
+impl Default for ProportionalFairSolver {
+    fn default() -> Self {
+        ProportionalFairSolver {
+            mu0: 1.0,
+            mu_shrink: 0.15,
+            outer_iters: 11,
+            inner_iters: 60,
+        }
+    }
+}
+
+impl ProportionalFairSolver {
+    /// Creates a solver with default accuracy (KKT residual ≲ 1e-6 on
+    /// well-scaled problems).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with custom iteration budget; larger budgets give
+    /// tighter KKT residuals.
+    pub fn with_iterations(outer_iters: usize, inner_iters: usize) -> Self {
+        ProportionalFairSolver {
+            outer_iters,
+            inner_iters,
+            ..Self::default()
+        }
+    }
+
+    /// Solves problem (4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::BadPriority`] for non-positive priorities,
+    /// [`AllocError::Unbounded`] when an application has no constraint,
+    /// and [`AllocError::Infeasible`] when an application can never get a
+    /// positive rate.
+    pub fn solve(
+        &self,
+        system: &ConstraintSystem,
+        priorities: &[f64],
+    ) -> Result<Allocation, AllocError> {
+        self.solve_impl(system, priorities, None)
+    }
+
+    /// Like [`Self::solve`] but warm-started from a previous allocation
+    /// (e.g. the last epoch's rates during capacity fluctuation). The
+    /// start is scaled into the strictly feasible interior before the
+    /// barrier iteration begins, so an infeasible or stale start is
+    /// safe; the answer is the same optimum, typically reached in fewer
+    /// inner iterations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn solve_warm(
+        &self,
+        system: &ConstraintSystem,
+        priorities: &[f64],
+        start: &[f64],
+    ) -> Result<Allocation, AllocError> {
+        assert_eq!(start.len(), system.app_count(), "one start rate per app");
+        self.solve_impl(system, priorities, Some(start))
+    }
+
+    fn solve_impl(
+        &self,
+        system: &ConstraintSystem,
+        priorities: &[f64],
+        start: Option<&[f64]>,
+    ) -> Result<Allocation, AllocError> {
+        let n = system.app_count();
+        assert_eq!(priorities.len(), n, "one priority per application");
+        for &p in priorities {
+            if !p.is_finite() || p <= 0.0 {
+                return Err(AllocError::BadPriority(p));
+            }
+        }
+        let rows = system.rows();
+        // Sanity: every app must be constrained by a positive-capacity
+        // row, and never by a zero-capacity one.
+        for i in 0..n {
+            let mut constrained = false;
+            for row in rows {
+                if row.coeffs[i] > 0.0 {
+                    if row.capacity <= 0.0 {
+                        return Err(AllocError::Infeasible { app: i });
+                    }
+                    constrained = true;
+                }
+            }
+            if !constrained {
+                return Err(AllocError::Unbounded { app: i });
+            }
+        }
+
+        // Strictly feasible start: x_i = (1/2n) · min over binding rows
+        // of C_j / R_ji — or the caller's warm start pulled into the
+        // interior.
+        let cold: Vec<f64> = (0..n)
+            .map(|i| {
+                let cap = rows
+                    .iter()
+                    .filter(|r| r.coeffs[i] > 0.0)
+                    .map(|r| r.capacity / r.coeffs[i])
+                    .fold(f64::INFINITY, f64::min);
+                (cap / (2.0 * n as f64)).max(1e-12)
+            })
+            .collect();
+        let x0: Vec<f64> = match start {
+            None => cold,
+            Some(warm) => {
+                // Replace non-positive entries, then shrink uniformly
+                // until every row has at least 10 % slack.
+                let mut x: Vec<f64> = warm
+                    .iter()
+                    .zip(&cold)
+                    .map(|(&w, &c)| if w.is_finite() && w > 0.0 { w } else { c })
+                    .collect();
+                let mut worst = 0.0f64;
+                for row in rows {
+                    let used: f64 = row.coeffs.iter().zip(&x).map(|(&c, &xi)| c * xi).sum();
+                    if row.capacity > 0.0 {
+                        worst = worst.max(used / row.capacity);
+                    }
+                }
+                if worst > 0.9 {
+                    let shrink = 0.9 / worst;
+                    for xi in &mut x {
+                        *xi *= shrink;
+                    }
+                }
+                x
+            }
+        };
+        let mut u: Vec<f64> = x0.iter().map(|&x| x.max(1e-300).ln()).collect();
+
+        let pscale = priorities.iter().cloned().fold(f64::MIN, f64::max);
+        let mut mu = self.mu0 * pscale;
+        let mut slacks = vec![0.0; rows.len()];
+        for _ in 0..self.outer_iters {
+            self.maximize_barrier(rows, priorities, mu, &mut u, &mut slacks);
+            mu *= self.mu_shrink;
+        }
+        mu /= self.mu_shrink; // μ of the last completed solve
+
+        let rates: Vec<f64> = u.iter().map(|&ui| ui.exp()).collect();
+        // Dual estimate from the barrier: λ_j = μ / slack_j.
+        compute_slacks(rows, &rates, &mut slacks);
+        let duals: Vec<f64> = slacks.iter().map(|&s| mu / s.max(1e-300)).collect();
+        let utility = priorities
+            .iter()
+            .zip(&rates)
+            .map(|(&p, &x)| p * x.ln())
+            .sum();
+        Ok(Allocation {
+            rates,
+            duals,
+            utility,
+        })
+    }
+
+    /// Damped Newton maximization of
+    /// `F(u) = Σ P_i u_i + μ Σ_j log(C_j − Σ_i R_ji e^{u_i})`.
+    ///
+    /// With `x_i = e^{u_i}` and `w_j = μ / s_j`:
+    ///
+    /// * gradient `g_i = P_i − Σ_j w_j R_ji x_i`;
+    /// * Hessian `H_ik = −[δ_ik Σ_j w_j R_ji x_i
+    ///   + Σ_j (w_j / s_j)(R_ji x_i)(R_jk x_k)]` (negative definite).
+    fn maximize_barrier(
+        &self,
+        rows: &[ConstraintRow],
+        priorities: &[f64],
+        mu: f64,
+        u: &mut [f64],
+        slacks: &mut [f64],
+    ) {
+        let n = u.len();
+        let mut x: Vec<f64> = u.iter().map(|&ui| ui.exp()).collect();
+        compute_slacks(rows, &x, slacks);
+        let mut value = barrier_value(rows, priorities, mu, u, slacks);
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![0.0; n * n]; // stores −H (positive definite)
+        let mut trial = vec![0.0; n];
+        let mut trial_x = vec![0.0; n];
+        let mut trial_slacks = vec![0.0; rows.len()];
+        for _ in 0..self.inner_iters {
+            for (g, &p) in grad.iter_mut().zip(priorities) {
+                *g = p;
+            }
+            hess.iter_mut().for_each(|h| *h = 0.0);
+            for (row, &s) in rows.iter().zip(slacks.iter()) {
+                let s = s.max(1e-300);
+                let w = mu / s;
+                for i in 0..n {
+                    let ri = row.coeffs[i] * x[i];
+                    if ri == 0.0 {
+                        continue;
+                    }
+                    grad[i] -= w * ri;
+                    hess[i * n + i] += w * ri;
+                    for k in 0..n {
+                        let rk = row.coeffs[k] * x[k];
+                        if rk != 0.0 {
+                            hess[i * n + k] += (w / s) * ri * rk;
+                        }
+                    }
+                }
+            }
+            let gnorm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            let pscale = priorities.iter().cloned().fold(f64::MIN, f64::max);
+            if gnorm < 1e-11 * pscale {
+                break;
+            }
+            // Newton direction d solves (−H) d = g.
+            let dir = match cholesky_solve(&hess, &grad, n) {
+                Some(d) => d,
+                None => grad.clone(), // fall back to plain ascent
+            };
+            // Backtracking line search with feasibility guard.
+            let mut t = 1.0;
+            let mut improved = false;
+            for _ in 0..60 {
+                for i in 0..n {
+                    trial[i] = u[i] + t * dir[i];
+                    trial_x[i] = trial[i].exp();
+                }
+                compute_slacks(rows, &trial_x, &mut trial_slacks);
+                if trial_slacks.iter().all(|&s| s > 0.0) {
+                    let v = barrier_value(rows, priorities, mu, &trial, &trial_slacks);
+                    if v > value {
+                        u.copy_from_slice(&trial);
+                        x.copy_from_slice(&trial_x);
+                        slacks.copy_from_slice(&trial_slacks);
+                        value = v;
+                        improved = true;
+                        break;
+                    }
+                }
+                t *= 0.5;
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+}
+
+/// Solves `A d = b` for symmetric positive-definite `A` (row-major,
+/// `n × n`) by Cholesky factorization. Returns `None` if `A` is not
+/// numerically positive definite.
+fn cholesky_solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    // Factor A = L Lᵀ.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + i] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution: Lᵀ d = y.
+    let mut d = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * d[k];
+        }
+        d[i] = sum / l[i * n + i];
+    }
+    Some(d)
+}
+
+fn compute_slacks(rows: &[ConstraintRow], x: &[f64], slacks: &mut [f64]) {
+    for (row, s) in rows.iter().zip(slacks.iter_mut()) {
+        let used: f64 = row.coeffs.iter().zip(x).map(|(&c, &xi)| c * xi).sum();
+        *s = row.capacity - used;
+    }
+}
+
+fn barrier_value(
+    rows: &[ConstraintRow],
+    priorities: &[f64],
+    mu: f64,
+    u: &[f64],
+    slacks: &[f64],
+) -> f64 {
+    let mut v: f64 = priorities.iter().zip(u).map(|(&p, &ui)| p * ui).sum();
+    for (_, &s) in rows.iter().zip(slacks) {
+        if s <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        v += mu * s.ln();
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(rows: Vec<(f64, Vec<f64>)>, prios: &[f64]) -> Allocation {
+        let mut sys = ConstraintSystem::new(prios.len());
+        for (capacity, coeffs) in rows {
+            sys.push_row(ConstraintRow {
+                element: None,
+                capacity,
+                coeffs,
+            });
+        }
+        ProportionalFairSolver::new().solve(&sys, prios).unwrap()
+    }
+
+    #[test]
+    fn single_app_fills_its_bottleneck() {
+        let a = solve(vec![(10.0, vec![2.0]), (6.0, vec![1.0])], &[1.0]);
+        // min(10/2, 6/1) = 5.
+        assert!((a.rates[0] - 5.0).abs() < 1e-5, "rate = {}", a.rates[0]);
+    }
+
+    #[test]
+    fn equal_priorities_split_evenly() {
+        let a = solve(vec![(1.0, vec![1.0, 1.0])], &[1.0, 1.0]);
+        assert!((a.rates[0] - 0.5).abs() < 1e-6);
+        assert!((a.rates[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn priorities_give_proportional_shares() {
+        let a = solve(vec![(3.0, vec![1.0, 1.0, 1.0])], &[1.0, 2.0, 3.0]);
+        assert!((a.rates[0] - 0.5).abs() < 1e-5);
+        assert!((a.rates[1] - 1.0).abs() < 1e-5);
+        assert!((a.rates[2] - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn independent_constraints_decouple() {
+        let a = solve(
+            vec![(4.0, vec![1.0, 0.0]), (10.0, vec![0.0, 5.0])],
+            &[1.0, 7.0],
+        );
+        assert!((a.rates[0] - 4.0).abs() < 1e-5);
+        assert!((a.rates[1] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn classic_three_flow_line_network() {
+        // Flow 0 crosses both links; flows 1 and 2 cross one each
+        // (capacity 1). Proportional fairness gives x0 = 1/3, x1 = x2 =
+        // 2/3 for equal priorities.
+        let a = solve(
+            vec![(1.0, vec![1.0, 1.0, 0.0]), (1.0, vec![1.0, 0.0, 1.0])],
+            &[1.0, 1.0, 1.0],
+        );
+        assert!((a.rates[0] - 1.0 / 3.0).abs() < 1e-4, "{:?}", a.rates);
+        assert!((a.rates[1] - 2.0 / 3.0).abs() < 1e-4, "{:?}", a.rates);
+        assert!((a.rates[2] - 2.0 / 3.0).abs() < 1e-4, "{:?}", a.rates);
+    }
+
+    #[test]
+    fn kkt_residual_is_small() {
+        let mut sys = ConstraintSystem::new(3);
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 2.0,
+            coeffs: vec![1.0, 2.0, 0.5],
+        });
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 5.0,
+            coeffs: vec![0.0, 1.0, 4.0],
+        });
+        let prios = [1.0, 2.0, 0.5];
+        let a = ProportionalFairSolver::new().solve(&sys, &prios).unwrap();
+        assert!(a.feasibility_violation(&sys) <= 1e-9, "feasible");
+        assert!(
+            a.kkt_residual(&sys, &prios) < 1e-3,
+            "kkt = {}",
+            a.kkt_residual(&sys, &prios)
+        );
+    }
+
+    #[test]
+    fn unconstrained_app_is_rejected() {
+        let mut sys = ConstraintSystem::new(2);
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 1.0,
+            coeffs: vec![1.0, 0.0],
+        });
+        let err = ProportionalFairSolver::new().solve(&sys, &[1.0, 1.0]);
+        assert_eq!(err, Err(AllocError::Unbounded { app: 1 }));
+    }
+
+    #[test]
+    fn zero_capacity_with_load_is_infeasible() {
+        let mut sys = ConstraintSystem::new(1);
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 0.0,
+            coeffs: vec![1.0],
+        });
+        let err = ProportionalFairSolver::new().solve(&sys, &[1.0]);
+        assert_eq!(err, Err(AllocError::Infeasible { app: 0 }));
+    }
+
+    #[test]
+    fn bad_priority_is_rejected() {
+        let mut sys = ConstraintSystem::new(1);
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 1.0,
+            coeffs: vec![1.0],
+        });
+        let err = ProportionalFairSolver::new().solve(&sys, &[-1.0]);
+        assert_eq!(err, Err(AllocError::BadPriority(-1.0)));
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_optimum() {
+        let mut sys = ConstraintSystem::new(3);
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 2.0,
+            coeffs: vec![1.0, 2.0, 0.5],
+        });
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 5.0,
+            coeffs: vec![0.5, 1.0, 4.0],
+        });
+        let prios = [1.0, 2.0, 0.5];
+        let solver = ProportionalFairSolver::new();
+        let cold = solver.solve(&sys, &prios).unwrap();
+        // Warm start from the optimum itself.
+        let warm = solver.solve_warm(&sys, &prios, &cold.rates).unwrap();
+        for (a, b) in cold.rates.iter().zip(&warm.rates) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        // Warm start from garbage (infeasible and non-positive entries).
+        let garbage = [1e9, -3.0, f64::NAN];
+        let fixed = solver.solve_warm(&sys, &prios, &garbage).unwrap();
+        for (a, b) in cold.rates.iter().zip(&fixed.rates) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn utility_matches_rates() {
+        let a = solve(vec![(1.0, vec![1.0, 1.0])], &[1.0, 1.0]);
+        let expect = a.rates[0].ln() + a.rates[1].ln();
+        assert!((a.utility - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_loads_builds_one_row_per_kind_and_link() {
+        use sparcle_model::{LinkId, LoadMap, NetworkBuilder, ResourceVec};
+        let mut nb = NetworkBuilder::new();
+        let x = nb.add_ncp("x", ResourceVec::cpu_memory(100.0, 50.0));
+        let y = nb.add_ncp("y", ResourceVec::cpu(80.0));
+        nb.add_link("xy", x, y, 40.0).unwrap();
+        let net = nb.build().unwrap();
+        let caps = net.capacity_map();
+
+        let mut load_a = LoadMap::zeroed(&net);
+        load_a.add_ct_load(x, &ResourceVec::cpu_memory(10.0, 5.0));
+        load_a.add_tt_load(LinkId::new(0), 8.0);
+        let mut load_b = LoadMap::zeroed(&net);
+        load_b.add_ct_load(y, &ResourceVec::cpu(4.0));
+
+        let sys = ConstraintSystem::from_loads(&net, &caps, &[&load_a, &load_b]);
+        // Rows: x/cpu, x/memory, y/cpu, link — 4 binding rows.
+        assert_eq!(sys.rows().len(), 4);
+        let cpu_row = sys
+            .rows()
+            .iter()
+            .find(|r| r.element == Some((sparcle_model::NetworkElement::Ncp(x), ResourceKind::Cpu)))
+            .expect("x cpu row");
+        assert_eq!(cpu_row.capacity, 100.0);
+        assert_eq!(cpu_row.coeffs, vec![10.0, 0.0]);
+        let mem_row = sys
+            .rows()
+            .iter()
+            .find(|r| {
+                r.element == Some((sparcle_model::NetworkElement::Ncp(x), ResourceKind::Memory))
+            })
+            .expect("x memory row");
+        assert_eq!(mem_row.capacity, 50.0);
+        assert_eq!(mem_row.coeffs, vec![5.0, 0.0]);
+        let link_row = sys
+            .rows()
+            .iter()
+            .find(|r| {
+                r.element
+                    == Some((
+                        sparcle_model::NetworkElement::Link(LinkId::new(0)),
+                        ResourceKind::Bandwidth,
+                    ))
+            })
+            .expect("link row");
+        assert_eq!(link_row.coeffs, vec![8.0, 0.0]);
+
+        // Solving the system matches the hand-derived optimum: app A is
+        // bound by the link (40/8 = 5), app B by y's cpu (80/4 = 20).
+        let alloc = ProportionalFairSolver::new()
+            .solve(&sys, &[1.0, 1.0])
+            .unwrap();
+        assert!((alloc.rates[0] - 5.0).abs() < 1e-4, "{:?}", alloc.rates);
+        assert!((alloc.rates[1] - 20.0).abs() < 1e-3, "{:?}", alloc.rates);
+    }
+
+    #[test]
+    fn all_zero_coeff_rows_are_dropped() {
+        let mut sys = ConstraintSystem::new(1);
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 1.0,
+            coeffs: vec![0.0],
+        });
+        assert!(sys.rows().is_empty());
+    }
+}

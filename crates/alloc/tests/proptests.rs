@@ -1,0 +1,176 @@
+//! Property-based tests for the allocation crate: NUM solver optimality
+//! conditions and availability-analysis consistency.
+
+use proptest::prelude::*;
+use sparcle_alloc::availability::PathAvailability;
+use sparcle_alloc::num::{ConstraintRow, ConstraintSystem, ProportionalFairSolver};
+
+/// Strategy: a feasible random constraint system where every app is
+/// constrained (diagonal safety rows guarantee it).
+fn arb_system(
+    max_apps: usize,
+    max_rows: usize,
+) -> impl Strategy<Value = (ConstraintSystem, Vec<f64>)> {
+    (1..=max_apps, 0..=max_rows)
+        .prop_flat_map(|(apps, rows)| {
+            let row = proptest::collection::vec(0.0f64..10.0, apps);
+            let all_rows = proptest::collection::vec((row, 1.0f64..100.0), rows);
+            let prios = proptest::collection::vec(0.1f64..5.0, apps);
+            let diag_caps = proptest::collection::vec(1.0f64..100.0, apps);
+            (Just(apps), all_rows, prios, diag_caps)
+        })
+        .prop_map(|(apps, all_rows, prios, diag_caps)| {
+            let mut sys = ConstraintSystem::new(apps);
+            for (coeffs, capacity) in all_rows {
+                sys.push_row(ConstraintRow {
+                    element: None,
+                    capacity,
+                    coeffs,
+                });
+            }
+            for (i, &cap) in diag_caps.iter().enumerate() {
+                let mut coeffs = vec![0.0; apps];
+                coeffs[i] = 1.0;
+                sys.push_row(ConstraintRow {
+                    element: None,
+                    capacity: cap,
+                    coeffs,
+                });
+            }
+            (sys, prios)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Solutions are strictly feasible and satisfy the KKT conditions.
+    #[test]
+    fn solver_is_feasible_and_stationary((sys, prios) in arb_system(6, 8)) {
+        let alloc = ProportionalFairSolver::new()
+            .solve(&sys, &prios)
+            .expect("diagonal rows make it solvable");
+        prop_assert!(alloc.rates.iter().all(|&x| x > 0.0));
+        prop_assert!(alloc.feasibility_violation(&sys) <= 1e-9);
+        prop_assert!(
+            alloc.kkt_residual(&sys, &prios) < 1e-3,
+            "kkt {}",
+            alloc.kkt_residual(&sys, &prios)
+        );
+        prop_assert!(alloc.duals.iter().all(|&l| l >= 0.0));
+    }
+
+    /// The solver's utility is never beaten by scaled perturbations of
+    /// its own answer that remain feasible (local optimality probe).
+    #[test]
+    fn no_feasible_perturbation_improves(
+        (sys, prios) in arb_system(4, 6),
+        bump in 0usize..4,
+        delta in -0.2f64..0.2,
+    ) {
+        let alloc = ProportionalFairSolver::new().solve(&sys, &prios).unwrap();
+        let i = bump % alloc.rates.len();
+        let mut perturbed = alloc.rates.clone();
+        perturbed[i] *= 1.0 + delta;
+        // Feasible?
+        let feasible = sys.rows().iter().all(|row| {
+            let used: f64 = row.coeffs.iter().zip(&perturbed).map(|(&c, &x)| c * x).sum();
+            used <= row.capacity
+        });
+        if feasible {
+            let utility: f64 = prios
+                .iter()
+                .zip(&perturbed)
+                .map(|(&p, &x)| p * x.ln())
+                .sum();
+            prop_assert!(
+                utility <= alloc.utility + 1e-4 * alloc.utility.abs().max(1.0),
+                "perturbation improved utility: {utility} > {}",
+                alloc.utility
+            );
+        }
+    }
+
+    /// Doubling every priority leaves the optimal rates unchanged
+    /// (scale invariance of weighted proportional fairness).
+    #[test]
+    fn priority_scale_invariance((sys, prios) in arb_system(5, 6)) {
+        let a = ProportionalFairSolver::new().solve(&sys, &prios).unwrap();
+        let doubled: Vec<f64> = prios.iter().map(|p| 2.0 * p).collect();
+        let b = ProportionalFairSolver::new().solve(&sys, &doubled).unwrap();
+        for (x, y) in a.rates.iter().zip(&b.rates) {
+            prop_assert!((x - y).abs() / x.max(*y) < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    /// Monte-Carlo availability converges to the exact inclusion–
+    /// exclusion value on random overlapping path sets.
+    #[test]
+    fn monte_carlo_matches_exact(
+        paths in proptest::collection::vec(
+            (proptest::collection::vec((0u64..12, 0.0f64..0.4), 1..5), 0.1f64..5.0),
+            1..5,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let mut pa = PathAvailability::new();
+        // Deduplicate per-path element keys (same key twice in one path
+        // is legal but keep pf consistent by first-wins).
+        let mut pf_of: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        for (elems, rate) in &paths {
+            let fixed: Vec<(u64, f64)> = elems
+                .iter()
+                .map(|&(k, p)| {
+                    let pf = *pf_of.entry(k).or_insert(p);
+                    (k, pf)
+                })
+                .collect();
+            pa.add_path_raw(fixed, *rate).unwrap();
+        }
+        let exact = pa.any_working().unwrap();
+        let mc = pa.monte_carlo_any(60_000, seed);
+        prop_assert!((exact - mc).abs() < 0.015, "exact {exact} vs mc {mc}");
+    }
+
+    /// Min-rate availability is monotone in the threshold and coincides
+    /// with any-working at threshold → 0⁺ and with the all-paths-up
+    /// probability at the total rate.
+    #[test]
+    fn min_rate_monotonicity(
+        paths in proptest::collection::vec(
+            (proptest::collection::vec((0u64..10, 0.0f64..0.3), 1..4), 0.5f64..3.0),
+            1..4,
+        ),
+    ) {
+        let mut pa = PathAvailability::new();
+        let mut pf_of: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        let mut total = 0.0;
+        for (elems, rate) in &paths {
+            let fixed: Vec<(u64, f64)> = elems
+                .iter()
+                .map(|&(k, p)| (k, *pf_of.entry(k).or_insert(p)))
+                .collect();
+            pa.add_path_raw(fixed, *rate).unwrap();
+            total += rate;
+        }
+        let any = pa.any_working().unwrap();
+        let tiny = pa.min_rate(1e-9).unwrap();
+        prop_assert!((tiny - any).abs() < 1e-9, "tiny-threshold = any-working");
+        let mut last = 1.0f64;
+        for step in 0..=10 {
+            let r = total * step as f64 / 10.0;
+            let v = pa.min_rate(r).unwrap();
+            prop_assert!(v <= last + 1e-9, "monotone: {v} after {last}");
+            last = v;
+        }
+        // Exactly the total requires every path up.
+        let all_up = pa.exactly_working((1 << paths.len()) - 1).unwrap()
+            + {
+                // Other exact sets cannot reach the total unless some
+                // rate is zero (excluded by the strategy), so min_rate
+                // at total equals P(all up).
+                0.0
+            };
+        prop_assert!((pa.min_rate(total).unwrap() - all_up).abs() < 1e-9);
+    }
+}

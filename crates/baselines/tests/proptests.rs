@@ -1,0 +1,101 @@
+//! Property-based tests over the baseline roster: every algorithm, on
+//! every random scenario, produces a valid placement scored identically
+//! to SPARCLE's, and the exhaustive optimum dominates all of them.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparcle_baselines::{optimal_assignment_limited, standard_roster};
+use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
+
+fn arb_case() -> impl Strategy<Value = BottleneckCase> {
+    prop_oneof![
+        Just(BottleneckCase::NcpBottleneck),
+        Just(BottleneckCase::LinkBottleneck),
+        Just(BottleneckCase::Balanced),
+        Just(BottleneckCase::MemoryBottleneck),
+    ]
+}
+
+fn arb_topology() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Star),
+        Just(TopologyKind::Linear),
+        Just(TopologyKind::FullyConnected),
+    ]
+}
+
+fn arb_graph() -> impl Strategy<Value = GraphKind> {
+    prop_oneof![
+        (1usize..5).prop_map(|stages| GraphKind::Linear { stages }),
+        Just(GraphKind::Diamond),
+        (1usize..5).prop_map(|cts| GraphKind::Random { cts }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every roster algorithm completes with a valid placement on every
+    /// scenario family, and its reported rate is self-consistent.
+    #[test]
+    fn roster_is_total_and_consistent(
+        case in arb_case(),
+        topology in arb_topology(),
+        graph in arb_graph(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = ScenarioConfig::new(case, graph, topology);
+        let scenario = cfg.sample(&mut StdRng::seed_from_u64(seed)).unwrap();
+        let caps = scenario.network.capacity_map();
+        for algo in standard_roster(seed) {
+            let path = algo
+                .assign(&scenario.app, &scenario.network, &caps)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+            path.placement
+                .validate(scenario.app.graph(), &scenario.network)
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
+            let recomputed = path.placement.bottleneck_rate(
+                scenario.app.graph(),
+                &scenario.network,
+                &caps,
+            );
+            prop_assert!(
+                (path.rate - recomputed).abs() <= 1e-9 * recomputed.max(1.0),
+                "{}: {} vs {recomputed}",
+                algo.name(),
+                path.rate
+            );
+        }
+    }
+
+    /// The exhaustive optimum upper-bounds every algorithm, SPARCLE
+    /// included, on small instances.
+    #[test]
+    fn optimum_dominates_roster(
+        case in arb_case(),
+        seed in 0u64..10_000,
+    ) {
+        let mut cfg = ScenarioConfig::new(
+            case,
+            GraphKind::Linear { stages: 2 },
+            TopologyKind::Star,
+        );
+        cfg.ncps = 5;
+        let scenario = cfg.sample(&mut StdRng::seed_from_u64(seed)).unwrap();
+        let caps = scenario.network.capacity_map();
+        let opt = optimal_assignment_limited(&scenario.app, &scenario.network, &caps, 100_000)
+            .expect("small search space");
+        for algo in standard_roster(seed) {
+            if let Ok(path) = algo.assign(&scenario.app, &scenario.network, &caps) {
+                prop_assert!(
+                    path.rate <= opt.rate + 1e-9 * opt.rate.max(1.0),
+                    "{} beat the optimum: {} > {}",
+                    algo.name(),
+                    path.rate,
+                    opt.rate
+                );
+            }
+        }
+    }
+}

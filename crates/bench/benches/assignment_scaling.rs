@@ -1,0 +1,103 @@
+//! Theorem 2 scaling check: Algorithm 2's running time versus network
+//! size `|N|` and task-graph size `|C|`.
+//!
+//! The paper bounds the worst case at `O(|N|³ |C|³)`. This bench sweeps
+//! both dimensions so the growth exponent can be read off the Criterion
+//! report (in practice well below the worst case: the Dijkstra inside is
+//! `O(|L| log |N|)`, not `O(|N|²)`, on these sparse topologies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparcle_core::DynamicRankingAssigner;
+use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
+use std::hint::black_box;
+
+fn bench_network_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_vs_network_size");
+    for ncps in [4usize, 8, 16, 32] {
+        let mut cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Linear { stages: 4 },
+            TopologyKind::Star,
+        );
+        cfg.ncps = ncps;
+        let scenario = cfg
+            .sample(&mut StdRng::seed_from_u64(1))
+            .expect("valid scenario");
+        let caps = scenario.network.capacity_map();
+        let assigner = DynamicRankingAssigner::new();
+        group.bench_with_input(BenchmarkId::from_parameter(ncps), &ncps, |b, _| {
+            b.iter(|| {
+                black_box(
+                    assigner
+                        .assign(&scenario.app, &scenario.network, &caps)
+                        .expect("assignable"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_vs_graph_size");
+    for stages in [2usize, 4, 8, 16] {
+        let cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Linear { stages },
+            TopologyKind::Star,
+        );
+        let scenario = cfg
+            .sample(&mut StdRng::seed_from_u64(2))
+            .expect("valid scenario");
+        let caps = scenario.network.capacity_map();
+        let assigner = DynamicRankingAssigner::new();
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
+            b.iter(|| {
+                black_box(
+                    assigner
+                        .assign(&scenario.app, &scenario.network, &caps)
+                        .expect("assignable"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_vs_topology");
+    for topology in TopologyKind::ALL {
+        let mut cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Diamond,
+            TopologyKind::Star,
+        );
+        cfg.topology = topology;
+        cfg.ncps = 12;
+        let scenario = cfg
+            .sample(&mut StdRng::seed_from_u64(3))
+            .expect("valid scenario");
+        let caps = scenario.network.capacity_map();
+        let assigner = DynamicRankingAssigner::new();
+        group.bench_with_input(BenchmarkId::from_parameter(topology), &topology, |b, _| {
+            b.iter(|| {
+                black_box(
+                    assigner
+                        .assign(&scenario.app, &scenario.network, &caps)
+                        .expect("assignable"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_network_size,
+    bench_graph_size,
+    bench_topologies
+);
+criterion_main!(benches);

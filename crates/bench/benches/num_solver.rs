@@ -1,0 +1,69 @@
+//! Proportional-fair allocator benchmarks: problem (4) solve time
+//! versus the number of applications and constraint rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparcle_alloc::num::{ConstraintRow, ConstraintSystem, ProportionalFairSolver};
+use std::hint::black_box;
+
+/// A random dense-ish system: each app loads ~30 % of the rows.
+fn random_system(apps: usize, rows: usize, seed: u64) -> (ConstraintSystem, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sys = ConstraintSystem::new(apps);
+    for _ in 0..rows {
+        let coeffs: Vec<f64> = (0..apps)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    rng.gen_range(1.0..20.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: rng.gen_range(50.0..500.0),
+            coeffs,
+        });
+    }
+    // Guarantee every app is constrained.
+    for i in 0..apps {
+        let mut coeffs = vec![0.0; apps];
+        coeffs[i] = 1.0;
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 100.0,
+            coeffs,
+        });
+    }
+    let priorities: Vec<f64> = (0..apps).map(|_| rng.gen_range(0.5..4.0)).collect();
+    (sys, priorities)
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("num_solver_vs_apps");
+    for apps in [2usize, 4, 8, 16, 32] {
+        let (sys, priorities) = random_system(apps, 60, 42);
+        let solver = ProportionalFairSolver::new();
+        group.bench_with_input(BenchmarkId::from_parameter(apps), &apps, |b, _| {
+            b.iter(|| black_box(solver.solve(&sys, &priorities).expect("solvable")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("num_solver_vs_rows");
+    for rows in [20usize, 80, 320] {
+        let (sys, priorities) = random_system(8, rows, 43);
+        let solver = ProportionalFairSolver::new();
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(solver.solve(&sys, &priorities).expect("solvable")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps, bench_rows);
+criterion_main!(benches);

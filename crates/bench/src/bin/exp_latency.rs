@@ -1,0 +1,79 @@
+//! Extension experiment: end-to-end latency of SPARCLE placements.
+//!
+//! The paper optimizes rate and only remarks that concentrating CTs
+//! also helps latency (§V-B-2). This experiment quantifies that: for
+//! the face-detection testbed placement at each field bandwidth, it
+//! sweeps the offered load and reports the zero-queueing critical path,
+//! the M/M/1 analytic estimate, and the simulated mean latency — for
+//! SPARCLE and for the cloud-computing placement.
+
+use sparcle_baselines::{Assigner, CloudAssigner};
+use sparcle_bench::Table;
+use sparcle_core::DynamicRankingAssigner;
+use sparcle_model::QoeClass;
+use sparcle_sim::{
+    critical_path_latency, mm1_latency, simulate_flows, ArrivalProcess, FlowSimConfig, SimApp,
+};
+use sparcle_workloads::face_detection::{face_detection_app, testbed_network, CLOUD};
+
+fn main() {
+    let app = face_detection_app(QoeClass::best_effort(1.0)).expect("valid workload");
+    let mut table = Table::new([
+        "field BW (Mbps)",
+        "algorithm",
+        "load (× bottleneck)",
+        "critical path (s)",
+        "M/M/1 (s)",
+        "simulated (s)",
+    ]);
+    println!("=== extension: end-to-end latency (face detection testbed) ===");
+    for &bw in &[0.5, 22.0] {
+        let network = testbed_network(bw);
+        let caps = network.capacity_map();
+        let algos: Vec<(&str, Box<dyn Assigner>)> = vec![
+            ("SPARCLE", Box::new(DynamicRankingAssigner::new())),
+            ("Cloud", Box::new(CloudAssigner::new(CLOUD))),
+        ];
+        for (name, algo) in &algos {
+            let Ok(path) = algo.assign(&app, &network, &caps) else {
+                continue;
+            };
+            let cp = critical_path_latency(app.graph(), &path.placement, &network);
+            for &frac in &[0.3, 0.6, 0.9] {
+                let rate = frac * path.rate;
+                let analytic =
+                    mm1_latency(app.graph(), &path.placement, &network, &path.load, rate);
+                let stats = simulate_flows(
+                    &network,
+                    &[SimApp {
+                        graph: app.graph(),
+                        placement: &path.placement,
+                        rate,
+                    }],
+                    &FlowSimConfig {
+                        duration: 400.0 / rate.max(1e-3),
+                        warmup: 40.0 / rate.max(1e-3),
+                        arrivals: ArrivalProcess::Poisson { seed: 3 },
+                    },
+                );
+                table.row([
+                    format!("{bw}"),
+                    (*name).to_owned(),
+                    format!("{frac:.1}"),
+                    format!("{cp:.2}"),
+                    format!("{analytic:.2}"),
+                    format!("{:.2}", stats[0].mean_latency),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    let path = table.write_csv("extension_latency");
+    println!("wrote {}", path.display());
+    println!(
+        "\nnote: at 0.5 Mbps the cloud placement's critical path is dominated by the\n\
+         24.8 Mb raw image crossing 0.5 Mbps field links (~100 s per image!), while\n\
+         SPARCLE's field-side placement keeps it in seconds — the latency side of\n\
+         the paper's co-location remark."
+    );
+}

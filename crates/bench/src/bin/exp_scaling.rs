@@ -1,0 +1,89 @@
+//! Theorem 2 as a table: Algorithm 2 wall-clock time vs `|N|` and `|C|`.
+//!
+//! Criterion benches (`cargo bench`) give the rigorous numbers; this
+//! binary prints a quick textual artifact with fitted growth exponents
+//! so the polynomial-time claim is visible without the bench harness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparcle_bench::Table;
+use sparcle_core::DynamicRankingAssigner;
+use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
+use std::time::Instant;
+
+const REPS: usize = 30;
+
+fn time_assign(cfg: &ScenarioConfig, seed: u64) -> f64 {
+    let scenario = cfg
+        .sample(&mut StdRng::seed_from_u64(seed))
+        .expect("valid scenario");
+    let caps = scenario.network.capacity_map();
+    let assigner = DynamicRankingAssigner::new();
+    // Warm up once.
+    let _ = assigner.assign(&scenario.app, &scenario.network, &caps);
+    let start = Instant::now();
+    for _ in 0..REPS {
+        let _ = assigner
+            .assign(&scenario.app, &scenario.network, &caps)
+            .expect("assignable");
+    }
+    start.elapsed().as_secs_f64() / REPS as f64
+}
+
+/// Least-squares slope of log(y) against log(x).
+fn fitted_exponent(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+fn main() {
+    println!("=== Theorem 2: Algorithm 2 running time (mean of {REPS} runs) ===");
+
+    let mut t1 = Table::new(["|N| (NCPs)", "time per assignment (µs)"]);
+    let mut pts = Vec::new();
+    for ncps in [4usize, 8, 16, 32, 64] {
+        let mut cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Linear { stages: 4 },
+            TopologyKind::Star,
+        );
+        cfg.ncps = ncps;
+        let secs = time_assign(&cfg, 1);
+        t1.row([format!("{ncps}"), format!("{:.1}", secs * 1e6)]);
+        pts.push((ncps as f64, secs));
+    }
+    println!("{}", t1.render());
+    println!(
+        "fitted exponent in |N|: {:.2} (Theorem 2 worst case: 3)",
+        fitted_exponent(&pts)
+    );
+    t1.write_csv("thm2_vs_network_size");
+
+    let mut t2 = Table::new(["|C| (compute CTs)", "time per assignment (µs)"]);
+    let mut pts = Vec::new();
+    for stages in [2usize, 4, 8, 16, 32] {
+        let cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Linear { stages },
+            TopologyKind::Star,
+        );
+        let secs = time_assign(&cfg, 2);
+        t2.row([format!("{stages}"), format!("{:.1}", secs * 1e6)]);
+        pts.push((stages as f64, secs));
+    }
+    println!("{}", t2.render());
+    println!(
+        "fitted exponent in |C|: {:.2} (Theorem 2 worst case: 3)",
+        fitted_exponent(&pts)
+    );
+    let path = t2.write_csv("thm2_vs_graph_size");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,512 @@
+//! Dependency-free SVG chart rendering for the experiment binaries.
+//!
+//! The paper presents its results as line charts, CDFs, and grouped bar
+//! charts. [`LineChart`] and [`BarChart`] render the same shapes as
+//! standalone SVG files next to the CSVs, so `target/experiments/`
+//! contains viewable figures, not just tables.
+//!
+//! The renderer is deliberately small: fixed canvas, linear scales,
+//! automatic "nice" ticks, a categorical palette, and text labels —
+//! enough for evaluation figures, not a plotting library.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Canvas and margin geometry shared by both chart kinds.
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 160.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_BOTTOM: f64 = 60.0;
+
+/// Categorical palette (colorblind-friendly).
+const PALETTE: [&str; 8] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#f0e442", "#56b4e9", "#e69f00", "#000000",
+];
+
+fn plot_width() -> f64 {
+    WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+}
+
+fn plot_height() -> f64 {
+    HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+}
+
+/// Rounds the range `[0, hi]` up to a "nice" tick step.
+fn nice_ticks(hi: f64, target: usize) -> Vec<f64> {
+    if !(hi.is_finite()) || hi <= 0.0 {
+        return vec![0.0, 1.0];
+    }
+    let raw_step = hi / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let mut ticks = Vec::new();
+    let mut t = 0.0;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    if *ticks.last().expect("at least the origin") < hi {
+        ticks.push(t);
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round())
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn svg_header(title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = writeln!(
+        s,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        MARGIN_LEFT + plot_width() / 2.0,
+        escape(title)
+    );
+    s
+}
+
+fn axes_and_y_ticks(s: &mut String, y_ticks: &[f64], y_max: f64, x_label: &str, y_label: &str) {
+    let x0 = MARGIN_LEFT;
+    let y0 = MARGIN_TOP + plot_height();
+    // Axis lines.
+    let _ = writeln!(
+        s,
+        r#"<line x1="{x0}" y1="{MARGIN_TOP}" x2="{x0}" y2="{y0}" stroke="black"/>"#
+    );
+    let _ = writeln!(
+        s,
+        r#"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"#,
+        x0 + plot_width()
+    );
+    for &t in y_ticks {
+        let y = y0 - t / y_max * plot_height();
+        let _ = writeln!(
+            s,
+            r##"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            x0,
+            x0 + plot_width()
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" text-anchor="end">{}</text>"#,
+            x0 - 6.0,
+            y + 4.0,
+            fmt_tick(t)
+        );
+    }
+    let _ = writeln!(
+        s,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        x0 + plot_width() / 2.0,
+        HEIGHT - 14.0,
+        escape(x_label)
+    );
+    let _ = writeln!(
+        s,
+        r#"<text x="18" y="{}" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+        MARGIN_TOP + plot_height() / 2.0,
+        MARGIN_TOP + plot_height() / 2.0,
+        escape(y_label)
+    );
+}
+
+fn legend(s: &mut String, names: &[String]) {
+    let lx = MARGIN_LEFT + plot_width() + 14.0;
+    for (i, name) in names.iter().enumerate() {
+        let y = MARGIN_TOP + 12.0 + i as f64 * 18.0;
+        let color = PALETTE[i % PALETTE.len()];
+        let _ = writeln!(
+            s,
+            r#"<rect x="{lx}" y="{}" width="12" height="12" fill="{color}"/>"#,
+            y - 10.0
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{y}">{}</text>"#,
+            lx + 16.0,
+            escape(name)
+        );
+    }
+}
+
+/// A multi-series line chart (linear x and y, y starting at zero).
+///
+/// # Examples
+///
+/// ```
+/// # use sparcle_bench::svg::LineChart;
+/// let mut chart = LineChart::new("rates", "field BW (Mbps)", "rate");
+/// chart.series("SPARCLE", vec![(0.5, 0.30), (10.0, 0.40), (22.0, 0.54)]);
+/// chart.series("Cloud", vec![(0.5, 0.02), (10.0, 0.40), (22.0, 0.46)]);
+/// let svg = chart.render();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("SPARCLE"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series of `(x, y)` points (sorted by x recommended).
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// Renders the SVG document.
+    pub fn render(&self) -> String {
+        let (mut x_min, mut x_max, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY, 0.0f64);
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_max = y_max.max(y);
+            }
+        }
+        if !x_min.is_finite() {
+            x_min = 0.0;
+            x_max = 1.0;
+        }
+        if x_max <= x_min {
+            x_max = x_min + 1.0;
+        }
+        let y_ticks = nice_ticks(y_max, 5);
+        let y_top = *y_ticks.last().expect("ticks are never empty");
+
+        let mut s = svg_header(&self.title);
+        axes_and_y_ticks(&mut s, &y_ticks, y_top, &self.x_label, &self.y_label);
+
+        // X ticks at each distinct x across series (capped at 10).
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let stride = xs.len().div_ceil(10).max(1);
+        let sx = |x: f64| MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_width();
+        let sy = |y: f64| MARGIN_TOP + plot_height() - y / y_top * plot_height();
+        for x in xs.iter().step_by(stride) {
+            let px = sx(*x);
+            let y0 = MARGIN_TOP + plot_height();
+            let _ = writeln!(
+                s,
+                r#"<line x1="{px}" y1="{y0}" x2="{px}" y2="{}" stroke="black"/>"#,
+                y0 + 4.0
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{px}" y="{}" text-anchor="middle">{}</text>"#,
+                y0 + 18.0,
+                fmt_tick(*x)
+            );
+        }
+
+        for (i, (_, pts)) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> = pts
+                .iter()
+                .enumerate()
+                .map(|(k, &(x, y))| {
+                    format!(
+                        "{}{:.2},{:.2}",
+                        if k == 0 { "M" } else { "L" },
+                        sx(x),
+                        sy(y)
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+            for &(x, y) in pts {
+                let _ = writeln!(
+                    s,
+                    r#"<circle cx="{:.2}" cy="{:.2}" r="3" fill="{color}"/>"#,
+                    sx(x),
+                    sy(y)
+                );
+            }
+        }
+        legend(
+            &mut s,
+            &self
+                .series
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
+        );
+        s.push_str("</svg>\n");
+        s
+    }
+
+    /// Writes the SVG to `target/experiments/<name>.svg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure.
+    pub fn write_svg(&self, name: &str) -> PathBuf {
+        write_svg_file(name, &self.render())
+    }
+}
+
+/// A grouped bar chart: one group per category, one bar per series.
+///
+/// # Examples
+///
+/// ```
+/// # use sparcle_bench::svg::BarChart;
+/// let mut chart = BarChart::new("efficiency", "case", "units/J");
+/// chart.category("balanced");
+/// chart.category("link-bottleneck");
+/// chart.series("SPARCLE", vec![0.2, 0.25]);
+/// chart.series("VNE", vec![0.12, 0.03]);
+/// let svg = chart.render();
+/// assert!(svg.contains("balanced"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    categories: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        BarChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            categories: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a category (x-axis group).
+    pub fn category(&mut self, name: impl Into<String>) -> &mut Self {
+        self.categories.push(name.into());
+        self
+    }
+
+    /// Adds a named series with one value per category.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at render time) if lengths mismatch.
+    pub fn series(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Renders the SVG document.
+    pub fn render(&self) -> String {
+        for (name, values) in &self.series {
+            assert_eq!(
+                values.len(),
+                self.categories.len(),
+                "series `{name}` must have one value per category"
+            );
+        }
+        let y_max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max);
+        let y_ticks = nice_ticks(y_max, 5);
+        let y_top = *y_ticks.last().expect("ticks are never empty");
+
+        let mut s = svg_header(&self.title);
+        axes_and_y_ticks(&mut s, &y_ticks, y_top, &self.x_label, &self.y_label);
+
+        let groups = self.categories.len().max(1) as f64;
+        let group_w = plot_width() / groups;
+        let bar_w = (group_w * 0.8) / self.series.len().max(1) as f64;
+        let y0 = MARGIN_TOP + plot_height();
+        for (g, cat) in self.categories.iter().enumerate() {
+            let gx = MARGIN_LEFT + g as f64 * group_w + group_w * 0.1;
+            for (i, (_, values)) in self.series.iter().enumerate() {
+                let v = values[g].max(0.0);
+                let h = v / y_top * plot_height();
+                let color = PALETTE[i % PALETTE.len()];
+                let _ = writeln!(
+                    s,
+                    r#"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{color}"/>"#,
+                    gx + i as f64 * bar_w,
+                    y0 - h,
+                    bar_w * 0.92,
+                    h
+                );
+            }
+            let _ = writeln!(
+                s,
+                r#"<text x="{:.2}" y="{}" text-anchor="middle">{}</text>"#,
+                gx + group_w * 0.4,
+                y0 + 18.0,
+                escape(cat)
+            );
+        }
+        legend(
+            &mut s,
+            &self
+                .series
+                .iter()
+                .map(|(n, _)| n.clone())
+                .collect::<Vec<_>>(),
+        );
+        s.push_str("</svg>\n");
+        s
+    }
+
+    /// Writes the SVG to `target/experiments/<name>.svg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure.
+    pub fn write_svg(&self, name: &str) -> PathBuf {
+        write_svg_file(name, &self.render())
+    }
+}
+
+fn write_svg_file(name: &str, content: &str) -> PathBuf {
+    let dir = crate::experiments_dir();
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(format!("{name}.svg"));
+    fs::write(&path, content).expect("write svg");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_structure() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.series("a", vec![(0.0, 0.0), (1.0, 2.0)]);
+        c.series("b", vec![(0.0, 1.0), (1.0, 1.5)]);
+        let svg = c.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains(">a<") && svg.contains(">b<"));
+    }
+
+    #[test]
+    fn bar_chart_structure() {
+        let mut c = BarChart::new("t", "x", "y");
+        c.category("c1").category("c2");
+        c.series("s1", vec![1.0, 2.0]);
+        c.series("s2", vec![0.5, 0.0]);
+        let svg = c.render();
+        // 4 bars + 2 legend swatches + background.
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.contains("c1") && svg.contains("c2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per category")]
+    fn bar_chart_checks_arity() {
+        let mut c = BarChart::new("t", "x", "y");
+        c.category("only");
+        c.series("bad", vec![1.0, 2.0]);
+        c.render();
+    }
+
+    #[test]
+    fn nice_ticks_are_monotone_and_cover() {
+        for hi in [0.003, 0.7, 1.0, 9.3, 57.0, 120.0, 9800.0] {
+            let ticks = nice_ticks(hi, 5);
+            assert!(ticks.len() >= 2, "hi={hi}");
+            assert_eq!(ticks[0], 0.0);
+            assert!(*ticks.last().unwrap() >= hi, "hi={hi} ticks={ticks:?}");
+            for w in ticks.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let c = LineChart::new("empty", "x", "y");
+        let svg = c.render();
+        assert!(svg.contains("</svg>"));
+        let ticks = nice_ticks(0.0, 5);
+        assert_eq!(ticks, vec![0.0, 1.0]);
+        let ticks = nice_ticks(f64::NAN, 5);
+        assert_eq!(ticks, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut c = LineChart::new("a<b", "x&y", "z");
+        c.series("s<>", vec![(0.0, 1.0)]);
+        let svg = c.render();
+        assert!(svg.contains("a&lt;b"));
+        assert!(svg.contains("x&amp;y"));
+        assert!(!svg.contains("s<>"));
+    }
+}

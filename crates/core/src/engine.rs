@@ -1,0 +1,572 @@
+//! Incremental placement engine shared by SPARCLE and the baselines.
+//!
+//! [`PlacementEngine`] tracks a partially-built [`Placement`] together
+//! with its per-element [`LoadMap`], and provides the two primitives
+//! every task-assignment policy in this workspace is built from:
+//!
+//! * [`PlacementEngine::gamma`] — the paper's `γ_{i,j}` (eq. (2)): the
+//!   new bottleneck processing rate if CT `i` were placed on NCP `j`,
+//!   combining the host's compute headroom with widest-path bottlenecks
+//!   (Algorithm 1) to every already-placed reachable CT;
+//! * [`PlacementEngine::commit`] — irrevocably place a CT on a host and
+//!   route (via Algorithm 1) every TT connecting it to already-placed
+//!   direct neighbors, updating loads.
+//!
+//! SPARCLE's dynamic ranking (Algorithm 2) repeatedly commits the
+//! `argmin_i max_j γ_{i,j}` choice; baselines commit in their own orders
+//! (sorted, random, HEFT rank, …) but reuse the same routing, which keeps
+//! the comparison about *placement policy*, exactly as in the paper.
+
+use crate::error::AssignError;
+use crate::widest_path::widest_path;
+use sparcle_model::{Application, CapacityMap, CtId, LoadMap, NcpId, Network, Placement, TtId};
+
+/// How [`PlacementEngine::commit_with`] routes transport tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// Algorithm 1: maximize the minimum load-aware link width.
+    #[default]
+    Widest,
+    /// Plain hop-count shortest path (what a non-network-aware scheduler
+    /// effectively gets from the underlay).
+    FewestHops,
+}
+
+/// Hop-count shortest path between two NCPs (BFS), ignoring loads and
+/// capacities. Returns `None` when disconnected, `Some(vec![])` when
+/// `from == to`.
+pub fn fewest_hops_path(
+    network: &Network,
+    from: NcpId,
+    to: NcpId,
+) -> Option<Vec<sparcle_model::LinkId>> {
+    use std::collections::VecDeque;
+    if from == to {
+        return Some(Vec::new());
+    }
+    let mut prev: Vec<Option<(NcpId, sparcle_model::LinkId)>> = vec![None; network.ncp_count()];
+    let mut seen = vec![false; network.ncp_count()];
+    seen[from.index()] = true;
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        for (link, v) in network.neighbors(u) {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            prev[v.index()] = Some((u, link));
+            if v == to {
+                let mut links = Vec::new();
+                let mut at = to;
+                while let Some((p, l)) = prev[at.index()] {
+                    links.push(l);
+                    at = p;
+                }
+                links.reverse();
+                return Some(links);
+            }
+            queue.push_back(v);
+        }
+    }
+    None
+}
+
+/// The result of a completed task assignment: one *task assignment path*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignedPath {
+    /// The full mapping of CTs to NCPs and TTs to link routes.
+    pub placement: Placement,
+    /// The per-data-unit load this path puts on every element.
+    pub load: LoadMap,
+    /// The maximum stable processing rate (objective (1a)) under the
+    /// capacities the assignment was computed against.
+    pub rate: f64,
+}
+
+/// Incremental, load-tracking placement state for one application.
+#[derive(Debug, Clone)]
+pub struct PlacementEngine<'a> {
+    app: &'a Application,
+    network: &'a Network,
+    capacities: &'a CapacityMap,
+    placement: Placement,
+    load: LoadMap,
+    placed: Vec<bool>,
+}
+
+impl<'a> PlacementEngine<'a> {
+    /// Creates an engine and commits the application's pinned CTs (data
+    /// sources, result consumers, and any explicitly pinned interior CT),
+    /// routing TTs between pinned neighbors — Algorithm 2 lines 1–5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::Model`] if a pinned host is outside the
+    /// network and [`AssignError::NoRoute`] if two pinned neighbor CTs
+    /// have topologically disconnected hosts.
+    pub fn new(
+        app: &'a Application,
+        network: &'a Network,
+        capacities: &'a CapacityMap,
+    ) -> Result<Self, AssignError> {
+        app.check_against_network(network)?;
+        assert_eq!(
+            capacities.ncp_count(),
+            network.ncp_count(),
+            "capacity map must match the network shape"
+        );
+        let mut engine = PlacementEngine {
+            app,
+            network,
+            capacities,
+            placement: Placement::empty(app.graph()),
+            load: LoadMap::zeroed(network),
+            placed: vec![false; app.graph().ct_count()],
+        };
+        for (&ct, &host) in app.pinned() {
+            engine.commit(ct, host)?;
+        }
+        Ok(engine)
+    }
+
+    /// The application being placed.
+    pub fn app(&self) -> &Application {
+        self.app
+    }
+
+    /// The network being placed onto.
+    pub fn network(&self) -> &Network {
+        self.network
+    }
+
+    /// The capacities the engine optimizes against.
+    pub fn capacities(&self) -> &CapacityMap {
+        self.capacities
+    }
+
+    /// The placement built so far.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The loads accumulated so far.
+    pub fn load(&self) -> &LoadMap {
+        &self.load
+    }
+
+    /// Whether `ct` has been committed.
+    pub fn is_placed(&self, ct: CtId) -> bool {
+        self.placed[ct.index()]
+    }
+
+    /// CTs not yet committed, in id order (the paper's set `C_u`).
+    pub fn unplaced(&self) -> Vec<CtId> {
+        self.app
+            .graph()
+            .ct_ids()
+            .filter(|&ct| !self.placed[ct.index()])
+            .collect()
+    }
+
+    /// The paper's `γ_{i,j}` (eq. (2)): the bottleneck processing rate
+    /// that results from hypothetically placing CT `i` on NCP `j`,
+    /// considering
+    ///
+    /// * the host's compute headroom
+    ///   `min_r C_j^(r) / (a_i^(r) + Σ_{i''} y_{i'',j} a_{i''}^(r))`, and
+    /// * for every already-placed reachable CT `i'` (through unplaced
+    ///   intermediates), the widest-path bottleneck from `j` to `h(i')`
+    ///   for the cheapest TT in `G(i, i')` (Algorithm 2 lines 10–13).
+    ///
+    /// Returns `None` when some reachable placed CT cannot be routed to
+    /// from `j` at all (placing `i` there would strand a TT).
+    pub fn gamma(&self, ct: CtId, host: NcpId) -> Option<f64> {
+        let graph = self.app.graph();
+        let mut gamma = self.host_rate(ct, host);
+        for reach in graph.placed_reachable(ct, |c| self.placed[c.index()]) {
+            let other_host = self
+                .placement
+                .ct_host(reach.ct)
+                .expect("reachable CTs are placed");
+            let path = widest_path(
+                self.network,
+                self.capacities,
+                &self.load,
+                reach.min_bits,
+                host,
+                other_host,
+            )?;
+            gamma = gamma.min(path.width);
+        }
+        Some(gamma)
+    }
+
+    /// The *compute-only* part of `γ_{i,j}`: the rate the host NCP alone
+    /// would impose, `min_r C_j^(r) / (a_i^(r) + Σ_{i''} y_{i'',j}
+    /// a_{i''}^(r))`, ignoring every link. This is what a scheduler that
+    /// does "not consider the connecting TTs' resource requirements"
+    /// (the paper's GS/GRand baselines) optimizes.
+    pub fn host_rate(&self, ct: CtId, host: NcpId) -> f64 {
+        let combined = self
+            .load
+            .ncp(host)
+            .plus_scaled(self.app.graph().ct(ct).requirement(), 1.0);
+        self.capacities
+            .ncp(host)
+            .rate_supported(&combined)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// The best host for `ct` right now: `j*_i = argmax_j γ_{i,j}`
+    /// (Algorithm 2 line 15). Ties break toward the lower NCP id for
+    /// determinism. Returns `None` if no host can route all of `ct`'s
+    /// placed reachable CTs.
+    pub fn best_host(&self, ct: CtId) -> Option<(NcpId, f64)> {
+        let mut best: Option<(NcpId, f64)> = None;
+        for host in self.network.ncp_ids() {
+            if let Some(g) = self.gamma(ct, host) {
+                if best.is_none_or(|(_, bg)| g > bg) {
+                    best = Some((host, g));
+                }
+            }
+        }
+        best
+    }
+
+    /// Places `ct` on `host` and routes every TT between `ct` and an
+    /// already-placed direct neighbor on its widest path (recomputed at
+    /// commit time with current loads), updating the engine's loads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::NoRoute`] if a neighbor's host is
+    /// unreachable from `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ct` is already placed.
+    pub fn commit(&mut self, ct: CtId, host: NcpId) -> Result<(), AssignError> {
+        self.commit_with(ct, host, RoutePolicy::Widest)
+    }
+
+    /// Like [`Self::commit`] but with an explicit TT routing policy.
+    /// Baseline algorithms that are not network-aware route by hop count
+    /// ([`RoutePolicy::FewestHops`]); SPARCLE routes by Algorithm 1
+    /// ([`RoutePolicy::Widest`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::NoRoute`] if a neighbor's host is
+    /// unreachable from `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ct` is already placed.
+    pub fn commit_with(
+        &mut self,
+        ct: CtId,
+        host: NcpId,
+        policy: RoutePolicy,
+    ) -> Result<(), AssignError> {
+        assert!(!self.placed[ct.index()], "{ct} is already placed");
+        let graph = self.app.graph();
+        self.placement.place_ct(ct, host);
+        self.placed[ct.index()] = true;
+        self.load.add_ct_load(host, graph.ct(ct).requirement());
+        // Route TTs to placed direct neighbors, cheapest TTs first so
+        // heavyweight TTs see the most up-to-date loads last (ordering is
+        // a heuristic; the paper routes them one at a time).
+        let mut incident: Vec<TtId> = graph.incident_edges(ct).collect();
+        incident.sort_by(|&a, &b| {
+            graph
+                .tt(a)
+                .bits_per_unit()
+                .total_cmp(&graph.tt(b).bits_per_unit())
+        });
+        for tt in incident {
+            let t = graph.tt(tt);
+            let other = t.other_endpoint(ct).expect("incident edge");
+            if !self.placed[other.index()] {
+                continue;
+            }
+            let from_host = self.placement.ct_host(t.from()).expect("placed");
+            let to_host = self.placement.ct_host(t.to()).expect("placed");
+            let links = match policy {
+                RoutePolicy::Widest => widest_path(
+                    self.network,
+                    self.capacities,
+                    &self.load,
+                    t.bits_per_unit(),
+                    from_host,
+                    to_host,
+                )
+                .map(|p| p.links),
+                RoutePolicy::FewestHops => fewest_hops_path(self.network, from_host, to_host),
+            }
+            .ok_or(AssignError::NoRoute {
+                tt,
+                from: from_host,
+                to: to_host,
+            })?;
+            for &link in &links {
+                self.load.add_tt_load(link, t.bits_per_unit());
+            }
+            self.placement.route_tt(tt, links);
+        }
+        Ok(())
+    }
+
+    /// Finishes the assignment: validates the placement and computes the
+    /// achieved rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::Incomplete`] if CTs remain unplaced, or a
+    /// validation error for an internally inconsistent placement (a bug).
+    pub fn finish(self) -> Result<AssignedPath, AssignError> {
+        if let Some(&ct) = self.unplaced().first() {
+            return Err(AssignError::Incomplete { ct });
+        }
+        self.placement
+            .validate(self.app.graph(), self.network)
+            .map_err(AssignError::Model)?;
+        let rate = self.capacities.bottleneck_rate(&self.load);
+        Ok(AssignedPath {
+            placement: self.placement,
+            load: self.load,
+            rate,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcle_model::{NetworkBuilder, QoeClass, ResourceVec, TaskGraphBuilder};
+
+    /// source → work → sink on a 3-node chain, endpoints pinned to the
+    /// chain's ends.
+    fn fixture() -> (Application, Network) {
+        let mut tb = TaskGraphBuilder::new();
+        let s = tb.add_ct("source", ResourceVec::new());
+        let w = tb.add_ct("work", ResourceVec::cpu(10.0));
+        let t = tb.add_ct("sink", ResourceVec::new());
+        tb.add_tt("in", s, w, 8.0).unwrap();
+        tb.add_tt("out", w, t, 2.0).unwrap();
+        let graph = tb.build().unwrap();
+        let app = Application::new(
+            graph,
+            QoeClass::best_effort(1.0),
+            [(s, NcpId::new(0)), (t, NcpId::new(2))],
+        )
+        .unwrap();
+
+        let mut nb = NetworkBuilder::new();
+        let a = nb.add_ncp("a", ResourceVec::cpu(40.0));
+        let b = nb.add_ncp("b", ResourceVec::cpu(100.0));
+        let c = nb.add_ncp("c", ResourceVec::cpu(60.0));
+        nb.add_link("ab", a, b, 80.0).unwrap();
+        nb.add_link("bc", b, c, 80.0).unwrap();
+        let network = nb.build().unwrap();
+        (app, network)
+    }
+
+    #[test]
+    fn new_pins_sources_and_sinks() {
+        let (app, net) = fixture();
+        let caps = net.capacity_map();
+        let engine = PlacementEngine::new(&app, &net, &caps).unwrap();
+        assert!(engine.is_placed(CtId::new(0)));
+        assert!(!engine.is_placed(CtId::new(1)));
+        assert!(engine.is_placed(CtId::new(2)));
+        assert_eq!(engine.unplaced(), vec![CtId::new(1)]);
+        assert_eq!(
+            engine.placement().ct_host(CtId::new(0)),
+            Some(NcpId::new(0))
+        );
+    }
+
+    #[test]
+    fn gamma_accounts_for_host_and_paths() {
+        let (app, net) = fixture();
+        let caps = net.capacity_map();
+        let engine = PlacementEngine::new(&app, &net, &caps).unwrap();
+        let w = CtId::new(1);
+        // On NCP1 (middle): host 100/10 = 10; TT "in" (8 bits) one hop
+        // 80/8 = 10; TT "out" (2 bits) one hop 80/2 = 40 ⇒ γ = 10.
+        let g1 = engine.gamma(w, NcpId::new(1)).unwrap();
+        assert!((g1 - 10.0).abs() < 1e-12, "γ = {g1}");
+        // On NCP0 (source host): host 40/10 = 4; "in" local; "out"
+        // crosses both links: min(80/2, 80/2) = 40 ⇒ γ = 4.
+        let g0 = engine.gamma(w, NcpId::new(0)).unwrap();
+        assert!((g0 - 4.0).abs() < 1e-12, "γ = {g0}");
+        // Best host is the middle NCP.
+        let (host, g) = engine.best_host(w).unwrap();
+        assert_eq!(host, NcpId::new(1));
+        assert_eq!(g, g1);
+    }
+
+    #[test]
+    fn commit_routes_tts_to_placed_neighbors() {
+        let (app, net) = fixture();
+        let caps = net.capacity_map();
+        let mut engine = PlacementEngine::new(&app, &net, &caps).unwrap();
+        engine.commit(CtId::new(1), NcpId::new(1)).unwrap();
+        let path = engine.finish().unwrap();
+        assert!((path.rate - 10.0).abs() < 1e-12);
+        assert_eq!(path.placement.tt_route(TtId::new(0)).unwrap().len(), 1);
+        assert_eq!(path.placement.tt_route(TtId::new(1)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn host_rate_ignores_links() {
+        let (app, net) = fixture();
+        let caps = net.capacity_map();
+        let engine = PlacementEngine::new(&app, &net, &caps).unwrap();
+        let w = CtId::new(1);
+        // Compute-only rates: NCP0 40/10 = 4, NCP1 100/10 = 10,
+        // NCP2 60/10 = 6 — no link term anywhere.
+        assert!((engine.host_rate(w, NcpId::new(0)) - 4.0).abs() < 1e-12);
+        assert!((engine.host_rate(w, NcpId::new(1)) - 10.0).abs() < 1e-12);
+        assert!((engine.host_rate(w, NcpId::new(2)) - 6.0).abs() < 1e-12);
+        // γ on NCP0 is also 4 (local TT + wide out-links), equal to the
+        // node term; on NCP1 the node term dominates γ too.
+        assert!(engine.gamma(w, NcpId::new(0)).unwrap() <= 4.0 + 1e-12);
+    }
+
+    #[test]
+    fn commit_with_fewest_hops_uses_shortest_route() {
+        // Triangle with a wide two-hop detour: FewestHops must take the
+        // direct (narrow) link, Widest the detour.
+        let mut nb = NetworkBuilder::new();
+        let a = nb.add_ncp("a", ResourceVec::cpu(100.0));
+        let b = nb.add_ncp("b", ResourceVec::cpu(100.0));
+        let c = nb.add_ncp("c", ResourceVec::cpu(100.0));
+        nb.add_link("direct", a, b, 5.0).unwrap();
+        nb.add_link("via1", a, c, 500.0).unwrap();
+        nb.add_link("via2", c, b, 500.0).unwrap();
+        let net = nb.build().unwrap();
+        let caps = net.capacity_map();
+
+        // The middle CT is unpinned so routing happens at the policy'd
+        // commit (endpoint-only graphs route at construction time).
+        let mut tb = TaskGraphBuilder::new();
+        let s2 = tb.add_ct("s", ResourceVec::new());
+        let m2 = tb.add_ct("m", ResourceVec::cpu(1.0));
+        let t2 = tb.add_ct("t", ResourceVec::new());
+        tb.add_tt("sm", s2, m2, 10.0).unwrap();
+        tb.add_tt("mt", m2, t2, 0.0).unwrap();
+        let graph2 = tb.build().unwrap();
+        let app3 = Application::new(
+            graph2.clone(),
+            QoeClass::best_effort(1.0),
+            [(s2, a), (t2, a)],
+        )
+        .unwrap();
+        let mut widest = PlacementEngine::new(&app3, &net, &caps).unwrap();
+        widest.commit_with(m2, b, RoutePolicy::Widest).unwrap();
+        let widest_route = widest.placement().tt_route(graph2.tt_ids().next().unwrap());
+        assert_eq!(widest_route.unwrap().len(), 2, "widest takes the detour");
+
+        let mut fewest = PlacementEngine::new(&app3, &net, &caps).unwrap();
+        fewest.commit_with(m2, b, RoutePolicy::FewestHops).unwrap();
+        let fewest_route = fewest.placement().tt_route(graph2.tt_ids().next().unwrap());
+        assert_eq!(fewest_route.unwrap().len(), 1, "fewest hops goes direct");
+    }
+
+    #[test]
+    fn finish_rejects_incomplete() {
+        let (app, net) = fixture();
+        let caps = net.capacity_map();
+        let engine = PlacementEngine::new(&app, &net, &caps).unwrap();
+        assert!(matches!(
+            engine.finish(),
+            Err(AssignError::Incomplete { ct }) if ct == CtId::new(1)
+        ));
+    }
+
+    #[test]
+    fn no_route_is_reported() {
+        // Source pinned on an isolated island: the middle CT cannot be
+        // routed to it from anywhere off-island.
+        let mut tb = TaskGraphBuilder::new();
+        let s = tb.add_ct("s", ResourceVec::new());
+        let w = tb.add_ct("w", ResourceVec::cpu(1.0));
+        tb.add_tt("sw", s, w, 1.0).unwrap();
+        let graph = tb.build().unwrap();
+        let app = Application::new(
+            graph,
+            QoeClass::best_effort(1.0),
+            [(s, NcpId::new(0)), (w, NcpId::new(1))],
+        )
+        .unwrap();
+        let mut nb = NetworkBuilder::new();
+        nb.add_ncp("island", ResourceVec::cpu(1.0));
+        nb.add_ncp("mainland", ResourceVec::cpu(1.0));
+        let net = nb.build().unwrap();
+        let caps = net.capacity_map();
+        assert!(matches!(
+            PlacementEngine::new(&app, &net, &caps),
+            Err(AssignError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn gamma_none_when_host_cannot_reach_placed_neighbor() {
+        let mut tb = TaskGraphBuilder::new();
+        let s = tb.add_ct("s", ResourceVec::new());
+        let w = tb.add_ct("w", ResourceVec::cpu(1.0));
+        tb.add_tt("sw", s, w, 1.0).unwrap();
+        let graph = tb.build().unwrap();
+        let app = Application::new(
+            graph,
+            QoeClass::best_effort(1.0),
+            [(s, NcpId::new(0)), (w, NcpId::new(0))],
+        )
+        .unwrap();
+        let mut nb = NetworkBuilder::new();
+        let a = nb.add_ncp("a", ResourceVec::cpu(1.0));
+        let b = nb.add_ncp("b", ResourceVec::cpu(1.0));
+        let c = nb.add_ncp("c", ResourceVec::cpu(1.0));
+        nb.add_link("ab", a, b, 1.0).unwrap();
+        let net = nb.build().unwrap();
+        let caps = net.capacity_map();
+        // Build a fresh app whose w is unpinned to probe gamma.
+        let app2 = Application::new(
+            app.graph().clone(),
+            QoeClass::best_effort(1.0),
+            [(s, NcpId::new(0))],
+        );
+        // w is a sink so it must be pinned; instead probe via engine on
+        // the pinned app but query gamma for the *unplaced* state by
+        // rebuilding manually. Simpler: check gamma from the isolated c.
+        drop(app2);
+        let engine_app = Application::new(
+            app.graph().clone(),
+            QoeClass::best_effort(1.0),
+            [(s, NcpId::new(0)), (w, NcpId::new(1))],
+        )
+        .unwrap();
+        // Pin w on b (reachable) so construction succeeds, then ask γ
+        // for a hypothetical placement elsewhere — use a 2-CT graph with
+        // an extra middle CT instead.
+        let mut tb = TaskGraphBuilder::new();
+        let s2 = tb.add_ct("s", ResourceVec::new());
+        let m2 = tb.add_ct("m", ResourceVec::cpu(1.0));
+        let t2 = tb.add_ct("t", ResourceVec::new());
+        tb.add_tt("sm", s2, m2, 1.0).unwrap();
+        tb.add_tt("mt", m2, t2, 1.0).unwrap();
+        let graph3 = tb.build().unwrap();
+        let app3 = Application::new(
+            graph3,
+            QoeClass::best_effort(1.0),
+            [(s2, NcpId::new(0)), (t2, NcpId::new(1))],
+        )
+        .unwrap();
+        let engine = PlacementEngine::new(&app3, &net, &caps).unwrap();
+        // Hosting m on isolated c cannot route to a or b.
+        assert_eq!(engine.gamma(m2, c), None);
+        assert!(engine.gamma(m2, a).is_some());
+        drop(engine_app);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error types for task assignment and the system pipeline.
+
+use sparcle_model::{CtId, ModelError, NcpId, TtId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assigning an application's tasks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AssignError {
+    /// A transport task's endpoints are hosted on NCPs with no connecting
+    /// path.
+    NoRoute {
+        /// The transport task that could not be routed.
+        tt: TtId,
+        /// Host of the upstream CT.
+        from: NcpId,
+        /// Host of the downstream CT.
+        to: NcpId,
+    },
+    /// No NCP can host this CT while keeping every placed reachable CT
+    /// routable.
+    NoHostForCt(CtId),
+    /// `finish` was called with CTs still unplaced.
+    Incomplete {
+        /// The first unplaced CT.
+        ct: CtId,
+    },
+    /// An underlying model validation failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignError::NoRoute { tt, from, to } => {
+                write!(f, "no path to route {tt} between {from} and {to}")
+            }
+            AssignError::NoHostForCt(ct) => {
+                write!(f, "no feasible host for {ct}")
+            }
+            AssignError::Incomplete { ct } => {
+                write!(f, "assignment is incomplete: {ct} is unplaced")
+            }
+            AssignError::Model(e) => write!(f, "model validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for AssignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AssignError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for AssignError {
+    fn from(e: ModelError) -> Self {
+        AssignError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase() {
+        let e = AssignError::NoHostForCt(CtId::new(3));
+        assert!(e.to_string().starts_with("no feasible host"));
+        let e = AssignError::Model(ModelError::EmptyNetwork);
+        assert!(e.to_string().contains("model validation failed"));
+    }
+
+    #[test]
+    fn model_error_converts() {
+        let e: AssignError = ModelError::EmptyTaskGraph.into();
+        assert!(matches!(e, AssignError::Model(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,32 @@
+//! SPARCLE's core scheduling algorithms (§IV of the paper).
+//!
+//! * [`mod@widest_path`] — Algorithm 1: load-aware widest-path routing for
+//!   transport tasks (`P*_k(j, j')`, eq. (3)).
+//! * [`engine`] — the incremental placement engine computing the paper's
+//!   `γ_{i,j}` bottleneck metric (eq. (2)) and committing placements
+//!   with widest-path TT routing. Shared with the baseline algorithms.
+//! * [`assignment`] — Algorithm 2: the dynamic-ranking task assignment
+//!   maximizing an application's stable processing rate, plus multi-path
+//!   extraction over residual capacities.
+//! * [`system`] — the full SPARCLE pipeline of Figure 3: admission
+//!   control for Best-Effort and Guaranteed-Rate applications, capacity
+//!   prediction (eq. (6)), availability-driven path addition, GR
+//!   reservation, and proportional-fair rate allocation (problem (4)).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assignment;
+pub mod engine;
+pub mod error;
+pub mod system;
+pub mod widest_path;
+
+pub use assignment::{assign_multipath, assign_multipath_diverse, DynamicRankingAssigner};
+pub use engine::{fewest_hops_path, AssignedPath, PlacementEngine, RoutePolicy};
+pub use error::AssignError;
+pub use system::{
+    Admission, AllocationPolicy, PlacedBeApp, PlacedGrApp, RejectReason, SparcleSystem,
+    SystemConfig,
+};
+pub use widest_path::{widest_path, widest_path_brute_force, WidestPath};

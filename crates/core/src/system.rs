@@ -1,0 +1,1040 @@
+//! The full SPARCLE system pipeline (Figure 3 of the paper).
+//!
+//! Applications arrive over time and are admitted or rejected:
+//!
+//! * **Guaranteed-Rate** applications reserve capacity outright. SPARCLE
+//!   finds task assignment paths one at a time (Algorithm 2 on the
+//!   GR-residual capacities), reserving each path's rate (capped at the
+//!   requested `R_J`), until the min-rate availability of eq. (7) meets
+//!   the target — or rejects the application, touching nothing.
+//! * **Best-Effort** applications share what the GR applications leave.
+//!   Arriving BE application `J` first *predicts* its share of each
+//!   element via eq. (6) ([`sparcle_alloc::PriorityLoads`]), runs
+//!   Algorithm 2 against the predicted capacities, adds paths until its
+//!   availability target holds, and then the processing rates of *all*
+//!   BE applications are re-computed by solving the weighted
+//!   proportional-fair problem (4).
+//!
+//! Task placements are never migrated after admission (the paper's
+//! no-migration constraint); only BE rates are re-allocated.
+
+use crate::assignment::{assign_multipath, DynamicRankingAssigner};
+use crate::engine::AssignedPath;
+use crate::error::AssignError;
+use sparcle_alloc::availability::PathAvailability;
+use sparcle_alloc::maxmin::max_min_allocation;
+use sparcle_alloc::num::{Allocation, ConstraintSystem, ProportionalFairSolver};
+use sparcle_alloc::predict::PriorityLoads;
+use sparcle_model::{AppId, Application, CapacityMap, LoadMap, Network, QoeClass};
+
+/// How Best-Effort rates are shared (§IV-C; the paper uses weighted
+/// proportional fairness, problem (4)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocationPolicy {
+    /// Weighted proportional fairness — the paper's objective
+    /// `max Σ P_i log x_i`.
+    #[default]
+    ProportionalFair,
+    /// Weighted max-min fairness (progressive filling): protects the
+    /// weakest application absolutely.
+    MaxMin,
+}
+
+/// Tunables of the system pipeline.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Maximum task assignment paths per application (the paper keeps
+    /// this small; path extraction has diminishing returns).
+    pub max_paths_per_app: usize,
+    /// Paths with a rate at or below this threshold are not used.
+    pub min_path_rate: f64,
+    /// Solver for the proportional-fair allocation (4).
+    pub solver: ProportionalFairSolver,
+    /// How Best-Effort rates are shared.
+    pub allocation_policy: AllocationPolicy,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            max_paths_per_app: 8,
+            min_path_rate: 1e-9,
+            solver: ProportionalFairSolver::new(),
+            allocation_policy: AllocationPolicy::ProportionalFair,
+        }
+    }
+}
+
+/// A Best-Effort application admitted into the system.
+#[derive(Debug, Clone)]
+pub struct PlacedBeApp {
+    /// System-assigned identifier.
+    pub id: AppId,
+    /// The application as submitted.
+    pub app: Application,
+    /// Its task assignment paths (at least one).
+    pub paths: Vec<AssignedPath>,
+    /// Per-unit-rate load: `Σ_p f_p · load_p` with `f_p` the fraction of
+    /// the application's rate carried by path `p` (proportional to the
+    /// paths' standalone rates).
+    pub combined_load: LoadMap,
+    /// Priority `P_J`.
+    pub priority: f64,
+    /// Achieved availability (`None` if no target was requested).
+    pub availability: Option<f64>,
+    /// Rate allocated by the most recent solve of problem (4).
+    pub allocated_rate: f64,
+}
+
+/// A Guaranteed-Rate application admitted into the system.
+#[derive(Debug, Clone)]
+pub struct PlacedGrApp {
+    /// System-assigned identifier.
+    pub id: AppId,
+    /// The application as submitted.
+    pub app: Application,
+    /// Its task assignment paths with the rate reserved on each.
+    pub paths: Vec<(AssignedPath, f64)>,
+    /// Achieved min-rate availability (eq. (7)).
+    pub min_rate_availability: f64,
+    /// The requested minimum rate `R_J`.
+    pub min_rate: f64,
+}
+
+impl PlacedGrApp {
+    /// Total capacity-rate reserved across this application's paths —
+    /// redundant failover paths each reserve up to the requested rate,
+    /// so this can exceed [`Self::guaranteed_rate`].
+    pub fn reserved_rate(&self) -> f64 {
+        self.paths.iter().map(|(_, r)| r).sum()
+    }
+
+    /// The rate this application is guaranteed (`R_J`).
+    pub fn guaranteed_rate(&self) -> f64 {
+        self.min_rate
+    }
+}
+
+/// Why an application was rejected.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// No task assignment path could be found at all.
+    NoPath(String),
+    /// The requested (min-rate) availability could not be reached with
+    /// the configured maximum number of paths.
+    QoeUnreachable {
+        /// Best availability achieved.
+        achieved: f64,
+        /// The requested target.
+        target: f64,
+    },
+    /// The proportional-fair allocation failed (e.g. a path was left
+    /// with zero capacity).
+    AllocationFailed(String),
+}
+
+/// The outcome of submitting an application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// Admitted with the given id.
+    Admitted(AppId),
+    /// Rejected; the system state is unchanged.
+    Rejected(RejectReason),
+}
+
+impl Admission {
+    /// The admitted id, if any.
+    pub fn id(&self) -> Option<AppId> {
+        match self {
+            Admission::Admitted(id) => Some(*id),
+            Admission::Rejected(_) => None,
+        }
+    }
+
+    /// `true` if the application was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted(_))
+    }
+}
+
+/// The SPARCLE scheduling system: admission control, task assignment, and
+/// resource allocation over one dispersed computing network.
+///
+/// # Examples
+///
+/// ```
+/// use sparcle_core::{SparcleSystem};
+/// use sparcle_model::{
+///     Application, NetworkBuilder, QoeClass, ResourceVec, TaskGraphBuilder,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut nb = NetworkBuilder::new();
+/// let a = nb.add_ncp("a", ResourceVec::cpu(100.0));
+/// let b = nb.add_ncp("b", ResourceVec::cpu(100.0));
+/// nb.add_link("ab", a, b, 1000.0)?;
+/// let network = nb.build()?;
+///
+/// let mut tb = TaskGraphBuilder::new();
+/// let s = tb.add_ct("s", ResourceVec::new());
+/// let w = tb.add_ct("w", ResourceVec::cpu(10.0));
+/// let t = tb.add_ct("t", ResourceVec::new());
+/// tb.add_tt("sw", s, w, 50.0)?;
+/// tb.add_tt("wt", w, t, 5.0)?;
+/// let app = Application::new(tb.build()?, QoeClass::best_effort(1.0), [(s, a), (t, b)])?;
+///
+/// let mut system = SparcleSystem::new(network);
+/// let admission = system.submit(app)?;
+/// assert!(admission.is_admitted());
+/// assert!(system.be_apps()[0].allocated_rate > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SparcleSystem {
+    network: Network,
+    config: SystemConfig,
+    assigner: DynamicRankingAssigner,
+    /// The network's current capacities (nominal until a fluctuation is
+    /// applied).
+    current_capacities: CapacityMap,
+    /// Current capacities minus all GR reservations.
+    gr_residual: CapacityMap,
+    be_apps: Vec<PlacedBeApp>,
+    gr_apps: Vec<PlacedGrApp>,
+    priority_loads: PriorityLoads,
+    next_id: u32,
+}
+
+impl SparcleSystem {
+    /// Creates a system over `network` with default configuration.
+    pub fn new(network: Network) -> Self {
+        Self::with_config(network, SystemConfig::default())
+    }
+
+    /// Creates a system with explicit configuration.
+    pub fn with_config(network: Network, config: SystemConfig) -> Self {
+        let current_capacities = network.capacity_map();
+        let gr_residual = current_capacities.clone();
+        let priority_loads = PriorityLoads::zeroed(&network);
+        SparcleSystem {
+            network,
+            config,
+            assigner: DynamicRankingAssigner::new(),
+            current_capacities,
+            gr_residual,
+            be_apps: Vec::new(),
+            gr_apps: Vec::new(),
+            priority_loads,
+            next_id: 0,
+        }
+    }
+
+    /// The network the system schedules onto.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Capacities remaining after GR reservations (shared by BE apps).
+    pub fn gr_residual(&self) -> &CapacityMap {
+        &self.gr_residual
+    }
+
+    /// Admitted Best-Effort applications.
+    pub fn be_apps(&self) -> &[PlacedBeApp] {
+        &self.be_apps
+    }
+
+    /// Admitted Guaranteed-Rate applications.
+    pub fn gr_apps(&self) -> &[PlacedGrApp] {
+        &self.gr_apps
+    }
+
+    /// Total *guaranteed* rate of all admitted GR applications (the
+    /// Figure 14 metric). Capacity reserved for failover paths is larger;
+    /// see [`PlacedGrApp::reserved_rate`].
+    pub fn total_gr_rate(&self) -> f64 {
+        self.gr_apps.iter().map(PlacedGrApp::guaranteed_rate).sum()
+    }
+
+    /// The BE objective `Σ P_J log x_J` at the current allocation.
+    pub fn be_utility(&self) -> f64 {
+        self.be_apps
+            .iter()
+            .map(|a| a.priority * a.allocated_rate.ln())
+            .sum()
+    }
+
+    /// Submits an application; dispatches on its QoE class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] only for malformed inputs (bad pins); a
+    /// *feasibility* failure is an [`Admission::Rejected`], not an error.
+    pub fn submit(&mut self, app: Application) -> Result<Admission, AssignError> {
+        app.check_against_network(&self.network)?;
+        match app.qoe().clone() {
+            QoeClass::BestEffort {
+                priority,
+                availability,
+            } => self.submit_be(app, priority, availability),
+            QoeClass::GuaranteedRate {
+                min_rate,
+                min_rate_availability,
+            } => self.submit_gr(app, min_rate, min_rate_availability),
+        }
+    }
+
+    fn fresh_id(&mut self) -> AppId {
+        let id = AppId::new(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Figure 3, steps 1–4 for a BE application.
+    fn submit_be(
+        &mut self,
+        app: Application,
+        priority: f64,
+        availability_target: Option<f64>,
+    ) -> Result<Admission, AssignError> {
+        // Step 1: predict available resources via eq. (6).
+        let predicted = self.priority_loads.predict(&self.gr_residual, priority);
+
+        // Steps 2–3: add paths until the availability target is met.
+        let want_paths = if availability_target.is_some() {
+            self.config.max_paths_per_app
+        } else {
+            1
+        };
+        let (all_paths, _) = assign_multipath(
+            &self.assigner,
+            &app,
+            &self.network,
+            &predicted,
+            want_paths,
+            self.config.min_path_rate,
+        );
+        if all_paths.is_empty() {
+            return Ok(Admission::Rejected(RejectReason::NoPath(
+                "no task assignment path with positive rate".to_owned(),
+            )));
+        }
+        // Keep the minimal prefix of paths satisfying the target.
+        let mut paths: Vec<AssignedPath> = Vec::new();
+        let mut achieved: Option<f64> = None;
+        let mut analyzer = PathAvailability::new();
+        for path in all_paths {
+            analyzer
+                .add_path(
+                    &self.network,
+                    path.placement.elements_used(&self.network),
+                    path.rate,
+                )
+                .map_err(|e| AssignError::Model(availability_to_model_error(&e)))?;
+            paths.push(path);
+            let a = analyzer
+                .any_working()
+                .map_err(|e| AssignError::Model(availability_to_model_error(&e)))?;
+            achieved = Some(a);
+            match availability_target {
+                Some(target) if a + 1e-12 < target => continue,
+                _ => break,
+            }
+        }
+        if let (Some(target), Some(a)) = (availability_target, achieved) {
+            if a + 1e-12 < target {
+                return Ok(Admission::Rejected(RejectReason::QoeUnreachable {
+                    achieved: a,
+                    target,
+                }));
+            }
+        }
+
+        // Combined per-unit-rate load, splitting rate across paths
+        // proportionally to their standalone rates.
+        let combined_load = combine_loads(&self.network, &paths);
+
+        let id = self.fresh_id();
+        self.priority_loads.add_app(&combined_load, priority);
+        self.be_apps.push(PlacedBeApp {
+            id,
+            app,
+            paths,
+            combined_load,
+            priority,
+            availability: availability_target.and(achieved),
+            allocated_rate: 0.0,
+        });
+
+        // Step 4: re-solve (4) for all BE applications.
+        if let Err(e) = self.solve_be_allocation() {
+            // Roll back the admission.
+            let entry = self.be_apps.pop().expect("just pushed");
+            self.priority_loads
+                .remove_app(&entry.combined_load, entry.priority);
+            // Restore previous rates.
+            let _ = self.solve_be_allocation();
+            return Ok(Admission::Rejected(RejectReason::AllocationFailed(
+                e.to_string(),
+            )));
+        }
+        Ok(Admission::Admitted(id))
+    }
+
+    /// §IV-D for a GR application: iterate paths until eq. (7) meets the
+    /// target, reserving capacity; all-or-nothing.
+    fn submit_gr(
+        &mut self,
+        app: Application,
+        min_rate: f64,
+        target: f64,
+    ) -> Result<Admission, AssignError> {
+        let mut residual = self.gr_residual.clone();
+        let mut paths: Vec<(AssignedPath, f64)> = Vec::new();
+        let mut analyzer = PathAvailability::new();
+        let mut achieved = 0.0;
+        for _ in 0..self.config.max_paths_per_app {
+            let path = match self.assigner.assign(&app, &self.network, &residual) {
+                Ok(p) if p.rate > self.config.min_path_rate && p.rate.is_finite() => p,
+                _ => break,
+            };
+            // Reserving more than R_J on one path buys no QoE.
+            let reserved = path.rate.min(min_rate);
+            residual.subtract_load(&path.load, reserved);
+            analyzer
+                .add_path(
+                    &self.network,
+                    path.placement.elements_used(&self.network),
+                    reserved,
+                )
+                .map_err(|e| AssignError::Model(availability_to_model_error(&e)))?;
+            paths.push((path, reserved));
+            achieved = analyzer
+                .min_rate(min_rate)
+                .map_err(|e| AssignError::Model(availability_to_model_error(&e)))?;
+            if achieved + 1e-12 >= target {
+                break;
+            }
+        }
+        if achieved + 1e-12 < target {
+            // Reject without touching system state.
+            return Ok(Admission::Rejected(RejectReason::QoeUnreachable {
+                achieved,
+                target,
+            }));
+        }
+        let id = self.fresh_id();
+        self.gr_residual = residual;
+        self.gr_apps.push(PlacedGrApp {
+            id,
+            app,
+            paths,
+            min_rate_availability: achieved,
+            min_rate,
+        });
+        // GR reservations shrink what BE apps share; re-solve their rates.
+        if !self.be_apps.is_empty() {
+            let _ = self.solve_be_allocation();
+        }
+        Ok(Admission::Admitted(id))
+    }
+
+    /// Removes an admitted application (departure). GR departures
+    /// release their reserved capacity; BE departures trigger a
+    /// re-allocation of the remaining BE applications. Returns `false`
+    /// when the id is unknown.
+    pub fn remove(&mut self, id: AppId) -> bool {
+        if let Some(pos) = self.gr_apps.iter().position(|a| a.id == id) {
+            self.gr_apps.remove(pos);
+            // Rebuild the residual from the current capacities rather
+            // than adding the departed loads back: after a capacity
+            // fluctuation, addition would manufacture phantom capacity
+            // (the subtraction had been clamped at zero).
+            self.recompute_gr_residual();
+            if !self.be_apps.is_empty() {
+                let _ = self.solve_be_allocation();
+            }
+            return true;
+        }
+        if let Some(pos) = self.be_apps.iter().position(|a| a.id == id) {
+            let entry = self.be_apps.remove(pos);
+            self.priority_loads
+                .remove_app(&entry.combined_load, entry.priority);
+            let _ = self.solve_be_allocation();
+            return true;
+        }
+        false
+    }
+
+    /// Reacts to a computing-network capacity fluctuation (the paper's
+    /// stated future-work direction): replaces the base capacities with
+    /// `new_capacities` (same shape as the network), re-derives the
+    /// GR-residual by subtracting the existing GR reservations, and
+    /// re-solves the BE allocation. Placements are *not* migrated — only
+    /// rates adapt, consistent with the no-migration constraint.
+    ///
+    /// Returns the ids of GR applications whose reservations no longer
+    /// fit the new capacities (their guarantee is violated until
+    /// capacity recovers or the caller removes and resubmits them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacities` does not match the network shape.
+    pub fn apply_capacity_fluctuation(&mut self, new_capacities: CapacityMap) -> Vec<AppId> {
+        assert_eq!(
+            new_capacities.ncp_count(),
+            self.network.ncp_count(),
+            "capacity map must match the network"
+        );
+        assert_eq!(
+            new_capacities.link_count(),
+            self.network.link_count(),
+            "capacity map must match the network"
+        );
+        self.current_capacities = new_capacities;
+        let mut residual = self.current_capacities.clone();
+        let mut violated = Vec::new();
+        for gr in &self.gr_apps {
+            for (path, rate) in &gr.paths {
+                // Check fit before subtracting (subtraction clamps).
+                let fits = residual.bottleneck_rate(&path.load) + 1e-9 >= *rate;
+                if !fits && !violated.contains(&gr.id) {
+                    violated.push(gr.id);
+                }
+                residual.subtract_load(&path.load, *rate);
+            }
+        }
+        self.gr_residual = residual;
+        if !self.be_apps.is_empty() {
+            let _ = self.solve_be_allocation();
+        }
+        violated
+    }
+
+    /// Rebuilds `gr_residual` as the current capacities minus every
+    /// admitted GR reservation.
+    fn recompute_gr_residual(&mut self) {
+        let mut residual = self.current_capacities.clone();
+        for gr in &self.gr_apps {
+            for (path, rate) in &gr.paths {
+                residual.subtract_load(&path.load, *rate);
+            }
+        }
+        self.gr_residual = residual;
+    }
+
+    /// Re-schedules an admitted application from scratch: releases its
+    /// current placement, runs the full admission pipeline again on the
+    /// freed capacities, and — if the fresh admission fails — reinstates
+    /// the old placement untouched.
+    ///
+    /// This is the *migration* escape hatch for capacity fluctuation:
+    /// when [`Self::apply_capacity_fluctuation`] flags a GR application,
+    /// `reschedule` finds it new paths that fit the shrunken network (or
+    /// proves none exist). It deliberately breaks the paper's
+    /// no-migration rule, so it is never invoked implicitly.
+    ///
+    /// Returns `None` for an unknown id; `Some(admission)` otherwise,
+    /// where a rejection means the old placement is still in force.
+    pub fn reschedule(&mut self, id: AppId) -> Option<Admission> {
+        if let Some(pos) = self.gr_apps.iter().position(|a| a.id == id) {
+            let entry = self.gr_apps[pos].clone();
+            self.remove(id);
+            let admission = self
+                .submit(entry.app.clone())
+                .expect("previously admitted apps are well-formed");
+            if !admission.is_admitted() {
+                // Reinstate the old reservation.
+                self.gr_apps.push(entry);
+                self.recompute_gr_residual();
+                let _ = self.solve_be_allocation();
+            }
+            return Some(admission);
+        }
+        if let Some(pos) = self.be_apps.iter().position(|a| a.id == id) {
+            let entry = self.be_apps[pos].clone();
+            self.remove(id);
+            let admission = self
+                .submit(entry.app.clone())
+                .expect("previously admitted apps are well-formed");
+            if !admission.is_admitted() {
+                self.priority_loads
+                    .add_app(&entry.combined_load, entry.priority);
+                self.be_apps.push(entry);
+                let _ = self.solve_be_allocation();
+            }
+            return Some(admission);
+        }
+        None
+    }
+
+    /// Solves problem (4) over all admitted BE applications against the
+    /// GR-residual capacities and stores each `allocated_rate`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (infeasible / unconstrained columns).
+    pub fn solve_be_allocation(&mut self) -> Result<Option<Allocation>, sparcle_alloc::AllocError> {
+        if self.be_apps.is_empty() {
+            return Ok(None);
+        }
+        let loads: Vec<&LoadMap> = self.be_apps.iter().map(|a| &a.combined_load).collect();
+        let priorities: Vec<f64> = self.be_apps.iter().map(|a| a.priority).collect();
+        let system = ConstraintSystem::from_loads(&self.network, &self.gr_residual, &loads);
+        let allocation = match self.config.allocation_policy {
+            AllocationPolicy::ProportionalFair => {
+                // Warm-start from the incumbent rates when every app
+                // already has one (epoch re-allocations); cold-start on
+                // admission (the newcomer's rate is still zero).
+                let previous: Vec<f64> = self.be_apps.iter().map(|a| a.allocated_rate).collect();
+                if previous.iter().all(|&r| r > 0.0) {
+                    self.config
+                        .solver
+                        .solve_warm(&system, &priorities, &previous)?
+                } else {
+                    self.config.solver.solve(&system, &priorities)?
+                }
+            }
+            AllocationPolicy::MaxMin => {
+                let mm = max_min_allocation(&system, &priorities)?;
+                let utility = priorities
+                    .iter()
+                    .zip(&mm.rates)
+                    .map(|(&p, &x)| p * x.ln())
+                    .sum();
+                Allocation {
+                    rates: mm.rates,
+                    duals: vec![0.0; system.rows().len()],
+                    utility,
+                }
+            }
+        };
+        for (entry, &rate) in self.be_apps.iter_mut().zip(&allocation.rates) {
+            entry.allocated_rate = rate;
+        }
+        Ok(Some(allocation))
+    }
+}
+
+/// Merges per-path loads into one per-unit-rate load, weighting each path
+/// by its share of the total standalone rate.
+fn combine_loads(network: &Network, paths: &[AssignedPath]) -> LoadMap {
+    let total: f64 = paths.iter().map(|p| p.rate).sum();
+    let mut combined = LoadMap::zeroed(network);
+    if total <= 0.0 {
+        return combined;
+    }
+    for path in paths {
+        combined.merge_scaled(&path.load, path.rate / total);
+    }
+    combined
+}
+
+fn availability_to_model_error(e: &sparcle_alloc::AvailabilityError) -> sparcle_model::ModelError {
+    sparcle_model::ModelError::InvalidQuantity {
+        what: "availability analysis",
+        value: match e {
+            sparcle_alloc::AvailabilityError::TooManyElements(n) => *n as f64,
+            sparcle_alloc::AvailabilityError::TooManyPaths(n) => *n as f64,
+            sparcle_alloc::AvailabilityError::BadProbability(p) => *p,
+            _ => f64::NAN,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcle_model::{NcpId, NetworkBuilder, ResourceVec, TaskGraphBuilder};
+
+    fn star_network(failure: f64) -> Network {
+        let mut nb = NetworkBuilder::new();
+        let hub = nb.add_ncp("hub", ResourceVec::cpu(50.0));
+        for i in 0..4 {
+            let leaf = nb
+                .add_ncp_with_failure(format!("leaf{i}"), ResourceVec::cpu(100.0), 0.0)
+                .unwrap();
+            nb.add_link_full(
+                format!("l{i}"),
+                hub,
+                leaf,
+                500.0,
+                sparcle_model::LinkDirection::Undirected,
+                failure,
+            )
+            .unwrap();
+        }
+        nb.build().unwrap()
+    }
+
+    fn simple_app(qoe: QoeClass, cycles: f64, bits: f64) -> Application {
+        let mut tb = TaskGraphBuilder::new();
+        let s = tb.add_ct("s", ResourceVec::new());
+        let w = tb.add_ct("w", ResourceVec::cpu(cycles));
+        let t = tb.add_ct("t", ResourceVec::new());
+        tb.add_tt("sw", s, w, bits).unwrap();
+        tb.add_tt("wt", w, t, bits / 10.0).unwrap();
+        let graph = tb.build().unwrap();
+        Application::new(graph, qoe, [(s, NcpId::new(0)), (t, NcpId::new(0))]).unwrap()
+    }
+
+    #[test]
+    fn single_be_app_gets_its_bottleneck_rate() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let adm = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        assert!(adm.is_admitted());
+        let app = &sys.be_apps()[0];
+        assert_eq!(app.paths.len(), 1);
+        assert!(
+            (app.allocated_rate - app.paths[0].rate).abs() < 1e-4,
+            "allocated {} vs path {}",
+            app.allocated_rate,
+            app.paths[0].rate
+        );
+    }
+
+    #[test]
+    fn two_equal_be_apps_share_fairly() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        let r0 = sys.be_apps()[0].allocated_rate;
+        let r1 = sys.be_apps()[1].allocated_rate;
+        assert!(r0 > 0.0 && r1 > 0.0);
+        // With symmetric apps the rates should be within a few percent.
+        assert!((r0 - r1).abs() / r0.max(r1) < 0.25, "r0={r0} r1={r1}");
+    }
+
+    #[test]
+    fn priority_2x_app_gets_more() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 100.0, 5000.0))
+            .unwrap();
+        sys.submit(simple_app(QoeClass::best_effort(2.0), 100.0, 5000.0))
+            .unwrap();
+        let r0 = sys.be_apps()[0].allocated_rate;
+        let r1 = sys.be_apps()[1].allocated_rate;
+        assert!(r1 > r0, "higher priority should earn more: {r0} vs {r1}");
+    }
+
+    #[test]
+    fn be_availability_adds_paths() {
+        let net = star_network(0.02);
+        let mut sys = SparcleSystem::new(net);
+        let qoe = QoeClass::BestEffort {
+            priority: 1.0,
+            availability: Some(0.9),
+        };
+        // Heavy enough that the worker leaves the hub, making links (and
+        // their 2% failure) part of the path.
+        let adm = sys.submit(simple_app(qoe, 500.0, 10.0)).unwrap();
+        assert!(adm.is_admitted(), "{adm:?}");
+        let app = &sys.be_apps()[0];
+        if let Some(a) = app.availability {
+            assert!(a + 1e-12 >= 0.9, "availability {a}");
+        }
+    }
+
+    #[test]
+    fn gr_app_reserves_capacity() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let adm = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap();
+        assert!(adm.is_admitted());
+        assert!((sys.total_gr_rate() - 2.0).abs() < 1e-9);
+        let gr = &sys.gr_apps()[0];
+        assert!(gr.min_rate_availability >= 0.9);
+        // The hub lost 10 cycles/unit × 2 units/s = 20 CPU if the worker
+        // stayed local, or a leaf did. Either way total capacity shrank.
+        let full = sys.network().capacity_map();
+        let mut shrank = false;
+        for ncp in sys.network().ncp_ids() {
+            if sys
+                .gr_residual()
+                .ncp(ncp)
+                .amount(sparcle_model::ResourceKind::Cpu)
+                < full.ncp(ncp).amount(sparcle_model::ResourceKind::Cpu) - 1e-9
+            {
+                shrank = true;
+            }
+        }
+        assert!(shrank);
+    }
+
+    #[test]
+    fn infeasible_gr_is_rejected_without_side_effects() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let before = sys.gr_residual().clone();
+        let adm = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(1e9, 0.9), 10.0, 50.0))
+            .unwrap();
+        assert!(!adm.is_admitted());
+        assert_eq!(sys.gr_apps().len(), 0);
+        assert_eq!(sys.gr_residual(), &before);
+    }
+
+    #[test]
+    fn gr_then_be_shares_residual() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        sys.submit(simple_app(QoeClass::guaranteed_rate(3.0, 0.5), 10.0, 50.0))
+            .unwrap();
+        let adm = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        assert!(adm.is_admitted());
+        let be_rate = sys.be_apps()[0].allocated_rate;
+        assert!(be_rate > 0.0);
+        // A lone BE app on the untouched network would beat this.
+        let mut fresh = SparcleSystem::new(star_network(0.0));
+        fresh
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        assert!(fresh.be_apps()[0].allocated_rate >= be_rate - 1e-9);
+    }
+
+    #[test]
+    fn unreachable_be_availability_rejects() {
+        // Make every link extremely flaky; even max paths cannot reach
+        // 0.99999 availability when the worker must leave the hub.
+        let mut nb = NetworkBuilder::new();
+        let hub = nb.add_ncp("hub", ResourceVec::cpu(0.0));
+        let leaf = nb
+            .add_ncp_with_failure("leaf", ResourceVec::cpu(100.0), 0.5)
+            .unwrap();
+        nb.add_link_full(
+            "l",
+            hub,
+            leaf,
+            500.0,
+            sparcle_model::LinkDirection::Undirected,
+            0.5,
+        )
+        .unwrap();
+        let net = nb.build().unwrap();
+        let mut sys = SparcleSystem::new(net);
+        let qoe = QoeClass::BestEffort {
+            priority: 1.0,
+            availability: Some(0.99999),
+        };
+        let adm = sys.submit(simple_app(qoe, 500.0, 10.0)).unwrap();
+        assert!(matches!(
+            adm,
+            Admission::Rejected(RejectReason::QoeUnreachable { .. })
+        ));
+        assert!(sys.be_apps().is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let a = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        let b = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        assert!(a.id().unwrap() < b.id().unwrap());
+    }
+
+    #[test]
+    fn gr_departure_releases_capacity() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let before = sys.gr_residual().clone();
+        let adm = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap();
+        let id = adm.id().unwrap();
+        assert_ne!(sys.gr_residual(), &before);
+        assert!(sys.remove(id));
+        // Capacity restored to within rounding.
+        for ncp in sys.network().ncp_ids() {
+            let a = sys
+                .gr_residual()
+                .ncp(ncp)
+                .amount(sparcle_model::ResourceKind::Cpu);
+            let b = before.ncp(ncp).amount(sparcle_model::ResourceKind::Cpu);
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert!(!sys.remove(id), "double removal reports false");
+    }
+
+    #[test]
+    fn be_departure_reallocates_survivor() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let a = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 100.0, 5000.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 100.0, 5000.0))
+            .unwrap();
+        let shared_rate = sys.be_apps().iter().map(|x| x.allocated_rate).sum::<f64>();
+        assert!(sys.remove(a));
+        assert_eq!(sys.be_apps().len(), 1);
+        let solo_rate = sys.be_apps()[0].allocated_rate;
+        // The survivor should gain at least something whenever the two
+        // apps contended (they may not have; then rates are equal).
+        assert!(solo_rate + 1e-9 >= shared_rate / 2.0);
+    }
+
+    #[test]
+    fn capacity_fluctuation_rescales_be_rates() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        let before = sys.be_apps()[0].allocated_rate;
+        // Halve every capacity.
+        let mut halved = sys.network().capacity_map();
+        for ncp in sys.network().ncp_ids() {
+            halved.ncp_mut(ncp).scale(0.5);
+        }
+        for link in sys.network().link_ids() {
+            let bw = halved.link(link);
+            halved.set_link(link, bw * 0.5);
+        }
+        let violated = sys.apply_capacity_fluctuation(halved);
+        assert!(violated.is_empty());
+        let after = sys.be_apps()[0].allocated_rate;
+        assert!(
+            (after - before * 0.5).abs() / before < 0.05,
+            "rate should halve: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn capacity_fluctuation_flags_broken_gr() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let id = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        // Collapse the network to 1 % capacity.
+        let mut tiny = sys.network().capacity_map();
+        for ncp in sys.network().ncp_ids() {
+            tiny.ncp_mut(ncp).scale(0.01);
+        }
+        for link in sys.network().link_ids() {
+            let bw = tiny.link(link);
+            tiny.set_link(link, bw * 0.01);
+        }
+        let violated = sys.apply_capacity_fluctuation(tiny);
+        assert_eq!(violated, vec![id]);
+    }
+
+    #[test]
+    fn reschedule_finds_new_gr_paths_after_fluctuation() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let id = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        // Shrink capacity to 10 %: the old single-path reservation is
+        // violated, but a fresh multi-path schedule still covers the
+        // 2 units/s across several leaves.
+        let mut caps = sys.network().capacity_map();
+        for ncp in sys.network().ncp_ids() {
+            caps.ncp_mut(ncp).scale(0.1);
+        }
+        for link in sys.network().link_ids() {
+            let bw = caps.link(link);
+            caps.set_link(link, bw * 0.1);
+        }
+        let violated = sys.apply_capacity_fluctuation(caps);
+        assert_eq!(violated, vec![id]);
+        let admission = sys.reschedule(id).expect("known id");
+        assert!(admission.is_admitted(), "{admission:?}");
+        assert_eq!(sys.gr_apps().len(), 1);
+        // The new reservation fits the shrunken capacities.
+        let gr = &sys.gr_apps()[0];
+        assert!((gr.guaranteed_rate() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reschedule_reinstates_on_failure() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let id = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        // Collapse the network so a fresh schedule is impossible.
+        let mut caps = sys.network().capacity_map();
+        for ncp in sys.network().ncp_ids() {
+            caps.ncp_mut(ncp).scale(1e-6);
+        }
+        for link in sys.network().link_ids() {
+            let bw = caps.link(link);
+            caps.set_link(link, bw * 1e-6);
+        }
+        sys.apply_capacity_fluctuation(caps);
+        let before = sys.gr_apps()[0].clone();
+        let admission = sys.reschedule(id).expect("known id");
+        assert!(!admission.is_admitted());
+        // Old placement still in force.
+        assert_eq!(sys.gr_apps().len(), 1);
+        assert_eq!(sys.gr_apps()[0].id, before.id);
+        assert_eq!(sys.gr_apps()[0].paths.len(), before.paths.len());
+    }
+
+    #[test]
+    fn reschedule_unknown_id_is_none() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        assert!(sys.reschedule(AppId::new(42)).is_none());
+    }
+
+    #[test]
+    fn max_min_policy_is_selectable() {
+        let net = star_network(0.0);
+        let config = SystemConfig {
+            allocation_policy: AllocationPolicy::MaxMin,
+            ..SystemConfig::default()
+        };
+        let mut sys = SparcleSystem::with_config(net, config);
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 100.0, 5000.0))
+            .unwrap();
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 100.0, 5000.0))
+            .unwrap();
+        for be in sys.be_apps() {
+            assert!(be.allocated_rate > 0.0);
+        }
+        // Joint feasibility under the max-min rates.
+        let mut demand = LoadMap::zeroed(sys.network());
+        for be in sys.be_apps() {
+            demand.merge_scaled(&be.combined_load, be.allocated_rate);
+        }
+        assert!(sys.gr_residual().bottleneck_rate(&demand) >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn be_utility_matches_definition() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        sys.submit(simple_app(QoeClass::best_effort(2.0), 10.0, 50.0))
+            .unwrap();
+        let expect = 2.0 * sys.be_apps()[0].allocated_rate.ln();
+        assert!((sys.be_utility() - expect).abs() < 1e-12);
+    }
+}

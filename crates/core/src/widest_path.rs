@@ -1,0 +1,367 @@
+//! Load-aware widest-path routing — the paper's Algorithm 1.
+//!
+//! When a transport task `k` must connect NCP `j` to NCP `j'`, SPARCLE
+//! places it on the path whose *worst* link imposes the *best* (largest)
+//! bottleneck on the application's processing rate (eq. (3)):
+//!
+//! ```text
+//! P*_k(j, j') = argmax over paths P  min over links l ∈ P
+//!               C_l^(b) / (a_k^(b) + Σ_i'' y_{i'',l} a_{i''}^(b))
+//! ```
+//!
+//! The per-link *width* is the rate that link could sustain if the TT
+//! were added on top of the bits already routed there. Maximizing the
+//! minimum width is the classic widest-path (bottleneck shortest path)
+//! problem, solved by a modified Dijkstra in `O(|L| log |N|)`.
+
+use sparcle_model::{CapacityMap, LinkId, LoadMap, NcpId, Network};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A widest path between two NCPs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidestPath {
+    /// Links in traversal order from source to destination (empty when
+    /// source equals destination).
+    pub links: Vec<LinkId>,
+    /// The bottleneck width: the processing rate the narrowest link of
+    /// this path would impose on the TT (`f64::INFINITY` for the empty
+    /// path).
+    pub width: f64,
+}
+
+/// Computes the per-link width for TT bits `tt_bits` on link `link`:
+/// `C_l / (a_k + current load)`, or `f64::INFINITY` when the denominator
+/// is zero (a zero-bit TT on an unloaded link imposes no constraint).
+#[inline]
+pub fn link_width(capacities: &CapacityMap, load: &LoadMap, link: LinkId, tt_bits: f64) -> f64 {
+    let denom = tt_bits + load.link(link);
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        capacities.link(link) / denom
+    }
+}
+
+/// Heap entry ordered by width (max-heap).
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    width: f64,
+    node: NcpId,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Widths are never NaN (capacities and loads are finite,
+        // denominators positive or the width is +inf).
+        self.width
+            .partial_cmp(&other.width)
+            .expect("path widths are never NaN")
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Algorithm 1: finds the best path `P*_k(from, to)` for a TT carrying
+/// `tt_bits` bits per data unit, given current residual `capacities` and
+/// the bits already routed per link (`load`).
+///
+/// Returns `None` when no path exists (topologically disconnected — a
+/// zero-width path is still returned, since a zero rate may be the best
+/// achievable). `from == to` yields the empty path with infinite width.
+///
+/// # Examples
+///
+/// ```
+/// use sparcle_core::widest_path::widest_path;
+/// use sparcle_model::{LoadMap, NetworkBuilder, ResourceVec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetworkBuilder::new();
+/// let s = b.add_ncp("s", ResourceVec::new());
+/// let m = b.add_ncp("m", ResourceVec::new());
+/// let t = b.add_ncp("t", ResourceVec::new());
+/// b.add_link("narrow", s, t, 10.0)?; // direct but narrow
+/// b.add_link("wide1", s, m, 100.0)?;
+/// b.add_link("wide2", m, t, 80.0)?;
+/// let net = b.build()?;
+/// let caps = net.capacity_map();
+/// let load = LoadMap::zeroed(&net);
+/// let path = widest_path(&net, &caps, &load, 1.0, s, t).unwrap();
+/// assert_eq!(path.links.len(), 2); // two-hop wide route wins
+/// assert_eq!(path.width, 80.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn widest_path(
+    network: &Network,
+    capacities: &CapacityMap,
+    load: &LoadMap,
+    tt_bits: f64,
+    from: NcpId,
+    to: NcpId,
+) -> Option<WidestPath> {
+    if from == to {
+        return Some(WidestPath {
+            links: Vec::new(),
+            width: f64::INFINITY,
+        });
+    }
+    let n = network.ncp_count();
+    // φ[v]: best bottleneck width from `from` to v found so far.
+    let mut phi = vec![f64::NEG_INFINITY; n];
+    let mut prev: Vec<Option<(NcpId, LinkId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    phi[from.index()] = f64::INFINITY;
+    heap.push(Candidate {
+        width: f64::INFINITY,
+        node: from,
+    });
+    while let Some(Candidate { width, node }) = heap.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        if node == to {
+            // Reconstruct the link sequence.
+            let mut links = Vec::new();
+            let mut at = to;
+            while let Some((p, l)) = prev[at.index()] {
+                links.push(l);
+                at = p;
+            }
+            links.reverse();
+            return Some(WidestPath { links, width });
+        }
+        for (link, neighbor) in network.neighbors(node) {
+            if done[neighbor.index()] {
+                continue;
+            }
+            let w = width.min(link_width(capacities, load, link, tt_bits));
+            if w > phi[neighbor.index()] {
+                phi[neighbor.index()] = w;
+                prev[neighbor.index()] = Some((node, link));
+                heap.push(Candidate {
+                    width: w,
+                    node: neighbor,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Brute-force widest path by exhaustive DFS over simple paths. Only for
+/// verification on small networks (exponential time).
+pub fn widest_path_brute_force(
+    network: &Network,
+    capacities: &CapacityMap,
+    load: &LoadMap,
+    tt_bits: f64,
+    from: NcpId,
+    to: NcpId,
+) -> Option<WidestPath> {
+    if from == to {
+        return Some(WidestPath {
+            links: Vec::new(),
+            width: f64::INFINITY,
+        });
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        network: &Network,
+        capacities: &CapacityMap,
+        load: &LoadMap,
+        tt_bits: f64,
+        at: NcpId,
+        to: NcpId,
+        visited: &mut Vec<bool>,
+        stack: &mut Vec<LinkId>,
+        width: f64,
+        best: &mut Option<WidestPath>,
+    ) {
+        if at == to {
+            if best.as_ref().is_none_or(|b| width > b.width) {
+                *best = Some(WidestPath {
+                    links: stack.clone(),
+                    width,
+                });
+            }
+            return;
+        }
+        for (link, neighbor) in network.neighbors(at) {
+            if visited[neighbor.index()] {
+                continue;
+            }
+            visited[neighbor.index()] = true;
+            stack.push(link);
+            let w = width.min(link_width(capacities, load, link, tt_bits));
+            dfs(
+                network, capacities, load, tt_bits, neighbor, to, visited, stack, w, best,
+            );
+            stack.pop();
+            visited[neighbor.index()] = false;
+        }
+    }
+    let mut visited = vec![false; network.ncp_count()];
+    visited[from.index()] = true;
+    let mut best = None;
+    dfs(
+        network,
+        capacities,
+        load,
+        tt_bits,
+        from,
+        to,
+        &mut visited,
+        &mut Vec::new(),
+        f64::INFINITY,
+        &mut best,
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcle_model::{NetworkBuilder, ResourceVec};
+
+    fn diamond() -> Network {
+        // s - a - t (widths 10, 10) and s - b - t (widths 4, 100).
+        let mut nb = NetworkBuilder::new();
+        let s = nb.add_ncp("s", ResourceVec::new());
+        let a = nb.add_ncp("a", ResourceVec::new());
+        let b = nb.add_ncp("b", ResourceVec::new());
+        let t = nb.add_ncp("t", ResourceVec::new());
+        nb.add_link("sa", s, a, 10.0).unwrap();
+        nb.add_link("at", a, t, 10.0).unwrap();
+        nb.add_link("sb", s, b, 4.0).unwrap();
+        nb.add_link("bt", b, t, 100.0).unwrap();
+        nb.build().unwrap()
+    }
+
+    #[test]
+    fn picks_max_min_width_route() {
+        let net = diamond();
+        let caps = net.capacity_map();
+        let load = LoadMap::zeroed(&net);
+        let p = widest_path(&net, &caps, &load, 1.0, NcpId::new(0), NcpId::new(3)).unwrap();
+        assert_eq!(p.width, 10.0);
+        assert_eq!(p.links, vec![LinkId::new(0), LinkId::new(1)]);
+    }
+
+    #[test]
+    fn existing_load_shifts_the_choice() {
+        let net = diamond();
+        let caps = net.capacity_map();
+        let mut load = LoadMap::zeroed(&net);
+        // Load 4 bits on sa: width becomes 10/(1+4) = 2 < min(4/1, 100/1).
+        load.add_tt_load(LinkId::new(0), 4.0);
+        let p = widest_path(&net, &caps, &load, 1.0, NcpId::new(0), NcpId::new(3)).unwrap();
+        assert_eq!(p.width, 4.0);
+        assert_eq!(p.links, vec![LinkId::new(2), LinkId::new(3)]);
+    }
+
+    #[test]
+    fn same_node_is_free() {
+        let net = diamond();
+        let caps = net.capacity_map();
+        let load = LoadMap::zeroed(&net);
+        let p = widest_path(&net, &caps, &load, 1.0, NcpId::new(1), NcpId::new(1)).unwrap();
+        assert!(p.links.is_empty());
+        assert_eq!(p.width, f64::INFINITY);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut nb = NetworkBuilder::new();
+        let a = nb.add_ncp("a", ResourceVec::new());
+        let b = nb.add_ncp("b", ResourceVec::new());
+        let c = nb.add_ncp("c", ResourceVec::new());
+        nb.add_link("ab", a, b, 1.0).unwrap();
+        let net = nb.build().unwrap();
+        let caps = net.capacity_map();
+        let load = LoadMap::zeroed(&net);
+        assert!(widest_path(&net, &caps, &load, 1.0, a, c).is_none());
+        assert!(widest_path_brute_force(&net, &caps, &load, 1.0, a, c).is_none());
+    }
+
+    #[test]
+    fn zero_bit_tt_on_unloaded_link_has_infinite_width() {
+        let net = diamond();
+        let caps = net.capacity_map();
+        let load = LoadMap::zeroed(&net);
+        let p = widest_path(&net, &caps, &load, 0.0, NcpId::new(0), NcpId::new(3)).unwrap();
+        assert_eq!(p.width, f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_capacity_link_gives_zero_width_path() {
+        let mut nb = NetworkBuilder::new();
+        let a = nb.add_ncp("a", ResourceVec::new());
+        let b = nb.add_ncp("b", ResourceVec::new());
+        nb.add_link("ab", a, b, 0.0).unwrap();
+        let net = nb.build().unwrap();
+        let caps = net.capacity_map();
+        let load = LoadMap::zeroed(&net);
+        let p = widest_path(&net, &caps, &load, 1.0, a, b).unwrap();
+        assert_eq!(p.width, 0.0);
+        assert_eq!(p.links.len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_diamond() {
+        let net = diamond();
+        let caps = net.capacity_map();
+        let mut load = LoadMap::zeroed(&net);
+        for bits in [0.0, 1.0, 3.0, 10.0] {
+            for s in 0..4u32 {
+                for t in 0..4u32 {
+                    let fast = widest_path(&net, &caps, &load, bits, NcpId::new(s), NcpId::new(t));
+                    let slow = widest_path_brute_force(
+                        &net,
+                        &caps,
+                        &load,
+                        bits,
+                        NcpId::new(s),
+                        NcpId::new(t),
+                    );
+                    match (fast, slow) {
+                        (Some(f), Some(sl)) => {
+                            assert!(
+                                (f.width - sl.width).abs() < 1e-12 || (f.width == sl.width),
+                                "width mismatch {} vs {}",
+                                f.width,
+                                sl.width
+                            );
+                        }
+                        (None, None) => {}
+                        other => panic!("reachability mismatch: {other:?}"),
+                    }
+                }
+            }
+            load.add_tt_load(LinkId::new(1), bits);
+        }
+    }
+
+    #[test]
+    fn route_is_walkable() {
+        let net = diamond();
+        let caps = net.capacity_map();
+        let load = LoadMap::zeroed(&net);
+        let p = widest_path(&net, &caps, &load, 1.0, NcpId::new(0), NcpId::new(3)).unwrap();
+        let mut at = NcpId::new(0);
+        for &l in &p.links {
+            at = net.link(l).traverse_from(at).expect("continuous route");
+        }
+        assert_eq!(at, NcpId::new(3));
+    }
+}

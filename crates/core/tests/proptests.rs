@@ -1,0 +1,201 @@
+//! Property-based tests for SPARCLE's core algorithms.
+
+use proptest::prelude::*;
+use sparcle_core::widest_path::{widest_path, widest_path_brute_force};
+use sparcle_core::{DynamicRankingAssigner, PlacementEngine};
+use sparcle_model::{
+    Application, CapacityMap, LoadMap, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
+    TaskGraphBuilder,
+};
+
+/// Strategy: a random connected network of `n` NCPs — a spanning spine
+/// plus random extra links, heterogeneous capacities.
+fn arb_network(max_n: usize) -> impl Strategy<Value = Network> {
+    (3..=max_n)
+        .prop_flat_map(|n| {
+            let cpus = proptest::collection::vec(10.0f64..1000.0, n);
+            let spine_bw = proptest::collection::vec(5.0f64..500.0, n - 1);
+            let extra = proptest::collection::vec((0..n, 0..n, 5.0f64..500.0), 0..n);
+            (Just(n), cpus, spine_bw, extra)
+        })
+        .prop_map(|(_n, cpus, spine_bw, extra)| {
+            let mut b = NetworkBuilder::new();
+            let ids: Vec<NcpId> = cpus
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| b.add_ncp(format!("n{i}"), ResourceVec::cpu(c)))
+                .collect();
+            for (i, w) in ids.windows(2).enumerate() {
+                b.add_link(format!("spine{i}"), w[0], w[1], spine_bw[i])
+                    .expect("valid");
+            }
+            for (k, (x, y, bw)) in extra.into_iter().enumerate() {
+                if x != y {
+                    b.add_link(format!("extra{k}"), ids[x], ids[y], bw)
+                        .expect("valid");
+                }
+            }
+            b.build().expect("connected by construction")
+        })
+}
+
+/// Strategy: a random pipeline application pinned to the first and last
+/// NCP of a network with at least `stages + 2` CTs.
+fn arb_pipeline(max_stages: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1..=max_stages).prop_flat_map(|s| {
+        (
+            proptest::collection::vec(1.0f64..100.0, s),
+            proptest::collection::vec(1.0f64..100.0, s + 1),
+        )
+    })
+}
+
+fn pipeline_app(cpu: &[f64], bits: &[f64], src: NcpId, dst: NcpId) -> Application {
+    let mut tb = TaskGraphBuilder::new();
+    let s = tb.add_ct("src", ResourceVec::new());
+    let mut prev = s;
+    for (i, &c) in cpu.iter().enumerate() {
+        let ct = tb.add_ct(format!("c{i}"), ResourceVec::cpu(c));
+        tb.add_tt(format!("t{i}"), prev, ct, bits[i]).unwrap();
+        prev = ct;
+    }
+    let t = tb.add_ct("sink", ResourceVec::new());
+    tb.add_tt("tlast", prev, t, bits[cpu.len()]).unwrap();
+    Application::new(
+        tb.build().unwrap(),
+        QoeClass::best_effort(1.0),
+        [(s, src), (t, dst)],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The modified Dijkstra agrees with the exhaustive widest path on
+    /// random networks and loads.
+    #[test]
+    fn widest_path_matches_brute_force(
+        net in arb_network(7),
+        bits in 0.0f64..50.0,
+        loads in proptest::collection::vec(0.0f64..100.0, 20),
+    ) {
+        let caps = net.capacity_map();
+        let mut load = LoadMap::zeroed(&net);
+        for (i, link) in net.link_ids().enumerate() {
+            load.add_tt_load(link, loads[i % loads.len()]);
+        }
+        let from = NcpId::new(0);
+        let to = NcpId::new((net.ncp_count() - 1) as u32);
+        let fast = widest_path(&net, &caps, &load, bits, from, to);
+        let slow = widest_path_brute_force(&net, &caps, &load, bits, from, to);
+        match (fast, slow) {
+            (Some(f), Some(s)) => {
+                let rel = if s.width.is_finite() && s.width > 0.0 {
+                    (f.width - s.width).abs() / s.width
+                } else if f.width == s.width {
+                    0.0
+                } else {
+                    1.0
+                };
+                prop_assert!(rel < 1e-9, "width {} vs {}", f.width, s.width);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "reachability mismatch {other:?}"),
+        }
+    }
+
+    /// Algorithm 2 always produces a complete, valid placement whose
+    /// reported rate matches independent recomputation.
+    #[test]
+    fn assignment_is_always_valid(
+        net in arb_network(8),
+        (cpu, bits) in arb_pipeline(5),
+        src in 0u32..8,
+        dst in 0u32..8,
+    ) {
+        let n = net.ncp_count() as u32;
+        let app = pipeline_app(&cpu, &bits, NcpId::new(src % n), NcpId::new(dst % n));
+        let caps = net.capacity_map();
+        let path = DynamicRankingAssigner::new()
+            .assign(&app, &net, &caps)
+            .expect("connected networks are always assignable");
+        prop_assert!(path.placement.is_complete());
+        path.placement.validate(app.graph(), &net).expect("valid");
+        let recomputed = path.placement.bottleneck_rate(app.graph(), &net, &caps);
+        prop_assert!((path.rate - recomputed).abs() <= 1e-9 * recomputed.max(1.0));
+        prop_assert!(path.rate > 0.0);
+    }
+
+    /// For a single unplaced CT whose reachable CTs are all direct
+    /// neighbors (a one-stage pipeline), γ equals the bottleneck rate
+    /// obtained by actually committing that choice — eq. (2) is exact
+    /// when no TT remains unrouted.
+    #[test]
+    fn gamma_is_exact_for_final_placement(
+        net in arb_network(6),
+        cpu in 1.0f64..100.0,
+        bits_in in 1.0f64..100.0,
+        bits_out in 1.0f64..100.0,
+        host in 0u32..6,
+    ) {
+        let n = net.ncp_count() as u32;
+        let app = pipeline_app(&[cpu], &[bits_in, bits_out], NcpId::new(0), NcpId::new(n - 1));
+        let caps = net.capacity_map();
+        let mut engine = PlacementEngine::new(&app, &net, &caps).expect("pins routable");
+        let ct = engine.unplaced()[0];
+        let host = NcpId::new(host % n);
+        if let Some(gamma) = engine.gamma(ct, host) {
+            engine.commit(ct, host).expect("gamma says routable");
+            let rate_now = engine.capacities().bottleneck_rate(engine.load());
+            // γ can be optimistic when the two TTs contend for the same
+            // link (eq. (2) evaluates each path in isolation), so the
+            // committed rate never exceeds γ but may fall below it.
+            prop_assert!(
+                rate_now <= gamma + 1e-9 * gamma.clamp(1.0, 1e12),
+                "rate {rate_now} exceeded gamma {gamma}"
+            );
+        }
+    }
+
+    /// Multipath extraction never oversubscribes: after subtracting all
+    /// extracted paths at their rates from fresh capacities, nothing is
+    /// negative (guaranteed by clamping) and the total extracted rate on
+    /// any single element never exceeds its capacity by more than
+    /// rounding.
+    #[test]
+    fn multipath_respects_capacities(
+        net in arb_network(6),
+        (cpu, bits) in arb_pipeline(3),
+    ) {
+        let n = net.ncp_count() as u32;
+        let app = pipeline_app(&cpu, &bits, NcpId::new(0), NcpId::new(n - 1));
+        let caps = net.capacity_map();
+        let (paths, _) = sparcle_core::assign_multipath(
+            &DynamicRankingAssigner::new(),
+            &app,
+            &net,
+            &caps,
+            5,
+            1e-9,
+        );
+        // Accumulate the total load×rate per element and compare with
+        // the original capacity.
+        let mut total = LoadMap::zeroed(&net);
+        for p in &paths {
+            total.merge_scaled(&p.load, p.rate);
+        }
+        let full = CapacityMap::full(&net);
+        for ncp in net.ncp_ids() {
+            for (kind, used) in total.ncp(ncp).iter() {
+                let cap = full.ncp(ncp).amount(kind);
+                prop_assert!(used <= cap * (1.0 + 1e-6) + 1e-9, "{used} > {cap}");
+            }
+        }
+        for link in net.link_ids() {
+            let used = total.link(link);
+            let cap = full.link(link);
+            prop_assert!(used <= cap * (1.0 + 1e-6) + 1e-9, "{used} > {cap}");
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Capacity and load bookkeeping over network elements.
+//!
+//! The paper's rate constraint is `R x ≤ C`: the per-element load vector
+//! `R` (sums of task requirements placed on each element, per data unit)
+//! times the application rate must stay within the per-element capacity
+//! vector `C`.
+//!
+//! [`CapacityMap`] holds the (possibly residual or predicted) capacities
+//! `C`; [`LoadMap`] holds the per-data-unit loads `R` contributed by one
+//! or more placements. Both are dense, indexed by [`NcpId`]/[`LinkId`],
+//! because every algorithm in SPARCLE touches most elements.
+
+use crate::ids::{LinkId, NcpId, NetworkElement};
+use crate::network::Network;
+use crate::resources::{ResourceKind, ResourceVec};
+use serde::{Deserialize, Serialize};
+
+/// Per-element capacities `C` — either the full network capacity, a
+/// residual after subtracting previously placed applications, or a
+/// predicted share (eq. (6) of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityMap {
+    ncps: Vec<ResourceVec>,
+    links: Vec<f64>,
+}
+
+impl CapacityMap {
+    /// Snapshot of a network's full capacities.
+    pub fn full(network: &Network) -> Self {
+        CapacityMap {
+            ncps: network
+                .ncp_ids()
+                .map(|id| network.ncp(id).capacity().clone())
+                .collect(),
+            links: network
+                .link_ids()
+                .map(|id| network.link(id).bandwidth())
+                .collect(),
+        }
+    }
+
+    /// A zero-capacity map with the same shape as `network`.
+    pub fn zeroed(network: &Network) -> Self {
+        CapacityMap {
+            ncps: vec![ResourceVec::new(); network.ncp_count()],
+            links: vec![0.0; network.link_count()],
+        }
+    }
+
+    /// Number of NCP entries.
+    pub fn ncp_count(&self) -> usize {
+        self.ncps.len()
+    }
+
+    /// Number of link entries.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Capacity vector of an NCP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn ncp(&self, id: NcpId) -> &ResourceVec {
+        &self.ncps[id.index()]
+    }
+
+    /// Mutable capacity vector of an NCP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn ncp_mut(&mut self, id: NcpId) -> &mut ResourceVec {
+        &mut self.ncps[id.index()]
+    }
+
+    /// Residual bandwidth of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link(&self, id: LinkId) -> f64 {
+        self.links[id.index()]
+    }
+
+    /// Sets the residual bandwidth of a link (clamped at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_link(&mut self, id: LinkId, bandwidth: f64) {
+        self.links[id.index()] = bandwidth.max(0.0);
+    }
+
+    /// Capacity of an arbitrary element as a [`ResourceVec`].
+    pub fn element(&self, element: NetworkElement) -> ResourceVec {
+        match element {
+            NetworkElement::Ncp(id) => self.ncp(id).clone(),
+            NetworkElement::Link(id) => ResourceVec::bandwidth(self.link(id)),
+        }
+    }
+
+    /// Subtracts `rate × load` from every element — the residual update
+    /// applied between multi-path assignment iterations (§IV-D: after a
+    /// path with rate `r1` is found, the available capacity becomes
+    /// `C_j^(r) − r1 Σ y a^(r)`). Entries clamp at zero.
+    pub fn subtract_load(&mut self, load: &LoadMap, rate: f64) {
+        for (i, l) in load.ncps.iter().enumerate() {
+            self.ncps[i].sub_scaled(l, rate);
+        }
+        for (i, &bits) in load.links.iter().enumerate() {
+            self.links[i] = (self.links[i] - bits * rate).max(0.0);
+        }
+    }
+
+    /// Adds `rate × load` back to every element (undoing
+    /// [`Self::subtract_load`], e.g. when an application departs).
+    pub fn add_load(&mut self, load: &LoadMap, rate: f64) {
+        for (i, l) in load.ncps.iter().enumerate() {
+            self.ncps[i].add_vec(&l.scaled(rate));
+        }
+        for (i, &bits) in load.links.iter().enumerate() {
+            self.links[i] += bits * rate;
+        }
+    }
+
+    /// Scales the capacity of one element by `factor` — used by the
+    /// priority-share prediction of eq. (6).
+    pub fn scale_element(&mut self, element: NetworkElement, factor: f64) {
+        match element {
+            NetworkElement::Ncp(id) => self.ncps[id.index()].scale(factor),
+            NetworkElement::Link(id) => self.links[id.index()] *= factor,
+        }
+    }
+
+    /// The maximum stable rate this capacity supports for the given load:
+    /// `min over elements with load, over resource kinds, of C / R`.
+    ///
+    /// Returns `f64::INFINITY` for an all-zero load (nothing placed — no
+    /// constraint).
+    pub fn bottleneck_rate(&self, load: &LoadMap) -> f64 {
+        let mut rate = f64::INFINITY;
+        for (i, l) in load.ncps.iter().enumerate() {
+            if let Some(r) = self.ncps[i].rate_supported(l) {
+                rate = rate.min(r);
+            }
+        }
+        for (i, &bits) in load.links.iter().enumerate() {
+            if bits > 0.0 {
+                rate = rate.min(self.links[i] / bits);
+            }
+        }
+        rate
+    }
+
+    /// Per-element utilization at processing rate `rate` under `load`:
+    /// the fraction of each element's (tightest) capacity consumed,
+    /// `rate × load / C` (`f64::INFINITY` for loaded zero-capacity
+    /// elements; `0.0` for unloaded ones). Returned in NCPs-then-links
+    /// order, aligned with [`Network::elements`](crate::Network::elements).
+    pub fn utilization(&self, load: &LoadMap, rate: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.ncps.len() + self.links.len());
+        for (i, l) in load.ncps.iter().enumerate() {
+            out.push(match self.ncps[i].rate_supported(l) {
+                Some(max) if max > 0.0 => rate / max,
+                Some(_) => f64::INFINITY,
+                None => 0.0,
+            });
+        }
+        for (i, &bits) in load.links.iter().enumerate() {
+            out.push(if bits <= 0.0 {
+                0.0
+            } else if self.links[i] > 0.0 {
+                rate * bits / self.links[i]
+            } else {
+                f64::INFINITY
+            });
+        }
+        out
+    }
+
+    /// The element attaining the bottleneck for the given load, if any
+    /// element carries load.
+    pub fn bottleneck_element(&self, load: &LoadMap) -> Option<(NetworkElement, f64)> {
+        let mut best: Option<(NetworkElement, f64)> = None;
+        for (i, l) in load.ncps.iter().enumerate() {
+            if let Some(r) = self.ncps[i].rate_supported(l) {
+                if best.is_none_or(|(_, b)| r < b) {
+                    best = Some((NetworkElement::Ncp(NcpId::new(i as u32)), r));
+                }
+            }
+        }
+        for (i, &bits) in load.links.iter().enumerate() {
+            if bits > 0.0 {
+                let r = self.links[i] / bits;
+                if best.is_none_or(|(_, b)| r < b) {
+                    best = Some((NetworkElement::Link(LinkId::new(i as u32)), r));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Per-element, per-data-unit loads `R` contributed by placed tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadMap {
+    ncps: Vec<ResourceVec>,
+    links: Vec<f64>,
+}
+
+impl LoadMap {
+    /// An empty load map shaped like `network`.
+    pub fn zeroed(network: &Network) -> Self {
+        LoadMap {
+            ncps: vec![ResourceVec::new(); network.ncp_count()],
+            links: vec![0.0; network.link_count()],
+        }
+    }
+
+    /// An empty load map with explicit dimensions.
+    pub fn with_shape(ncp_count: usize, link_count: usize) -> Self {
+        LoadMap {
+            ncps: vec![ResourceVec::new(); ncp_count],
+            links: vec![0.0; link_count],
+        }
+    }
+
+    /// Adds a CT's per-data-unit requirement onto its host NCP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncp` is out of range.
+    pub fn add_ct_load(&mut self, ncp: NcpId, requirement: &ResourceVec) {
+        self.ncps[ncp.index()].add_vec(requirement);
+    }
+
+    /// Adds a TT's per-data-unit bits onto a link it traverses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn add_tt_load(&mut self, link: LinkId, bits_per_unit: f64) {
+        self.links[link.index()] += bits_per_unit;
+    }
+
+    /// Load vector on an NCP.
+    pub fn ncp(&self, id: NcpId) -> &ResourceVec {
+        &self.ncps[id.index()]
+    }
+
+    /// Bits per data unit on a link.
+    pub fn link(&self, id: LinkId) -> f64 {
+        self.links[id.index()]
+    }
+
+    /// Load of an arbitrary element as a [`ResourceVec`].
+    pub fn element(&self, element: NetworkElement) -> ResourceVec {
+        match element {
+            NetworkElement::Ncp(id) => self.ncp(id).clone(),
+            NetworkElement::Link(id) => ResourceVec::bandwidth(self.link(id)),
+        }
+    }
+
+    /// Merges another load map (same shape) into this one, scaled by
+    /// `scale` (e.g. a path's share of the application's rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn merge_scaled(&mut self, other: &LoadMap, scale: f64) {
+        assert_eq!(self.ncps.len(), other.ncps.len(), "NCP shape mismatch");
+        assert_eq!(self.links.len(), other.links.len(), "link shape mismatch");
+        for (i, l) in other.ncps.iter().enumerate() {
+            self.ncps[i].add_vec(&l.scaled(scale));
+        }
+        for (i, &bits) in other.links.iter().enumerate() {
+            self.links[i] += bits * scale;
+        }
+    }
+
+    /// Elements carrying non-zero load, in NCPs-then-links order.
+    pub fn loaded_elements(&self) -> Vec<NetworkElement> {
+        let mut out = Vec::new();
+        for (i, l) in self.ncps.iter().enumerate() {
+            if !l.is_zero() {
+                out.push(NetworkElement::Ncp(NcpId::new(i as u32)));
+            }
+        }
+        for (i, &bits) in self.links.iter().enumerate() {
+            if bits > 0.0 {
+                out.push(NetworkElement::Link(LinkId::new(i as u32)));
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if nothing is loaded.
+    pub fn is_zero(&self) -> bool {
+        self.ncps.iter().all(ResourceVec::is_zero) && self.links.iter().all(|&b| b == 0.0)
+    }
+
+    /// Total CPU cycles per data unit across all NCPs (used by the energy
+    /// model).
+    pub fn total_cpu_load(&self) -> f64 {
+        self.ncps.iter().map(|v| v.amount(ResourceKind::Cpu)).sum()
+    }
+
+    /// Total bits per data unit across all links (used by the energy
+    /// model).
+    pub fn total_link_bits(&self) -> f64 {
+        self.links.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    fn net2() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.add_ncp("x", ResourceVec::cpu(100.0));
+        let y = b.add_ncp("y", ResourceVec::cpu(50.0));
+        b.add_link("xy", x, y, 1000.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_capacity_snapshot() {
+        let net = net2();
+        let cap = CapacityMap::full(&net);
+        assert_eq!(cap.ncp(NcpId::new(0)).amount(ResourceKind::Cpu), 100.0);
+        assert_eq!(cap.link(LinkId::new(0)), 1000.0);
+    }
+
+    #[test]
+    fn bottleneck_rate_matches_paper_formula() {
+        let net = net2();
+        let cap = CapacityMap::full(&net);
+        let mut load = LoadMap::zeroed(&net);
+        load.add_ct_load(NcpId::new(0), &ResourceVec::cpu(10.0)); // 100/10 = 10
+        load.add_ct_load(NcpId::new(1), &ResourceVec::cpu(1.0)); // 50/1 = 50
+        load.add_tt_load(LinkId::new(0), 250.0); // 1000/250 = 4  <- bottleneck
+        assert_eq!(cap.bottleneck_rate(&load), 4.0);
+        let (el, r) = cap.bottleneck_element(&load).unwrap();
+        assert_eq!(el, NetworkElement::Link(LinkId::new(0)));
+        assert_eq!(r, 4.0);
+    }
+
+    #[test]
+    fn empty_load_is_unconstrained() {
+        let net = net2();
+        let cap = CapacityMap::full(&net);
+        let load = LoadMap::zeroed(&net);
+        assert_eq!(cap.bottleneck_rate(&load), f64::INFINITY);
+        assert_eq!(cap.bottleneck_element(&load), None);
+        assert!(load.is_zero());
+    }
+
+    #[test]
+    fn subtract_and_add_load_roundtrip() {
+        let net = net2();
+        let mut cap = CapacityMap::full(&net);
+        let mut load = LoadMap::zeroed(&net);
+        load.add_ct_load(NcpId::new(0), &ResourceVec::cpu(10.0));
+        load.add_tt_load(LinkId::new(0), 100.0);
+        cap.subtract_load(&load, 2.0);
+        assert_eq!(cap.ncp(NcpId::new(0)).amount(ResourceKind::Cpu), 80.0);
+        assert_eq!(cap.link(LinkId::new(0)), 800.0);
+        cap.add_load(&load, 2.0);
+        assert_eq!(cap.ncp(NcpId::new(0)).amount(ResourceKind::Cpu), 100.0);
+        assert_eq!(cap.link(LinkId::new(0)), 1000.0);
+    }
+
+    #[test]
+    fn subtract_clamps_at_zero() {
+        let net = net2();
+        let mut cap = CapacityMap::full(&net);
+        let mut load = LoadMap::zeroed(&net);
+        load.add_tt_load(LinkId::new(0), 100.0);
+        cap.subtract_load(&load, 1e9);
+        assert_eq!(cap.link(LinkId::new(0)), 0.0);
+    }
+
+    #[test]
+    fn scale_element_for_prediction() {
+        let net = net2();
+        let mut cap = CapacityMap::full(&net);
+        cap.scale_element(NetworkElement::Ncp(NcpId::new(0)), 2.0 / 3.0);
+        assert!((cap.ncp(NcpId::new(0)).amount(ResourceKind::Cpu) - 200.0 / 3.0).abs() < 1e-9);
+        cap.scale_element(NetworkElement::Link(LinkId::new(0)), 0.5);
+        assert_eq!(cap.link(LinkId::new(0)), 500.0);
+    }
+
+    #[test]
+    fn merge_scaled_accumulates() {
+        let net = net2();
+        let mut a = LoadMap::zeroed(&net);
+        let mut b = LoadMap::zeroed(&net);
+        b.add_ct_load(NcpId::new(1), &ResourceVec::cpu(4.0));
+        b.add_tt_load(LinkId::new(0), 8.0);
+        a.merge_scaled(&b, 0.5);
+        assert_eq!(a.ncp(NcpId::new(1)).amount(ResourceKind::Cpu), 2.0);
+        assert_eq!(a.link(LinkId::new(0)), 4.0);
+        assert_eq!(a.loaded_elements().len(), 2);
+    }
+
+    #[test]
+    fn utilization_matches_hand_math() {
+        let net = net2();
+        let cap = CapacityMap::full(&net);
+        let mut load = LoadMap::zeroed(&net);
+        load.add_ct_load(NcpId::new(0), &ResourceVec::cpu(10.0)); // max 10/s
+        load.add_tt_load(LinkId::new(0), 250.0); // max 4/s
+        let u = cap.utilization(&load, 2.0);
+        assert!((u[0] - 0.2).abs() < 1e-12, "ncp0 {}", u[0]);
+        assert_eq!(u[1], 0.0, "unloaded ncp");
+        assert!((u[2] - 0.5).abs() < 1e-12, "link {}", u[2]);
+        // At the bottleneck rate, the binding element hits 1.0.
+        let u = cap.utilization(&load, cap.bottleneck_rate(&load));
+        assert!((u[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_for_energy_model() {
+        let net = net2();
+        let mut load = LoadMap::zeroed(&net);
+        load.add_ct_load(NcpId::new(0), &ResourceVec::cpu(3.0));
+        load.add_ct_load(NcpId::new(1), &ResourceVec::cpu(4.0));
+        load.add_tt_load(LinkId::new(0), 9.0);
+        assert_eq!(load.total_cpu_load(), 7.0);
+        assert_eq!(load.total_link_bits(), 9.0);
+    }
+}

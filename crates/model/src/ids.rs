@@ -1,0 +1,234 @@
+//! Strongly-typed identifiers for tasks, network elements, and applications.
+//!
+//! Every entity in SPARCLE's models is referred to by a small, `Copy`
+//! newtype index ([C-NEWTYPE]): computation tasks ([`CtId`]) and transport
+//! tasks ([`TtId`]) inside a task graph, networked computing points
+//! ([`NcpId`]) and links ([`LinkId`]) inside a computing network, and
+//! applications ([`AppId`]) inside a system-level view.
+//!
+//! Using distinct types prevents the classic index-confusion bugs that an
+//! untyped `usize` invites (e.g. indexing the link table with a CT index).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use sparcle_model::ids::CtId;
+            /// let id = CtId::new(3);
+            /// assert_eq!(id.index(), 3);
+            /// ```
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index, suitable for indexing dense tables.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a computation task (a vertex of a task graph).
+    CtId,
+    "CT"
+);
+define_id!(
+    /// Identifier of a transport task (an edge of a task graph).
+    TtId,
+    "TT"
+);
+define_id!(
+    /// Identifier of a networked computing point (a vertex of the network).
+    NcpId,
+    "NCP"
+);
+define_id!(
+    /// Identifier of a communication link (an edge of the network).
+    LinkId,
+    "L"
+);
+define_id!(
+    /// Identifier of a stream processing application managed by the system.
+    AppId,
+    "App"
+);
+
+/// A computing-network element: either an NCP or a link.
+///
+/// Task assignment places CTs on NCPs and TTs on links; both kinds of
+/// element carry capacities, loads, and failure probabilities, and many
+/// computations (bottleneck rates, availability) iterate over both
+/// uniformly. `NetworkElement` is the common currency for that.
+///
+/// # Examples
+///
+/// ```
+/// # use sparcle_model::ids::{NcpId, LinkId, NetworkElement};
+/// let e = NetworkElement::Ncp(NcpId::new(0));
+/// assert!(e.is_ncp());
+/// assert_eq!(e.to_string(), "NCP0");
+/// let l = NetworkElement::Link(LinkId::new(2));
+/// assert!(!l.is_ncp());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum NetworkElement {
+    /// A computing node.
+    Ncp(NcpId),
+    /// A communication link.
+    Link(LinkId),
+}
+
+impl NetworkElement {
+    /// Returns `true` if this element is an NCP.
+    #[inline]
+    pub const fn is_ncp(self) -> bool {
+        matches!(self, NetworkElement::Ncp(_))
+    }
+
+    /// Returns `true` if this element is a link.
+    #[inline]
+    pub const fn is_link(self) -> bool {
+        matches!(self, NetworkElement::Link(_))
+    }
+
+    /// Returns the NCP id if this element is an NCP.
+    #[inline]
+    pub const fn as_ncp(self) -> Option<NcpId> {
+        match self {
+            NetworkElement::Ncp(id) => Some(id),
+            NetworkElement::Link(_) => None,
+        }
+    }
+
+    /// Returns the link id if this element is a link.
+    #[inline]
+    pub const fn as_link(self) -> Option<LinkId> {
+        match self {
+            NetworkElement::Ncp(_) => None,
+            NetworkElement::Link(id) => Some(id),
+        }
+    }
+}
+
+impl fmt::Display for NetworkElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkElement::Ncp(id) => write!(f, "{id}"),
+            NetworkElement::Link(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+impl From<NcpId> for NetworkElement {
+    fn from(id: NcpId) -> Self {
+        NetworkElement::Ncp(id)
+    }
+}
+
+impl From<LinkId> for NetworkElement {
+    fn from(id: LinkId) -> Self {
+        NetworkElement::Link(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_through_u32() {
+        let id = NcpId::new(42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(NcpId::from(42u32), id);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn display_uses_paper_prefixes() {
+        assert_eq!(CtId::new(1).to_string(), "CT1");
+        assert_eq!(TtId::new(2).to_string(), "TT2");
+        assert_eq!(NcpId::new(3).to_string(), "NCP3");
+        assert_eq!(LinkId::new(4).to_string(), "L4");
+        assert_eq!(AppId::new(5).to_string(), "App5");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(CtId::new(1) < CtId::new(2));
+        let mut v = vec![LinkId::new(3), LinkId::new(1), LinkId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![LinkId::new(1), LinkId::new(2), LinkId::new(3)]);
+    }
+
+    #[test]
+    fn element_accessors() {
+        let n = NetworkElement::from(NcpId::new(7));
+        assert_eq!(n.as_ncp(), Some(NcpId::new(7)));
+        assert_eq!(n.as_link(), None);
+        let l = NetworkElement::from(LinkId::new(9));
+        assert_eq!(l.as_link(), Some(LinkId::new(9)));
+        assert_eq!(l.as_ncp(), None);
+        assert!(l.is_link());
+    }
+
+    #[test]
+    fn element_ordering_groups_ncps_before_links() {
+        let mut v = vec![
+            NetworkElement::Link(LinkId::new(0)),
+            NetworkElement::Ncp(NcpId::new(1)),
+            NetworkElement::Ncp(NcpId::new(0)),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                NetworkElement::Ncp(NcpId::new(0)),
+                NetworkElement::Ncp(NcpId::new(1)),
+                NetworkElement::Link(LinkId::new(0)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Task assignment paths: mapping CTs to NCPs and TTs to link routes.
+//!
+//! One complete mapping of an application's tasks onto a network is what
+//! the paper calls a *task assignment path* (§III-B, Figure 2). A
+//! [`Placement`] stores the decision variables `y_{i,j}`: each CT's host
+//! NCP and each TT's route (an ordered list of links between the hosts of
+//! its endpoint CTs — empty when both endpoints share a host).
+//!
+//! A placement knows how to derive its per-element load vector `R`
+//! ([`Placement::load_map`]), its bottleneck processing rate under a given
+//! [`CapacityMap`], the set of elements it depends on (for availability
+//! analysis), and how to validate itself against constraints (1b)–(1c).
+
+use crate::capacity::{CapacityMap, LoadMap};
+use crate::error::{ModelError, RouteError};
+use crate::ids::{CtId, LinkId, NcpId, NetworkElement, TtId};
+use crate::network::Network;
+use crate::taskgraph::TaskGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An ordered sequence of links carrying one TT between two hosts.
+///
+/// An empty route means the TT's endpoints are co-located and the
+/// transport is a free local handoff.
+pub type Route = Vec<LinkId>;
+
+/// One task assignment path: hosts for every CT and routes for every TT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    ct_hosts: Vec<Option<NcpId>>,
+    tt_routes: Vec<Option<Route>>,
+}
+
+impl Placement {
+    /// An empty placement shaped for `graph` (no CT hosted, no TT routed).
+    pub fn empty(graph: &TaskGraph) -> Self {
+        Placement {
+            ct_hosts: vec![None; graph.ct_count()],
+            tt_routes: vec![None; graph.tt_count()],
+        }
+    }
+
+    /// Number of CT slots.
+    pub fn ct_count(&self) -> usize {
+        self.ct_hosts.len()
+    }
+
+    /// Number of TT slots.
+    pub fn tt_count(&self) -> usize {
+        self.tt_routes.len()
+    }
+
+    /// Host of a CT, if placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ct` is out of range.
+    pub fn ct_host(&self, ct: CtId) -> Option<NcpId> {
+        self.ct_hosts[ct.index()]
+    }
+
+    /// Route of a TT, if routed. `Some(&[])` means co-located endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tt` is out of range.
+    pub fn tt_route(&self, tt: TtId) -> Option<&[LinkId]> {
+        self.tt_routes[tt.index()].as_deref()
+    }
+
+    /// Places a CT on a host (`y_{i,j} = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ct` is out of range.
+    pub fn place_ct(&mut self, ct: CtId, host: NcpId) {
+        self.ct_hosts[ct.index()] = Some(host);
+    }
+
+    /// Routes a TT over a sequence of links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tt` is out of range.
+    pub fn route_tt(&mut self, tt: TtId, route: Route) {
+        self.tt_routes[tt.index()] = Some(route);
+    }
+
+    /// Returns `true` once every CT is hosted and every TT routed.
+    pub fn is_complete(&self) -> bool {
+        self.ct_hosts.iter().all(Option::is_some) && self.tt_routes.iter().all(Option::is_some)
+    }
+
+    /// Iterates over `(ct, host)` pairs for all placed CTs.
+    pub fn placed_cts(&self) -> impl Iterator<Item = (CtId, NcpId)> + '_ {
+        self.ct_hosts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|h| (CtId::new(i as u32), h)))
+    }
+
+    /// Iterates over `(tt, route)` pairs for all routed TTs.
+    pub fn routed_tts(&self) -> impl Iterator<Item = (TtId, &[LinkId])> + '_ {
+        self.tt_routes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_deref().map(|r| (TtId::new(i as u32), r)))
+    }
+
+    /// Derives the per-element, per-data-unit load vector `R` of this
+    /// placement: each placed CT adds its requirement to its host NCP,
+    /// each routed TT adds its bits to *every* link of its route
+    /// (constraint (1c) places a TT on all links of the selected path).
+    ///
+    /// Unplaced tasks contribute nothing, so partial placements can be
+    /// scored incrementally.
+    pub fn load_map(&self, graph: &TaskGraph, network: &Network) -> LoadMap {
+        let mut load = LoadMap::zeroed(network);
+        for (ct, host) in self.placed_cts() {
+            load.add_ct_load(host, graph.ct(ct).requirement());
+        }
+        for (tt, route) in self.routed_tts() {
+            let bits = graph.tt(tt).bits_per_unit();
+            for &link in route {
+                load.add_tt_load(link, bits);
+            }
+        }
+        load
+    }
+
+    /// Maximum stable processing rate of this placement under the given
+    /// capacities — the objective (1a):
+    /// `min over elements, kinds of C_j^(r) / Σ_i y_{i,j} a_i^(r)`.
+    ///
+    /// Returns `f64::INFINITY` when nothing loaded constrains the rate.
+    pub fn bottleneck_rate(
+        &self,
+        graph: &TaskGraph,
+        network: &Network,
+        capacities: &CapacityMap,
+    ) -> f64 {
+        capacities.bottleneck_rate(&self.load_map(graph, network))
+    }
+
+    /// The distinct network elements this placement depends on: host NCPs,
+    /// route links, and the interior NCPs of every route. Failure of any
+    /// of these breaks the path, so this set drives availability analysis
+    /// (§IV-C: availability of one path is `Π (1 − Pf_j)` over used
+    /// elements).
+    pub fn elements_used(&self, network: &Network) -> BTreeSet<NetworkElement> {
+        let mut used = BTreeSet::new();
+        for (_, host) in self.placed_cts() {
+            used.insert(NetworkElement::Ncp(host));
+        }
+        for (_, route) in self.routed_tts() {
+            for &link in route {
+                used.insert(NetworkElement::Link(link));
+                let l = network.link(link);
+                used.insert(NetworkElement::Ncp(l.a()));
+                used.insert(NetworkElement::Ncp(l.b()));
+            }
+        }
+        used
+    }
+
+    /// Validates this placement against the paper's constraints:
+    ///
+    /// * (1b) every CT is assigned exactly one host;
+    /// * (1c) every TT is routed on a simple link path connecting the
+    ///   hosts of its endpoint CTs (empty iff co-located), traversing
+    ///   directed links only forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ModelError`].
+    pub fn validate(&self, graph: &TaskGraph, network: &Network) -> Result<(), ModelError> {
+        for ct in graph.ct_ids() {
+            match self.ct_hosts[ct.index()] {
+                None => return Err(ModelError::UnplacedCt(ct)),
+                Some(h) if h.index() >= network.ncp_count() => {
+                    return Err(ModelError::UnknownNcp(h));
+                }
+                Some(_) => {}
+            }
+        }
+        for tt in graph.tt_ids() {
+            let t = graph.tt(tt);
+            let from_host = self.ct_hosts[t.from().index()].expect("checked above");
+            let to_host = self.ct_hosts[t.to().index()].expect("checked above");
+            let route = match &self.tt_routes[tt.index()] {
+                None => return Err(ModelError::UnroutedTt(tt)),
+                Some(r) => r,
+            };
+            self.validate_route(tt, route, from_host, to_host, network)?;
+        }
+        Ok(())
+    }
+
+    fn validate_route(
+        &self,
+        tt: TtId,
+        route: &[LinkId],
+        from_host: NcpId,
+        to_host: NcpId,
+        network: &Network,
+    ) -> Result<(), ModelError> {
+        let broken = |reason| ModelError::BrokenRoute { tt, reason };
+        if from_host == to_host {
+            return if route.is_empty() {
+                Ok(())
+            } else {
+                Err(broken(RouteError::NonEmptyLocal))
+            };
+        }
+        if route.is_empty() {
+            return Err(ModelError::UnroutedTt(tt));
+        }
+        let mut seen = BTreeSet::new();
+        let mut at = from_host;
+        for (i, &link) in route.iter().enumerate() {
+            if link.index() >= network.link_count() {
+                return Err(ModelError::UnknownLink(link));
+            }
+            if !seen.insert(link) {
+                return Err(broken(RouteError::RepeatedLink));
+            }
+            let l = network.link(link);
+            match l.traverse_from(at) {
+                Some(next) => at = next,
+                None => {
+                    // Distinguish a wrong-direction traversal from a
+                    // discontinuity for better diagnostics.
+                    let incident = l.a() == at || l.b() == at;
+                    return Err(broken(if incident {
+                        RouteError::WrongDirection
+                    } else if i == 0 {
+                        RouteError::BadStart
+                    } else {
+                        RouteError::Discontinuous
+                    }));
+                }
+            }
+        }
+        if at != to_host {
+            return Err(broken(RouteError::BadEnd));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::resources::{ResourceKind, ResourceVec};
+    use crate::taskgraph::TaskGraphBuilder;
+
+    /// Linear app a -> b on a 3-node chain x - y - z.
+    fn fixture() -> (TaskGraph, Network) {
+        let mut tb = TaskGraphBuilder::new();
+        let a = tb.add_ct("a", ResourceVec::cpu(2.0));
+        let b = tb.add_ct("b", ResourceVec::cpu(4.0));
+        tb.add_tt("ab", a, b, 8.0).unwrap();
+        let graph = tb.build().unwrap();
+
+        let mut nb = NetworkBuilder::new();
+        let x = nb.add_ncp("x", ResourceVec::cpu(10.0));
+        let y = nb.add_ncp("y", ResourceVec::cpu(20.0));
+        let z = nb.add_ncp("z", ResourceVec::cpu(40.0));
+        nb.add_link("xy", x, y, 16.0).unwrap();
+        nb.add_link("yz", y, z, 32.0).unwrap();
+        let network = nb.build().unwrap();
+        (graph, network)
+    }
+
+    #[test]
+    fn complete_placement_validates_and_scores() {
+        let (graph, network) = fixture();
+        let mut p = Placement::empty(&graph);
+        p.place_ct(CtId::new(0), NcpId::new(0));
+        p.place_ct(CtId::new(1), NcpId::new(2));
+        p.route_tt(TtId::new(0), vec![LinkId::new(0), LinkId::new(1)]);
+        assert!(p.is_complete());
+        p.validate(&graph, &network).unwrap();
+
+        let cap = network.capacity_map();
+        // x: 10/2 = 5; z: 40/4 = 10; L0: 16/8 = 2 <- bottleneck; L1: 32/8 = 4.
+        assert_eq!(p.bottleneck_rate(&graph, &network, &cap), 2.0);
+
+        let used = p.elements_used(&network);
+        // Hosts x,z + links L0,L1 + interior y.
+        assert_eq!(used.len(), 5);
+        assert!(used.contains(&NetworkElement::Ncp(NcpId::new(1))));
+    }
+
+    #[test]
+    fn colocated_placement_needs_no_route() {
+        let (graph, network) = fixture();
+        let mut p = Placement::empty(&graph);
+        p.place_ct(CtId::new(0), NcpId::new(1));
+        p.place_ct(CtId::new(1), NcpId::new(1));
+        p.route_tt(TtId::new(0), vec![]);
+        p.validate(&graph, &network).unwrap();
+        let cap = network.capacity_map();
+        // y hosts both: 20/(2+4) = 3.333...
+        let r = p.bottleneck_rate(&graph, &network, &cap);
+        assert!((r - 20.0 / 6.0).abs() < 1e-12);
+        assert_eq!(p.elements_used(&network).len(), 1);
+    }
+
+    #[test]
+    fn missing_host_is_rejected() {
+        let (graph, network) = fixture();
+        let p = Placement::empty(&graph);
+        assert!(matches!(
+            p.validate(&graph, &network),
+            Err(ModelError::UnplacedCt(_))
+        ));
+    }
+
+    #[test]
+    fn missing_route_is_rejected() {
+        let (graph, network) = fixture();
+        let mut p = Placement::empty(&graph);
+        p.place_ct(CtId::new(0), NcpId::new(0));
+        p.place_ct(CtId::new(1), NcpId::new(1));
+        assert!(matches!(
+            p.validate(&graph, &network),
+            Err(ModelError::UnroutedTt(_))
+        ));
+        // An empty route between distinct hosts is equally unrouted.
+        p.route_tt(TtId::new(0), vec![]);
+        assert!(matches!(
+            p.validate(&graph, &network),
+            Err(ModelError::UnroutedTt(_))
+        ));
+    }
+
+    #[test]
+    fn broken_routes_are_diagnosed() {
+        let (graph, network) = fixture();
+        let mut p = Placement::empty(&graph);
+        p.place_ct(CtId::new(0), NcpId::new(0));
+        p.place_ct(CtId::new(1), NcpId::new(2));
+
+        // Starts at the wrong end.
+        p.route_tt(TtId::new(0), vec![LinkId::new(1), LinkId::new(0)]);
+        assert!(matches!(
+            p.validate(&graph, &network),
+            Err(ModelError::BrokenRoute {
+                reason: RouteError::BadStart,
+                ..
+            })
+        ));
+
+        // Stops short of the destination.
+        p.route_tt(TtId::new(0), vec![LinkId::new(0)]);
+        assert!(matches!(
+            p.validate(&graph, &network),
+            Err(ModelError::BrokenRoute {
+                reason: RouteError::BadEnd,
+                ..
+            })
+        ));
+
+        // Repeats a link.
+        p.route_tt(
+            TtId::new(0),
+            vec![LinkId::new(0), LinkId::new(0), LinkId::new(1)],
+        );
+        assert!(matches!(
+            p.validate(&graph, &network),
+            Err(ModelError::BrokenRoute {
+                reason: RouteError::RepeatedLink,
+                ..
+            })
+        ));
+
+        // Non-empty route between co-located endpoints.
+        p.place_ct(CtId::new(1), NcpId::new(0));
+        p.route_tt(TtId::new(0), vec![LinkId::new(0)]);
+        assert!(matches!(
+            p.validate(&graph, &network),
+            Err(ModelError::BrokenRoute {
+                reason: RouteError::NonEmptyLocal,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn load_map_places_tt_on_every_route_link() {
+        let (graph, network) = fixture();
+        let mut p = Placement::empty(&graph);
+        p.place_ct(CtId::new(0), NcpId::new(0));
+        p.place_ct(CtId::new(1), NcpId::new(2));
+        p.route_tt(TtId::new(0), vec![LinkId::new(0), LinkId::new(1)]);
+        let load = p.load_map(&graph, &network);
+        assert_eq!(load.link(LinkId::new(0)), 8.0);
+        assert_eq!(load.link(LinkId::new(1)), 8.0);
+        assert_eq!(load.ncp(NcpId::new(0)).amount(ResourceKind::Cpu), 2.0);
+        assert_eq!(load.ncp(NcpId::new(2)).amount(ResourceKind::Cpu), 4.0);
+        assert!(load.ncp(NcpId::new(1)).is_zero());
+    }
+
+    #[test]
+    fn partial_placement_scores_incrementally() {
+        let (graph, network) = fixture();
+        let mut p = Placement::empty(&graph);
+        p.place_ct(CtId::new(0), NcpId::new(0));
+        let cap = network.capacity_map();
+        assert_eq!(p.bottleneck_rate(&graph, &network, &cap), 5.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Energy consumption model and energy-efficiency metric (§V-B-2).
+//!
+//! The paper defines energy efficiency as *data units processed per unit
+//! of energy* and adopts two published models:
+//!
+//! * CPU power proportional to utilization (Chen et al. \[11\]);
+//! * uplink/downlink radio power proportional to the transmission rate
+//!   (Huang et al. \[19\], LTE/WiFi).
+//!
+//! Given a placement's per-element load and a processing rate, the
+//! utilization of NCP `j` is `rate × load_j^(cpu) / C_j^(cpu)` and the
+//! traffic of link `l` is `rate × bits_l`; total power is the weighted
+//! sum, and efficiency is `rate / power`.
+
+use sparcle_model::{CapacityMap, LoadMap, Network, ResourceKind};
+
+/// Linear power-model coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use sparcle_sim::EnergyModel;
+/// use sparcle_model::{LoadMap, NcpId, NetworkBuilder, ResourceVec};
+///
+/// # fn main() -> Result<(), sparcle_model::ModelError> {
+/// let mut nb = NetworkBuilder::new();
+/// let n = nb.add_ncp("n", ResourceVec::cpu(100.0));
+/// nb.add_ncp("other", ResourceVec::new());
+/// let net = nb.build()?;
+/// let mut load = LoadMap::zeroed(&net);
+/// load.add_ct_load(n, &ResourceVec::cpu(10.0)); // 10 MC per unit
+/// let report = EnergyModel::default().evaluate(&net, &net.capacity_map(), &load, 5.0);
+/// // Utilization 0.5 of a 2.5 W CPU => 1.25 W; 5 units/s per 1.25 J/s = 4 units/J.
+/// assert!((report.units_per_joule - 4.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Watts drawn by an NCP's CPU at 100 % utilization (smartphone-class
+    /// SoCs draw ~2–3 W under full load \[11\]).
+    pub cpu_full_load_watts: f64,
+    /// Joules per megabit transmitted (LTE uplink measurements give
+    /// roughly 0.2–0.5 J/Mb \[19\]; both endpoints of a link pay).
+    pub joules_per_mbit_tx: f64,
+    /// Joules per megabit received.
+    pub joules_per_mbit_rx: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            cpu_full_load_watts: 2.5,
+            joules_per_mbit_tx: 0.3,
+            joules_per_mbit_rx: 0.1,
+        }
+    }
+}
+
+/// Energy breakdown of one placed application at a given rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Total compute power in watts.
+    pub cpu_watts: f64,
+    /// Total radio power in watts.
+    pub radio_watts: f64,
+    /// Data units processed per joule (the paper's efficiency metric).
+    pub units_per_joule: f64,
+}
+
+impl EnergyModel {
+    /// Evaluates the model for a placement's `load` at processing `rate`
+    /// under `capacities`.
+    ///
+    /// NCPs with zero CPU capacity contribute no compute power (they
+    /// host nothing runnable). A zero-rate placement has zero power and
+    /// an efficiency of zero by convention.
+    pub fn evaluate(
+        &self,
+        network: &Network,
+        capacities: &CapacityMap,
+        load: &LoadMap,
+        rate: f64,
+    ) -> EnergyReport {
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be finite");
+        let mut cpu_watts = 0.0;
+        for ncp in network.ncp_ids() {
+            let demand = load.ncp(ncp).amount(ResourceKind::Cpu) * rate;
+            let capacity = capacities.ncp(ncp).amount(ResourceKind::Cpu);
+            if demand > 0.0 && capacity > 0.0 {
+                let utilization = (demand / capacity).min(1.0);
+                cpu_watts += self.cpu_full_load_watts * utilization;
+            }
+        }
+        let mut radio_watts = 0.0;
+        for link in network.link_ids() {
+            let mbits_per_s = load.link(link) * rate;
+            radio_watts += (self.joules_per_mbit_tx + self.joules_per_mbit_rx) * mbits_per_s;
+        }
+        let total = cpu_watts + radio_watts;
+        EnergyReport {
+            cpu_watts,
+            radio_watts,
+            units_per_joule: if total > 0.0 { rate / total } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcle_model::{LinkId, NcpId, NetworkBuilder, ResourceVec};
+
+    fn net() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.add_ncp("x", ResourceVec::cpu(100.0));
+        let y = b.add_ncp("y", ResourceVec::cpu(100.0));
+        b.add_link("xy", x, y, 10.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cpu_power_scales_with_utilization() {
+        let network = net();
+        let caps = network.capacity_map();
+        let model = EnergyModel::default();
+        let mut load = LoadMap::zeroed(&network);
+        load.add_ct_load(NcpId::new(0), &ResourceVec::cpu(10.0));
+        let half = model.evaluate(&network, &caps, &load, 5.0); // util 0.5
+        let full = model.evaluate(&network, &caps, &load, 10.0); // util 1.0
+        assert!((half.cpu_watts - 1.25).abs() < 1e-12);
+        assert!((full.cpu_watts - 2.5).abs() < 1e-12);
+        assert_eq!(half.radio_watts, 0.0);
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let network = net();
+        let caps = network.capacity_map();
+        let model = EnergyModel::default();
+        let mut load = LoadMap::zeroed(&network);
+        load.add_ct_load(NcpId::new(0), &ResourceVec::cpu(10.0));
+        let over = model.evaluate(&network, &caps, &load, 100.0);
+        assert!((over.cpu_watts - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radio_power_scales_with_traffic() {
+        let network = net();
+        let caps = network.capacity_map();
+        let model = EnergyModel::default();
+        let mut load = LoadMap::zeroed(&network);
+        load.add_tt_load(LinkId::new(0), 2.0); // 2 Mb per unit
+        let report = model.evaluate(&network, &caps, &load, 3.0); // 6 Mb/s
+        assert!((report.radio_watts - 6.0 * 0.4).abs() < 1e-12);
+        assert_eq!(report.cpu_watts, 0.0);
+        assert!((report.units_per_joule - 3.0 / 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colocated_placement_beats_chatty_one() {
+        // Same compute, one placement ships data over a link: its
+        // efficiency must be lower — the effect behind Figure 9.
+        let network = net();
+        let caps = network.capacity_map();
+        let model = EnergyModel::default();
+        let mut local = LoadMap::zeroed(&network);
+        local.add_ct_load(NcpId::new(0), &ResourceVec::cpu(20.0));
+        let mut chatty = LoadMap::zeroed(&network);
+        chatty.add_ct_load(NcpId::new(0), &ResourceVec::cpu(10.0));
+        chatty.add_ct_load(NcpId::new(1), &ResourceVec::cpu(10.0));
+        chatty.add_tt_load(LinkId::new(0), 5.0);
+        let rate = 2.0;
+        let e_local = model.evaluate(&network, &caps, &local, rate);
+        let e_chatty = model.evaluate(&network, &caps, &chatty, rate);
+        assert!(e_local.units_per_joule > e_chatty.units_per_joule);
+    }
+
+    #[test]
+    fn zero_rate_zero_power() {
+        let network = net();
+        let caps = network.capacity_map();
+        let model = EnergyModel::default();
+        let load = LoadMap::zeroed(&network);
+        let report = model.evaluate(&network, &caps, &load, 0.0);
+        assert_eq!(report.cpu_watts, 0.0);
+        assert_eq!(report.units_per_joule, 0.0);
+    }
+}

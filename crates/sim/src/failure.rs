@@ -1,0 +1,259 @@
+//! Epoch-based failure injection for availability experiments (Fig. 10).
+//!
+//! Time is divided into epochs. In each epoch every network element is
+//! independently up with probability `1 − Pf_j` (the paper's §III-B
+//! failure model). A task assignment path *works* in an epoch iff all
+//! its elements are up; the application's effective rate that epoch is
+//! the sum of the rates of its working paths.
+//!
+//! This is the simulation counterpart of the analytic
+//! `sparcle_alloc::PathAvailability`: the measured frequencies must
+//! converge to the closed-form probabilities, which the tests check.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparcle_model::{Network, NetworkElement};
+use std::collections::BTreeSet;
+
+/// One path exposed to failure injection.
+#[derive(Debug, Clone)]
+pub struct FailurePath {
+    /// The elements whose survival the path needs.
+    pub elements: BTreeSet<NetworkElement>,
+    /// The rate the path contributes while working.
+    pub rate: f64,
+}
+
+/// Aggregate results of a failure-injection run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureStats {
+    /// Fraction of epochs with at least one working path (BE
+    /// availability).
+    pub availability: f64,
+    /// Fraction of epochs whose aggregate rate met the `min_rate`
+    /// threshold (GR min-rate availability); `1.0` when no threshold was
+    /// given.
+    pub min_rate_availability: f64,
+    /// Mean aggregate rate over all epochs.
+    pub mean_rate: f64,
+    /// Number of epochs simulated.
+    pub epochs: u64,
+}
+
+/// Epoch-based failure injector.
+///
+/// # Examples
+///
+/// A single path over one 10 %-flaky link is up ~90 % of epochs:
+///
+/// ```
+/// use sparcle_sim::{FailurePath, FailureSim};
+/// use sparcle_model::{NetworkBuilder, NetworkElement, ResourceVec, LinkDirection};
+/// use std::collections::BTreeSet;
+///
+/// # fn main() -> Result<(), sparcle_model::ModelError> {
+/// let mut nb = NetworkBuilder::new();
+/// let a = nb.add_ncp("a", ResourceVec::cpu(1.0));
+/// let b = nb.add_ncp("b", ResourceVec::cpu(1.0));
+/// let l = nb.add_link_full("ab", a, b, 1.0, LinkDirection::Undirected, 0.1)?;
+/// let net = nb.build()?;
+/// let path = FailurePath {
+///     elements: BTreeSet::from([NetworkElement::Link(l)]),
+///     rate: 1.0,
+/// };
+/// let stats = FailureSim::new(50_000, 1).run(&net, &[path], None);
+/// assert!((stats.availability - 0.9).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FailureSim {
+    /// Number of epochs to draw.
+    pub epochs: u64,
+    /// RNG seed (runs are reproducible per seed).
+    pub seed: u64,
+}
+
+impl Default for FailureSim {
+    fn default() -> Self {
+        FailureSim {
+            epochs: 100_000,
+            seed: 0,
+        }
+    }
+}
+
+impl FailureSim {
+    /// Creates an injector with the given epoch count and seed.
+    pub fn new(epochs: u64, seed: u64) -> Self {
+        FailureSim { epochs, seed }
+    }
+
+    /// Runs the injection over `paths` on `network`, optionally checking
+    /// a GR `min_rate` threshold.
+    pub fn run(
+        &self,
+        network: &Network,
+        paths: &[FailurePath],
+        min_rate: Option<f64>,
+    ) -> FailureStats {
+        // Index the distinct elements across all paths.
+        let mut elements: Vec<NetworkElement> = paths
+            .iter()
+            .flat_map(|p| p.elements.iter().copied())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        elements.sort();
+        let survival: Vec<f64> = elements
+            .iter()
+            .map(|&e| 1.0 - network.element_failure_probability(e))
+            .collect();
+        let path_members: Vec<Vec<usize>> = paths
+            .iter()
+            .map(|p| {
+                p.elements
+                    .iter()
+                    .map(|e| elements.binary_search(e).expect("indexed"))
+                    .collect()
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut up = vec![false; elements.len()];
+        let mut available_epochs = 0u64;
+        let mut min_rate_epochs = 0u64;
+        let mut rate_sum = 0.0;
+        for _ in 0..self.epochs {
+            for (u, &s) in up.iter_mut().zip(&survival) {
+                *u = rng.gen::<f64>() < s;
+            }
+            let mut rate = 0.0;
+            let mut any = false;
+            for (members, path) in path_members.iter().zip(paths) {
+                if members.iter().all(|&i| up[i]) {
+                    any = true;
+                    rate += path.rate;
+                }
+            }
+            if any {
+                available_epochs += 1;
+            }
+            if min_rate.is_none_or(|r| rate + 1e-12 >= r) {
+                min_rate_epochs += 1;
+            }
+            rate_sum += rate;
+        }
+        let epochs = self.epochs.max(1);
+        FailureStats {
+            availability: available_epochs as f64 / epochs as f64,
+            min_rate_availability: min_rate_epochs as f64 / epochs as f64,
+            mean_rate: rate_sum / epochs as f64,
+            epochs: self.epochs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcle_alloc::PathAvailability;
+    use sparcle_model::{LinkDirection, NcpId, NetworkBuilder, ResourceVec};
+
+    /// Star with 2 % link failures, as in Figure 10's setup.
+    fn star(link_failure: f64) -> Network {
+        let mut b = NetworkBuilder::new();
+        let hub = b.add_ncp("hub", ResourceVec::cpu(1.0));
+        for i in 0..4 {
+            let leaf = b.add_ncp(format!("leaf{i}"), ResourceVec::cpu(1.0));
+            b.add_link_full(
+                format!("l{i}"),
+                hub,
+                leaf,
+                1.0,
+                LinkDirection::Undirected,
+                link_failure,
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn path(_net: &Network, links: &[u32], rate: f64) -> FailurePath {
+        let mut elements = BTreeSet::new();
+        elements.insert(NetworkElement::Ncp(NcpId::new(0)));
+        for &l in links {
+            elements.insert(NetworkElement::Link(sparcle_model::LinkId::new(l)));
+        }
+        FailurePath { elements, rate }
+    }
+
+    #[test]
+    fn measured_availability_matches_analytic() {
+        let net = star(0.02);
+        let paths = vec![path(&net, &[0, 1], 2.0), path(&net, &[2, 3], 1.0)];
+        let stats = FailureSim::new(200_000, 13).run(&net, &paths, None);
+        let mut analytic = PathAvailability::new();
+        for p in &paths {
+            analytic
+                .add_path(&net, p.elements.iter().copied(), p.rate)
+                .unwrap();
+        }
+        let expect = analytic.any_working().unwrap();
+        assert!(
+            (stats.availability - expect).abs() < 3e-3,
+            "measured {} vs analytic {expect}",
+            stats.availability
+        );
+    }
+
+    #[test]
+    fn measured_min_rate_availability_matches_analytic() {
+        let net = star(0.05);
+        let paths = vec![path(&net, &[0], 2.0), path(&net, &[1], 1.5)];
+        let stats = FailureSim::new(200_000, 17).run(&net, &paths, Some(2.0));
+        let mut analytic = PathAvailability::new();
+        for p in &paths {
+            analytic
+                .add_path(&net, p.elements.iter().copied(), p.rate)
+                .unwrap();
+        }
+        let expect = analytic.min_rate(2.0).unwrap();
+        assert!(
+            (stats.min_rate_availability - expect).abs() < 3e-3,
+            "measured {} vs analytic {expect}",
+            stats.min_rate_availability
+        );
+    }
+
+    #[test]
+    fn mean_rate_is_rate_weighted_availability() {
+        let net = star(0.1);
+        let paths = vec![path(&net, &[0], 4.0)];
+        let stats = FailureSim::new(100_000, 23).run(&net, &paths, None);
+        // Path works with P = (1-0.1) for its single failing link (hub
+        // has no failures) ⇒ mean rate ≈ 0.9 × 4.
+        assert!(
+            (stats.mean_rate - 3.6).abs() < 0.05,
+            "mean rate {}",
+            stats.mean_rate
+        );
+    }
+
+    #[test]
+    fn no_failures_means_always_available() {
+        let net = star(0.0);
+        let paths = vec![path(&net, &[0, 1], 1.0)];
+        let stats = FailureSim::new(1_000, 1).run(&net, &paths, Some(1.0));
+        assert_eq!(stats.availability, 1.0);
+        assert_eq!(stats.min_rate_availability, 1.0);
+    }
+
+    #[test]
+    fn no_paths_means_never_available() {
+        let net = star(0.0);
+        let stats = FailureSim::new(100, 1).run(&net, &[], None);
+        assert_eq!(stats.availability, 0.0);
+        assert_eq!(stats.mean_rate, 0.0);
+    }
+}

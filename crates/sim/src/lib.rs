@@ -1,0 +1,43 @@
+//! Simulation and emulation substrates for the SPARCLE evaluation.
+//!
+//! * [`des`] — a deterministic discrete-event core;
+//! * [`flow`] — the queueing-network simulation of §IV-A: placed
+//!   applications as fork/join customer flows over FIFO elements;
+//! * [`emu`] — the emulated testbed replacing the paper's physical
+//!   testbed + Mininet (§V-A): saturation-driven throughput
+//!   measurement;
+//! * [`failure`] — epoch-based failure injection matching the §III-B
+//!   independent-failure model (Figure 10);
+//! * [`energy`] — the utilization-proportional CPU and
+//!   rate-proportional radio energy model of §V-B-2 (Figure 9);
+//! * [`fluctuation`] — bounded random-walk capacity fluctuation (the
+//!   paper's §VI future-work direction, implemented as an extension);
+//! * [`latency`] — analytic end-to-end latency: zero-queueing critical
+//!   path and M/M/1 sojourn estimates, cross-checked against the
+//!   simulator;
+//! * [`adaptive`] — AIMD source rate control converging to the
+//!   bottleneck rate without central knowledge (the back-pressure
+//!   direction the paper's §II calls complementary).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod des;
+pub mod emu;
+pub mod energy;
+pub mod failure;
+pub mod flow;
+pub mod fluctuation;
+pub mod latency;
+
+pub use adaptive::{run_aimd, AimdConfig, AimdTrace};
+pub use emu::{measure_saturated_rate, EmulationReport, EmulatorConfig};
+pub use energy::{EnergyModel, EnergyReport};
+pub use failure::{FailurePath, FailureSim, FailureStats};
+pub use flow::{
+    simulate_flows, simulate_flows_with_elements, AppFlowStats, ArrivalProcess, ElementStats,
+    FlowSimConfig, SimApp,
+};
+pub use fluctuation::{CapacitySeries, FluctuationModel};
+pub use latency::{critical_path_latency, mm1_latency};

@@ -1,0 +1,211 @@
+//! Property-based tests for the simulation substrates.
+
+use proptest::prelude::*;
+use sparcle_model::{
+    LinkId, NcpId, NetworkBuilder, Placement, ResourceVec, TaskGraphBuilder, TtId,
+};
+use sparcle_sim::{
+    simulate_flows, simulate_flows_with_elements, ArrivalProcess, EnergyModel, FailurePath,
+    FailureSim, FlowSimConfig, SimApp,
+};
+use std::collections::BTreeSet;
+
+/// A pipeline placed across a 2-node network, parameterized by random
+/// requirements; returns everything needed to simulate.
+fn placed_pipeline(
+    cpu: f64,
+    bits: f64,
+) -> (
+    sparcle_model::TaskGraph,
+    sparcle_model::Network,
+    Placement,
+    f64,
+) {
+    let mut tb = TaskGraphBuilder::new();
+    let s = tb.add_ct("s", ResourceVec::new());
+    let w = tb.add_ct("w", ResourceVec::cpu(cpu));
+    let t = tb.add_ct("t", ResourceVec::new());
+    tb.add_tt("sw", s, w, bits).unwrap();
+    tb.add_tt("wt", w, t, bits / 10.0).unwrap();
+    let graph = tb.build().unwrap();
+    let mut nb = NetworkBuilder::new();
+    let a = nb.add_ncp("a", ResourceVec::cpu(100.0));
+    let b = nb.add_ncp("b", ResourceVec::cpu(100.0));
+    nb.add_link("ab", a, b, 100.0).unwrap();
+    let net = nb.build().unwrap();
+    let mut p = Placement::empty(&graph);
+    p.place_ct(s, a);
+    p.place_ct(w, b);
+    p.place_ct(t, a);
+    p.route_tt(TtId::new(0), vec![LinkId::new(0)]);
+    p.route_tt(TtId::new(1), vec![LinkId::new(0)]);
+    let bottleneck = (100.0 / cpu).min(100.0 / (bits + bits / 10.0));
+    (graph, net, p, bottleneck)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: generated = delivered-in-window + delivered-out-of-
+    /// window + in-flight; throughput never exceeds the offered rate.
+    #[test]
+    fn flow_conservation(
+        cpu in 1.0f64..50.0,
+        bits in 1.0f64..50.0,
+        load_frac in 0.1f64..2.0,
+    ) {
+        let (graph, net, placement, bottleneck) = placed_pipeline(cpu, bits);
+        let rate = load_frac * bottleneck;
+        let stats = simulate_flows(
+            &net,
+            &[SimApp { graph: &graph, placement: &placement, rate }],
+            &FlowSimConfig::default(),
+        );
+        let s = &stats[0];
+        prop_assert!(s.delivered <= s.generated);
+        prop_assert!(s.in_flight <= s.generated);
+        // Throughput cannot exceed the offered rate (modulo windowing).
+        prop_assert!(s.throughput <= rate * 1.2 + 1e-9);
+        // Underload: nearly everything is delivered.
+        if load_frac < 0.8 {
+            prop_assert!(
+                (s.throughput - rate).abs() / rate < 0.1,
+                "offered {rate}, got {}", s.throughput
+            );
+        }
+    }
+
+    /// Utilizations are in [0, 1] and the shared link's utilization
+    /// scales linearly with the offered rate in the stable regime.
+    #[test]
+    fn utilization_bounds_and_linearity(
+        cpu in 1.0f64..50.0,
+        bits in 1.0f64..50.0,
+    ) {
+        let (graph, net, placement, bottleneck) = placed_pipeline(cpu, bits);
+        let mut utils = Vec::new();
+        for frac in [0.25, 0.5] {
+            let (_, elements) = simulate_flows_with_elements(
+                &net,
+                &[SimApp {
+                    graph: &graph,
+                    placement: &placement,
+                    rate: frac * bottleneck,
+                }],
+                &FlowSimConfig::default(),
+            );
+            for &u in elements
+                .ncp_utilization
+                .iter()
+                .chain(&elements.link_utilization)
+            {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+            }
+            utils.push(elements.link_utilization[0]);
+        }
+        // Doubling the rate roughly doubles the link utilization.
+        if utils[0] > 0.02 {
+            let ratio = utils[1] / utils[0];
+            prop_assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+        }
+    }
+
+    /// Poisson and deterministic arrivals deliver the same throughput in
+    /// the comfortably-stable regime.
+    #[test]
+    fn arrival_process_does_not_change_stable_throughput(
+        cpu in 1.0f64..40.0,
+        bits in 1.0f64..40.0,
+        seed in 0u64..100,
+    ) {
+        let (graph, net, placement, bottleneck) = placed_pipeline(cpu, bits);
+        let rate = 0.5 * bottleneck;
+        // A long horizon shrinks the Poisson count's relative variance.
+        let cfg = |arrivals| FlowSimConfig {
+            duration: 2_000.0,
+            warmup: 100.0,
+            arrivals,
+        };
+        let run = |arrivals| {
+            simulate_flows(
+                &net,
+                &[SimApp { graph: &graph, placement: &placement, rate }],
+                &cfg(arrivals),
+            )[0]
+            .throughput
+        };
+        let det = run(ArrivalProcess::Deterministic);
+        let poi = run(ArrivalProcess::Poisson { seed });
+        prop_assert!((det - poi).abs() / det < 0.1, "det {det} vs poisson {poi}");
+    }
+
+    /// Failure injection matches the closed form for a single path:
+    /// availability = Π(1 − pf).
+    #[test]
+    fn single_path_failure_injection_matches_product(
+        pfs in proptest::collection::vec(0.0f64..0.5, 1..5),
+    ) {
+        let mut nb = NetworkBuilder::new();
+        let a = nb.add_ncp("a", ResourceVec::cpu(1.0));
+        let mut prev = a;
+        for (i, &pf) in pfs.iter().enumerate() {
+            let next = nb.add_ncp(format!("n{i}"), ResourceVec::cpu(1.0));
+            nb.add_link_full(
+                format!("l{i}"),
+                prev,
+                next,
+                1.0,
+                sparcle_model::LinkDirection::Undirected,
+                pf,
+            )
+            .unwrap();
+            prev = next;
+        }
+        let net = nb.build().unwrap();
+        let elements: BTreeSet<_> = net
+            .link_ids()
+            .map(sparcle_model::NetworkElement::Link)
+            .collect();
+        let paths = [FailurePath { elements, rate: 1.0 }];
+        let stats = FailureSim::new(120_000, 3).run(&net, &paths, None);
+        let expect: f64 = pfs.iter().map(|pf| 1.0 - pf).product();
+        prop_assert!(
+            (stats.availability - expect).abs() < 0.01,
+            "measured {} vs {expect}",
+            stats.availability
+        );
+    }
+
+    /// Energy is monotone: more rate never consumes less power, and
+    /// efficiency is invariant to rate while utilization is strictly
+    /// below saturation (linear model).
+    #[test]
+    fn energy_monotonicity(
+        cpu_load in 1.0f64..20.0,
+        link_load in 0.0f64..20.0,
+        r1 in 0.1f64..2.0,
+        extra in 0.1f64..2.0,
+    ) {
+        let mut nb = NetworkBuilder::new();
+        let a = nb.add_ncp("a", ResourceVec::cpu(1000.0));
+        let b = nb.add_ncp("b", ResourceVec::cpu(1000.0));
+        nb.add_link("ab", a, b, 1000.0).unwrap();
+        let net = nb.build().unwrap();
+        let caps = net.capacity_map();
+        let mut load = sparcle_model::LoadMap::zeroed(&net);
+        load.add_ct_load(NcpId::new(0), &ResourceVec::cpu(cpu_load));
+        load.add_tt_load(LinkId::new(0), link_load);
+        let model = EnergyModel::default();
+        let e1 = model.evaluate(&net, &caps, &load, r1);
+        let e2 = model.evaluate(&net, &caps, &load, r1 + extra);
+        prop_assert!(e2.cpu_watts + e2.radio_watts >= e1.cpu_watts + e1.radio_watts - 1e-12);
+        // Both operating points are far from CPU saturation here, so
+        // efficiency (units/J) is rate-invariant.
+        let u2 = (r1 + extra) * cpu_load / 1000.0;
+        if u2 < 1.0 && e1.units_per_joule > 0.0 {
+            prop_assert!(
+                (e1.units_per_joule - e2.units_per_joule).abs() / e1.units_per_joule < 1e-9
+            );
+        }
+    }
+}

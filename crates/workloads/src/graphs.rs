@@ -1,0 +1,323 @@
+//! Generators for the paper's task graph families (Figure 7).
+//!
+//! Two shapes recur throughout the evaluation:
+//!
+//! * the **linear** task graph (Figure 7(a)) — a pipeline
+//!   `source → CT → … → CT → sink`;
+//! * the **diamond** task graph (Figure 7(b)) — `source → 4 parallel CTs
+//!   → 2 aggregation CTs → sink`, with every middle CT feeding both
+//!   aggregators (8 CTs, 14 TTs).
+//!
+//! Each generator takes explicit per-task requirements so the scenario
+//! samplers in [`crate::scenarios`] can dial in NCP-bottleneck,
+//! link-bottleneck, or balanced regimes.
+
+use rand::Rng;
+use sparcle_model::{CtId, ModelError, ResourceVec, TaskGraph, TaskGraphBuilder};
+
+/// Builds the linear task graph of Figure 7(a): a data source, `cpu.len()`
+/// compute CTs in a chain, and a result consumer.
+///
+/// `bits[i]` is the payload of the TT *entering* compute CT `i`;
+/// `bits[cpu.len()]` is the payload delivered to the consumer, so
+/// `bits.len() == cpu.len() + 1`.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if any quantity is invalid.
+///
+/// # Panics
+///
+/// Panics if `cpu` is empty or `bits.len() != cpu.len() + 1`.
+///
+/// # Examples
+///
+/// ```
+/// # use sparcle_workloads::graphs::linear_task_graph;
+/// let g = linear_task_graph(&[10.0, 20.0], &[8.0, 4.0, 2.0]).unwrap();
+/// assert_eq!(g.ct_count(), 4); // source + 2 + sink
+/// assert_eq!(g.tt_count(), 3);
+/// ```
+pub fn linear_task_graph(cpu: &[f64], bits: &[f64]) -> Result<TaskGraph, ModelError> {
+    assert!(!cpu.is_empty(), "at least one compute CT");
+    assert_eq!(bits.len(), cpu.len() + 1, "one TT per hop");
+    let mut b = TaskGraphBuilder::new();
+    b.name("linear");
+    let source = b.add_ct("source", ResourceVec::new());
+    let mut prev = source;
+    for (i, &c) in cpu.iter().enumerate() {
+        let ct = b.add_ct(format!("stage{i}"), ResourceVec::cpu(c));
+        b.add_tt(format!("tt{i}"), prev, ct, bits[i])?;
+        prev = ct;
+    }
+    let sink = b.add_ct("consumer", ResourceVec::new());
+    b.add_tt(format!("tt{}", cpu.len()), prev, sink, bits[cpu.len()])?;
+    b.build()
+}
+
+/// Like [`linear_task_graph`] but with full multi-resource requirements
+/// per compute CT (used by the Figure 12 multi-resource experiments).
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if any quantity is invalid.
+///
+/// # Panics
+///
+/// Panics if `reqs` is empty or `bits.len() != reqs.len() + 1`.
+pub fn linear_task_graph_multi(
+    reqs: &[ResourceVec],
+    bits: &[f64],
+) -> Result<TaskGraph, ModelError> {
+    assert!(!reqs.is_empty(), "at least one compute CT");
+    assert_eq!(bits.len(), reqs.len() + 1, "one TT per hop");
+    let mut b = TaskGraphBuilder::new();
+    b.name("linear-multi");
+    let source = b.add_ct("source", ResourceVec::new());
+    let mut prev = source;
+    for (i, r) in reqs.iter().enumerate() {
+        let ct = b.add_ct(format!("stage{i}"), r.clone());
+        b.add_tt(format!("tt{i}"), prev, ct, bits[i])?;
+        prev = ct;
+    }
+    let sink = b.add_ct("consumer", ResourceVec::new());
+    b.add_tt(format!("tt{}", reqs.len()), prev, sink, bits[reqs.len()])?;
+    b.build()
+}
+
+/// Builds the diamond task graph of Figure 7(b):
+///
+/// ```text
+///            ┌── CT2 ──┐
+/// CT1(src) ──┼── CT3 ──┼──> CT6 ──┐
+///            ├── CT4 ──┤          ├──> CT8 (consumer)
+///            └── CT5 ──┼──> CT7 ──┘
+/// ```
+///
+/// with all four middle CTs feeding both aggregators: 8 CTs, 14 TTs.
+///
+/// `mid_reqs` are the requirements of the four middle CTs, `agg_reqs` of
+/// the two aggregators; `fanout_bits`, `cross_bits`, and `final_bits`
+/// size the three TT layers.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if any quantity is invalid.
+///
+/// # Panics
+///
+/// Panics unless `mid_reqs.len() == 4` and `agg_reqs.len() == 2`.
+///
+/// # Examples
+///
+/// ```
+/// # use sparcle_workloads::graphs::diamond_task_graph;
+/// # use sparcle_model::ResourceVec;
+/// let g = diamond_task_graph(
+///     &[ResourceVec::cpu(1.0), ResourceVec::cpu(2.0),
+///       ResourceVec::cpu(3.0), ResourceVec::cpu(4.0)],
+///     &[ResourceVec::cpu(5.0), ResourceVec::cpu(6.0)],
+///     1.0, 2.0, 3.0,
+/// ).unwrap();
+/// assert_eq!(g.ct_count(), 8);
+/// assert_eq!(g.tt_count(), 14);
+/// ```
+pub fn diamond_task_graph(
+    mid_reqs: &[ResourceVec],
+    agg_reqs: &[ResourceVec],
+    fanout_bits: f64,
+    cross_bits: f64,
+    final_bits: f64,
+) -> Result<TaskGraph, ModelError> {
+    assert_eq!(mid_reqs.len(), 4, "diamond has four middle CTs");
+    assert_eq!(agg_reqs.len(), 2, "diamond has two aggregators");
+    let mut b = TaskGraphBuilder::new();
+    b.name("diamond");
+    let source = b.add_ct("source", ResourceVec::new());
+    let mids: Vec<CtId> = mid_reqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| b.add_ct(format!("mid{i}"), r.clone()))
+        .collect();
+    let aggs: Vec<CtId> = agg_reqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| b.add_ct(format!("agg{i}"), r.clone()))
+        .collect();
+    let sink = b.add_ct("consumer", ResourceVec::new());
+    let mut tt = 0usize;
+    for &m in &mids {
+        b.add_tt(format!("tt{tt}"), source, m, fanout_bits)?;
+        tt += 1;
+    }
+    for &m in &mids {
+        for &a in &aggs {
+            b.add_tt(format!("tt{tt}"), m, a, cross_bits)?;
+            tt += 1;
+        }
+    }
+    for &a in &aggs {
+        b.add_tt(format!("tt{tt}"), a, sink, final_bits)?;
+        tt += 1;
+    }
+    b.build()
+}
+
+/// Generates a random layered DAG with one source, one sink, and
+/// `inner` compute CTs arranged in layers, with forward edges drawn at
+/// random (a spanning spine guarantees weak connectivity). Useful for
+/// robustness sweeps beyond the paper's two fixed shapes.
+///
+/// Requirements are drawn from `req_range` (CPU per data unit) and TT
+/// payloads from `bits_range`.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] only for degenerate ranges (not for valid
+/// inputs).
+///
+/// # Panics
+///
+/// Panics if `inner == 0` or the ranges are empty/inverted.
+pub fn random_task_graph<R: Rng + ?Sized>(
+    rng: &mut R,
+    inner: usize,
+    extra_edge_prob: f64,
+    req_range: (f64, f64),
+    bits_range: (f64, f64),
+) -> Result<TaskGraph, ModelError> {
+    assert!(inner >= 1, "at least one compute CT");
+    assert!(req_range.0 < req_range.1, "non-empty requirement range");
+    assert!(bits_range.0 < bits_range.1, "non-empty payload range");
+    let mut b = TaskGraphBuilder::new();
+    b.name(format!("random-{inner}"));
+    let source = b.add_ct("source", ResourceVec::new());
+    let inners: Vec<CtId> = (0..inner)
+        .map(|i| {
+            b.add_ct(
+                format!("work{i}"),
+                ResourceVec::cpu(rng.gen_range(req_range.0..req_range.1)),
+            )
+        })
+        .collect();
+    let sink = b.add_ct("sink", ResourceVec::new());
+    let bits = |rng: &mut R| rng.gen_range(bits_range.0..bits_range.1);
+    // Spine source -> work0 -> ... -> sink guarantees connectivity and
+    // the single-source/single-sink shape.
+    let mut tt = 0usize;
+    let mut add = |b: &mut TaskGraphBuilder, from: CtId, to: CtId, w: f64| {
+        let name = format!("tt{tt}");
+        tt += 1;
+        b.add_tt(name, from, to, w)
+    };
+    add(&mut b, source, inners[0], bits(rng))?;
+    for w in inners.windows(2) {
+        add(&mut b, w[0], w[1], bits(rng))?;
+    }
+    add(&mut b, *inners.last().expect("non-empty"), sink, bits(rng))?;
+    // Extra forward skip edges.
+    for i in 0..inner {
+        for j in i + 1..inner {
+            if rng.gen_bool(extra_edge_prob) {
+                add(&mut b, inners[i], inners[j], bits(rng))?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcle_model::ResourceKind;
+
+    #[test]
+    fn linear_shape() {
+        let g = linear_task_graph(&[1.0, 2.0, 3.0, 4.0], &[5.0; 5]).unwrap();
+        assert_eq!(g.ct_count(), 6);
+        assert_eq!(g.tt_count(), 5);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        // Chain: every interior CT has exactly one in and one out edge.
+        for ct in g.ct_ids() {
+            assert!(g.in_edges(ct).len() <= 1);
+            assert!(g.out_edges(ct).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn linear_multi_carries_memory() {
+        let reqs = [ResourceVec::cpu_memory(1.0, 10.0), ResourceVec::cpu(2.0)];
+        let g = linear_task_graph_multi(&reqs, &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(
+            g.ct(CtId::new(1))
+                .requirement()
+                .amount(ResourceKind::Memory),
+            10.0
+        );
+    }
+
+    #[test]
+    fn diamond_shape_matches_figure_7b() {
+        let r = ResourceVec::cpu(1.0);
+        let g = diamond_task_graph(
+            &[r.clone(), r.clone(), r.clone(), r.clone()],
+            &[r.clone(), r.clone()],
+            1.0,
+            1.0,
+            1.0,
+        )
+        .unwrap();
+        assert_eq!(g.ct_count(), 8);
+        assert_eq!(g.tt_count(), 14);
+        // Source fans out to 4; each aggregator has 4 inputs.
+        assert_eq!(g.out_edges(CtId::new(0)).len(), 4);
+        assert_eq!(g.in_edges(CtId::new(5)).len(), 4);
+        assert_eq!(g.in_edges(CtId::new(6)).len(), 4);
+        // Consumer receives from both aggregators.
+        assert_eq!(g.in_edges(CtId::new(7)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one TT per hop")]
+    fn linear_arity_checked() {
+        let _ = linear_task_graph(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    fn random_graph_is_single_source_single_sink() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        for inner in [1usize, 3, 8] {
+            let g = random_task_graph(&mut rng, inner, 0.4, (1.0, 10.0), (1.0, 10.0)).unwrap();
+            assert_eq!(g.ct_count(), inner + 2);
+            assert_eq!(g.sources().len(), 1);
+            assert_eq!(g.sinks().len(), 1);
+            assert!(g.tt_count() > inner, "spine edges present");
+        }
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_per_seed() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let a = random_task_graph(
+            &mut StdRng::seed_from_u64(3),
+            5,
+            0.5,
+            (1.0, 10.0),
+            (1.0, 10.0),
+        )
+        .unwrap();
+        let b = random_task_graph(
+            &mut StdRng::seed_from_u64(3),
+            5,
+            0.5,
+            (1.0, 10.0),
+            (1.0, 10.0),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! Workload and topology generators for the SPARCLE evaluation.
+//!
+//! * [`graphs`] — the linear and diamond task graphs of Figure 7;
+//! * [`topologies`] — the star / linear / fully-connected networks of
+//!   §V-B-1;
+//! * [`scenarios`] — seeded samplers for the NCP-bottleneck,
+//!   link-bottleneck, balanced, and memory-bottleneck regimes;
+//! * [`face_detection`] — the real experimental workload of §V-A:
+//!   Table II's face-detection pipeline and Table I's testbed network
+//!   (Figure 4), parameterized by the field bandwidth swept in Figure 6;
+//! * [`scenario_file`] — the plain-text experiment scenario files the
+//!   paper's emulator reads (parser + writer);
+//! * [`traces`] — seeded arrival-time generators (Poisson, diurnal,
+//!   flash-crowd) for system-level churn studies.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod face_detection;
+pub mod graphs;
+pub mod scenario_file;
+pub mod scenarios;
+pub mod topologies;
+pub mod traces;
+
+pub use face_detection::{face_detection_app, face_detection_graph, testbed_network};
+pub use graphs::{
+    diamond_task_graph, linear_task_graph, linear_task_graph_multi, random_task_graph,
+};
+pub use scenario_file::{parse_scenario, write_scenario, FileScenario, ScenarioParseError};
+pub use scenarios::{BottleneckCase, GraphKind, Scenario, ScenarioConfig};
+pub use topologies::{TopologyKind, TopologySpec};
+pub use traces::ArrivalTrace;

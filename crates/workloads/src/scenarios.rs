@@ -1,0 +1,314 @@
+//! Randomized bottleneck scenarios for the simulation study (§V-B-1).
+//!
+//! The paper evaluates three regimes (plus a multi-resource variant):
+//!
+//! * **NCP-bottleneck** — links have a 10× larger capacity-to-requirement
+//!   ratio than NCPs, so compute decides the rate;
+//! * **link-bottleneck** — the reverse: bandwidth decides the rate;
+//! * **balanced** — both can bind;
+//! * **memory-bottleneck** — CTs carry CPU *and* memory requirements,
+//!   and NCP memory is the scarce resource (Figure 12).
+//!
+//! [`ScenarioConfig::sample`] draws a heterogeneous `(Application,
+//! Network)` instance with requirements and capacities in the chosen
+//! regime, seeded for reproducibility.
+
+use crate::graphs::{diamond_task_graph, linear_task_graph_multi};
+use crate::topologies::{link_count, TopologyKind, TopologySpec};
+use rand::Rng;
+use sparcle_model::{Application, ModelError, NcpId, Network, QoeClass, ResourceVec, TaskGraph};
+
+/// Which element class is scarce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BottleneckCase {
+    /// NCP CPU decides the rate.
+    NcpBottleneck,
+    /// Link bandwidth decides the rate.
+    LinkBottleneck,
+    /// Either may bind.
+    Balanced,
+    /// NCP memory decides the rate (multi-resource case).
+    MemoryBottleneck,
+}
+
+impl BottleneckCase {
+    /// The three single-resource cases evaluated in Figures 8, 9, 11.
+    pub const SINGLE_RESOURCE: [BottleneckCase; 3] = [
+        BottleneckCase::NcpBottleneck,
+        BottleneckCase::Balanced,
+        BottleneckCase::LinkBottleneck,
+    ];
+}
+
+impl std::fmt::Display for BottleneckCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BottleneckCase::NcpBottleneck => f.write_str("ncp-bottleneck"),
+            BottleneckCase::LinkBottleneck => f.write_str("link-bottleneck"),
+            BottleneckCase::Balanced => f.write_str("balanced"),
+            BottleneckCase::MemoryBottleneck => f.write_str("memory-bottleneck"),
+        }
+    }
+}
+
+/// Which task graph family to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// The Figure 7(a) pipeline with this many compute stages.
+    Linear {
+        /// Number of compute CTs between source and sink.
+        stages: usize,
+    },
+    /// The Figure 7(b) diamond (4 middle CTs, 2 aggregators).
+    Diamond,
+    /// A random layered DAG with this many compute CTs (30 % extra
+    /// forward edges) — beyond the paper's shapes, for robustness
+    /// sweeps.
+    Random {
+        /// Number of compute CTs between source and sink.
+        cts: usize,
+    },
+}
+
+impl std::fmt::Display for GraphKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphKind::Linear { stages } => write!(f, "linear{stages}"),
+            GraphKind::Diamond => f.write_str("diamond"),
+            GraphKind::Random { cts } => write!(f, "random{cts}"),
+        }
+    }
+}
+
+/// A sampled evaluation instance.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The application (task graph + QoE + pinned endpoints).
+    pub app: Application,
+    /// The dispersed computing network.
+    pub network: Network,
+}
+
+/// Parameters of the scenario distribution.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scarcity regime.
+    pub case: BottleneckCase,
+    /// Task graph family.
+    pub graph: GraphKind,
+    /// Network wiring.
+    pub topology: TopologyKind,
+    /// Number of NCPs.
+    pub ncps: usize,
+    /// Failure probability applied to every link.
+    pub link_failure: f64,
+    /// Failure probability applied to every NCP.
+    pub ncp_failure: f64,
+    /// QoE attached to the sampled application.
+    pub qoe: QoeClass,
+    /// Attach memory requirements/capacities even outside the
+    /// memory-bottleneck case (Figure 12's link-bottleneck +
+    /// multi-resource variant). Memory is then abundant.
+    pub with_memory: bool,
+}
+
+impl ScenarioConfig {
+    /// The paper's default simulation shape: the given case/graph on a
+    /// star of 8 NCPs with no failures, Best-Effort priority 1.
+    pub fn new(case: BottleneckCase, graph: GraphKind, topology: TopologyKind) -> Self {
+        ScenarioConfig {
+            case,
+            graph,
+            topology,
+            ncps: 8,
+            link_failure: 0.0,
+            ncp_failure: 0.0,
+            qoe: QoeClass::best_effort(1.0),
+            with_memory: false,
+        }
+    }
+
+    /// Draws one scenario.
+    ///
+    /// Requirements are `U(5, 15)` per data unit; capacities are
+    /// `U(50, 150)` on the bottleneck side and ×10 that on the abundant
+    /// side, per the paper's 10× ratio description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] only if the configuration produces an
+    /// invalid model (it does not, for valid configs).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Scenario, ModelError> {
+        let scarce = || (50.0, 150.0);
+        let abundant = || (500.0, 1500.0);
+        let (ncp_rng, link_rng) = match self.case {
+            BottleneckCase::NcpBottleneck => (scarce(), abundant()),
+            BottleneckCase::LinkBottleneck => (abundant(), scarce()),
+            BottleneckCase::Balanced => (scarce(), scarce()),
+            BottleneckCase::MemoryBottleneck => (abundant(), abundant()),
+        };
+
+        let graph = self.sample_graph(rng)?;
+        let n = self.ncps;
+        let ncp_cpu: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(ncp_rng.0..ncp_rng.1))
+            .collect();
+        let ncp_memory = match self.case {
+            BottleneckCase::MemoryBottleneck => {
+                Some((0..n).map(|_| rng.gen_range(50.0..150.0)).collect())
+            }
+            _ if self.with_memory => Some((0..n).map(|_| rng.gen_range(500.0..1500.0)).collect()),
+            _ => None,
+        };
+        let links = link_count(self.topology, n);
+        let link_bandwidth: Vec<f64> = (0..links)
+            .map(|_| rng.gen_range(link_rng.0..link_rng.1))
+            .collect();
+        let spec = TopologySpec {
+            kind: self.topology,
+            ncp_cpu,
+            ncp_memory,
+            link_bandwidth,
+            ncp_failure: self.ncp_failure,
+            link_failure: self.link_failure,
+        };
+        let network = spec.build()?;
+
+        // Pin the data source and the consumer on random (possibly
+        // equal) NCPs — the camera and the operator terminal.
+        let src_host = NcpId::new(rng.gen_range(0..n) as u32);
+        let sink_host = NcpId::new(rng.gen_range(0..n) as u32);
+        let source = graph.sources()[0];
+        let sink = graph.sinks()[0];
+        let app = Application::new(
+            graph,
+            self.qoe.clone(),
+            [(source, src_host), (sink, sink_host)],
+        )?;
+        Ok(Scenario { app, network })
+    }
+
+    fn sample_graph<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<TaskGraph, ModelError> {
+        let req = |rng: &mut R| rng.gen_range(5.0..15.0);
+        let memory = self.with_memory || matches!(self.case, BottleneckCase::MemoryBottleneck);
+        let ct_req = |rng: &mut R| {
+            if memory {
+                ResourceVec::cpu_memory(req(rng), rng.gen_range(5.0..15.0))
+            } else {
+                ResourceVec::cpu(req(rng))
+            }
+        };
+        match self.graph {
+            GraphKind::Linear { stages } => {
+                let reqs: Vec<ResourceVec> = (0..stages).map(|_| ct_req(rng)).collect();
+                let bits: Vec<f64> = (0..=stages).map(|_| rng.gen_range(5.0..15.0)).collect();
+                linear_task_graph_multi(&reqs, &bits)
+            }
+            GraphKind::Diamond => {
+                let mids: Vec<ResourceVec> = (0..4).map(|_| ct_req(rng)).collect();
+                let aggs: Vec<ResourceVec> = (0..2).map(|_| ct_req(rng)).collect();
+                diamond_task_graph(
+                    &mids,
+                    &aggs,
+                    rng.gen_range(5.0..15.0),
+                    rng.gen_range(5.0..15.0),
+                    rng.gen_range(5.0..15.0),
+                )
+            }
+            GraphKind::Random { cts } => {
+                // Note: the memory-bottleneck case is not supported for
+                // random graphs (CPU-only requirements).
+                crate::graphs::random_task_graph(rng, cts, 0.3, (5.0, 15.0), (5.0, 15.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparcle_model::ResourceKind;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Linear { stages: 4 },
+            TopologyKind::Star,
+        );
+        let a = cfg.sample(&mut StdRng::seed_from_u64(42)).unwrap();
+        let b = cfg.sample(&mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.app.graph(), b.app.graph());
+        assert_eq!(a.app.pinned(), b.app.pinned());
+    }
+
+    #[test]
+    fn link_bottleneck_has_rich_ncps() {
+        let cfg = ScenarioConfig::new(
+            BottleneckCase::LinkBottleneck,
+            GraphKind::Diamond,
+            TopologyKind::Star,
+        );
+        let s = cfg.sample(&mut StdRng::seed_from_u64(1)).unwrap();
+        for ncp in s.network.ncp_ids() {
+            let cpu = s.network.ncp(ncp).capacity().amount(ResourceKind::Cpu);
+            assert!((500.0..1500.0).contains(&cpu), "cpu = {cpu}");
+        }
+        for link in s.network.link_ids() {
+            let bw = s.network.link(link).bandwidth();
+            assert!((50.0..150.0).contains(&bw), "bw = {bw}");
+        }
+    }
+
+    #[test]
+    fn memory_bottleneck_adds_memory_everywhere() {
+        let cfg = ScenarioConfig::new(
+            BottleneckCase::MemoryBottleneck,
+            GraphKind::Diamond,
+            TopologyKind::Star,
+        );
+        let s = cfg.sample(&mut StdRng::seed_from_u64(2)).unwrap();
+        for ncp in s.network.ncp_ids() {
+            assert!(s.network.ncp(ncp).capacity().amount(ResourceKind::Memory) > 0.0);
+        }
+        // Compute CTs have memory requirements.
+        let g = s.app.graph();
+        let inner = g
+            .ct_ids()
+            .filter(|&ct| !g.in_edges(ct).is_empty() && !g.out_edges(ct).is_empty());
+        for ct in inner {
+            assert!(g.ct(ct).requirement().amount(ResourceKind::Memory) > 0.0);
+        }
+    }
+
+    #[test]
+    fn failure_probabilities_propagate() {
+        let mut cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Linear { stages: 3 },
+            TopologyKind::Linear,
+        );
+        cfg.link_failure = 0.02;
+        cfg.ncps = 5;
+        let s = cfg.sample(&mut StdRng::seed_from_u64(3)).unwrap();
+        for link in s.network.link_ids() {
+            assert_eq!(s.network.link(link).failure_probability(), 0.02);
+        }
+    }
+
+    #[test]
+    fn diamond_scenarios_are_schedulable_shapes() {
+        let cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Diamond,
+            TopologyKind::FullyConnected,
+        );
+        let s = cfg.sample(&mut StdRng::seed_from_u64(4)).unwrap();
+        assert_eq!(s.app.graph().ct_count(), 8);
+        assert_eq!(s.network.ncp_count(), 8);
+        assert!(s.app.check_against_network(&s.network).is_ok());
+    }
+}

@@ -1,0 +1,222 @@
+//! Generators for the paper's network topologies.
+//!
+//! The simulations of §V-B use three dispersed-computing topologies
+//! "consistent with typical IoT scenarios": **star**, **linear**, and
+//! **fully-connected**. Each generator takes per-NCP CPU capacities and a
+//! per-link bandwidth, plus a uniform failure probability for links
+//! (NCPs can be failure-prone too via [`TopologySpec`]).
+
+use sparcle_model::{ModelError, NcpId, Network, NetworkBuilder, ResourceVec};
+
+/// Which of the paper's topologies to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Hub-and-spoke: NCP0 is the hub.
+    Star,
+    /// A chain NCP0 — NCP1 — … — NCPn.
+    Linear,
+    /// Every pair of NCPs directly linked.
+    FullyConnected,
+}
+
+impl TopologyKind {
+    /// All three kinds, for sweeps.
+    pub const ALL: [TopologyKind; 3] = [
+        TopologyKind::Star,
+        TopologyKind::Linear,
+        TopologyKind::FullyConnected,
+    ];
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyKind::Star => f.write_str("star"),
+            TopologyKind::Linear => f.write_str("linear"),
+            TopologyKind::FullyConnected => f.write_str("fully-connected"),
+        }
+    }
+}
+
+/// Full description of a homogeneous-link topology instance.
+#[derive(Debug, Clone)]
+pub struct TopologySpec {
+    /// The wiring pattern.
+    pub kind: TopologyKind,
+    /// CPU capacity per NCP (also sets the NCP count).
+    pub ncp_cpu: Vec<f64>,
+    /// Optional memory capacity per NCP (same length when present).
+    pub ncp_memory: Option<Vec<f64>>,
+    /// Bandwidth per link.
+    pub link_bandwidth: Vec<f64>,
+    /// Failure probability applied to every NCP.
+    pub ncp_failure: f64,
+    /// Failure probability applied to every link.
+    pub link_failure: f64,
+}
+
+impl TopologySpec {
+    /// A spec with uniform CPU and bandwidth and no failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncps < 2`.
+    pub fn uniform(kind: TopologyKind, ncps: usize, cpu: f64, bandwidth: f64) -> Self {
+        assert!(ncps >= 2, "topologies need at least two NCPs");
+        let links = link_count(kind, ncps);
+        TopologySpec {
+            kind,
+            ncp_cpu: vec![cpu; ncps],
+            ncp_memory: None,
+            link_bandwidth: vec![bandwidth; links],
+            ncp_failure: 0.0,
+            link_failure: 0.0,
+        }
+    }
+
+    /// Builds the [`Network`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] for invalid capacities or probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link_bandwidth.len()` does not match the topology's
+    /// link count, or `ncp_memory` has a mismatched length.
+    pub fn build(&self) -> Result<Network, ModelError> {
+        let n = self.ncp_cpu.len();
+        assert!(n >= 2, "topologies need at least two NCPs");
+        assert_eq!(
+            self.link_bandwidth.len(),
+            link_count(self.kind, n),
+            "one bandwidth per link"
+        );
+        if let Some(mem) = &self.ncp_memory {
+            assert_eq!(mem.len(), n, "one memory capacity per NCP");
+        }
+        let mut b = NetworkBuilder::new();
+        b.name(format!("{}-{}", self.kind, n));
+        let ids: Vec<NcpId> = (0..n)
+            .map(|i| {
+                let cap = match &self.ncp_memory {
+                    Some(mem) => ResourceVec::cpu_memory(self.ncp_cpu[i], mem[i]),
+                    None => ResourceVec::cpu(self.ncp_cpu[i]),
+                };
+                b.add_ncp_with_failure(format!("ncp{i}"), cap, self.ncp_failure)
+            })
+            .collect::<Result<_, _>>()?;
+        let mut bw = self.link_bandwidth.iter().copied();
+        let mut add = |b: &mut NetworkBuilder, x: NcpId, y: NcpId| -> Result<(), ModelError> {
+            let bandwidth = bw.next().expect("bandwidth count checked above");
+            b.add_link_full(
+                format!("l-{}-{}", x.index(), y.index()),
+                x,
+                y,
+                bandwidth,
+                sparcle_model::LinkDirection::Undirected,
+                self.link_failure,
+            )?;
+            Ok(())
+        };
+        match self.kind {
+            TopologyKind::Star => {
+                for &leaf in &ids[1..] {
+                    add(&mut b, ids[0], leaf)?;
+                }
+            }
+            TopologyKind::Linear => {
+                for w in ids.windows(2) {
+                    add(&mut b, w[0], w[1])?;
+                }
+            }
+            TopologyKind::FullyConnected => {
+                for i in 0..n {
+                    for j in i + 1..n {
+                        add(&mut b, ids[i], ids[j])?;
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Number of links each topology kind uses for `n` NCPs.
+pub fn link_count(kind: TopologyKind, n: usize) -> usize {
+    match kind {
+        TopologyKind::Star => n - 1,
+        TopologyKind::Linear => n - 1,
+        TopologyKind::FullyConnected => n * (n - 1) / 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_hub_touches_everyone() {
+        let net = TopologySpec::uniform(TopologyKind::Star, 8, 100.0, 10.0)
+            .build()
+            .unwrap();
+        assert_eq!(net.ncp_count(), 8);
+        assert_eq!(net.link_count(), 7);
+        assert_eq!(net.neighbors(NcpId::new(0)).count(), 7);
+        assert_eq!(net.neighbors(NcpId::new(3)).count(), 1);
+        assert!(net.all_reachable_from(NcpId::new(5)));
+    }
+
+    #[test]
+    fn linear_is_a_chain() {
+        let net = TopologySpec::uniform(TopologyKind::Linear, 5, 100.0, 10.0)
+            .build()
+            .unwrap();
+        assert_eq!(net.link_count(), 4);
+        assert_eq!(net.neighbors(NcpId::new(0)).count(), 1);
+        assert_eq!(net.neighbors(NcpId::new(2)).count(), 2);
+    }
+
+    #[test]
+    fn full_mesh_links() {
+        let net = TopologySpec::uniform(TopologyKind::FullyConnected, 6, 100.0, 10.0)
+            .build()
+            .unwrap();
+        assert_eq!(net.link_count(), 15);
+        for ncp in net.ncp_ids() {
+            assert_eq!(net.neighbors(ncp).count(), 5);
+        }
+    }
+
+    #[test]
+    fn per_element_capacities_apply() {
+        let spec = TopologySpec {
+            kind: TopologyKind::Linear,
+            ncp_cpu: vec![10.0, 20.0, 30.0],
+            ncp_memory: Some(vec![1.0, 2.0, 3.0]),
+            link_bandwidth: vec![5.0, 6.0],
+            ncp_failure: 0.01,
+            link_failure: 0.02,
+        };
+        let net = spec.build().unwrap();
+        assert_eq!(
+            net.ncp(NcpId::new(1))
+                .capacity()
+                .amount(sparcle_model::ResourceKind::Memory),
+            2.0
+        );
+        assert_eq!(net.link(sparcle_model::LinkId::new(1)).bandwidth(), 6.0);
+        assert_eq!(net.ncp(NcpId::new(0)).failure_probability(), 0.01);
+        assert_eq!(
+            net.link(sparcle_model::LinkId::new(0))
+                .failure_probability(),
+            0.02
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TopologyKind::Star.to_string(), "star");
+        assert_eq!(TopologyKind::FullyConnected.to_string(), "fully-connected");
+    }
+}

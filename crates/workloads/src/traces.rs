@@ -1,0 +1,198 @@
+//! Synthetic application arrival traces.
+//!
+//! The paper evaluates with applications that "arrive over time"
+//! (§III-A) without specifying a process. This module provides seeded
+//! arrival-time generators for system-level studies (admission under
+//! churn, fluctuation): a homogeneous Poisson process, a diurnal
+//! (sinusoidally modulated) process, and a flash-crowd process that
+//! superimposes a burst on a baseline.
+//!
+//! All generators return sorted arrival timestamps within `[0, horizon)`
+//! and are deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The arrival process to draw from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalTrace {
+    /// Homogeneous Poisson arrivals at `rate` per time unit.
+    Poisson {
+        /// Mean arrivals per time unit.
+        rate: f64,
+    },
+    /// Sinusoidally modulated Poisson: intensity
+    /// `rate · (1 + depth · sin(2πt / period))`, clamped at zero.
+    Diurnal {
+        /// Mean arrivals per time unit.
+        rate: f64,
+        /// Modulation depth in `[0, 1]`.
+        depth: f64,
+        /// Period of the cycle, in time units.
+        period: f64,
+    },
+    /// A Poisson baseline plus a burst window at `burst_rate`.
+    FlashCrowd {
+        /// Baseline arrivals per time unit.
+        rate: f64,
+        /// Burst arrivals per time unit inside the window.
+        burst_rate: f64,
+        /// Burst window start.
+        burst_start: f64,
+        /// Burst window end.
+        burst_end: f64,
+    },
+}
+
+impl ArrivalTrace {
+    /// The (time-varying) intensity at time `t`.
+    pub fn intensity(&self, t: f64) -> f64 {
+        match *self {
+            ArrivalTrace::Poisson { rate } => rate,
+            ArrivalTrace::Diurnal {
+                rate,
+                depth,
+                period,
+            } => (rate * (1.0 + depth * (std::f64::consts::TAU * t / period).sin())).max(0.0),
+            ArrivalTrace::FlashCrowd {
+                rate,
+                burst_rate,
+                burst_start,
+                burst_end,
+            } => {
+                if (burst_start..burst_end).contains(&t) {
+                    burst_rate
+                } else {
+                    rate
+                }
+            }
+        }
+    }
+
+    /// The peak intensity over any time (used for thinning).
+    fn peak(&self) -> f64 {
+        match *self {
+            ArrivalTrace::Poisson { rate } => rate,
+            ArrivalTrace::Diurnal { rate, depth, .. } => rate * (1.0 + depth.abs()),
+            ArrivalTrace::FlashCrowd {
+                rate, burst_rate, ..
+            } => rate.max(burst_rate),
+        }
+    }
+
+    /// Draws sorted arrival times in `[0, horizon)` by Lewis–Shedler
+    /// thinning (exact for the constant case). Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite/negative rates or horizon.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use sparcle_workloads::traces::ArrivalTrace;
+    /// let arrivals = ArrivalTrace::Poisson { rate: 2.0 }.sample(100.0, 7);
+    /// // ~200 arrivals, sorted, inside the horizon.
+    /// assert!((150..250).contains(&arrivals.len()));
+    /// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    /// assert!(arrivals.iter().all(|&t| (0.0..100.0).contains(&t)));
+    /// ```
+    pub fn sample(&self, horizon: f64, seed: u64) -> Vec<f64> {
+        assert!(horizon.is_finite() && horizon >= 0.0, "bad horizon");
+        let peak = self.peak();
+        assert!(peak.is_finite() && peak >= 0.0, "bad rate");
+        if peak == 0.0 || horizon == 0.0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrivals = Vec::new();
+        let mut t = 0.0;
+        loop {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / peak;
+            if t >= horizon {
+                break;
+            }
+            // Thinning: accept with probability λ(t)/λ_max.
+            if rng.gen::<f64>() < self.intensity(t) / peak {
+                arrivals.push(t);
+            }
+        }
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_count_matches_rate() {
+        let arrivals = ArrivalTrace::Poisson { rate: 5.0 }.sample(1_000.0, 3);
+        let n = arrivals.len() as f64;
+        // Mean 5000, std ~71; allow 5σ.
+        assert!((n - 5_000.0).abs() < 360.0, "count {n}");
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs() {
+        let trace = ArrivalTrace::Diurnal {
+            rate: 4.0,
+            depth: 0.9,
+            period: 100.0,
+        };
+        // Intensity at the crest vs the trough.
+        assert!(trace.intensity(25.0) > 7.0);
+        assert!(trace.intensity(75.0) < 1.0);
+        // Counts in crest vs trough windows over many cycles.
+        let arrivals = trace.sample(10_000.0, 5);
+        let crest = arrivals
+            .iter()
+            .filter(|&&t| (t % 100.0) >= 10.0 && (t % 100.0) < 40.0)
+            .count();
+        let trough = arrivals
+            .iter()
+            .filter(|&&t| (t % 100.0) >= 60.0 && (t % 100.0) < 90.0)
+            .count();
+        assert!(
+            crest > 3 * trough,
+            "crest {crest} should dwarf trough {trough}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_bursts() {
+        let trace = ArrivalTrace::FlashCrowd {
+            rate: 1.0,
+            burst_rate: 20.0,
+            burst_start: 400.0,
+            burst_end: 500.0,
+        };
+        let arrivals = trace.sample(1_000.0, 9);
+        let in_burst = arrivals
+            .iter()
+            .filter(|&&t| (400.0..500.0).contains(&t))
+            .count();
+        let outside = arrivals.len() - in_burst;
+        // Burst: ~2000 arrivals in 100 units; outside: ~900 in 900.
+        assert!(in_burst > outside, "burst {in_burst} vs outside {outside}");
+        assert!(in_burst > 1_500 && in_burst < 2_500, "burst {in_burst}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let trace = ArrivalTrace::Poisson { rate: 3.0 };
+        assert_eq!(trace.sample(50.0, 42), trace.sample(50.0, 42));
+        assert_ne!(trace.sample(50.0, 42), trace.sample(50.0, 43));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ArrivalTrace::Poisson { rate: 0.0 }
+            .sample(100.0, 1)
+            .is_empty());
+        assert!(ArrivalTrace::Poisson { rate: 5.0 }
+            .sample(0.0, 1)
+            .is_empty());
+    }
+}

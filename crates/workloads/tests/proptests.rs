@@ -1,0 +1,79 @@
+//! Property-based tests for workload generation and scenario files.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparcle_workloads::scenario_file::{parse_scenario, write_scenario, FileScenario};
+use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
+
+fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
+    let case = prop_oneof![
+        Just(BottleneckCase::NcpBottleneck),
+        Just(BottleneckCase::LinkBottleneck),
+        Just(BottleneckCase::Balanced),
+        Just(BottleneckCase::MemoryBottleneck),
+    ];
+    let graph = prop_oneof![
+        (1usize..5).prop_map(|stages| GraphKind::Linear { stages }),
+        Just(GraphKind::Diamond),
+        (1usize..4).prop_map(|cts| GraphKind::Random { cts }),
+    ];
+    let topology = prop_oneof![
+        Just(TopologyKind::Star),
+        Just(TopologyKind::Linear),
+        Just(TopologyKind::FullyConnected),
+    ];
+    (case, graph, topology, 3usize..8, 0.0f64..0.2).prop_map(
+        |(case, graph, topology, ncps, link_failure)| {
+            let mut cfg = ScenarioConfig::new(case, graph, topology);
+            cfg.ncps = ncps;
+            cfg.link_failure = link_failure;
+            cfg
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sampled scenario is well-formed: connected network, valid
+    /// pins, graph invariants.
+    #[test]
+    fn sampled_scenarios_are_well_formed(cfg in arb_config(), seed in 0u64..100_000) {
+        let s = cfg.sample(&mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(s.network.all_reachable_from(sparcle_model::NcpId::new(0)));
+        s.app.check_against_network(&s.network).unwrap();
+        prop_assert!(!s.app.graph().sources().is_empty());
+        prop_assert!(!s.app.graph().sinks().is_empty());
+        prop_assert_eq!(s.network.ncp_count(), cfg.ncps);
+    }
+
+    /// Scenario files round-trip: write → parse reproduces the network
+    /// and applications exactly.
+    #[test]
+    fn scenario_files_round_trip(cfg in arb_config(), seed in 0u64..100_000) {
+        let s = cfg.sample(&mut StdRng::seed_from_u64(seed)).unwrap();
+        let file = FileScenario {
+            network: s.network.clone(),
+            apps: vec![(s.app.graph().name().to_owned(), s.app.clone())],
+        };
+        let text = write_scenario(&file);
+        let parsed = parse_scenario(&text)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n{text}"));
+        prop_assert_eq!(&parsed.network, &s.network);
+        prop_assert_eq!(parsed.apps.len(), 1);
+        prop_assert_eq!(parsed.apps[0].1.graph(), s.app.graph());
+        prop_assert_eq!(parsed.apps[0].1.qoe(), s.app.qoe());
+        prop_assert_eq!(parsed.apps[0].1.pinned(), s.app.pinned());
+    }
+
+    /// Sampling with the same seed is bit-identical; different seeds
+    /// (almost always) differ.
+    #[test]
+    fn sampling_determinism(cfg in arb_config(), seed in 0u64..100_000) {
+        let a = cfg.sample(&mut StdRng::seed_from_u64(seed)).unwrap();
+        let b = cfg.sample(&mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(a.network, b.network);
+        prop_assert_eq!(a.app.graph(), b.app.graph());
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: place one stream processing application on a small
+//! dispersed computing network and inspect the result.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sparcle::core::DynamicRankingAssigner;
+use sparcle::model::{Application, NetworkBuilder, QoeClass, ResourceVec, TaskGraphBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the application: a three-stage video analytics
+    //    pipeline. Requirements are per data unit (here: per frame).
+    let mut tb = TaskGraphBuilder::new();
+    tb.name("video-analytics");
+    let camera = tb.add_ct("camera", ResourceVec::new());
+    let decode = tb.add_ct("decode", ResourceVec::cpu(400.0)); // mega-cycles/frame
+    let detect = tb.add_ct("detect", ResourceVec::cpu(1_500.0));
+    let alert = tb.add_ct("alert", ResourceVec::new());
+    tb.add_tt("raw", camera, decode, 8.0)?; // megabits/frame
+    tb.add_tt("frames", decode, detect, 2.0)?;
+    tb.add_tt("events", detect, alert, 0.05)?;
+    let graph = tb.build()?;
+
+    // 2. Describe the network: a weak camera gateway, two edge boxes,
+    //    and the operator's workstation.
+    let mut nb = NetworkBuilder::new();
+    nb.name("edge-site");
+    let gateway = nb.add_ncp("gateway", ResourceVec::cpu(800.0)); // MHz
+    let edge_a = nb.add_ncp("edge-a", ResourceVec::cpu(2_400.0));
+    let edge_b = nb.add_ncp("edge-b", ResourceVec::cpu(3_200.0));
+    let operator = nb.add_ncp("operator", ResourceVec::cpu(1_600.0));
+    nb.add_link("wifi-a", gateway, edge_a, 40.0)?; // Mbps
+    nb.add_link("wifi-b", gateway, edge_b, 25.0)?;
+    nb.add_link("lan", edge_a, operator, 100.0)?;
+    nb.add_link("lan2", edge_b, operator, 100.0)?;
+    let network = nb.build()?;
+
+    // 3. The camera and the alert consumer live on fixed hosts.
+    let app = Application::new(
+        graph,
+        QoeClass::best_effort(1.0),
+        [(camera, gateway), (alert, operator)],
+    )?;
+
+    // 4. Run SPARCLE's dynamic-ranking task assignment (Algorithm 2).
+    let assigner = DynamicRankingAssigner::new();
+    let path = assigner.assign(&app, &network, &network.capacity_map())?;
+
+    println!("maximum stable processing rate: {:.2} frames/s", path.rate);
+    println!("placement:");
+    for (ct, host) in path.placement.placed_cts() {
+        println!(
+            "  {:<8} -> {}",
+            app.graph().ct(ct).name(),
+            network.ncp(host).name()
+        );
+    }
+    for (tt, route) in path.placement.routed_tts() {
+        let hops: Vec<&str> = route.iter().map(|&l| network.link(l).name()).collect();
+        println!(
+            "  {:<8} over [{}]",
+            app.graph().tt(tt).name(),
+            hops.join(", ")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,205 @@
+//! `sparcle` — schedule the applications of a scenario file onto its
+//! network and report placements, routes, rates, and admissions.
+//!
+//! ```sh
+//! sparcle <scenario.scn> [--emulate] [--verbose] [--dot]
+//! ```
+//!
+//! The scenario format is documented in
+//! `sparcle_workloads::scenario_file`; a sample lives at
+//! `examples/scenarios/smart_factory.scn`.
+
+use sparcle::core::{Admission, SparcleSystem};
+use sparcle::model::{Network, Placement, TaskGraph};
+use sparcle::sim::{measure_saturated_rate, EmulatorConfig};
+use sparcle::workloads::parse_scenario;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sparcle <scenario.scn> [--emulate] [--verbose] [--dot]");
+    eprintln!();
+    eprintln!("  --emulate   also measure each placement's rate on the emulated testbed");
+    eprintln!("  --verbose   print every CT host and TT route");
+    eprintln!("  --dot       dump each primary placement as Graphviz DOT to stdout");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut emulate = false;
+    let mut verbose = false;
+    let mut dot = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--emulate" => emulate = true,
+            "--verbose" => verbose = true,
+            "--dot" => dot = true,
+            "--help" | "-h" => return usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+            other => {
+                if path.replace(other.to_owned()).is_some() {
+                    eprintln!("only one scenario file, please");
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match parse_scenario(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "network: {} NCPs, {} links",
+        scenario.network.ncp_count(),
+        scenario.network.link_count()
+    );
+    let mut system = SparcleSystem::new(scenario.network.clone());
+    for (name, app) in &scenario.apps {
+        match system.submit(app.clone()) {
+            Ok(Admission::Admitted(id)) => {
+                println!("\napp `{name}` admitted as {id}");
+            }
+            Ok(Admission::Rejected(reason)) => {
+                println!("\napp `{name}` REJECTED: {reason:?}");
+                continue;
+            }
+            Err(e) => {
+                eprintln!("app `{name}` is malformed for this network: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for gr in system.gr_apps() {
+        println!(
+            "\n[GR ] {}  guarantees {:.3} units/s ({} path(s), capacity reserved {:.3}), min-rate availability {:.4}",
+            gr.app.graph().name(),
+            gr.guaranteed_rate(),
+            gr.paths.len(),
+            gr.reserved_rate(),
+            gr.min_rate_availability
+        );
+        if verbose {
+            for (k, (path, rate)) in gr.paths.iter().enumerate() {
+                println!("  path {k} ({rate:.3} units/s):");
+                describe_placement(&path.placement, gr.app.graph(), system.network(), "    ");
+            }
+        }
+        if emulate {
+            for (k, (path, _)) in gr.paths.iter().enumerate() {
+                let report = measure_saturated_rate(
+                    system.network(),
+                    gr.app.graph(),
+                    &path.placement,
+                    &EmulatorConfig::default(),
+                );
+                println!(
+                    "  path {k} emulated max rate: {:.3} (analytic {:.3})",
+                    report.measured_rate, report.analytic_rate
+                );
+            }
+        }
+    }
+    for be in system.be_apps() {
+        println!(
+            "\n[BE ] {}  priority {}  allocated {:.3} units/s over {} path(s){}",
+            be.app.graph().name(),
+            be.priority,
+            be.allocated_rate,
+            be.paths.len(),
+            match be.availability {
+                Some(a) => format!(", availability {a:.4}"),
+                None => String::new(),
+            }
+        );
+        if verbose {
+            for (k, path) in be.paths.iter().enumerate() {
+                println!("  path {k} (standalone {:.3} units/s):", path.rate);
+                describe_placement(&path.placement, be.app.graph(), system.network(), "    ");
+            }
+        }
+        if emulate {
+            let report = measure_saturated_rate(
+                system.network(),
+                be.app.graph(),
+                &be.paths[0].placement,
+                &EmulatorConfig::default(),
+            );
+            println!(
+                "  primary path emulated max rate: {:.3} (analytic {:.3})",
+                report.measured_rate, report.analytic_rate
+            );
+        }
+    }
+    if !system.be_apps().is_empty() {
+        println!(
+            "\nBE utility Σ P log x = {:.4}; total GR reservation = {:.3} units/s",
+            system.be_utility(),
+            system.total_gr_rate()
+        );
+    }
+    if dot {
+        for gr in system.gr_apps() {
+            println!("\n# DOT: {} (primary path)", gr.app.graph().name());
+            print!(
+                "{}",
+                sparcle::model::dot::placement_dot(
+                    gr.app.graph(),
+                    system.network(),
+                    &gr.paths[0].0.placement
+                )
+            );
+        }
+        for be in system.be_apps() {
+            println!("\n# DOT: {} (primary path)", be.app.graph().name());
+            print!(
+                "{}",
+                sparcle::model::dot::placement_dot(
+                    be.app.graph(),
+                    system.network(),
+                    &be.paths[0].placement
+                )
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn describe_placement(placement: &Placement, graph: &TaskGraph, network: &Network, indent: &str) {
+    for (ct, host) in placement.placed_cts() {
+        println!(
+            "{indent}{:<16} -> {}",
+            graph.ct(ct).name(),
+            network.ncp(host).name()
+        );
+    }
+    for (tt, route) in placement.routed_tts() {
+        if route.is_empty() {
+            println!("{indent}{:<16} (local)", graph.tt(tt).name());
+        } else {
+            let hops: Vec<&str> = route.iter().map(|&l| network.link(l).name()).collect();
+            println!(
+                "{indent}{:<16} over [{}]",
+                graph.tt(tt).name(),
+                hops.join(", ")
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration tests for the `sparcle` CLI binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sparcle"))
+}
+
+#[test]
+fn schedules_the_sample_scenario() {
+    let out = bin()
+        .arg(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/examples/scenarios/smart_factory.scn"
+        ))
+        .arg("--verbose")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("network: 5 NCPs, 5 links"), "{stdout}");
+    assert!(stdout.contains("weld-inspection"), "{stdout}");
+    assert!(stdout.contains("guarantees 2.000"), "{stdout}");
+    assert!(stdout.contains("[BE ] dashboard"), "{stdout}");
+    assert!(stdout.contains("BE utility"), "{stdout}");
+    // Verbose mode prints placements and routes.
+    assert!(stdout.contains("->"), "{stdout}");
+    assert!(stdout.contains("over ["), "{stdout}");
+}
+
+#[test]
+fn reports_parse_errors_with_line_numbers() {
+    let dir = std::env::temp_dir().join("sparcle-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.scn");
+    std::fs::write(&path, "ncp a cpu=1\nlink l a missing bw=1\n").unwrap();
+    let out = bin().arg(&path).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("unknown ncp"), "{stderr}");
+}
+
+#[test]
+fn rejects_missing_arguments() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn rejects_unknown_flags() {
+    let out = bin().arg("--frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn schedules_the_campus_scenario_with_directed_links() {
+    let out = bin()
+        .arg(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/examples/scenarios/campus_iot.scn"
+        ))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("air-quality"), "{stdout}");
+    assert!(stdout.contains("guarantees 1.000"), "{stdout}");
+    assert!(stdout.contains("[BE ] lecture-video"), "{stdout}");
+    assert!(stdout.contains("[BE ] rollups"), "{stdout}");
+}
+
+#[test]
+fn dot_flag_emits_graphviz() {
+    let out = bin()
+        .arg(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/examples/scenarios/smart_factory.scn"
+        ))
+        .arg("--dot")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("graph \"placement\""), "{stdout}");
+    assert!(stdout.matches("# DOT:").count() >= 3, "{stdout}");
+}

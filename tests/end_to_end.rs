@@ -1,0 +1,268 @@
+//! End-to-end integration tests: scenario generation → task assignment
+//! → resource allocation → queueing simulation, spanning every crate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparcle::baselines::{optimal_assignment, standard_roster, Assigner};
+use sparcle::core::{DynamicRankingAssigner, SparcleSystem};
+use sparcle::model::QoeClass;
+use sparcle::sim::{simulate_flows, FlowSimConfig, SimApp};
+use sparcle::workloads::{
+    face_detection::{face_detection_app, testbed_network},
+    BottleneckCase, GraphKind, ScenarioConfig, TopologyKind,
+};
+
+/// The allocated rate of a placement must be sustainable in the
+/// queueing simulation: offering 95 % of it is delivered in full.
+#[test]
+fn assigned_rate_is_sustainable_in_simulation() {
+    let cfg = ScenarioConfig::new(
+        BottleneckCase::Balanced,
+        GraphKind::Diamond,
+        TopologyKind::Star,
+    );
+    let mut rng = StdRng::seed_from_u64(2024);
+    for _ in 0..5 {
+        let scenario = cfg.sample(&mut rng).unwrap();
+        let caps = scenario.network.capacity_map();
+        let path = DynamicRankingAssigner::new()
+            .assign(&scenario.app, &scenario.network, &caps)
+            .unwrap();
+        let offered = 0.95 * path.rate;
+        let stats = simulate_flows(
+            &scenario.network,
+            &[SimApp {
+                graph: scenario.app.graph(),
+                placement: &path.placement,
+                rate: offered,
+            }],
+            &FlowSimConfig::default(),
+        );
+        assert!(
+            (stats[0].throughput - offered).abs() / offered < 0.06,
+            "throughput {} vs offered {offered}",
+            stats[0].throughput
+        );
+    }
+}
+
+/// Offering more than the assigned rate must not beat the analytic
+/// bottleneck (no free lunch from the simulator).
+#[test]
+fn simulation_never_beats_analytic_bottleneck() {
+    let cfg = ScenarioConfig::new(
+        BottleneckCase::LinkBottleneck,
+        GraphKind::Linear { stages: 3 },
+        TopologyKind::Linear,
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let scenario = cfg.sample(&mut rng).unwrap();
+    let caps = scenario.network.capacity_map();
+    let path = DynamicRankingAssigner::new()
+        .assign(&scenario.app, &scenario.network, &caps)
+        .unwrap();
+    let stats = simulate_flows(
+        &scenario.network,
+        &[SimApp {
+            graph: scenario.app.graph(),
+            placement: &path.placement,
+            rate: 3.0 * path.rate,
+        }],
+        &FlowSimConfig::default(),
+    );
+    assert!(stats[0].throughput <= path.rate * 1.05);
+}
+
+/// Every roster algorithm's reported rate is self-consistent: it equals
+/// the bottleneck rate recomputed from the placement it returned.
+#[test]
+fn roster_rates_are_self_consistent() {
+    let cfg = ScenarioConfig::new(
+        BottleneckCase::Balanced,
+        GraphKind::Diamond,
+        TopologyKind::FullyConnected,
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    let scenario = cfg.sample(&mut rng).unwrap();
+    let caps = scenario.network.capacity_map();
+    for algo in standard_roster(5) {
+        let path = algo
+            .assign(&scenario.app, &scenario.network, &caps)
+            .unwrap();
+        let recomputed =
+            path.placement
+                .bottleneck_rate(scenario.app.graph(), &scenario.network, &caps);
+        assert!(
+            (path.rate - recomputed).abs() < 1e-9 * recomputed.max(1.0),
+            "{}: {} vs {recomputed}",
+            algo.name(),
+            path.rate
+        );
+    }
+}
+
+/// SPARCLE is never materially worse than the exhaustive optimum on
+/// small instances (and never better — the optimum is an upper bound).
+#[test]
+fn sparcle_bounded_by_optimum() {
+    let mut cfg = ScenarioConfig::new(
+        BottleneckCase::NcpBottleneck,
+        GraphKind::Linear { stages: 2 },
+        TopologyKind::Star,
+    );
+    cfg.ncps = 5;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut total_ratio = 0.0;
+    let n = 10;
+    for _ in 0..n {
+        let scenario = cfg.sample(&mut rng).unwrap();
+        let caps = scenario.network.capacity_map();
+        let opt = optimal_assignment(&scenario.app, &scenario.network, &caps).unwrap();
+        let ours = DynamicRankingAssigner::new()
+            .assign(&scenario.app, &scenario.network, &caps)
+            .unwrap();
+        assert!(ours.rate <= opt.rate + 1e-9, "heuristic beat the optimum");
+        total_ratio += ours.rate / opt.rate;
+    }
+    assert!(
+        total_ratio / n as f64 > 0.9,
+        "mean optimality ratio {}",
+        total_ratio / n as f64
+    );
+}
+
+/// The full system pipeline: GR apps reserve, BE apps share, and the
+/// allocated BE rates are simultaneously sustainable in one shared
+/// simulation.
+#[test]
+fn system_allocation_is_jointly_sustainable() {
+    let cfg = ScenarioConfig::new(
+        BottleneckCase::Balanced,
+        GraphKind::Linear { stages: 3 },
+        TopologyKind::Star,
+    );
+    let mut rng = StdRng::seed_from_u64(11);
+    let scenario = cfg.sample(&mut rng).unwrap();
+    let mut system = SparcleSystem::new(scenario.network.clone());
+
+    // One GR app, two BE apps with 2:1 priorities.
+    let gr = cfg
+        .sample(&mut rng)
+        .unwrap()
+        .app
+        .with_qoe(QoeClass::guaranteed_rate(0.5, 0.9))
+        .unwrap();
+    let be1 = cfg
+        .sample(&mut rng)
+        .unwrap()
+        .app
+        .with_qoe(QoeClass::best_effort(2.0))
+        .unwrap();
+    let be2 = cfg
+        .sample(&mut rng)
+        .unwrap()
+        .app
+        .with_qoe(QoeClass::best_effort(1.0))
+        .unwrap();
+    system.submit(gr).unwrap();
+    let a1 = system.submit(be1).unwrap();
+    let a2 = system.submit(be2).unwrap();
+    assert!(a1.is_admitted() && a2.is_admitted());
+
+    // Build one joint simulation: GR paths at reserved rates + BE
+    // primary paths at 90 % of allocated rates.
+    let mut apps = Vec::new();
+    for gr in system.gr_apps() {
+        for (path, rate) in &gr.paths {
+            apps.push(SimApp {
+                graph: gr.app.graph(),
+                placement: &path.placement,
+                rate: 0.9 * rate,
+            });
+        }
+    }
+    for be in system.be_apps() {
+        apps.push(SimApp {
+            graph: be.app.graph(),
+            placement: &be.paths[0].placement,
+            rate: 0.9 * be.allocated_rate,
+        });
+    }
+    let stats = simulate_flows(&scenario.network, &apps, &FlowSimConfig::default());
+    for (i, s) in stats.iter().enumerate() {
+        let offered = apps[i].rate;
+        assert!(
+            (s.throughput - offered).abs() / offered.max(1e-9) < 0.08,
+            "app {i}: throughput {} vs offered {offered}",
+            s.throughput
+        );
+    }
+}
+
+/// The face-detection flagship: SPARCLE beats the cloud at low field
+/// bandwidth by a large factor and still wins at high bandwidth.
+#[test]
+fn face_detection_crossover_shape() {
+    use sparcle::baselines::CloudAssigner;
+    use sparcle::workloads::face_detection::CLOUD;
+    let app = face_detection_app(QoeClass::best_effort(1.0)).unwrap();
+    let sparcle = DynamicRankingAssigner::new();
+    let cloud = CloudAssigner::new(CLOUD);
+
+    let rate = |assigner: &dyn Assigner, bw: f64| {
+        let net = testbed_network(bw);
+        assigner
+            .assign(&app, &net, &net.capacity_map())
+            .unwrap()
+            .rate
+    };
+    let s_low = rate(&sparcle, 0.5);
+    let c_low = rate(&cloud, 0.5);
+    assert!(
+        s_low / c_low > 5.0,
+        "low-bandwidth speedup only {:.1}x",
+        s_low / c_low
+    );
+    let s_mid = rate(&sparcle, 10.0);
+    let c_mid = rate(&cloud, 10.0);
+    assert!((s_mid - c_mid).abs() < 1e-9, "cloud is optimal at 10 Mbps");
+    let s_high = rate(&sparcle, 22.0);
+    let c_high = rate(&cloud, 22.0);
+    assert!(
+        s_high > c_high * 1.1,
+        "dispersed should still win at 22 Mbps: {s_high} vs {c_high}"
+    );
+}
+
+/// Arrival-order robustness: thanks to the eq. (6) prediction, two
+/// equal-priority BE apps end with similar rates regardless of which
+/// arrived first.
+#[test]
+fn allocation_is_arrival_order_insensitive() {
+    let cfg = ScenarioConfig::new(
+        BottleneckCase::Balanced,
+        GraphKind::Linear { stages: 2 },
+        TopologyKind::Star,
+    );
+    let mut rng = StdRng::seed_from_u64(17);
+    let scenario = cfg.sample(&mut rng).unwrap();
+    let app_a = cfg.sample(&mut rng).unwrap().app;
+    let app_b = cfg.sample(&mut rng).unwrap().app;
+
+    let rates = |first: &sparcle::model::Application, second: &sparcle::model::Application| {
+        let mut system = SparcleSystem::new(scenario.network.clone());
+        system.submit(first.clone()).unwrap();
+        system.submit(second.clone()).unwrap();
+        let mut out: Vec<f64> = system.be_apps().iter().map(|a| a.allocated_rate).collect();
+        out.sort_by(f64::total_cmp);
+        out
+    };
+    let ab = rates(&app_a, &app_b);
+    let ba = rates(&app_b, &app_a);
+    for (x, y) in ab.iter().zip(&ba) {
+        assert!(
+            (x - y).abs() / x.max(*y) < 0.35,
+            "order-sensitive allocation: {ab:?} vs {ba:?}"
+        );
+    }
+}
