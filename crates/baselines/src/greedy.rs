@@ -71,10 +71,11 @@ fn assign_in_order(
             continue;
         }
         // Host by compute headroom only; skip hosts that would strand a
-        // TT (unroutable to a placed reachable CT).
+        // TT (unroutable to a placed reachable CT). The batched γ probe
+        // computes routability for the whole host row at once.
         let mut best: Option<(f64, sparcle_model::NcpId)> = None;
         for host in network.ncp_ids() {
-            if engine.gamma(ct, host).is_none() {
+            if engine.gamma_batched(ct, host).is_none() {
                 continue;
             }
             let r = engine.host_rate(ct, host);

@@ -47,7 +47,7 @@ impl Assigner for RandomAssigner {
             let mut committed = false;
             for _ in 0..4 * network.ncp_count() {
                 let host = NcpId::new(rng.gen_range(0..network.ncp_count()) as u32);
-                if engine.gamma(ct, host).is_some() {
+                if engine.gamma_batched(ct, host).is_some() {
                     engine.commit_with(ct, host, RoutePolicy::FewestHops)?;
                     committed = true;
                     break;
@@ -55,10 +55,14 @@ impl Assigner for RandomAssigner {
             }
             if !committed {
                 // Exhaustive fallback for adversarial topologies.
-                let host = network
-                    .ncp_ids()
-                    .find(|&h| engine.gamma(ct, h).is_some())
-                    .ok_or(AssignError::NoHostForCt(ct))?;
+                let mut fallback = None;
+                for h in network.ncp_ids() {
+                    if engine.gamma_batched(ct, h).is_some() {
+                        fallback = Some(h);
+                        break;
+                    }
+                }
+                let host = fallback.ok_or(AssignError::NoHostForCt(ct))?;
                 engine.commit_with(ct, host, RoutePolicy::FewestHops)?;
             }
         }

@@ -94,10 +94,59 @@ fn bench_topologies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial-reference vs cached vs cached+parallel γ evaluation, one
+/// column per topology size. All three modes commit identical placements
+/// (`tests/parallel_equivalence.rs` proves it), so the columns are
+/// directly comparable; the cached modes should win by well over the
+/// target 3× on the largest size thanks to the batched per-row sweeps
+/// and incremental invalidation.
+fn bench_evaluator_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluator_modes");
+    for ncps in [8usize, 16, 32] {
+        let mut cfg = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Linear { stages: 8 },
+            TopologyKind::Star,
+        );
+        cfg.ncps = ncps;
+        let scenario = cfg
+            .sample(&mut StdRng::seed_from_u64(4))
+            .expect("valid scenario");
+        let caps = scenario.network.capacity_map();
+        // More workers than cores never helps the CPU-bound row fills,
+        // so the parallel column uses the machine's real parallelism.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let modes = [
+            ("serial".to_string(), DynamicRankingAssigner::reference()),
+            (
+                "cached".to_string(),
+                DynamicRankingAssigner::with_threads(1),
+            ),
+            (
+                format!("parallel{cores}"),
+                DynamicRankingAssigner::with_threads(cores),
+            ),
+        ];
+        for (name, assigner) in modes {
+            group.bench_with_input(BenchmarkId::new(name, ncps), &ncps, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        assigner
+                            .assign(&scenario.app, &scenario.network, &caps)
+                            .expect("assignable"),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_network_size,
     bench_graph_size,
-    bench_topologies
+    bench_topologies,
+    bench_evaluator_modes
 );
 criterion_main!(benches);

@@ -20,6 +20,27 @@ use crate::engine::{AssignedPath, PlacementEngine};
 use crate::error::AssignError;
 use sparcle_model::{Application, CapacityMap, Network};
 
+/// How [`DynamicRankingAssigner`] evaluates γ each ranking round.
+///
+/// Both modes commit the *same placements in the same order* — the cached
+/// evaluator's invalidation rules and tie-breaks reproduce the reference
+/// scan bit-for-bit (see the [`crate::engine`] module docs), and
+/// `tests/parallel_equivalence.rs` holds them to it. The modes differ
+/// only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// The uncached, single-threaded scan straight off eq. (2):
+    /// [`PlacementEngine::gamma`] per (CT, host) pair. The ground truth
+    /// the differential tests compare against.
+    Reference,
+    /// The batched γ-cache ([`PlacementEngine::rank_round`]), filling
+    /// missing rows with up to `threads` worker threads.
+    Cached {
+        /// Worker-thread cap for row computation (1 = serial cached).
+        threads: usize,
+    },
+}
+
 /// SPARCLE's polynomial-time dynamic-ranking task assigner (Algorithm 2).
 ///
 /// # Examples
@@ -53,15 +74,47 @@ use sparcle_model::{Application, CapacityMap, Network};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynamicRankingAssigner {
-    _private: (),
+    mode: EvalMode,
+}
+
+impl Default for DynamicRankingAssigner {
+    /// The cached single-threaded evaluator — always at least as fast as
+    /// [`Self::reference`], same results.
+    fn default() -> Self {
+        DynamicRankingAssigner {
+            mode: EvalMode::Cached { threads: 1 },
+        }
+    }
 }
 
 impl DynamicRankingAssigner {
-    /// Creates the assigner.
+    /// Creates the assigner in its default [`EvalMode`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The uncached single-threaded evaluator, straight off eq. (2).
+    pub fn reference() -> Self {
+        DynamicRankingAssigner {
+            mode: EvalMode::Reference,
+        }
+    }
+
+    /// The cached evaluator with up to `threads` worker threads filling
+    /// γ rows (clamped to ≥ 1). Results are identical for every value.
+    pub fn with_threads(threads: usize) -> Self {
+        DynamicRankingAssigner {
+            mode: EvalMode::Cached {
+                threads: threads.max(1),
+            },
+        }
+    }
+
+    /// The evaluation mode this assigner runs in.
+    pub fn mode(&self) -> EvalMode {
+        self.mode
     }
 
     /// Runs Algorithm 2: finds one task assignment path for `app` on
@@ -80,22 +133,30 @@ impl DynamicRankingAssigner {
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
         let mut engine = PlacementEngine::new(app, network, capacities)?;
-        loop {
-            let unplaced = engine.unplaced();
-            if unplaced.is_empty() {
-                break;
-            }
-            // Rank: for each unplaced CT, its best achievable γ; commit
-            // the CT with the smallest best (most constrained first).
-            let mut pick: Option<(f64, sparcle_model::CtId, sparcle_model::NcpId)> = None;
-            for ct in unplaced {
-                let (host, g) = engine.best_host(ct).ok_or(AssignError::NoHostForCt(ct))?;
-                if pick.is_none_or(|(bg, _, _)| g < bg) {
-                    pick = Some((g, ct, host));
+        match self.mode {
+            EvalMode::Reference => loop {
+                let unplaced = engine.unplaced();
+                if unplaced.is_empty() {
+                    break;
+                }
+                // Rank: for each unplaced CT, its best achievable γ;
+                // commit the CT with the smallest best (most constrained
+                // first).
+                let mut pick: Option<(f64, sparcle_model::CtId, sparcle_model::NcpId)> = None;
+                for ct in unplaced {
+                    let (host, g) = engine.best_host(ct).ok_or(AssignError::NoHostForCt(ct))?;
+                    if pick.is_none_or(|(bg, _, _)| g < bg) {
+                        pick = Some((g, ct, host));
+                    }
+                }
+                let (_, ct, host) = pick.expect("non-empty unplaced set");
+                engine.commit(ct, host)?;
+            },
+            EvalMode::Cached { threads } => {
+                while let Some((ct, host, _)) = engine.rank_round(threads)? {
+                    engine.commit(ct, host)?;
                 }
             }
-            let (_, ct, host) = pick.expect("non-empty unplaced set");
-            engine.commit(ct, host)?;
         }
         engine.finish()
     }

@@ -16,10 +16,73 @@
 //! `argmin_i max_j γ_{i,j}` choice; baselines commit in their own orders
 //! (sorted, random, HEFT rank, …) but reuse the same routing, which keeps
 //! the comparison about *placement policy*, exactly as in the paper.
+//!
+//! # The batched, incrementally-cached γ evaluator
+//!
+//! Evaluating eq. (2) one `(CT, NCP)` pair at a time — as
+//! [`PlacementEngine::gamma`] does — costs one Dijkstra per placed
+//! reachable CT *per candidate host*, which dominates Algorithm 2 on
+//! large topologies. The engine therefore also maintains a **γ-cache**
+//! behind three faster entry points: [`PlacementEngine::gamma_batched`],
+//! [`PlacementEngine::rank_round`] (one full Algorithm-2 ranking round,
+//! optionally multi-threaded), and the invalidation hook inside
+//! [`PlacementEngine::commit_with`].
+//!
+//! ## Caching contract
+//!
+//! γ splits as `γ_{i,j} = min(host_rate(i, j), net_γ(i, j))`. The host
+//! term is cheap and always computed fresh; only the network term is
+//! cached, as one **row per CT** (`net_γ(i, ·)` for every host at once).
+//! A row is produced by one reversed widest-path Dijkstra
+//! ([`crate::widest_path::widest_tree`]) per placed reachable CT —
+//! `O(|reach|)` sweeps for all `|N|` hosts, instead of the reference
+//! path's `O(|reach| · |N|)` — and records a **witness link set**: the
+//! union of the widest-path trees' links, i.e. one optimal path per
+//! `(host, reachable CT)` pair.
+//!
+//! Rows stay valid under commits because element loads only ever
+//! *increase* during an engine's lifetime (commits add load, nothing
+//! subtracts it), so link widths only decrease. A cached row is
+//! invalidated by [`PlacementEngine::commit_with`] iff
+//!
+//! 1. its CT belongs to the just-placed CT's *unplaced component* (the
+//!    CTs connected to it through unplaced intermediates, whose
+//!    `placed_reachable` sets the commit may change), or
+//! 2. a link the commit routed load onto intersects the row's witness
+//!    set.
+//!
+//! Any surviving row is **bit-identical** to a fresh recomputation: its
+//! witness paths' links are untouched, so those paths still achieve the
+//! cached widths, while every alternative path's width can only have
+//! decreased — the old optimum is still the optimum, as an exact `f64`.
+//! (`tests/parallel_equivalence.rs` and the γ-staleness proptest enforce
+//! this.)
+//!
+//! ## Deterministic tie-break and thread-count independence
+//!
+//! [`PlacementEngine::rank_round`] always resolves its choice by
+//!
+//! 1. per CT, the host with the **largest** γ, ties toward the **lower
+//!    `NcpId`**;
+//! 2. across CTs, the candidate with the **smallest** best-γ, ties
+//!    toward the **lower `CtId`**.
+//!
+//! Worker threads only fill missing cache rows — each row is a pure
+//! function of the engine state, and the ranking scan itself is serial
+//! over the merged rows — so the committed placement is identical for
+//! every thread count, and identical to the serial uncached reference
+//! path ([`PlacementEngine::gamma`] driven by
+//! [`crate::DynamicRankingAssigner::reference`]).
 
 use crate::error::AssignError;
-use crate::widest_path::widest_path;
-use sparcle_model::{Application, CapacityMap, CtId, LoadMap, NcpId, Network, Placement, TtId};
+use crate::widest_path::{
+    widest_path, widest_path_with, widest_tree, DijkstraScratch, ReverseAdjacency, WidestTree,
+};
+use sparcle_model::{
+    Application, CapacityMap, CtId, LinkId, LoadMap, NcpId, Network, Placement, TaskGraph, TtId,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// How [`PlacementEngine::commit_with`] routes transport tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +134,88 @@ pub fn fewest_hops_path(
     None
 }
 
+/// A fixed-size bitset over the network's links.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct LinkSet {
+    words: Vec<u64>,
+}
+
+impl LinkSet {
+    fn new(links: usize) -> Self {
+        LinkSet {
+            words: vec![0; links.div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, link: LinkId) {
+        self.words[link.index() / 64] |= 1 << (link.index() % 64);
+    }
+
+    fn intersects(&self, other: &LinkSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+}
+
+/// One cached γ row: the network term `net_γ(ct, j)` for every host `j`
+/// plus the witness links the values depend on (see module docs).
+/// `f64::NEG_INFINITY` marks hosts that cannot route every placed
+/// reachable CT (the reference path's `gamma == None`).
+#[derive(Debug, Clone, PartialEq)]
+struct GammaRow {
+    net: Vec<f64>,
+    witness: LinkSet,
+}
+
+/// The read-only engine state a γ row is a pure function of. Borrowing
+/// it field-by-field (rather than `&self`) is what lets worker threads
+/// share it while each owns a private [`WidestTree`].
+struct EvalView<'e> {
+    graph: &'e TaskGraph,
+    placement: &'e Placement,
+    placed: &'e [bool],
+    capacities: &'e CapacityMap,
+    load: &'e LoadMap,
+    rev: &'e ReverseAdjacency,
+    link_count: usize,
+}
+
+impl EvalView<'_> {
+    /// Computes one CT's γ row: one reversed widest-path sweep per placed
+    /// reachable CT, folded with `min` per host. Exact equality with the
+    /// pairwise reference path holds because both take the same min over
+    /// the same unique widest-path widths.
+    fn compute_net_row(&self, ct: CtId, tree: &mut WidestTree) -> GammaRow {
+        let n = self.rev.ncp_count();
+        let mut net = vec![f64::INFINITY; n];
+        let mut witness = LinkSet::new(self.link_count);
+        for reach in self.graph.placed_reachable(ct, |c| self.placed[c.index()]) {
+            let target = self
+                .placement
+                .ct_host(reach.ct)
+                .expect("reachable CTs are placed");
+            widest_tree(
+                self.rev,
+                tree,
+                self.capacities,
+                self.load,
+                reach.min_bits,
+                target,
+            );
+            for (j, entry) in net.iter_mut().enumerate() {
+                if *entry == f64::NEG_INFINITY {
+                    continue;
+                }
+                match tree.width_from(NcpId::new(j as u32)) {
+                    Some(w) => *entry = entry.min(w),
+                    None => *entry = f64::NEG_INFINITY,
+                }
+            }
+            tree.for_each_tree_link(|l| witness.insert(l));
+        }
+        GammaRow { net, witness }
+    }
+}
+
 /// The result of a completed task assignment: one *task assignment path*.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AssignedPath {
@@ -92,6 +237,14 @@ pub struct PlacementEngine<'a> {
     placement: Placement,
     load: LoadMap,
     placed: Vec<bool>,
+    /// Reversed arcs powering the batched per-row sweeps.
+    rev: ReverseAdjacency,
+    /// γ-cache: one optional row per CT (see module docs).
+    cache: Vec<Option<GammaRow>>,
+    /// Serial-path sweep buffers (worker threads allocate their own).
+    tree: WidestTree,
+    /// Commit-time routing buffers.
+    route_scratch: DijkstraScratch,
 }
 
 impl<'a> PlacementEngine<'a> {
@@ -122,6 +275,10 @@ impl<'a> PlacementEngine<'a> {
             placement: Placement::empty(app.graph()),
             load: LoadMap::zeroed(network),
             placed: vec![false; app.graph().ct_count()],
+            rev: ReverseAdjacency::new(network),
+            cache: vec![None; app.graph().ct_count()],
+            tree: WidestTree::new(network.ncp_count()),
+            route_scratch: DijkstraScratch::new(network.ncp_count()),
         };
         for (&ct, &host) in app.pinned() {
             engine.commit(ct, host)?;
@@ -270,12 +427,49 @@ impl<'a> PlacementEngine<'a> {
     ) -> Result<(), AssignError> {
         assert!(!self.placed[ct.index()], "{ct} is already placed");
         let graph = self.app.graph();
+        // Cache rows whose `placed_reachable` set this commit may change:
+        // the CTs connected to `ct` through unplaced intermediates,
+        // gathered before `placed` is mutated (module docs, rule 1).
+        let mut affected = vec![false; graph.ct_count()];
+        affected[ct.index()] = true;
+        let mut stack = vec![ct];
+        while let Some(u) = stack.pop() {
+            for tt in graph.incident_edges(u) {
+                let v = graph.tt(tt).other_endpoint(u).expect("incident edge");
+                if !self.placed[v.index()] && !affected[v.index()] {
+                    affected[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
         self.placement.place_ct(ct, host);
         self.placed[ct.index()] = true;
         self.load.add_ct_load(host, graph.ct(ct).requirement());
-        // Route TTs to placed direct neighbors, cheapest TTs first so
-        // heavyweight TTs see the most up-to-date loads last (ordering is
-        // a heuristic; the paper routes them one at a time).
+        let mut touched = LinkSet::new(self.network.link_count());
+        let routed = self.route_incident(ct, policy, &mut touched);
+        // Invalidate even on a routing error: loads added before the
+        // failure are real, and callers may keep using the engine.
+        for (i, row) in self.cache.iter_mut().enumerate() {
+            let stale = affected[i] || row.as_ref().is_some_and(|r| r.witness.intersects(&touched));
+            if stale {
+                *row = None;
+            }
+        }
+        routed
+    }
+
+    /// Routes every TT between `ct` and an already-placed direct neighbor
+    /// under `policy`, recording routed links in `touched`. TTs go
+    /// cheapest-bits first so heavyweight TTs see the most up-to-date
+    /// loads last (ordering is a heuristic; the paper routes them one at
+    /// a time).
+    fn route_incident(
+        &mut self,
+        ct: CtId,
+        policy: RoutePolicy,
+        touched: &mut LinkSet,
+    ) -> Result<(), AssignError> {
+        let graph = self.app.graph();
         let mut incident: Vec<TtId> = graph.incident_edges(ct).collect();
         incident.sort_by(|&a, &b| {
             graph
@@ -292,7 +486,8 @@ impl<'a> PlacementEngine<'a> {
             let from_host = self.placement.ct_host(t.from()).expect("placed");
             let to_host = self.placement.ct_host(t.to()).expect("placed");
             let links = match policy {
-                RoutePolicy::Widest => widest_path(
+                RoutePolicy::Widest => widest_path_with(
+                    &mut self.route_scratch,
                     self.network,
                     self.capacities,
                     &self.load,
@@ -310,10 +505,133 @@ impl<'a> PlacementEngine<'a> {
             })?;
             for &link in &links {
                 self.load.add_tt_load(link, t.bits_per_unit());
+                touched.insert(link);
             }
             self.placement.route_tt(tt, links);
         }
         Ok(())
+    }
+
+    /// The read-only state snapshot γ rows are computed from.
+    fn eval_view(&self) -> EvalView<'_> {
+        EvalView {
+            graph: self.app.graph(),
+            placement: &self.placement,
+            placed: &self.placed,
+            capacities: self.capacities,
+            load: &self.load,
+            rev: &self.rev,
+            link_count: self.network.link_count(),
+        }
+    }
+
+    /// Fills `ct`'s cache row if missing (serial path).
+    fn ensure_row(&mut self, ct: CtId) {
+        if self.cache[ct.index()].is_some() {
+            return;
+        }
+        let view = EvalView {
+            graph: self.app.graph(),
+            placement: &self.placement,
+            placed: &self.placed,
+            capacities: self.capacities,
+            load: &self.load,
+            rev: &self.rev,
+            link_count: self.network.link_count(),
+        };
+        let row = view.compute_net_row(ct, &mut self.tree);
+        self.cache[ct.index()] = Some(row);
+    }
+
+    /// [`Self::gamma`] served from the γ-cache: computes (or reuses)
+    /// `ct`'s whole row, then combines the cached network term with a
+    /// fresh host term. Bit-identical to [`Self::gamma`] — the
+    /// determinism suite holds both paths to that.
+    pub fn gamma_batched(&mut self, ct: CtId, host: NcpId) -> Option<f64> {
+        self.ensure_row(ct);
+        let net = self.cache[ct.index()]
+            .as_ref()
+            .expect("row just ensured")
+            .net[host.index()];
+        if net == f64::NEG_INFINITY {
+            return None;
+        }
+        Some(self.host_rate(ct, host).min(net))
+    }
+
+    /// One ranking round of Algorithm 2 over the γ-cache: returns the
+    /// `argmin_i max_j γ_{i,j}` choice `(i*, j*, γ)` among unplaced CTs,
+    /// or `None` when everything is placed. Missing cache rows are filled
+    /// by up to `threads` worker threads; the choice is identical for
+    /// every `threads` value and identical to the serial reference scan
+    /// (module docs describe the tie-break).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError::NoHostForCt`] for the lowest-id unplaced CT
+    /// that no host can route — exactly where the reference scan stops.
+    pub fn rank_round(
+        &mut self,
+        threads: usize,
+    ) -> Result<Option<(CtId, NcpId, f64)>, AssignError> {
+        let unplaced = self.unplaced();
+        if unplaced.is_empty() {
+            return Ok(None);
+        }
+        let missing: Vec<CtId> = unplaced
+            .iter()
+            .copied()
+            .filter(|&ct| self.cache[ct.index()].is_none())
+            .collect();
+        let workers = threads.max(1).min(missing.len());
+        if workers > 1 {
+            let view = self.eval_view();
+            let next = AtomicUsize::new(0);
+            let rows: Mutex<Vec<(CtId, GammaRow)>> = Mutex::new(Vec::with_capacity(missing.len()));
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let mut tree = WidestTree::new(view.rev.ncp_count());
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&ct) = missing.get(i) else { break };
+                            let row = view.compute_net_row(ct, &mut tree);
+                            rows.lock().expect("row mutex").push((ct, row));
+                        }
+                    });
+                }
+            });
+            for (ct, row) in rows.into_inner().expect("row mutex") {
+                self.cache[ct.index()] = Some(row);
+            }
+        } else {
+            for ct in missing {
+                self.ensure_row(ct);
+            }
+        }
+        // Serial merge over the (now complete) rows, reproducing the
+        // reference scan's strict-comparison tie-breaks exactly.
+        let mut pick: Option<(f64, CtId, NcpId)> = None;
+        for &ct in &unplaced {
+            let row = self.cache[ct.index()].as_ref().expect("row just ensured");
+            let mut best: Option<(NcpId, f64)> = None;
+            for host in self.network.ncp_ids() {
+                let net = row.net[host.index()];
+                if net == f64::NEG_INFINITY {
+                    continue;
+                }
+                let g = self.host_rate(ct, host).min(net);
+                if best.is_none_or(|(_, bg)| g > bg) {
+                    best = Some((host, g));
+                }
+            }
+            let (host, g) = best.ok_or(AssignError::NoHostForCt(ct))?;
+            if pick.is_none_or(|(bg, _, _)| g < bg) {
+                pick = Some((g, ct, host));
+            }
+        }
+        let (g, ct, host) = pick.expect("unplaced set is non-empty");
+        Ok(Some((ct, host, g)))
     }
 
     /// Finishes the assignment: validates the placement and computes the

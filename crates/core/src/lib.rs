@@ -22,11 +22,16 @@ pub mod error;
 pub mod system;
 pub mod widest_path;
 
-pub use assignment::{assign_multipath, assign_multipath_diverse, DynamicRankingAssigner};
+pub use assignment::{
+    assign_multipath, assign_multipath_diverse, DynamicRankingAssigner, EvalMode,
+};
 pub use engine::{fewest_hops_path, AssignedPath, PlacementEngine, RoutePolicy};
 pub use error::AssignError;
 pub use system::{
     Admission, AllocationPolicy, PlacedBeApp, PlacedGrApp, RejectReason, SparcleSystem,
     SystemConfig,
 };
-pub use widest_path::{widest_path, widest_path_brute_force, WidestPath};
+pub use widest_path::{
+    widest_path, widest_path_brute_force, widest_path_with, widest_tree, DijkstraScratch,
+    ReverseAdjacency, WidestPath, WidestTree,
+};

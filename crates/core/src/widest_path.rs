@@ -44,7 +44,7 @@ pub fn link_width(capacities: &CapacityMap, load: &LoadMap, link: LinkId, tt_bit
 }
 
 /// Heap entry ordered by width (max-heap).
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Candidate {
     width: f64,
     node: NcpId,
@@ -108,18 +108,38 @@ pub fn widest_path(
     from: NcpId,
     to: NcpId,
 ) -> Option<WidestPath> {
+    let mut scratch = DijkstraScratch::new(network.ncp_count());
+    widest_path_with(&mut scratch, network, capacities, load, tt_bits, from, to)
+}
+
+/// [`widest_path`] over caller-owned buffers: the modified Dijkstra runs
+/// entirely inside `scratch`, so repeated calls (the placement engine's
+/// hot loop) allocate only the returned link vector.
+///
+/// The algorithm, tie-breaking, and returned value are identical to
+/// [`widest_path`] — that function is a thin wrapper over this one.
+pub fn widest_path_with(
+    scratch: &mut DijkstraScratch,
+    network: &Network,
+    capacities: &CapacityMap,
+    load: &LoadMap,
+    tt_bits: f64,
+    from: NcpId,
+    to: NcpId,
+) -> Option<WidestPath> {
     if from == to {
         return Some(WidestPath {
             links: Vec::new(),
             width: f64::INFINITY,
         });
     }
-    let n = network.ncp_count();
-    // φ[v]: best bottleneck width from `from` to v found so far.
-    let mut phi = vec![f64::NEG_INFINITY; n];
-    let mut prev: Vec<Option<(NcpId, LinkId)>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap = BinaryHeap::new();
+    scratch.reset(network.ncp_count());
+    let DijkstraScratch {
+        phi,
+        prev,
+        done,
+        heap,
+    } = scratch;
     phi[from.index()] = f64::INFINITY;
     heap.push(Candidate {
         width: f64::INFINITY,
@@ -139,6 +159,7 @@ pub fn widest_path(
                 at = p;
             }
             links.reverse();
+            heap.clear();
             return Some(WidestPath { links, width });
         }
         for (link, neighbor) in network.neighbors(node) {
@@ -157,6 +178,167 @@ pub fn widest_path(
         }
     }
     None
+}
+
+/// Reusable buffers for the modified Dijkstra: distance (`φ`), parent
+/// pointers, visited flags, and the priority queue. Holding one of these
+/// in the engine makes every inner routing query allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraScratch {
+    /// Best bottleneck width found so far per node.
+    phi: Vec<f64>,
+    prev: Vec<Option<(NcpId, LinkId)>>,
+    done: Vec<bool>,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl DijkstraScratch {
+    /// Creates buffers sized for an `n`-NCP network.
+    pub fn new(n: usize) -> Self {
+        DijkstraScratch {
+            phi: vec![f64::NEG_INFINITY; n],
+            prev: vec![None; n],
+            done: vec![false; n],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Clears all buffers, resizing to `n` nodes if the network grew.
+    fn reset(&mut self, n: usize) {
+        self.phi.clear();
+        self.phi.resize(n, f64::NEG_INFINITY);
+        self.prev.clear();
+        self.prev.resize(n, None);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.heap.clear();
+    }
+}
+
+/// The network's adjacency with every traversable arc reversed.
+///
+/// The batched γ evaluator wants, for one already-placed CT on host
+/// `t`, the widest-path width *from every candidate host `j` to `t`* in
+/// a single sweep. Running Dijkstra from `t` over the reversed arcs
+/// yields exactly those `j → t` widths for all `j` at once (for
+/// undirected links the reversal is a no-op; for directed links it is
+/// what makes the sharing correct).
+#[derive(Debug, Clone)]
+pub struct ReverseAdjacency {
+    adj: Vec<Vec<(LinkId, NcpId)>>,
+}
+
+impl ReverseAdjacency {
+    /// Builds the reversed adjacency for `network`.
+    pub fn new(network: &Network) -> Self {
+        let mut adj = vec![Vec::new(); network.ncp_count()];
+        for u in network.ncp_ids() {
+            for (link, v) in network.neighbors(u) {
+                adj[v.index()].push((link, u));
+            }
+        }
+        ReverseAdjacency { adj }
+    }
+
+    /// Number of nodes covered.
+    pub fn ncp_count(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// A completed single-target widest-path sweep (see
+/// [`widest_tree`]): per-source widths and the witness tree.
+///
+/// `width_from(j)` is bit-identical to
+/// `widest_path(…, j, target).map(|p| p.width)`: both compute the exact
+/// maximum over paths of the minimum per-link width, and no arithmetic
+/// accumulation is involved, so the optimum is a unique `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct WidestTree {
+    phi: Vec<f64>,
+    prev: Vec<Option<(NcpId, LinkId)>>,
+    done: Vec<bool>,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl WidestTree {
+    /// Creates buffers sized for an `n`-NCP network.
+    pub fn new(n: usize) -> Self {
+        WidestTree {
+            phi: vec![f64::NEG_INFINITY; n],
+            prev: vec![None; n],
+            done: vec![false; n],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The widest `from → target` width computed by the last
+    /// [`widest_tree`] run, or `None` when `from` cannot reach the
+    /// target at all.
+    pub fn width_from(&self, from: NcpId) -> Option<f64> {
+        let w = self.phi[from.index()];
+        if w == f64::NEG_INFINITY {
+            None
+        } else {
+            Some(w)
+        }
+    }
+
+    /// Calls `f` for every link of the witness tree (the union of one
+    /// optimal path per reachable source). These are the links a cached
+    /// γ value depends on.
+    pub fn for_each_tree_link(&self, mut f: impl FnMut(LinkId)) {
+        for entry in self.prev.iter().flatten() {
+            f(entry.1);
+        }
+    }
+}
+
+/// Runs the full (no early exit) reversed widest-path Dijkstra from
+/// `target`, filling `tree` with `φ[j] =` widest `j → target` width for
+/// every node `j`, plus the witness tree. Buffers are reused across
+/// calls; nothing is allocated once the tree has warmed up.
+pub fn widest_tree(
+    rev: &ReverseAdjacency,
+    tree: &mut WidestTree,
+    capacities: &CapacityMap,
+    load: &LoadMap,
+    tt_bits: f64,
+    target: NcpId,
+) {
+    let n = rev.adj.len();
+    tree.phi.clear();
+    tree.phi.resize(n, f64::NEG_INFINITY);
+    tree.prev.clear();
+    tree.prev.resize(n, None);
+    tree.done.clear();
+    tree.done.resize(n, false);
+    tree.heap.clear();
+    tree.phi[target.index()] = f64::INFINITY;
+    tree.heap.push(Candidate {
+        width: f64::INFINITY,
+        node: target,
+    });
+    while let Some(Candidate { width, node }) = tree.heap.pop() {
+        if tree.done[node.index()] {
+            continue;
+        }
+        tree.done[node.index()] = true;
+        for &(link, neighbor) in &rev.adj[node.index()] {
+            if tree.done[neighbor.index()] {
+                continue;
+            }
+            let w = width.min(link_width(capacities, load, link, tt_bits));
+            if w > tree.phi[neighbor.index()] {
+                tree.phi[neighbor.index()] = w;
+                tree.prev[neighbor.index()] = Some((node, link));
+                tree.heap.push(Candidate {
+                    width: w,
+                    node: neighbor,
+                });
+            }
+        }
+    }
 }
 
 /// Brute-force widest path by exhaustive DFS over simple paths. Only for

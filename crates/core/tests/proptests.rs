@@ -39,6 +39,51 @@ fn arb_network(max_n: usize) -> impl Strategy<Value = Network> {
         })
 }
 
+/// Strategy: like [`arb_network`] but larger (up to 12 NCPs) and with a
+/// slice of zero-capacity links mixed in — the degenerate widths the
+/// width formula maps to 0 must round-trip through every evaluator path.
+fn arb_network_degenerate(max_n: usize) -> impl Strategy<Value = Network> {
+    (4..=max_n)
+        .prop_flat_map(|n| {
+            let cpus = proptest::collection::vec(10.0f64..1000.0, n);
+            // Roughly one spine link in five is dead (zero capacity).
+            let spine_bw = proptest::collection::vec(
+                prop_oneof![
+                    Just(0.0f64),
+                    5.0f64..500.0,
+                    5.0f64..500.0,
+                    5.0f64..500.0,
+                    5.0f64..500.0
+                ],
+                n - 1,
+            );
+            let extra = proptest::collection::vec(
+                (0..n, 0..n, prop_oneof![Just(0.0f64), 5.0f64..500.0]),
+                0..n,
+            );
+            (Just(n), cpus, spine_bw, extra)
+        })
+        .prop_map(|(_n, cpus, spine_bw, extra)| {
+            let mut b = NetworkBuilder::new();
+            let ids: Vec<NcpId> = cpus
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| b.add_ncp(format!("n{i}"), ResourceVec::cpu(c)))
+                .collect();
+            for (i, w) in ids.windows(2).enumerate() {
+                b.add_link(format!("spine{i}"), w[0], w[1], spine_bw[i])
+                    .expect("valid");
+            }
+            for (k, (x, y, bw)) in extra.into_iter().enumerate() {
+                if x != y {
+                    b.add_link(format!("extra{k}"), ids[x], ids[y], bw)
+                        .expect("valid");
+                }
+            }
+            b.build().expect("connected by construction")
+        })
+}
+
 /// Strategy: a random pipeline application pinned to the first and last
 /// NCP of a network with at least `stages + 2` CTs.
 fn arb_pipeline(max_stages: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
@@ -197,5 +242,92 @@ proptest! {
             let cap = full.link(link);
             prop_assert!(used <= cap * (1.0 + 1e-6) + 1e-9, "{used} > {cap}");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The modified Dijkstra agrees with the exhaustive widest path on
+    /// bigger (up to 12-NCP) graphs carrying nonzero pre-existing load
+    /// and zero-capacity links — the degenerate widths must not confuse
+    /// either search, and the returned optimum must be *exactly* equal
+    /// (both are pure max-min folds over the same link widths, so no
+    /// tolerance is needed).
+    #[test]
+    fn widest_path_matches_brute_force_with_degenerate_links(
+        net in arb_network_degenerate(12),
+        bits in 0.5f64..50.0,
+        loads in proptest::collection::vec(0.5f64..100.0, 30),
+        from in 0u32..12,
+        to in 0u32..12,
+    ) {
+        let caps = net.capacity_map();
+        let mut load = LoadMap::zeroed(&net);
+        for (i, link) in net.link_ids().enumerate() {
+            load.add_tt_load(link, loads[i % loads.len()]);
+        }
+        let n = net.ncp_count() as u32;
+        let (from, to) = (NcpId::new(from % n), NcpId::new(to % n));
+        let fast = widest_path(&net, &caps, &load, bits, from, to);
+        let slow = widest_path_brute_force(&net, &caps, &load, bits, from, to);
+        match (fast, slow) {
+            (Some(f), Some(s)) => {
+                prop_assert_eq!(
+                    f.width.to_bits(), s.width.to_bits(),
+                    "width {} vs brute-force {}", f.width, s.width
+                );
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "reachability mismatch {other:?}"),
+        }
+    }
+
+    /// The γ-cache never serves a stale value: at every Algorithm-2 step,
+    /// on every (unplaced CT, host) probe, the cached batched evaluator
+    /// is bit-identical to the uncached reference — including agreement
+    /// on unroutability — and the committed `rank_round` pick carries the
+    /// reference γ.
+    #[test]
+    fn gamma_cache_is_never_stale(
+        net in arb_network(8),
+        (cpu, bits) in arb_pipeline(5),
+        probes in proptest::collection::vec((0usize..64, 0usize..64), 16),
+        threads in 1usize..4,
+    ) {
+        let n = net.ncp_count() as u32;
+        let app = pipeline_app(&cpu, &bits, NcpId::new(0), NcpId::new(n - 1));
+        let caps = net.capacity_map();
+        let mut engine = PlacementEngine::new(&app, &net, &caps).expect("pins routable");
+        loop {
+            let unplaced = engine.unplaced();
+            if unplaced.is_empty() {
+                break;
+            }
+            for &(ci, hi) in &probes {
+                let ct = unplaced[ci % unplaced.len()];
+                let host = NcpId::new((hi % net.ncp_count()) as u32);
+                let fresh = engine.gamma(ct, host);
+                let cached = engine.gamma_batched(ct, host);
+                match (fresh, cached) {
+                    (Some(f), Some(c)) => prop_assert_eq!(
+                        f.to_bits(), c.to_bits(),
+                        "stale cache for ({:?}, {:?}): {} vs fresh {}", ct, host, c, f
+                    ),
+                    (None, None) => {}
+                    other => prop_assert!(false, "routability mismatch {other:?}"),
+                }
+            }
+            match engine.rank_round(threads) {
+                Ok(Some((ct, host, g))) => {
+                    let fresh = engine.gamma(ct, host).expect("picked host is routable");
+                    prop_assert_eq!(fresh.to_bits(), g.to_bits());
+                    engine.commit(ct, host).expect("picked host is routable");
+                }
+                Ok(None) => prop_assert!(false, "rank_round saw no unplaced CTs"),
+                Err(e) => prop_assert!(false, "rank_round failed: {e}"),
+            }
+        }
+        engine.finish().expect("complete placement validates");
     }
 }

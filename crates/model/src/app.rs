@@ -18,11 +18,10 @@ use crate::error::ModelError;
 use crate::ids::{CtId, NcpId};
 use crate::network::Network;
 use crate::taskgraph::TaskGraph;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// QoE class of an application: Best-Effort or Guaranteed-Rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QoeClass {
     /// Best-Effort: maximize rate, weighted by `priority`; optionally
     /// require that at least one path works with probability
@@ -137,7 +136,7 @@ impl QoeClass {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Application {
     graph: TaskGraph,
     qoe: QoeClass,

@@ -13,12 +13,11 @@
 use crate::ids::{LinkId, NcpId, NetworkElement};
 use crate::network::Network;
 use crate::resources::{ResourceKind, ResourceVec};
-use serde::{Deserialize, Serialize};
 
 /// Per-element capacities `C` — either the full network capacity, a
 /// residual after subtracting previously placed applications, or a
 /// predicted share (eq. (6) of the paper).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CapacityMap {
     ncps: Vec<ResourceVec>,
     links: Vec<f64>,
@@ -204,7 +203,7 @@ impl CapacityMap {
 }
 
 /// Per-element, per-data-unit loads `R` contributed by placed tasks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadMap {
     ncps: Vec<ResourceVec>,
     links: Vec<f64>,

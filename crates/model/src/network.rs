@@ -35,10 +35,9 @@
 use crate::error::ModelError;
 use crate::ids::{LinkId, NcpId, NetworkElement};
 use crate::resources::ResourceVec;
-use serde::{Deserialize, Serialize};
 
 /// Whether a link's bandwidth is shared between both directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LinkDirection {
     /// Bandwidth is shared between both directions (undirected edge).
     #[default]
@@ -48,7 +47,7 @@ pub enum LinkDirection {
 }
 
 /// A networked computing point: one vertex of the computing network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ncp {
     name: String,
     capacity: ResourceVec,
@@ -73,7 +72,7 @@ impl Ncp {
 }
 
 /// A communication link: one edge of the computing network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Link {
     name: String,
     a: NcpId,
@@ -271,7 +270,7 @@ impl NetworkBuilder {
 }
 
 /// An immutable dispersed computing network of NCPs and links.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Network {
     name: String,
     ncps: Vec<Ncp>,

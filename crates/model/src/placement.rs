@@ -16,7 +16,6 @@ use crate::error::{ModelError, RouteError};
 use crate::ids::{CtId, LinkId, NcpId, NetworkElement, TtId};
 use crate::network::Network;
 use crate::taskgraph::TaskGraph;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// An ordered sequence of links carrying one TT between two hosts.
@@ -26,7 +25,7 @@ use std::collections::BTreeSet;
 pub type Route = Vec<LinkId>;
 
 /// One task assignment path: hosts for every CT and routes for every TT.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     ct_hosts: Vec<Option<NcpId>>,
     tt_routes: Vec<Option<Route>>,

@@ -10,7 +10,6 @@
 //! to `f64`. Applications rarely use more than two or three resource types,
 //! so a sorted `Vec` beats a hash map both in speed and determinism.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A kind of consumable resource on a network element.
@@ -26,9 +25,7 @@ use std::fmt;
 /// assert!(ResourceKind::Cpu < ResourceKind::Memory);
 /// assert_eq!(ResourceKind::Custom(3).to_string(), "custom3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum ResourceKind {
     /// Processor cycles (requirements in cycles/data-unit, capacity in Hz).
     #[default]
@@ -69,7 +66,7 @@ impl fmt::Display for ResourceKind {
 /// // Service rate = min over kinds of capacity / requirement:
 /// assert!((cap.rate_supported(&req).unwrap() - 3000.0 / 9880.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ResourceVec {
     entries: Vec<(ResourceKind, f64)>,
 }

@@ -37,11 +37,10 @@
 use crate::error::ModelError;
 use crate::ids::{CtId, TtId};
 use crate::resources::ResourceVec;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A computation task: one vertex of the application DAG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComputationTask {
     name: String,
     requirement: ResourceVec,
@@ -61,7 +60,7 @@ impl ComputationTask {
 }
 
 /// A transport task: one edge of the application DAG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransportTask {
     name: String,
     from: CtId,
@@ -197,7 +196,7 @@ impl TaskGraphBuilder {
 }
 
 /// An immutable, validated application DAG of CTs and TTs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskGraph {
     name: String,
     cts: Vec<ComputationTask>,

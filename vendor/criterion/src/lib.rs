@@ -1,0 +1,301 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supplies the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple calibrated timing loop
+//! instead of criterion's statistical machinery.
+//!
+//! Command-line behavior:
+//!
+//! * `--test` runs every benchmark exactly once (CI smoke mode);
+//! * `--quick` shortens the measurement window;
+//! * a bare positional argument filters benchmarks by substring;
+//! * `--bench`, `--color`, and other harness flags are ignored.
+//!
+//! Results are printed as `name ... time: <median> ns/iter` lines.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers resolve.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Calibrated timing (default).
+    Measure { quick: bool },
+    /// Run each benchmark body once and report nothing (`--test`).
+    Test,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure { quick: false },
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds the driver from `std::env::args` (see crate docs).
+    pub fn from_args() -> Self {
+        let mut mode = Mode::Measure { quick: false };
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => mode = Mode::Test,
+                "--quick" => mode = Mode::Measure { quick: true },
+                "--bench" | "--nocapture" => {}
+                s if s.starts_with("--") => {
+                    // Unknown harness flag; skip a value-looking follower.
+                    if !s.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { mode, filter }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(self.mode, &self.filter, &name, f);
+        self
+    }
+
+    /// Prints the trailing summary (no-op in this stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named collection of benchmarks sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion.mode, &self.criterion.filter, &full, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(self.criterion.mode, &self.criterion.filter, &full, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter(n)` etc.).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` style id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` (or runs it once in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Test {
+            std_black_box(routine());
+            return;
+        }
+        let quick = matches!(self.mode, Mode::Measure { quick: true });
+        let target = if quick {
+            Duration::from_millis(30)
+        } else {
+            Duration::from_millis(200)
+        };
+        // Calibrate: find an iteration count taking ≥ ~1/10 the target.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target / 10 || n >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / n as f64;
+            }
+            n = n.saturating_mul(
+                ((target.as_nanos() as u64 / 5) / (elapsed.as_nanos().max(1) as u64)).clamp(2, 100),
+            );
+        };
+        // Measure: several samples of the calibrated batch; keep the median.
+        let mut samples = Vec::with_capacity(7);
+        samples.push(per_iter);
+        for _ in 0..6 {
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / n as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, filter: &Option<String>, name: &str, mut f: F) {
+    if let Some(needle) = filter {
+        if !name.contains(needle.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mode,
+        ns_per_iter: None,
+    };
+    f(&mut bencher);
+    match (mode, bencher.ns_per_iter) {
+        (Mode::Test, _) => println!("test {name} ... ok"),
+        (_, Some(ns)) => {
+            let (value, unit) = if ns >= 1e9 {
+                (ns / 1e9, "s")
+            } else if ns >= 1e6 {
+                (ns / 1e6, "ms")
+            } else if ns >= 1e3 {
+                (ns / 1e3, "µs")
+            } else {
+                (ns, "ns")
+            };
+            println!("{name:<55} time: {value:>10.3} {unit}/iter");
+        }
+        (_, None) => println!("{name:<55} (no measurement)"),
+    }
+}
+
+/// Groups benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            mode: Mode::Measure { quick: true },
+            ns_per_iter: None,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter.expect("measured") > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            mode: Mode::Test,
+            ns_per_iter: None,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.ns_per_iter.is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of proptest it uses: [`Strategy`] sampling (ranges,
+//! tuples, [`Just`], `prop_map`/`prop_flat_map`/`prop_filter`,
+//! [`collection::vec`], `prop_oneof!`) and the [`proptest!`] /
+//! `prop_assert!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports its test name, case index,
+//!   and seed; re-running is fully deterministic, so the failing input
+//!   can be reproduced by the same binary.
+//! * **Case count**: `PROPTEST_CASES` (env) *overrides* the per-block
+//!   `ProptestConfig::with_cases` value, so CI's nightly tier can raise
+//!   coverage without touching source.
+//! * Generation is driven by the workspace's vendored xoshiro `StdRng`;
+//!   `proptest-regressions` files from upstream are not understood.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Per-block test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to generate per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property (produced by `prop_assert!`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// FNV-1a, used to derive a per-property base seed from its name.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Driver behind the [`proptest!`] macro: runs `case` for each case
+/// index with a deterministic per-case RNG, reporting name/index/seed on
+/// failure. Not intended to be called directly.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let base = name_seed(name);
+    for i in 0..u64::from(cases) {
+        let seed = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match catch_unwind(AssertUnwindSafe(|| case(&mut rng))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                panic!("property '{name}' failed at case {i}/{cases} (seed {seed:#x}): {e}")
+            }
+            Err(payload) => {
+                eprintln!("property '{name}' panicked at case {i}/{cases} (seed {seed:#x})");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments [`ProptestConfig::cases`]
+/// times (see crate docs for the `PROPTEST_CASES` override).
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            // Build each strategy once; sample left-to-right every case.
+            let strategies = ($($strat,)+);
+            $crate::run_cases(&config, stringify!($name), |proptest_rng| {
+                #[allow(irrefutable_let_patterns)]
+                let ($($pat,)+) = $crate::strategy::sample_args(&strategies, proptest_rng);
+                $body
+                Ok(())
+            });
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)) => {};
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (with
+/// formatted context) rather than panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::OneOf::case($strat) ),+
+        ])
+    };
+}

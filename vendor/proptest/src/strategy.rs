@@ -1,0 +1,270 @@
+//! Value-generation strategies (sampling only — no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values of one type.
+///
+/// Upstream proptest builds a lazy value *tree* to support shrinking;
+/// this vendored stand-in samples concrete values directly, which keeps
+/// the combinator API identical at the call sites this workspace uses.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, resampling (up to an internal
+    /// retry bound). `reason` is reported if the filter starves.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn sample(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter starved after 1000 rejections: {}", self.reason);
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct OneOf<V> {
+    cases: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> std::fmt::Debug for OneOf<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OneOf({} cases)", self.cases.len())
+    }
+}
+
+impl<V> OneOf<V> {
+    /// Builds the choice from boxed branches (see `prop_oneof!`).
+    pub fn new(cases: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!cases.is_empty(), "prop_oneof! needs at least one case");
+        OneOf { cases }
+    }
+
+    /// Boxes one branch.
+    pub fn case<S>(strategy: S) -> BoxedStrategy<V>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Box::new(strategy)
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.cases.len());
+        self.cases[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                // Left-to-right, matching upstream's field order.
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+/// Samples a tuple of strategies by reference — the driver behind the
+/// `proptest!` macro's argument binding.
+pub fn sample_args<T: Strategy>(strategies: &T, rng: &mut StdRng) -> T::Value {
+    strategies.sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_combinators_sample_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let strat = (1usize..=5)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec(0.0f64..1.0, n)))
+            .prop_map(|(n, v)| (n, v.len()));
+        for _ in 0..500 {
+            let (n, len) = strat.sample(&mut rng);
+            assert_eq!(n, len);
+            assert!((1..=5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strat = OneOf::new(vec![
+            OneOf::case(Just(0u8)),
+            OneOf::case(Just(1u8)),
+            OneOf::case((2u8..4).prop_map(|x| x)),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..400 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn filter_rejects() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strat = (0u32..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..200 {
+            assert_eq!(strat.sample(&mut rng) % 2, 0);
+        }
+    }
+}
