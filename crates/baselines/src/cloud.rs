@@ -5,8 +5,8 @@
 //! and only the data stream crosses the access network.
 
 use crate::Assigner;
-use sparcle_core::{AssignError, AssignedPath, PlacementEngine, RoutePolicy};
-use sparcle_model::{Application, CapacityMap, NcpId, Network};
+use sparcle_core::{AssignError, AssignedPath, PlacementEngine, RoutePolicy, TraceHandle};
+use sparcle_model::{Application, CapacityMap, CtId, NcpId, Network};
 
 /// Places every unpinned CT on the designated cloud NCP.
 #[derive(Debug, Clone, Copy)]
@@ -38,8 +38,19 @@ impl Assigner for CloudAssigner {
         network: &Network,
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
-        let mut engine = PlacementEngine::new(app, network, capacities)?;
-        for ct in engine.unplaced() {
+        self.assign_traced(app, network, capacities, TraceHandle::none())
+    }
+
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
+        let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
+        let order: Vec<CtId> = engine.unplaced().collect();
+        for ct in order {
             engine.commit_with(ct, self.cloud, RoutePolicy::Widest)?;
         }
         engine.finish()

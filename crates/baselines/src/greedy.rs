@@ -21,7 +21,7 @@ use crate::Assigner;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sparcle_core::{AssignError, AssignedPath, PlacementEngine};
+use sparcle_core::{AssignError, AssignedPath, PlacementEngine, TraceHandle};
 use sparcle_model::{Application, CapacityMap, CtId, Network};
 use std::cell::RefCell;
 
@@ -64,8 +64,9 @@ fn assign_in_order(
     network: &Network,
     capacities: &CapacityMap,
     order: &[CtId],
+    trace: TraceHandle<'_>,
 ) -> Result<AssignedPath, AssignError> {
-    let mut engine = PlacementEngine::new(app, network, capacities)?;
+    let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
     for &ct in order {
         if engine.is_placed(ct) {
             continue;
@@ -100,6 +101,16 @@ impl Assigner for GreedySorted {
         network: &Network,
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
+        self.assign_traced(app, network, capacities, TraceHandle::none())
+    }
+
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
         let graph = app.graph();
         let mut order: Vec<CtId> = graph.ct_ids().collect();
         // Largest requirement first; ties by id for determinism.
@@ -112,7 +123,7 @@ impl Assigner for GreedySorted {
                 .fold(0.0f64, f64::max)
         };
         order.sort_by(|&a, &b| weight(b).total_cmp(&weight(a)).then(a.cmp(&b)));
-        assign_in_order(app, network, capacities, &order)
+        assign_in_order(app, network, capacities, &order, trace)
     }
 }
 
@@ -127,12 +138,22 @@ impl Assigner for GreedyRandom {
         network: &Network,
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
+        self.assign_traced(app, network, capacities, TraceHandle::none())
+    }
+
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
         let mut calls = self.calls.borrow_mut();
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(*calls));
         *calls += 1;
         let mut order: Vec<CtId> = app.graph().ct_ids().collect();
         order.shuffle(&mut rng);
-        assign_in_order(app, network, capacities, &order)
+        assign_in_order(app, network, capacities, &order, trace)
     }
 }
 

@@ -14,7 +14,9 @@
 //! that the bottleneck element limits throughput).
 
 use crate::Assigner;
-use sparcle_core::{fewest_hops_path, AssignError, AssignedPath, PlacementEngine, RoutePolicy};
+use sparcle_core::{
+    fewest_hops_path, AssignError, AssignedPath, PlacementEngine, RoutePolicy, TraceHandle,
+};
 use sparcle_model::{Application, CapacityMap, CtId, Network};
 
 /// HEFT task assignment adapted to per-data-unit latency.
@@ -40,6 +42,16 @@ impl Assigner for HeftAssigner {
         app: &Application,
         network: &Network,
         capacities: &CapacityMap,
+    ) -> Result<AssignedPath, AssignError> {
+        self.assign_traced(app, network, capacities, TraceHandle::none())
+    }
+
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
     ) -> Result<AssignedPath, AssignError> {
         let graph = app.graph();
         let n_ncp = network.ncp_count();
@@ -92,7 +104,7 @@ impl Assigner for HeftAssigner {
         order.sort_by(|&a, &b| rank[b.index()].total_cmp(&rank[a.index()]).then(a.cmp(&b)));
 
         // EFT host selection with per-NCP ready times.
-        let mut engine = PlacementEngine::new(app, network, capacities)?;
+        let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
         let mut ready = vec![0.0f64; n_ncp];
         let mut finish = vec![0.0f64; graph.ct_count()];
         // Pinned CTs finish at their execution time.

@@ -45,7 +45,7 @@ pub use random::RandomAssigner;
 pub use tstorm::TStormAssigner;
 pub use vne::VneAssigner;
 
-use sparcle_core::{AssignError, AssignedPath, DynamicRankingAssigner};
+use sparcle_core::{AssignError, AssignedPath, DynamicRankingAssigner, TraceHandle};
 use sparcle_model::{Application, CapacityMap, Network};
 
 /// Common interface over SPARCLE and every baseline, for sweep harnesses.
@@ -67,6 +67,27 @@ pub trait Assigner: std::fmt::Debug {
         network: &Network,
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError>;
+
+    /// Like [`Assigner::assign`], threading a telemetry handle through
+    /// to the placement engine so commit events and γ-cache counters
+    /// are recorded. The handle is zero-sized (and this method is
+    /// equivalent to [`Assigner::assign`]) when the `telemetry` feature
+    /// is off; every roster member overrides the default to actually
+    /// thread the handle through.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Assigner::assign`].
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
+        let _ = trace;
+        self.assign(app, network, capacities)
+    }
 }
 
 impl Assigner for DynamicRankingAssigner {
@@ -81,6 +102,16 @@ impl Assigner for DynamicRankingAssigner {
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
         DynamicRankingAssigner::assign(self, app, network, capacities)
+    }
+
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
+        self.assign_with_trace(app, network, capacities, trace)
     }
 }
 

@@ -3,8 +3,8 @@
 use crate::Assigner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sparcle_core::{AssignError, AssignedPath, PlacementEngine, RoutePolicy};
-use sparcle_model::{Application, CapacityMap, NcpId, Network};
+use sparcle_core::{AssignError, AssignedPath, PlacementEngine, RoutePolicy, TraceHandle};
+use sparcle_model::{Application, CapacityMap, CtId, NcpId, Network};
 use std::cell::RefCell;
 
 /// Uniformly random CT placement (§V: "the CTs of application are
@@ -37,11 +37,22 @@ impl Assigner for RandomAssigner {
         network: &Network,
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
+        self.assign_traced(app, network, capacities, TraceHandle::none())
+    }
+
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
         let mut calls = self.calls.borrow_mut();
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(*calls));
         *calls += 1;
-        let mut engine = PlacementEngine::new(app, network, capacities)?;
-        for ct in engine.unplaced() {
+        let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
+        let order: Vec<CtId> = engine.unplaced().collect();
+        for ct in order {
             // Draw hosts until one can route to all placed reachable
             // CTs; on a connected network the first draw always works.
             let mut committed = false;

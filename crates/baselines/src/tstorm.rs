@@ -16,7 +16,7 @@
 //! * TTs are routed by hop count, not by load-aware widest paths.
 
 use crate::Assigner;
-use sparcle_core::{AssignError, AssignedPath, PlacementEngine, RoutePolicy};
+use sparcle_core::{AssignError, AssignedPath, PlacementEngine, RoutePolicy, TraceHandle};
 use sparcle_model::{Application, CapacityMap, CtId, Network};
 
 /// Traffic-aware CT placement in the style of T-Storm.
@@ -43,8 +43,18 @@ impl Assigner for TStormAssigner {
         network: &Network,
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
+        self.assign_traced(app, network, capacities, TraceHandle::none())
+    }
+
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
         let graph = app.graph();
-        let mut engine = PlacementEngine::new(app, network, capacities)?;
+        let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
 
         // Descending incident traffic.
         let traffic = |ct: CtId| -> f64 {

@@ -12,7 +12,7 @@
 //! changes the application's achievable rate.
 
 use crate::Assigner;
-use sparcle_core::{AssignError, AssignedPath, PlacementEngine, RoutePolicy};
+use sparcle_core::{AssignError, AssignedPath, PlacementEngine, RoutePolicy, TraceHandle};
 use sparcle_model::{Application, CapacityMap, CtId, NcpId, Network};
 
 /// PageRank damping factor used by the NodeRank iteration.
@@ -74,8 +74,18 @@ impl Assigner for VneAssigner {
         network: &Network,
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
+        self.assign_traced(app, network, capacities, TraceHandle::none())
+    }
+
+    fn assign_traced(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
         let graph = app.graph();
-        let mut engine = PlacementEngine::new(app, network, capacities)?;
+        let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
 
         // Substrate ranking: seed = available CPU × Σ adjacent residual
         // bandwidth.

@@ -6,12 +6,77 @@
 //! report (in practice well below the worst case: the Dijkstra inside is
 //! `O(|L| log |N|)`, not `O(|N|²)`, on these sparse topologies).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sparcle_core::DynamicRankingAssigner;
+use sparcle_core::{DynamicRankingAssigner, PlacementEngine};
 use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper counting allocation calls, so the bench can
+/// assert hot paths stay allocation-free (see [`zero_alloc_check`]).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// `PlacementEngine::unplaced` returns a lazy iterator over the
+/// engine's placement bitmap; iterating it in the steady state of the
+/// ranking loop must never touch the allocator. This drives one full
+/// Algorithm-2 assignment and asserts exactly that after every commit.
+fn zero_alloc_check() {
+    let mut cfg = ScenarioConfig::new(
+        BottleneckCase::Balanced,
+        GraphKind::Linear { stages: 8 },
+        TopologyKind::Star,
+    );
+    cfg.ncps = 16;
+    let scenario = cfg
+        .sample(&mut StdRng::seed_from_u64(7))
+        .expect("valid scenario");
+    let caps = scenario.network.capacity_map();
+    let mut engine =
+        PlacementEngine::new(&scenario.app, &scenario.network, &caps).expect("engine construction");
+    let mut rounds = 0u32;
+    while let Some((ct, host, _gamma)) = engine.rank_round(1).expect("rankable") {
+        engine.commit(ct, host).expect("committable");
+        rounds += 1;
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        let n = black_box(engine.unplaced().count());
+        let after = ALLOC_CALLS.load(Ordering::Relaxed);
+        assert_eq!(
+            before, after,
+            "unplaced() allocated after commit {rounds} ({n} CTs left)"
+        );
+    }
+    assert!(rounds > 0, "the check must exercise at least one commit");
+    println!("zero-alloc check: unplaced() stayed allocation-free over {rounds} commits");
+}
 
 fn bench_network_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("assignment_vs_network_size");
@@ -149,4 +214,12 @@ criterion_group!(
     bench_topologies,
     bench_evaluator_modes
 );
-criterion_main!(benches);
+
+// Hand-rolled `criterion_main!` so the allocation assertion runs before
+// the timed groups.
+fn main() {
+    zero_alloc_check();
+    let mut criterion = Criterion::from_args();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

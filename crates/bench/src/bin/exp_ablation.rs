@@ -21,7 +21,7 @@ use sparcle_alloc::{ConstraintSystem, PriorityLoads, ProportionalFairSolver};
 use sparcle_baselines::{Assigner, GreedySorted};
 use sparcle_bench::{improvement, mean, Table};
 use sparcle_core::{
-    AssignError, AssignedPath, DynamicRankingAssigner, PlacementEngine, RoutePolicy,
+    AssignError, AssignedPath, DynamicRankingAssigner, PlacementEngine, RoutePolicy, TraceHandle,
 };
 use sparcle_model::{Application, CapacityMap, Network};
 use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
@@ -34,33 +34,34 @@ fn assign_with_policy(
     network: &Network,
     capacities: &CapacityMap,
     policy: RoutePolicy,
+    trace: TraceHandle<'_>,
 ) -> Result<AssignedPath, AssignError> {
-    let mut engine = PlacementEngine::new(app, network, capacities)?;
+    let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
     loop {
-        let unplaced = engine.unplaced();
-        if unplaced.is_empty() {
-            break;
-        }
         let mut pick: Option<(f64, sparcle_model::CtId, sparcle_model::NcpId)> = None;
-        for ct in unplaced {
+        for ct in engine.unplaced() {
             let (host, g) = engine.best_host(ct).ok_or(AssignError::NoHostForCt(ct))?;
             if pick.is_none_or(|(bg, _, _)| g < bg) {
                 pick = Some((g, ct, host));
             }
         }
-        let (_, ct, host) = pick.expect("non-empty");
+        let Some((_, ct, host)) = pick else {
+            break;
+        };
         engine.commit_with(ct, host, policy)?;
     }
     engine.finish()
 }
 
 fn main() {
-    routing_ablation();
-    ranking_ablation();
+    let harness = sparcle_bench::ExpHarness::new("exp_ablation");
+    routing_ablation(harness.trace());
+    ranking_ablation(harness.trace());
     prediction_ablation();
+    harness.finish();
 }
 
-fn routing_ablation() {
+fn routing_ablation(trace: TraceHandle<'_>) {
     println!("=== ablation 1: widest-path (Alg. 1) vs hop-count TT routing ===");
     let mut table = Table::new([
         "case",
@@ -76,10 +77,13 @@ fn routing_ablation() {
         for _ in 0..SCENARIOS {
             let s = cfg.sample(&mut rng).expect("valid scenario");
             let caps = s.network.capacity_map();
-            if let Ok(p) = assign_with_policy(&s.app, &s.network, &caps, RoutePolicy::Widest) {
+            if let Ok(p) = assign_with_policy(&s.app, &s.network, &caps, RoutePolicy::Widest, trace)
+            {
                 widest.push(p.rate);
             }
-            if let Ok(p) = assign_with_policy(&s.app, &s.network, &caps, RoutePolicy::FewestHops) {
+            if let Ok(p) =
+                assign_with_policy(&s.app, &s.network, &caps, RoutePolicy::FewestHops, trace)
+            {
                 hops.push(p.rate);
             }
         }
@@ -94,7 +98,7 @@ fn routing_ablation() {
     table.write_csv("ablation_routing");
 }
 
-fn ranking_ablation() {
+fn ranking_ablation(trace: TraceHandle<'_>) {
     println!("\n=== ablation 2: dynamic ranking vs static (GS) order ===");
     let mut table = Table::new(["case", "SPARCLE mean rate", "GS mean rate", "ranking gain"]);
     for case in BottleneckCase::SINGLE_RESOURCE {
@@ -107,7 +111,7 @@ fn ranking_ablation() {
         for _ in 0..SCENARIOS {
             let s = cfg.sample(&mut rng).expect("valid scenario");
             let caps = s.network.capacity_map();
-            if let Ok(p) = Assigner::assign(&sparcle, &s.app, &s.network, &caps) {
+            if let Ok(p) = Assigner::assign_traced(&sparcle, &s.app, &s.network, &caps, trace) {
                 ours.push(p.rate);
             }
             if let Ok(p) = gs.assign(&s.app, &s.network, &caps) {

@@ -20,6 +20,7 @@ const SLOTS: usize = 400;
 const HOLD: usize = 20;
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_admission");
     let cfg = ScenarioConfig::new(
         BottleneckCase::Balanced,
         GraphKind::Linear { stages: 2 },
@@ -84,6 +85,7 @@ fn main() {
     );
 
     flash_crowd(&cfg, &mut rng);
+    harness.finish();
 }
 
 /// A flash crowd: admission holds at baseline, dips during the burst,

@@ -17,6 +17,7 @@ use sparcle_sim::{run_aimd, AimdConfig};
 use sparcle_workloads::face_detection::{face_detection_app, testbed_network};
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_aimd");
     let app = face_detection_app(QoeClass::best_effort(1.0)).expect("valid workload");
     let mut table = Table::new([
         "field BW (Mbps)",
@@ -70,4 +71,5 @@ fn main() {
     println!("wrote {}", path.display());
     let svg = chart.write_svg("extension_aimd");
     println!("wrote {}", svg.display());
+    harness.finish();
 }

@@ -42,6 +42,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 ];
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_all");
     let self_path = std::env::current_exe().expect("current exe path");
     let bin_dir = self_path.parent().expect("exe directory");
     let mut failures = Vec::new();
@@ -66,4 +67,5 @@ fn main() {
         println!("FAILED experiments: {failures:?}");
         std::process::exit(1);
     }
+    harness.finish();
 }

@@ -31,6 +31,7 @@ fn availability(network: &sparcle_model::Network, paths: &[AssignedPath]) -> f64
 }
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_diversity");
     let mut cfg = ScenarioConfig::new(
         BottleneckCase::Balanced,
         GraphKind::Linear { stages: 2 },
@@ -87,4 +88,5 @@ fn main() {
     );
     let path = table.write_csv("extension_diversity");
     println!("wrote {}", path.display());
+    harness.finish();
 }

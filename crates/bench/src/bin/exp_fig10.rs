@@ -60,6 +60,7 @@ fn app() -> Application {
 }
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_fig10");
     let network = star_with_failures();
     let app = app();
     let (paths, _) = assign_multipath(
@@ -111,7 +112,7 @@ fn main() {
         }
         let analytic = analyzer.any_working().expect("small path set");
         let measured = FailureSim::new(200_000, 42)
-            .run(&network, &injected, None)
+            .run_traced(&network, &injected, None, harness.trace())
             .availability;
         t_be.row([
             format!("{k}"),
@@ -153,7 +154,7 @@ fn main() {
         }
         let analytic = analyzer.min_rate(min_rate).expect("small path set");
         let measured = FailureSim::new(200_000, 43)
-            .run(&network, &injected, Some(min_rate))
+            .run_traced(&network, &injected, Some(min_rate), harness.trace())
             .min_rate_availability;
         t_gr.row([
             format!("{k}"),
@@ -178,4 +179,5 @@ fn main() {
     );
     let svg = chart.write_svg("fig10_availability");
     println!("wrote {}", svg.display());
+    harness.finish();
 }

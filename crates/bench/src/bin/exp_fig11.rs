@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 const SCENARIOS: usize = 200;
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_fig11");
     let mut summary = Table::new([
         "case",
         "algorithm",
@@ -117,4 +118,5 @@ fn main() {
     summary.write_csv("fig11_summary");
     let path = cdf_table.write_csv("fig11_cdf");
     println!("wrote {}", path.display());
+    harness.finish();
 }

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 const SCENARIOS: usize = 150;
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_fig12");
     let mut table = Table::new([
         "case",
         "algorithm",
@@ -65,4 +66,5 @@ fn main() {
     println!("{}", table.render());
     let path = table.write_csv("fig12_multi_resource");
     println!("wrote {}", path.display());
+    harness.finish();
 }

@@ -25,6 +25,7 @@ const P1: f64 = 2.0;
 const P2: f64 = 1.0;
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_fig13");
     let cfg = ScenarioConfig::new(
         BottleneckCase::Balanced,
         GraphKind::Diamond,
@@ -110,4 +111,5 @@ fn main() {
     println!(
         "SPARCLE mean utility {sparcle:.3} vs best baseline {best_other:.3} (paper: SPARCLE outperforms all)"
     );
+    harness.finish();
 }

@@ -54,6 +54,7 @@ fn admit_gr(
 }
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_fig14");
     let mut totals: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let mut admitted_counts: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let diamond_cfg = ScenarioConfig::new(
@@ -127,4 +128,5 @@ fn main() {
     println!("{}", table.render());
     let path = table.write_csv("fig14_gr_admission");
     println!("wrote {}", path.display());
+    harness.finish();
 }

@@ -20,7 +20,7 @@ use sparcle_baselines::{
     optimal_assignment, Assigner, CloudAssigner, HeftAssigner, TStormAssigner, VneAssigner,
 };
 use sparcle_bench::svg::LineChart;
-use sparcle_bench::{improvement, Table};
+use sparcle_bench::{improvement, ExpHarness, Table};
 use sparcle_core::DynamicRankingAssigner;
 use sparcle_model::QoeClass;
 use sparcle_sim::{measure_saturated_rate, EmulatorConfig};
@@ -30,6 +30,7 @@ use sparcle_workloads::face_detection::{
 };
 
 fn main() {
+    let harness = ExpHarness::new("exp_fig6");
     print_tables_i_and_ii();
 
     let app = face_detection_app(QoeClass::best_effort(1.0)).expect("valid workload");
@@ -64,14 +65,19 @@ fn main() {
             .rate;
 
         for algo in &algos {
-            let (analytic, measured) = match algo.assign(&app, &network, &caps) {
-                Ok(path) => {
-                    let report =
-                        measure_saturated_rate(&network, app.graph(), &path.placement, &emulator);
-                    (path.rate, report.measured_rate)
-                }
-                Err(_) => (0.0, 0.0),
-            };
+            let (analytic, measured) =
+                match algo.assign_traced(&app, &network, &caps, harness.trace()) {
+                    Ok(path) => {
+                        let report = measure_saturated_rate(
+                            &network,
+                            app.graph(),
+                            &path.placement,
+                            &emulator,
+                        );
+                        (path.rate, report.measured_rate)
+                    }
+                    Err(_) => (0.0, 0.0),
+                };
             table.row([
                 format!("{bw}"),
                 algo.name().to_owned(),
@@ -109,6 +115,7 @@ fn main() {
     println!("wrote {}", svg.display());
 
     headline_claims(&app, &emulator);
+    harness.finish();
 }
 
 fn print_tables_i_and_ii() {

@@ -22,6 +22,7 @@ const SCENARIOS: usize = 100;
 const NCPS: usize = 8;
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_fig8");
     let sparcle = DynamicRankingAssigner::new();
     let mut table = Table::new([
         "topology",
@@ -83,4 +84,5 @@ fn main() {
     chart.series("75th pct", p75);
     let svg = chart.write_svg("fig8_sparcle_over_optimal");
     println!("wrote {}", svg.display());
+    harness.finish();
 }

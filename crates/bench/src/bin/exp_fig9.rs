@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparcle_baselines::standard_roster;
 use sparcle_bench::svg::BarChart;
-use sparcle_bench::{improvement, mean, Table};
+use sparcle_bench::{improvement, mean, ExpHarness, Table};
 use sparcle_sim::EnergyModel;
 use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
 use std::collections::BTreeMap;
@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 const SCENARIOS: usize = 120;
 
 fn main() {
+    let harness = ExpHarness::new("exp_fig9");
     let model = EnergyModel::default();
     let mut table = Table::new([
         "case",
@@ -45,7 +46,12 @@ fn main() {
             let scenario = cfg.sample(&mut rng).expect("valid scenario");
             let caps = scenario.network.capacity_map();
             for algo in &roster {
-                let eff = match algo.assign(&scenario.app, &scenario.network, &caps) {
+                let eff = match algo.assign_traced(
+                    &scenario.app,
+                    &scenario.network,
+                    &caps,
+                    harness.trace(),
+                ) {
                     Ok(path) => {
                         model
                             .evaluate(&scenario.network, &caps, &path.load, path.rate)
@@ -114,4 +120,5 @@ fn main() {
             improvement(s, link_means[name])
         );
     }
+    harness.finish();
 }

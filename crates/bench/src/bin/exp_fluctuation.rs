@@ -25,6 +25,7 @@ use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind}
 const EPOCHS: usize = 300;
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_fluctuation");
     let cfg = ScenarioConfig::new(
         BottleneckCase::Balanced,
         GraphKind::Linear { stages: 3 },
@@ -128,4 +129,5 @@ fn main() {
     println!("{}", table.render());
     let path = table.write_csv("extension_fluctuation");
     println!("wrote {}", path.display());
+    harness.finish();
 }

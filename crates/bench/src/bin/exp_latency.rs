@@ -17,6 +17,7 @@ use sparcle_sim::{
 use sparcle_workloads::face_detection::{face_detection_app, testbed_network, CLOUD};
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_latency");
     let app = face_detection_app(QoeClass::best_effort(1.0)).expect("valid workload");
     let mut table = Table::new([
         "field BW (Mbps)",
@@ -76,4 +77,5 @@ fn main() {
          SPARCLE's field-side placement keeps it in seconds — the latency side of\n\
          the paper's co-location remark."
     );
+    harness.finish();
 }

@@ -17,6 +17,7 @@ const ROUNDS: usize = 50;
 const APPS: usize = 4;
 
 fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_policy");
     let cfg = ScenarioConfig::new(
         BottleneckCase::Balanced,
         GraphKind::Linear { stages: 2 },
@@ -85,4 +86,5 @@ fn main() {
         "\nexpected shape: proportional fairness wins on utility and usually on total\n\
          rate; max-min wins on the minimum per-app rate it protects."
     );
+    harness.finish();
 }

@@ -6,21 +6,22 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sparcle_bench::Table;
-use sparcle_core::DynamicRankingAssigner;
+use sparcle_bench::{ExpHarness, Table};
+use sparcle_core::{DynamicRankingAssigner, TraceHandle};
 use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
 use std::time::Instant;
 
 const REPS: usize = 30;
 
-fn time_assign(cfg: &ScenarioConfig, seed: u64) -> f64 {
+fn time_assign(cfg: &ScenarioConfig, seed: u64, trace: TraceHandle<'_>) -> f64 {
     let scenario = cfg
         .sample(&mut StdRng::seed_from_u64(seed))
         .expect("valid scenario");
     let caps = scenario.network.capacity_map();
     let assigner = DynamicRankingAssigner::new();
-    // Warm up once.
-    let _ = assigner.assign(&scenario.app, &scenario.network, &caps);
+    // Warm up once; the warm-up run carries the trace so the decision
+    // stream holds one assignment per scenario, not REPS duplicates.
+    let _ = assigner.assign_with_trace(&scenario.app, &scenario.network, &caps, trace);
     let start = Instant::now();
     for _ in 0..REPS {
         let _ = assigner
@@ -45,6 +46,7 @@ fn fitted_exponent(points: &[(f64, f64)]) -> f64 {
 }
 
 fn main() {
+    let harness = ExpHarness::new("exp_scaling");
     println!("=== Theorem 2: Algorithm 2 running time (mean of {REPS} runs) ===");
 
     let mut t1 = Table::new(["|N| (NCPs)", "time per assignment (µs)"]);
@@ -56,7 +58,7 @@ fn main() {
             TopologyKind::Star,
         );
         cfg.ncps = ncps;
-        let secs = time_assign(&cfg, 1);
+        let secs = time_assign(&cfg, 1, harness.trace());
         t1.row([format!("{ncps}"), format!("{:.1}", secs * 1e6)]);
         pts.push((ncps as f64, secs));
     }
@@ -75,7 +77,7 @@ fn main() {
             GraphKind::Linear { stages },
             TopologyKind::Star,
         );
-        let secs = time_assign(&cfg, 2);
+        let secs = time_assign(&cfg, 2, harness.trace());
         t2.row([format!("{stages}"), format!("{:.1}", secs * 1e6)]);
         pts.push((stages as f64, secs));
     }
@@ -86,4 +88,5 @@ fn main() {
     );
     let path = t2.write_csv("thm2_vs_graph_size");
     println!("wrote {}", path.display());
+    harness.finish();
 }

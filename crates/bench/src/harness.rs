@@ -1,0 +1,276 @@
+//! Shared CLI arguments and telemetry plumbing for the `exp_*` binaries.
+//!
+//! Every experiment binary accepts the same two flags:
+//!
+//! * `--trace-out <path>` — stream a JSONL telemetry trace (placement
+//!   decisions, commits, sim samples, final counter snapshot) to
+//!   `path`;
+//! * `--summary` — print the end-of-run metrics table (counters and
+//!   timing histograms) to stdout.
+//!
+//! Usage pattern:
+//!
+//! ```no_run
+//! let harness = sparcle_bench::ExpHarness::new("exp_example");
+//! // ... pass `harness.trace()` into assign_traced / simulate_flows_traced ...
+//! harness.finish();
+//! ```
+//!
+//! With the `telemetry` cargo feature disabled both flags are accepted
+//! but inert (a note goes to stderr), so invocations keep working
+//! across feature configurations.
+
+use std::path::PathBuf;
+
+use sparcle_core::TraceHandle;
+
+/// The experiment flags shared by all `exp_*` binaries.
+#[derive(Debug, Clone, Default)]
+pub struct ExpArgs {
+    /// Target of the JSONL trace (`--trace-out <path>`).
+    pub trace_out: Option<PathBuf>,
+    /// Whether to print the end-of-run metrics table (`--summary`).
+    pub summary: bool,
+}
+
+impl ExpArgs {
+    /// Parses the process arguments. Unknown flags are reported to
+    /// stderr and skipped so experiment-specific extensions stay
+    /// possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--trace-out` lacks its path operand.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument list (testable core of
+    /// [`ExpArgs::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--trace-out` lacks its path operand.
+    pub fn parse_from<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(arg) = it.next() {
+            if arg == "--trace-out" {
+                let path = it.next().expect("--trace-out requires a path");
+                out.trace_out = Some(PathBuf::from(path));
+            } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+                out.trace_out = Some(PathBuf::from(path));
+            } else if arg == "--summary" {
+                out.summary = true;
+            } else {
+                eprintln!("note: ignoring unknown argument {arg:?}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(feature = "telemetry")]
+enum Sink {
+    /// No flag given: recording disabled, zero overhead.
+    None,
+    /// `--trace-out`: stream events to a JSONL file.
+    Jsonl(sparcle_telemetry::JsonlRecorder),
+    /// `--summary` alone: keep metrics in memory for the final table.
+    Collect(sparcle_telemetry::CollectRecorder),
+}
+
+/// Per-binary harness owning the trace sink for one experiment run.
+///
+/// Create it first thing in `main`, thread [`ExpHarness::trace`] into
+/// the instrumented entry points, and call [`ExpHarness::finish`] last.
+pub struct ExpHarness {
+    name: &'static str,
+    summary: bool,
+    #[cfg(feature = "telemetry")]
+    sink: Sink,
+}
+
+impl std::fmt::Debug for ExpHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpHarness")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .finish()
+    }
+}
+
+impl ExpHarness {
+    /// Builds the harness from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--trace-out` names an uncreatable file.
+    pub fn new(name: &'static str) -> Self {
+        Self::with_args(name, ExpArgs::parse())
+    }
+
+    /// Builds the harness from pre-parsed arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--trace-out` names an uncreatable file.
+    pub fn with_args(name: &'static str, args: ExpArgs) -> Self {
+        #[cfg(feature = "telemetry")]
+        {
+            use sparcle_telemetry::{CollectRecorder, Event, JsonlRecorder, Recorder};
+            let sink = match &args.trace_out {
+                Some(path) => Sink::Jsonl(
+                    JsonlRecorder::create(path)
+                        .unwrap_or_else(|e| panic!("create trace file {}: {e}", path.display())),
+                ),
+                None if args.summary => Sink::Collect(CollectRecorder::new()),
+                None => Sink::None,
+            };
+            let run_start = Event::RunStart {
+                name: name.to_owned(),
+            };
+            match &sink {
+                Sink::None => {}
+                Sink::Jsonl(r) => r.event(&run_start),
+                Sink::Collect(r) => r.event(&run_start),
+            }
+            ExpHarness {
+                name,
+                summary: args.summary,
+                sink,
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            if args.trace_out.is_some() || args.summary {
+                eprintln!(
+                    "note: {name} built without the `telemetry` feature; \
+                     --trace-out/--summary are inert"
+                );
+            }
+            ExpHarness {
+                name,
+                summary: args.summary,
+            }
+        }
+    }
+
+    /// The handle experiment code threads into `assign_traced`,
+    /// `simulate_flows_traced`, and friends.
+    pub fn trace(&self) -> TraceHandle<'_> {
+        #[cfg(feature = "telemetry")]
+        {
+            match &self.sink {
+                Sink::None => TraceHandle::none(),
+                Sink::Jsonl(r) => TraceHandle::new(r),
+                Sink::Collect(r) => TraceHandle::new(r),
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            TraceHandle::none()
+        }
+    }
+
+    /// Flushes the trace (appending the final counters-only snapshot
+    /// line), prints the `--summary` table, and writes the full
+    /// [`sparcle_telemetry::MetricsSnapshot`] — counters *and* timing
+    /// histograms — to `target/experiments/<name>_metrics.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a trace or metrics write fails (experiment binaries
+    /// want loud failures).
+    pub fn finish(self) {
+        #[cfg(feature = "telemetry")]
+        {
+            use sparcle_telemetry::Json;
+            let snapshot = match self.sink {
+                Sink::None => return,
+                Sink::Jsonl(r) => r.finish().expect("flush trace file"),
+                Sink::Collect(r) => r.snapshot(),
+            };
+            if self.summary {
+                println!("\n=== telemetry summary: {} ===", self.name);
+                println!("{}", snapshot.render_summary());
+            }
+            let result = Json::obj([
+                ("experiment", Json::Str(self.name.to_owned())),
+                ("metrics", snapshot.to_json()),
+            ]);
+            let dir = crate::experiments_dir();
+            std::fs::create_dir_all(&dir).expect("create experiments dir");
+            let path = dir.join(format!("{}_metrics.json", self.name));
+            std::fs::write(&path, result.render() + "\n").expect("write metrics json");
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_flags() {
+        let a = ExpArgs::parse_from(["--summary", "--trace-out", "/tmp/t.jsonl"]);
+        assert!(a.summary);
+        assert_eq!(
+            a.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        let b = ExpArgs::parse_from(["--trace-out=/tmp/u.jsonl"]);
+        assert!(!b.summary);
+        assert_eq!(
+            b.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/u.jsonl"))
+        );
+    }
+
+    #[test]
+    fn defaults_are_off() {
+        let a = ExpArgs::parse_from(Vec::<String>::new());
+        assert!(!a.summary);
+        assert!(a.trace_out.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a path")]
+    fn trace_out_needs_operand() {
+        let _ = ExpArgs::parse_from(["--trace-out"]);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn harness_records_run_start_and_counters() {
+        let args = ExpArgs {
+            trace_out: None,
+            summary: true,
+        };
+        let h = ExpHarness::with_args("unit-test-harness", args);
+        h.trace().counter("test.counter", 3);
+        assert!(h.trace().is_enabled());
+        // finish() prints the summary and writes the metrics JSON.
+        h.finish();
+        let path = crate::experiments_dir().join("unit-test-harness_metrics.json");
+        let contents = std::fs::read_to_string(&path).expect("metrics json written");
+        let json = sparcle_telemetry::parse_json(contents.trim()).expect("valid json");
+        assert_eq!(
+            json.get("experiment").and_then(|j| j.as_str()),
+            Some("unit-test-harness")
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn disabled_harness_hands_out_inert_handles() {
+        let h = ExpHarness::with_args("unit-test-none", ExpArgs::default());
+        assert!(!h.trace().is_enabled());
+        h.finish();
+    }
+}

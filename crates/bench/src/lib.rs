@@ -9,7 +9,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod harness;
 pub mod svg;
+
+pub use harness::{ExpArgs, ExpHarness};
 
 use std::fs;
 use std::io::Write as _;

@@ -18,6 +18,7 @@
 
 use crate::engine::{AssignedPath, PlacementEngine};
 use crate::error::AssignError;
+use crate::trace::TraceHandle;
 use sparcle_model::{Application, CapacityMap, Network};
 
 /// How [`DynamicRankingAssigner`] evaluates γ each ranking round.
@@ -132,24 +133,41 @@ impl DynamicRankingAssigner {
         network: &Network,
         capacities: &CapacityMap,
     ) -> Result<AssignedPath, AssignError> {
-        let mut engine = PlacementEngine::new(app, network, capacities)?;
+        self.assign_with_trace(app, network, capacities, TraceHandle::none())
+    }
+
+    /// [`Self::assign`] with a telemetry handle: the engine records
+    /// per-round placement decisions (candidate γ values, chosen host,
+    /// tie-break reason), commits, and γ-cache counters into it. The
+    /// trace is bit-identical for every [`EvalMode::Cached`] thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::assign`].
+    pub fn assign_with_trace(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<AssignedPath, AssignError> {
+        let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
         match self.mode {
             EvalMode::Reference => loop {
-                let unplaced = engine.unplaced();
-                if unplaced.is_empty() {
-                    break;
-                }
                 // Rank: for each unplaced CT, its best achievable γ;
                 // commit the CT with the smallest best (most constrained
                 // first).
                 let mut pick: Option<(f64, sparcle_model::CtId, sparcle_model::NcpId)> = None;
-                for ct in unplaced {
+                for ct in engine.unplaced() {
                     let (host, g) = engine.best_host(ct).ok_or(AssignError::NoHostForCt(ct))?;
                     if pick.is_none_or(|(bg, _, _)| g < bg) {
                         pick = Some((g, ct, host));
                     }
                 }
-                let (_, ct, host) = pick.expect("non-empty unplaced set");
+                let Some((_, ct, host)) = pick else {
+                    break;
+                };
                 engine.commit(ct, host)?;
             },
             EvalMode::Cached { threads } => {

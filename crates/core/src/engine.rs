@@ -75,6 +75,7 @@
 //! [`crate::DynamicRankingAssigner::reference`]).
 
 use crate::error::AssignError;
+use crate::trace::TraceHandle;
 use crate::widest_path::{
     widest_path, widest_path_with, widest_tree, DijkstraScratch, ReverseAdjacency, WidestTree,
 };
@@ -83,6 +84,11 @@ use sparcle_model::{
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+#[cfg(feature = "telemetry")]
+use sparcle_telemetry::{
+    Candidate, CommitRecord, CtTieBreak, Event, HostTieBreak, PlacementDecision,
+};
 
 /// How [`PlacementEngine::commit_with`] routes transport tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -245,6 +251,14 @@ pub struct PlacementEngine<'a> {
     tree: WidestTree,
     /// Commit-time routing buffers.
     route_scratch: DijkstraScratch,
+    /// Telemetry sink; zero-sized when the `telemetry` feature is off.
+    trace: TraceHandle<'a>,
+    /// Reused across [`Self::rank_round`] calls so the steady-state
+    /// ranking loop allocates nothing.
+    missing_scratch: Vec<CtId>,
+    /// Ranking rounds completed (numbers the decision events).
+    #[cfg(feature = "telemetry")]
+    round: u64,
 }
 
 impl<'a> PlacementEngine<'a> {
@@ -261,6 +275,22 @@ impl<'a> PlacementEngine<'a> {
         app: &'a Application,
         network: &'a Network,
         capacities: &'a CapacityMap,
+    ) -> Result<Self, AssignError> {
+        Self::new_traced(app, network, capacities, TraceHandle::none())
+    }
+
+    /// Like [`Self::new`], with a telemetry handle the engine records
+    /// decision/commit events and γ-cache counters into. Pass
+    /// [`TraceHandle::none`] (or call [`Self::new`]) to trace nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn new_traced(
+        app: &'a Application,
+        network: &'a Network,
+        capacities: &'a CapacityMap,
+        trace: TraceHandle<'a>,
     ) -> Result<Self, AssignError> {
         app.check_against_network(network)?;
         assert_eq!(
@@ -279,11 +309,20 @@ impl<'a> PlacementEngine<'a> {
             cache: vec![None; app.graph().ct_count()],
             tree: WidestTree::new(network.ncp_count()),
             route_scratch: DijkstraScratch::new(network.ncp_count()),
+            trace,
+            missing_scratch: Vec::new(),
+            #[cfg(feature = "telemetry")]
+            round: 0,
         };
         for (&ct, &host) in app.pinned() {
             engine.commit(ct, host)?;
         }
         Ok(engine)
+    }
+
+    /// The telemetry handle this engine records into.
+    pub fn trace(&self) -> TraceHandle<'a> {
+        self.trace
     }
 
     /// The application being placed.
@@ -317,12 +356,15 @@ impl<'a> PlacementEngine<'a> {
     }
 
     /// CTs not yet committed, in id order (the paper's set `C_u`).
-    pub fn unplaced(&self) -> Vec<CtId> {
+    ///
+    /// Allocation-free: the ranking loop calls this every round, so it
+    /// yields ids lazily instead of collecting a fresh `Vec` (the
+    /// scaling bench asserts the steady-state loop allocates nothing).
+    pub fn unplaced(&self) -> impl Iterator<Item = CtId> + '_ {
         self.app
             .graph()
             .ct_ids()
             .filter(|&ct| !self.placed[ct.index()])
-            .collect()
     }
 
     /// The paper's `γ_{i,j}` (eq. (2)): the bottleneck processing rate
@@ -449,27 +491,58 @@ impl<'a> PlacementEngine<'a> {
         let routed = self.route_incident(ct, policy, &mut touched);
         // Invalidate even on a routing error: loads added before the
         // failure are real, and callers may keep using the engine.
+        #[cfg(feature = "telemetry")]
+        let (mut inv_component, mut inv_witness) = (0u64, 0u64);
         for (i, row) in self.cache.iter_mut().enumerate() {
             let stale = affected[i] || row.as_ref().is_some_and(|r| r.witness.intersects(&touched));
             if stale {
+                #[cfg(feature = "telemetry")]
+                if row.is_some() {
+                    if affected[i] {
+                        inv_component += 1;
+                    } else {
+                        inv_witness += 1;
+                    }
+                }
                 *row = None;
             }
         }
-        routed
+        #[cfg(feature = "telemetry")]
+        {
+            self.trace.counter("engine.commits", 1);
+            self.trace
+                .counter("gamma_cache.invalidated_component", inv_component);
+            self.trace
+                .counter("gamma_cache.invalidated_witness", inv_witness);
+            if self.trace.is_enabled() {
+                let (routed_tts, routed_hops) = routed.as_ref().ok().copied().unwrap_or((0, 0));
+                self.trace.event(&Event::Commit(CommitRecord {
+                    ct: ct.index() as u32,
+                    host: host.index() as u32,
+                    invalidated_component: inv_component,
+                    invalidated_witness: inv_witness,
+                    routed_tts,
+                    routed_hops,
+                }));
+            }
+        }
+        routed.map(|_| ())
     }
 
     /// Routes every TT between `ct` and an already-placed direct neighbor
     /// under `policy`, recording routed links in `touched`. TTs go
     /// cheapest-bits first so heavyweight TTs see the most up-to-date
     /// loads last (ordering is a heuristic; the paper routes them one at
-    /// a time).
+    /// a time). Returns `(routed TTs, total link hops)` for telemetry.
     fn route_incident(
         &mut self,
         ct: CtId,
         policy: RoutePolicy,
         touched: &mut LinkSet,
-    ) -> Result<(), AssignError> {
+    ) -> Result<(u64, u64), AssignError> {
         let graph = self.app.graph();
+        let mut routed_tts = 0u64;
+        let mut routed_hops = 0u64;
         let mut incident: Vec<TtId> = graph.incident_edges(ct).collect();
         incident.sort_by(|&a, &b| {
             graph
@@ -507,9 +580,11 @@ impl<'a> PlacementEngine<'a> {
                 self.load.add_tt_load(link, t.bits_per_unit());
                 touched.insert(link);
             }
+            routed_tts += 1;
+            routed_hops += links.len() as u64;
             self.placement.route_tt(tt, links);
         }
-        Ok(())
+        Ok((routed_tts, routed_hops))
     }
 
     /// The read-only state snapshot γ rows are computed from.
@@ -530,6 +605,8 @@ impl<'a> PlacementEngine<'a> {
         if self.cache[ct.index()].is_some() {
             return;
         }
+        #[cfg(feature = "telemetry")]
+        let started = self.trace.is_enabled().then(std::time::Instant::now);
         let view = EvalView {
             graph: self.app.graph(),
             placement: &self.placement,
@@ -541,6 +618,11 @@ impl<'a> PlacementEngine<'a> {
         };
         let row = view.compute_net_row(ct, &mut self.tree);
         self.cache[ct.index()] = Some(row);
+        #[cfg(feature = "telemetry")]
+        if let Some(t0) = started {
+            let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.trace.timing("engine.row_fill_ns", nanos);
+        }
     }
 
     /// [`Self::gamma`] served from the γ-cache: computes (or reuses)
@@ -574,20 +656,40 @@ impl<'a> PlacementEngine<'a> {
         &mut self,
         threads: usize,
     ) -> Result<Option<(CtId, NcpId, f64)>, AssignError> {
-        let unplaced = self.unplaced();
-        if unplaced.is_empty() {
+        // One pass over the graph fills the (reused) missing-row scratch
+        // and counts the unplaced set — no per-round allocation once the
+        // scratch has grown to its high-water mark.
+        let mut missing = std::mem::take(&mut self.missing_scratch);
+        missing.clear();
+        let mut unplaced_count = 0usize;
+        for ct in self.app.graph().ct_ids() {
+            if self.placed[ct.index()] {
+                continue;
+            }
+            unplaced_count += 1;
+            if self.cache[ct.index()].is_none() {
+                missing.push(ct);
+            }
+        }
+        if unplaced_count == 0 {
+            self.missing_scratch = missing;
             return Ok(None);
         }
-        let missing: Vec<CtId> = unplaced
-            .iter()
-            .copied()
-            .filter(|&ct| self.cache[ct.index()].is_none())
-            .collect();
+        #[cfg(feature = "telemetry")]
+        let (cache_hits, cache_misses) = (
+            (unplaced_count - missing.len()) as u64,
+            missing.len() as u64,
+        );
         let workers = threads.max(1).min(missing.len());
         if workers > 1 {
             let view = self.eval_view();
             let next = AtomicUsize::new(0);
             let rows: Mutex<Vec<(CtId, GammaRow)>> = Mutex::new(Vec::with_capacity(missing.len()));
+            // Workers never touch the recorder (so `Recorder` needs no
+            // `Sync` bound): per-row fill times are collected as plain
+            // data and recorded serially after the join.
+            #[cfg(feature = "telemetry")]
+            let fill_ns: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(missing.len()));
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| {
@@ -595,7 +697,13 @@ impl<'a> PlacementEngine<'a> {
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&ct) = missing.get(i) else { break };
+                            #[cfg(feature = "telemetry")]
+                            let started = std::time::Instant::now();
                             let row = view.compute_net_row(ct, &mut tree);
+                            #[cfg(feature = "telemetry")]
+                            fill_ns.lock().expect("timing mutex").push(
+                                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            );
                             rows.lock().expect("row mutex").push((ct, row));
                         }
                     });
@@ -604,17 +712,32 @@ impl<'a> PlacementEngine<'a> {
             for (ct, row) in rows.into_inner().expect("row mutex") {
                 self.cache[ct.index()] = Some(row);
             }
+            #[cfg(feature = "telemetry")]
+            for ns in fill_ns.into_inner().expect("timing mutex") {
+                self.trace.timing("engine.row_fill_ns", ns);
+            }
         } else {
-            for ct in missing {
+            for &ct in &missing {
                 self.ensure_row(ct);
             }
         }
+        missing.clear();
+        self.missing_scratch = missing;
         // Serial merge over the (now complete) rows, reproducing the
         // reference scan's strict-comparison tie-breaks exactly.
+        #[cfg(feature = "telemetry")]
+        let mut candidates: Vec<Candidate> = Vec::new();
+        #[cfg(feature = "telemetry")]
+        let mut ct_tied = false;
         let mut pick: Option<(f64, CtId, NcpId)> = None;
-        for &ct in &unplaced {
+        for ct in self.app.graph().ct_ids() {
+            if self.placed[ct.index()] {
+                continue;
+            }
             let row = self.cache[ct.index()].as_ref().expect("row just ensured");
             let mut best: Option<(NcpId, f64)> = None;
+            #[cfg(feature = "telemetry")]
+            let mut host_tied = false;
             for host in self.network.ncp_ids() {
                 let net = row.net[host.index()];
                 if net == f64::NEG_INFINITY {
@@ -623,14 +746,68 @@ impl<'a> PlacementEngine<'a> {
                 let g = self.host_rate(ct, host).min(net);
                 if best.is_none_or(|(_, bg)| g > bg) {
                     best = Some((host, g));
+                    #[cfg(feature = "telemetry")]
+                    {
+                        host_tied = false;
+                    }
+                } else {
+                    #[cfg(feature = "telemetry")]
+                    if best.is_some_and(|(_, bg)| g == bg) {
+                        host_tied = true;
+                    }
                 }
             }
             let (host, g) = best.ok_or(AssignError::NoHostForCt(ct))?;
+            #[cfg(feature = "telemetry")]
+            if self.trace.is_enabled() {
+                candidates.push(Candidate {
+                    ct: ct.index() as u32,
+                    host: host.index() as u32,
+                    gamma: g,
+                    host_tie: if host_tied {
+                        HostTieBreak::LowerNcpId
+                    } else {
+                        HostTieBreak::UniqueMax
+                    },
+                });
+            }
             if pick.is_none_or(|(bg, _, _)| g < bg) {
                 pick = Some((g, ct, host));
+                #[cfg(feature = "telemetry")]
+                {
+                    ct_tied = false;
+                }
+            } else {
+                #[cfg(feature = "telemetry")]
+                if pick.is_some_and(|(bg, _, _)| g == bg) {
+                    ct_tied = true;
+                }
             }
         }
         let (g, ct, host) = pick.expect("unplaced set is non-empty");
+        #[cfg(feature = "telemetry")]
+        {
+            self.trace.counter("engine.rank_rounds", 1);
+            self.trace.counter("gamma_cache.hits", cache_hits);
+            self.trace.counter("gamma_cache.misses", cache_misses);
+            if self.trace.is_enabled() {
+                self.trace.event(&Event::Decision(PlacementDecision {
+                    round: self.round,
+                    candidates,
+                    ct: ct.index() as u32,
+                    host: host.index() as u32,
+                    gamma: g,
+                    tie_break: if ct_tied {
+                        CtTieBreak::LowerCtId
+                    } else {
+                        CtTieBreak::UniqueMin
+                    },
+                    cache_hits,
+                    cache_misses,
+                }));
+            }
+            self.round += 1;
+        }
         Ok(Some((ct, host, g)))
     }
 
@@ -642,7 +819,7 @@ impl<'a> PlacementEngine<'a> {
     /// Returns [`AssignError::Incomplete`] if CTs remain unplaced, or a
     /// validation error for an internally inconsistent placement (a bug).
     pub fn finish(self) -> Result<AssignedPath, AssignError> {
-        if let Some(&ct) = self.unplaced().first() {
+        if let Some(ct) = self.unplaced().next() {
             return Err(AssignError::Incomplete { ct });
         }
         self.placement
@@ -697,7 +874,7 @@ mod tests {
         assert!(engine.is_placed(CtId::new(0)));
         assert!(!engine.is_placed(CtId::new(1)));
         assert!(engine.is_placed(CtId::new(2)));
-        assert_eq!(engine.unplaced(), vec![CtId::new(1)]);
+        assert_eq!(engine.unplaced().collect::<Vec<_>>(), vec![CtId::new(1)]);
         assert_eq!(
             engine.placement().ct_host(CtId::new(0)),
             Some(NcpId::new(0))

@@ -20,6 +20,7 @@ pub mod assignment;
 pub mod engine;
 pub mod error;
 pub mod system;
+pub mod trace;
 pub mod widest_path;
 
 pub use assignment::{
@@ -27,10 +28,13 @@ pub use assignment::{
 };
 pub use engine::{fewest_hops_path, AssignedPath, PlacementEngine, RoutePolicy};
 pub use error::AssignError;
+#[cfg(feature = "telemetry")]
+pub use sparcle_telemetry as telemetry;
 pub use system::{
     Admission, AllocationPolicy, PlacedBeApp, PlacedGrApp, RejectReason, SparcleSystem,
     SystemConfig,
 };
+pub use trace::TraceHandle;
 pub use widest_path::{
     widest_path, widest_path_brute_force, widest_path_with, widest_tree, DijkstraScratch,
     ReverseAdjacency, WidestPath, WidestTree,

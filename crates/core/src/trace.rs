@@ -1,0 +1,139 @@
+//! The [`TraceHandle`] the engine and its callers thread telemetry
+//! through.
+//!
+//! The handle exists in **both** feature configurations so every public
+//! API that accepts one (`PlacementEngine::new_traced`,
+//! `Assigner::assign_traced`, the sim entry points, …) keeps a single
+//! signature:
+//!
+//! * with the `telemetry` feature **off**, [`TraceHandle`] is a
+//!   zero-sized type and all of its methods are empty `#[inline]` bodies
+//!   — instrumentation call sites compile to nothing;
+//! * with the feature **on**, it wraps an optional
+//!   `&dyn sparcle_telemetry::Recorder`, and a `None` recorder still
+//!   short-circuits every recording path.
+//!
+//! The expensive instrumentation inside the engine (building candidate
+//! sets for decision events, timing row fills) is additionally gated on
+//! `#[cfg(feature = "telemetry")]` + [`TraceHandle::is_enabled`], so
+//! even feature-on builds pay nothing when no recorder is attached.
+
+#[cfg(feature = "telemetry")]
+use sparcle_telemetry::{Event, Recorder};
+
+/// A copyable, possibly-disconnected reference to a telemetry sink.
+///
+/// See the module docs for the two feature configurations. Obtain one
+/// with [`TraceHandle::none`] (always) or [`TraceHandle::new`]
+/// (feature-gated).
+#[derive(Clone, Copy, Default)]
+pub struct TraceHandle<'a> {
+    #[cfg(feature = "telemetry")]
+    recorder: Option<&'a dyn Recorder>,
+    #[cfg(not(feature = "telemetry"))]
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl std::fmt::Debug for TraceHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl<'a> TraceHandle<'a> {
+    /// A disconnected handle: records nothing, costs nothing.
+    #[inline]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A handle recording into `recorder`.
+    #[cfg(feature = "telemetry")]
+    pub fn new(recorder: &'a dyn Recorder) -> Self {
+        TraceHandle {
+            recorder: Some(recorder),
+        }
+    }
+
+    /// Whether a recorder is attached (always `false` with the
+    /// `telemetry` feature off).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        {
+            self.recorder.is_some()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            false
+        }
+    }
+
+    /// The attached recorder, if any.
+    #[cfg(feature = "telemetry")]
+    pub fn recorder(&self) -> Option<&'a dyn Recorder> {
+        self.recorder
+    }
+
+    /// Records a structured event.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub fn event(&self, event: &Event) {
+        if let Some(r) = self.recorder {
+            r.event(event);
+        }
+    }
+
+    /// Increments a named counter.
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(r) = self.recorder {
+            r.counter(name, delta);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = (name, delta);
+        }
+    }
+
+    /// Records a duration (nanoseconds) into a named histogram.
+    #[inline]
+    pub fn timing(&self, name: &str, nanos: u64) {
+        #[cfg(feature = "telemetry")]
+        if let Some(r) = self.recorder {
+            r.timing(name, nanos);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = (name, nanos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled_and_inert() {
+        let t = TraceHandle::none();
+        assert!(!t.is_enabled());
+        t.counter("x", 1);
+        t.timing("y", 2);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn new_records_into_the_sink() {
+        let r = sparcle_telemetry::CollectRecorder::new();
+        let t = TraceHandle::new(&r);
+        assert!(t.is_enabled());
+        t.counter("c", 3);
+        t.event(&Event::RunStart { name: "t".into() });
+        assert_eq!(r.snapshot().counter("c"), 3);
+        assert_eq!(r.events().len(), 1);
+    }
+}

@@ -188,7 +188,7 @@ proptest! {
         let app = pipeline_app(&[cpu], &[bits_in, bits_out], NcpId::new(0), NcpId::new(n - 1));
         let caps = net.capacity_map();
         let mut engine = PlacementEngine::new(&app, &net, &caps).expect("pins routable");
-        let ct = engine.unplaced()[0];
+        let ct = engine.unplaced().next().expect("one unplaced CT");
         let host = NcpId::new(host % n);
         if let Some(gamma) = engine.gamma(ct, host) {
             engine.commit(ct, host).expect("gamma says routable");
@@ -300,7 +300,7 @@ proptest! {
         let caps = net.capacity_map();
         let mut engine = PlacementEngine::new(&app, &net, &caps).expect("pins routable");
         loop {
-            let unplaced = engine.unplaced();
+            let unplaced: Vec<_> = engine.unplaced().collect();
             if unplaced.is_empty() {
                 break;
             }

@@ -154,6 +154,27 @@ mod tests {
     }
 
     #[test]
+    fn equal_timestamps_pop_fifo_across_runs() {
+        // N events scheduled at the same instant must come back in
+        // insertion (FIFO) order, identically on every run — the
+        // determinism the flow simulator's reproducibility rests on.
+        let run = || {
+            let mut q = EventQueue::new();
+            q.schedule(2.0, 1_000u32); // a later straggler
+            for i in 0..100u32 {
+                q.schedule(1.0, i);
+            }
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect::<Vec<u32>>()
+        };
+        let first = run();
+        assert_eq!(first[..100], (0..100).collect::<Vec<u32>>()[..]);
+        assert_eq!(first[100], 1_000);
+        for _ in 0..5 {
+            assert_eq!(run(), first);
+        }
+    }
+
+    #[test]
     fn len_and_empty() {
         let mut q: EventQueue<u8> = EventQueue::new();
         assert!(q.is_empty());

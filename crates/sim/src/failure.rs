@@ -12,8 +12,20 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+#[cfg(feature = "telemetry")]
+use sparcle_core::telemetry::Event;
+use sparcle_core::TraceHandle;
 use sparcle_model::{Network, NetworkElement};
 use std::collections::BTreeSet;
+
+/// Stable trace label of a network element (`"ncp:3"`, `"link:7"`).
+#[cfg(feature = "telemetry")]
+fn element_label(e: NetworkElement) -> String {
+    match e {
+        NetworkElement::Ncp(id) => format!("ncp:{}", id.index()),
+        NetworkElement::Link(id) => format!("link:{}", id.index()),
+    }
+}
 
 /// One path exposed to failure injection.
 #[derive(Debug, Clone)]
@@ -97,6 +109,20 @@ impl FailureSim {
         paths: &[FailurePath],
         min_rate: Option<f64>,
     ) -> FailureStats {
+        self.run_traced(network, paths, min_rate, TraceHandle::none())
+    }
+
+    /// Like [`FailureSim::run`], recording telemetry into `trace`: one
+    /// `sim_element_state` event per up/down transition (elements start
+    /// up) plus epoch/transition counters. Events depend only on the
+    /// seed and inputs, so traces are byte-identical across runs.
+    pub fn run_traced(
+        &self,
+        network: &Network,
+        paths: &[FailurePath],
+        min_rate: Option<f64>,
+        trace: TraceHandle<'_>,
+    ) -> FailureStats {
         // Index the distinct elements across all paths.
         let mut elements: Vec<NetworkElement> = paths
             .iter()
@@ -124,9 +150,29 @@ impl FailureSim {
         let mut available_epochs = 0u64;
         let mut min_rate_epochs = 0u64;
         let mut rate_sum = 0.0;
-        for _ in 0..self.epochs {
+        #[cfg(feature = "telemetry")]
+        let mut prev_up = vec![true; elements.len()];
+        #[cfg(feature = "telemetry")]
+        let mut transitions = 0u64;
+        for epoch in 0..self.epochs {
+            #[cfg(not(feature = "telemetry"))]
+            let _ = epoch;
             for (u, &s) in up.iter_mut().zip(&survival) {
                 *u = rng.gen::<f64>() < s;
+            }
+            #[cfg(feature = "telemetry")]
+            if trace.is_enabled() {
+                for (i, (&is_up, prev)) in up.iter().zip(prev_up.iter_mut()).enumerate() {
+                    if is_up != *prev {
+                        *prev = is_up;
+                        transitions += 1;
+                        trace.event(&Event::SimElementState {
+                            epoch,
+                            element: element_label(elements[i]),
+                            up: is_up,
+                        });
+                    }
+                }
             }
             let mut rate = 0.0;
             let mut any = false;
@@ -143,6 +189,13 @@ impl FailureSim {
                 min_rate_epochs += 1;
             }
             rate_sum += rate;
+        }
+        if trace.is_enabled() {
+            trace.counter("sim.failure.epochs", self.epochs);
+            trace.counter("sim.failure.available_epochs", available_epochs);
+            trace.counter("sim.failure.min_rate_epochs", min_rate_epochs);
+            #[cfg(feature = "telemetry")]
+            trace.counter("sim.failure.transitions", transitions);
         }
         let epochs = self.epochs.max(1);
         FailureStats {

@@ -18,8 +18,16 @@
 use crate::des::EventQueue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+#[cfg(feature = "telemetry")]
+use sparcle_core::telemetry::Event;
+use sparcle_core::TraceHandle;
 use sparcle_model::{CtId, Network, NetworkElement, Placement, TaskGraph, TtId};
 use std::collections::HashMap;
+
+/// Queue-depth samples taken over the horizon while tracing.
+const QUEUE_SAMPLES: u32 = 64;
+/// Buckets of the per-app delivery-rate timeline while tracing.
+const RATE_BUCKETS: usize = 16;
 
 /// How data units are injected at the sources.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,6 +163,24 @@ pub fn simulate_flows_with_elements(
     apps: &[SimApp<'_>],
     config: &FlowSimConfig,
 ) -> (Vec<AppFlowStats>, ElementStats) {
+    simulate_flows_traced(network, apps, config, TraceHandle::none())
+}
+
+/// Like [`simulate_flows_with_elements`], recording telemetry into
+/// `trace`: periodic `sim_queue_depth` samples, a per-app
+/// `sim_app_rate` delivery timeline, and step/unit counters. All
+/// emitted events are deterministic functions of the inputs (and the
+/// arrival seed), so traces are byte-identical across runs.
+///
+/// # Panics
+///
+/// Same as [`simulate_flows`].
+pub fn simulate_flows_traced(
+    network: &Network,
+    apps: &[SimApp<'_>],
+    config: &FlowSimConfig,
+    trace: TraceHandle<'_>,
+) -> (Vec<AppFlowStats>, ElementStats) {
     for app in apps {
         assert!(app.rate >= 0.0, "offered rate must be non-negative");
         assert!(
@@ -162,7 +188,7 @@ pub fn simulate_flows_with_elements(
             "placements must be complete before simulation"
         );
     }
-    let mut sim = FlowSim::new(network, apps, config);
+    let mut sim = FlowSim::new(network, apps, config, trace);
     sim.run();
     sim.finish()
 }
@@ -199,10 +225,25 @@ struct FlowSim<'a> {
     latency_sum: Vec<f64>,
     latency_max: Vec<f64>,
     completed_total: Vec<u64>,
+    // Telemetry (inert when no recorder is attached).
+    trace: TraceHandle<'a>,
+    /// Events popped from the queue so far.
+    processed: u64,
+    /// Next queue-depth sample time (`∞` when tracing is off).
+    next_sample: f64,
+    /// Popped step counts: `[Generate, CtDone, HopDone]`.
+    step_counts: [u64; 3],
+    /// Delivered units per (app, timeline bucket) inside the window.
+    bucket_delivered: Vec<Vec<u64>>,
 }
 
 impl<'a> FlowSim<'a> {
-    fn new(network: &'a Network, apps: &'a [SimApp<'a>], config: &'a FlowSimConfig) -> Self {
+    fn new(
+        network: &'a Network,
+        apps: &'a [SimApp<'a>],
+        config: &'a FlowSimConfig,
+        trace: TraceHandle<'a>,
+    ) -> Self {
         let slots = network.ncp_count() + network.link_count();
         let rng = match config.arrivals {
             ArrivalProcess::Poisson { seed } => Some(StdRng::seed_from_u64(seed)),
@@ -225,6 +266,19 @@ impl<'a> FlowSim<'a> {
             latency_sum: vec![0.0; apps.len()],
             latency_max: vec![0.0; apps.len()],
             completed_total: vec![0; apps.len()],
+            trace,
+            processed: 0,
+            next_sample: if trace.is_enabled() {
+                0.0
+            } else {
+                f64::INFINITY
+            },
+            step_counts: [0; 3],
+            bucket_delivered: if trace.is_enabled() {
+                vec![vec![0; RATE_BUCKETS]; apps.len()]
+            } else {
+                Vec::new()
+            },
         };
         for (i, app) in apps.iter().enumerate() {
             if app.rate > 0.0 {
@@ -356,7 +410,65 @@ impl<'a> FlowSim<'a> {
             let latency = now - birth;
             self.latency_sum[app] += latency;
             self.latency_max[app] = self.latency_max[app].max(latency);
+            if self.trace.is_enabled() {
+                let b = ((now - self.config.warmup) / self.bucket_width()) as usize;
+                self.bucket_delivered[app][b.min(RATE_BUCKETS - 1)] += 1;
+            }
         }
+    }
+
+    /// Width of one delivery-timeline bucket (simulated seconds).
+    fn bucket_width(&self) -> f64 {
+        let window = (self.config.duration - self.config.warmup).max(f64::MIN_POSITIVE);
+        window / RATE_BUCKETS as f64
+    }
+
+    /// Emits a queue-depth sample and advances the sampling clock.
+    fn sample_queue_depth(&mut self, now: f64) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.trace.event(&Event::SimQueueDepth {
+                time: now,
+                depth: self.queue.len() as u64,
+                processed: self.processed,
+            });
+        }
+        self.trace
+            .timing("sim.queue_depth", self.queue.len() as u64);
+        let every = (self.config.duration / f64::from(QUEUE_SAMPLES)).max(f64::MIN_POSITIVE);
+        while self.next_sample <= now {
+            self.next_sample += every;
+        }
+    }
+
+    /// Emits the delivery-rate timeline and the run counters.
+    fn flush_trace(&self) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            let width = self.bucket_width();
+            for (app, buckets) in self.bucket_delivered.iter().enumerate() {
+                for (b, &count) in buckets.iter().enumerate() {
+                    self.trace.event(&Event::SimAppRate {
+                        time: self.config.warmup + (b + 1) as f64 * width,
+                        app: app as u32,
+                        rate: count as f64 / width,
+                    });
+                }
+            }
+        }
+        self.trace
+            .counter("sim.steps.generate", self.step_counts[0]);
+        self.trace.counter("sim.steps.ct_done", self.step_counts[1]);
+        self.trace
+            .counter("sim.steps.hop_done", self.step_counts[2]);
+        self.trace.counter("sim.events.processed", self.processed);
+        self.trace
+            .counter("sim.units.generated", self.generated.iter().sum());
+        self.trace
+            .counter("sim.units.delivered", self.delivered.iter().sum());
     }
 
     fn on_generate(&mut self, now: f64, app: usize) {
@@ -385,10 +497,21 @@ impl<'a> FlowSim<'a> {
                 // `in_flight` reflects the backlog at the horizon.
                 break;
             }
+            self.processed += 1;
+            if now >= self.next_sample {
+                self.sample_queue_depth(now);
+            }
             match step {
-                Step::Generate { app } => self.on_generate(now, app),
-                Step::CtDone { app, unit, ct } => self.on_ct_done(now, app, unit, ct),
+                Step::Generate { app } => {
+                    self.step_counts[0] += 1;
+                    self.on_generate(now, app)
+                }
+                Step::CtDone { app, unit, ct } => {
+                    self.step_counts[1] += 1;
+                    self.on_ct_done(now, app, unit, ct)
+                }
                 Step::HopDone { app, unit, tt, hop } => {
+                    self.step_counts[2] += 1;
                     self.advance_tt(now, app, unit, tt, hop + 1)
                 }
             }
@@ -396,6 +519,7 @@ impl<'a> FlowSim<'a> {
     }
 
     fn finish(self) -> (Vec<AppFlowStats>, ElementStats) {
+        self.flush_trace();
         let window = (self.config.duration - self.config.warmup).max(f64::MIN_POSITIVE);
         let apps = (0..self.apps.len())
             .map(|i| AppFlowStats {

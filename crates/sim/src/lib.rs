@@ -36,8 +36,8 @@ pub use emu::{measure_saturated_rate, EmulationReport, EmulatorConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use failure::{FailurePath, FailureSim, FailureStats};
 pub use flow::{
-    simulate_flows, simulate_flows_with_elements, AppFlowStats, ArrivalProcess, ElementStats,
-    FlowSimConfig, SimApp,
+    simulate_flows, simulate_flows_traced, simulate_flows_with_elements, AppFlowStats,
+    ArrivalProcess, ElementStats, FlowSimConfig, SimApp,
 };
 pub use fluctuation::{CapacitySeries, FluctuationModel};
 pub use latency::{critical_path_latency, mm1_latency};

@@ -1,0 +1,276 @@
+//! The structured event model.
+//!
+//! Events are the **deterministic** part of a telemetry stream: for a
+//! fixed seed and input they must be byte-identical across runs *and
+//! across worker-thread counts* (the differential suite in
+//! `tests/parallel_equivalence.rs` enforces this for the placement
+//! engine). Anything wall-clock-dependent — span durations, per-thread
+//! row-fill times — therefore never appears as an event; it flows
+//! through [`crate::Recorder::timing`] into histograms instead, and
+//! surfaces only in the [`crate::MetricsSnapshot`].
+//!
+//! Events use plain integer ids (`u32` CT/NCP indices) rather than the
+//! model crate's typed ids so this crate stays dependency-free and the
+//! JSONL schema is self-describing.
+
+use crate::json::Json;
+
+/// Why the ranking chose one CT over the rest of the candidate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtTieBreak {
+    /// The chosen CT's best γ was strictly the smallest.
+    UniqueMin,
+    /// At least one other CT tied on best γ; the lowest CT id won.
+    LowerCtId,
+}
+
+impl CtTieBreak {
+    fn as_str(self) -> &'static str {
+        match self {
+            CtTieBreak::UniqueMin => "unique-min",
+            CtTieBreak::LowerCtId => "ct-id",
+        }
+    }
+}
+
+/// Why a candidate's best host won over the other hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostTieBreak {
+    /// The host's γ was strictly the largest.
+    UniqueMax,
+    /// At least one other host tied on γ; the lowest NCP id won.
+    LowerNcpId,
+}
+
+impl HostTieBreak {
+    fn as_str(self) -> &'static str {
+        match self {
+            HostTieBreak::UniqueMax => "unique-max",
+            HostTieBreak::LowerNcpId => "ncp-id",
+        }
+    }
+}
+
+/// One unplaced CT's best option in a ranking round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The candidate CT (index into the task graph).
+    pub ct: u32,
+    /// Its best host (`argmax_j γ`).
+    pub host: u32,
+    /// The γ value that host achieves.
+    pub gamma: f64,
+    /// How the host choice was resolved.
+    pub host_tie: HostTieBreak,
+}
+
+/// One full Algorithm-2 ranking round: the candidate set and the commit
+/// choice it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementDecision {
+    /// Zero-based ranking-round number within one assignment.
+    pub round: u64,
+    /// Per unplaced CT, its best host and γ (the paper's `j*_i`,
+    /// `γ_{i,j*_i}`), in CT-id order.
+    pub candidates: Vec<Candidate>,
+    /// The chosen CT (`argmin_i γ_{i,j*_i}`).
+    pub ct: u32,
+    /// The chosen host.
+    pub host: u32,
+    /// The chosen γ.
+    pub gamma: f64,
+    /// How the CT choice was resolved.
+    pub tie_break: CtTieBreak,
+    /// γ-cache rows served without recomputation this round.
+    pub cache_hits: u64,
+    /// γ-cache rows recomputed this round.
+    pub cache_misses: u64,
+}
+
+/// One committed placement and the cache damage it caused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitRecord {
+    /// The committed CT.
+    pub ct: u32,
+    /// Its host.
+    pub host: u32,
+    /// Cached γ rows dropped because the CT shared the committed CT's
+    /// unplaced component (invalidation rule 1).
+    pub invalidated_component: u64,
+    /// Cached γ rows dropped because a routed link intersected their
+    /// witness set (invalidation rule 2).
+    pub invalidated_witness: u64,
+    /// Transport tasks routed by this commit.
+    pub routed_tts: u64,
+    /// Total link hops across those routes.
+    pub routed_hops: u64,
+}
+
+/// A structured telemetry event. See the module docs for the
+/// determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A run (one experiment binary, one assignment batch, …) started.
+    RunStart {
+        /// Experiment or component name.
+        name: String,
+    },
+    /// One Algorithm-2 ranking round completed.
+    Decision(PlacementDecision),
+    /// One CT was committed.
+    Commit(CommitRecord),
+    /// Sampled DES queue depth (every N processed events).
+    SimQueueDepth {
+        /// Simulated time of the sample.
+        time: f64,
+        /// Pending events in the future-event list.
+        depth: u64,
+        /// Events processed so far.
+        processed: u64,
+    },
+    /// One bucket of an application's delivery-rate timeline.
+    SimAppRate {
+        /// Bucket end time (simulated seconds).
+        time: f64,
+        /// Application index.
+        app: u32,
+        /// Delivered units per second within the bucket.
+        rate: f64,
+    },
+    /// A network element changed failure state between epochs.
+    SimElementState {
+        /// Epoch index.
+        epoch: u64,
+        /// Element label (`"ncp:3"`, `"link:7"`).
+        element: String,
+        /// `true` when the element recovered, `false` when it failed.
+        up: bool,
+    },
+}
+
+impl Event {
+    /// The `type` tag the JSONL line carries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::Decision(_) => "decision",
+            Event::Commit(_) => "commit",
+            Event::SimQueueDepth { .. } => "sim_queue_depth",
+            Event::SimAppRate { .. } => "sim_app_rate",
+            Event::SimElementState { .. } => "sim_element_state",
+        }
+    }
+
+    /// Converts the event to its JSON representation (one trace line).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::RunStart { name } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("name", Json::Str(name.clone())),
+            ]),
+            Event::Decision(d) => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("round", Json::Num(d.round as f64)),
+                ("ct", Json::Num(d.ct as f64)),
+                ("host", Json::Num(d.host as f64)),
+                ("gamma", Json::num(d.gamma)),
+                ("tie_break", Json::Str(d.tie_break.as_str().to_owned())),
+                ("cache_hits", Json::Num(d.cache_hits as f64)),
+                ("cache_misses", Json::Num(d.cache_misses as f64)),
+                (
+                    "candidates",
+                    Json::Arr(
+                        d.candidates
+                            .iter()
+                            .map(|c| {
+                                Json::obj([
+                                    ("ct", Json::Num(c.ct as f64)),
+                                    ("host", Json::Num(c.host as f64)),
+                                    ("gamma", Json::num(c.gamma)),
+                                    ("host_tie", Json::Str(c.host_tie.as_str().to_owned())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Event::Commit(c) => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("ct", Json::Num(c.ct as f64)),
+                ("host", Json::Num(c.host as f64)),
+                (
+                    "invalidated_component",
+                    Json::Num(c.invalidated_component as f64),
+                ),
+                (
+                    "invalidated_witness",
+                    Json::Num(c.invalidated_witness as f64),
+                ),
+                ("routed_tts", Json::Num(c.routed_tts as f64)),
+                ("routed_hops", Json::Num(c.routed_hops as f64)),
+            ]),
+            Event::SimQueueDepth {
+                time,
+                depth,
+                processed,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("depth", Json::Num(*depth as f64)),
+                ("processed", Json::Num(*processed as f64)),
+            ]),
+            Event::SimAppRate { time, app, rate } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("app", Json::Num(*app as f64)),
+                ("rate", Json::num(*rate)),
+            ]),
+            Event::SimElementState { epoch, element, up } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("epoch", Json::Num(*epoch as f64)),
+                ("element", Json::Str(element.clone())),
+                ("up", Json::Bool(*up)),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_serializes_with_required_keys() {
+        let e = Event::Decision(PlacementDecision {
+            round: 2,
+            candidates: vec![Candidate {
+                ct: 1,
+                host: 3,
+                gamma: 4.5,
+                host_tie: HostTieBreak::UniqueMax,
+            }],
+            ct: 1,
+            host: 3,
+            gamma: 4.5,
+            tie_break: CtTieBreak::UniqueMin,
+            cache_hits: 1,
+            cache_misses: 2,
+        });
+        let json = e.to_json();
+        assert_eq!(json.get("type").unwrap().as_str(), Some("decision"));
+        for key in ["round", "ct", "host", "gamma", "tie_break", "candidates"] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        let line = json.render();
+        assert_eq!(crate::json::parse(&line).unwrap(), json);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        let e = Event::RunStart {
+            name: "x".to_owned(),
+        };
+        assert_eq!(e.kind(), "run_start");
+        assert_eq!(e.to_json().get("type").unwrap().as_str(), Some("run_start"));
+    }
+}

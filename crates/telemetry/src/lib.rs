@@ -1,0 +1,109 @@
+//! # sparcle-telemetry
+//!
+//! Zero-dependency structured telemetry for the SPARCLE workspace:
+//! scheduler decision tracing, counters, fixed-bucket histograms, and
+//! JSONL export. See DESIGN.md §7 for the architecture and the
+//! overhead contract.
+//!
+//! The crate splits telemetry into two streams with different
+//! guarantees:
+//!
+//! * **Events** ([`Event`]) are deterministic — pure functions of the
+//!   input and seed, bit-identical across runs and worker-thread
+//!   counts. They form the JSONL trace.
+//! * **Metrics** (counters + histograms, [`MetricsSnapshot`]) may carry
+//!   wall-clock timings. Counters are deterministic and appear in the
+//!   final trace line; histograms never enter the trace.
+//!
+//! Sinks implement [`Recorder`]. The instrumented crates (`sparcle-core`,
+//! `sparcle-sim`) gate every call site behind their own `telemetry`
+//! cargo feature, so with the feature off this crate is not even linked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod schema;
+
+pub use event::{Candidate, CommitRecord, CtTieBreak, Event, HostTieBreak, PlacementDecision};
+pub use json::{parse as parse_json, Json, ParseError};
+pub use metrics::{Histogram, MetricsSnapshot};
+pub use recorder::{CollectRecorder, JsonlRecorder, NoopRecorder, Recorder};
+
+use std::time::Instant;
+
+/// A scope timer: measures monotonic elapsed time from construction and
+/// records it into the recorder's named histogram on [`Span::finish`]
+/// or drop.
+///
+/// ```
+/// use sparcle_telemetry::{CollectRecorder, Span};
+/// let recorder = CollectRecorder::new();
+/// {
+///     let _span = Span::start(&recorder, "work_ns");
+///     // ... timed work ...
+/// }
+/// assert_eq!(recorder.snapshot().histograms["work_ns"].count(), 1);
+/// ```
+pub struct Span<'a> {
+    recorder: &'a dyn Recorder,
+    name: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+impl std::fmt::Debug for Span<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("name", &self.name).finish()
+    }
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing now.
+    pub fn start(recorder: &'a dyn Recorder, name: &'static str) -> Self {
+        Span {
+            recorder,
+            name,
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Stops the span early and records the elapsed nanoseconds.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if !self.done {
+            self.done = true;
+            let nanos = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.recorder.timing(self.name, nanos);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once() {
+        let r = CollectRecorder::new();
+        let span = Span::start(&r, "t_ns");
+        span.finish();
+        {
+            let _implicit = Span::start(&r, "t_ns");
+        }
+        assert_eq!(r.snapshot().histograms["t_ns"].count(), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! The `Recorder` trait and the built-in sinks.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::metrics::{Histogram, MetricsSnapshot};
+
+/// A telemetry sink.
+///
+/// Methods take `&self` so one recorder can be shared behind a plain
+/// reference; implementations use interior mutability. All methods have
+/// no-op defaults, so a sink only implements what it cares about.
+///
+/// The overhead contract: when the `telemetry` feature is off in the
+/// instrumented crates, no `Recorder` is ever constructed or called —
+/// call sites compile away entirely (see DESIGN.md §7).
+pub trait Recorder {
+    /// Records one structured (deterministic) event.
+    fn event(&self, _event: &Event) {}
+
+    /// Increments a named monotonic counter.
+    fn counter(&self, _name: &str, _delta: u64) {}
+
+    /// Records a duration (nanoseconds) into a named histogram.
+    ///
+    /// Timings are wall-clock dependent and therefore never appear in
+    /// the event/trace stream — only in the end-of-run snapshot.
+    fn timing(&self, _name: &str, _nanos: u64) {}
+}
+
+/// The do-nothing sink. Useful as an explicit default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+#[derive(Debug, Default)]
+struct Accum {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Accum {
+    fn counter(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    fn timing(&mut self, name: &str, nanos: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(nanos);
+        } else {
+            let mut h = Histogram::new();
+            h.record(nanos);
+            self.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// An in-memory sink that keeps every event; made for tests that assert
+/// on decision traces and counters (e.g. the thread-count consistency
+/// suite).
+#[derive(Debug, Default)]
+pub struct CollectRecorder {
+    inner: Mutex<(Vec<Event>, Accum)>,
+}
+
+impl CollectRecorder {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events recorded so far, in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().expect("telemetry poisoned").0.clone()
+    }
+
+    /// A snapshot of the counters/histograms recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().expect("telemetry poisoned").1.snapshot()
+    }
+}
+
+impl Recorder for CollectRecorder {
+    fn event(&self, event: &Event) {
+        self.inner
+            .lock()
+            .expect("telemetry poisoned")
+            .0
+            .push(event.clone());
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.inner
+            .lock()
+            .expect("telemetry poisoned")
+            .1
+            .counter(name, delta);
+    }
+
+    fn timing(&self, name: &str, nanos: u64) {
+        self.inner
+            .lock()
+            .expect("telemetry poisoned")
+            .1
+            .timing(name, nanos);
+    }
+}
+
+struct JsonlInner {
+    writer: BufWriter<File>,
+    accum: Accum,
+    error: Option<io::Error>,
+}
+
+/// A sink that streams events as JSON Lines to a file and accumulates
+/// counters/histograms for the final snapshot.
+///
+/// Write errors are latched and surfaced by [`JsonlRecorder::finish`];
+/// recording itself never panics or returns `Result`, so hot paths stay
+/// clean.
+pub struct JsonlRecorder {
+    inner: Mutex<JsonlInner>,
+}
+
+impl std::fmt::Debug for JsonlRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlRecorder").finish_non_exhaustive()
+    }
+}
+
+impl JsonlRecorder {
+    /// Creates (truncates) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlRecorder {
+            inner: Mutex::new(JsonlInner {
+                writer: BufWriter::new(file),
+                accum: Accum::default(),
+                error: None,
+            }),
+        })
+    }
+
+    /// Writes the final counters-only `snapshot` line, flushes, and
+    /// returns the full [`MetricsSnapshot`] (counters *and* histograms).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error encountered during the run, if any.
+    pub fn finish(self) -> io::Result<MetricsSnapshot> {
+        let mut inner = self.inner.into_inner().expect("telemetry poisoned");
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        let snapshot = inner.accum.snapshot();
+        let line = snapshot.to_trace_json().render();
+        inner.writer.write_all(line.as_bytes())?;
+        inner.writer.write_all(b"\n")?;
+        inner.writer.flush()?;
+        Ok(snapshot)
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn event(&self, event: &Event) {
+        let line = event.to_json().render();
+        let mut inner = self.inner.lock().expect("telemetry poisoned");
+        if inner.error.is_some() {
+            return;
+        }
+        let result = inner
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| inner.writer.write_all(b"\n"));
+        if let Err(e) = result {
+            inner.error = Some(e);
+        }
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        self.inner
+            .lock()
+            .expect("telemetry poisoned")
+            .accum
+            .counter(name, delta);
+    }
+
+    fn timing(&self, name: &str, nanos: u64) {
+        self.inner
+            .lock()
+            .expect("telemetry poisoned")
+            .accum
+            .timing(name, nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_recorder_accumulates() {
+        let r = CollectRecorder::new();
+        r.event(&Event::RunStart { name: "t".into() });
+        r.counter("hits", 2);
+        r.counter("hits", 3);
+        r.timing("ns", 128);
+        assert_eq!(r.events().len(), 1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("hits"), 5);
+        assert_eq!(snap.histograms["ns"].count(), 1);
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("sparcle-telemetry-recorder-test.jsonl");
+        let r = JsonlRecorder::create(&path).unwrap();
+        r.event(&Event::RunStart { name: "t".into() });
+        r.counter("commits", 7);
+        let snap = r.finish().unwrap();
+        assert_eq!(snap.counter("commits"), 7);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str(), Some("run_start"));
+        let last = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(last.get("type").unwrap().as_str(), Some("snapshot"));
+        assert_eq!(
+            last.get("counters")
+                .unwrap()
+                .get("commits")
+                .unwrap()
+                .as_num(),
+            Some(7.0)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,136 @@
+//! JSONL trace-schema validation.
+//!
+//! Every line of a trace file must parse as a JSON object carrying a
+//! known `type` tag and that type's required keys. The nightly CI job
+//! runs an experiment binary with `--trace-out` and feeds the file
+//! through [`validate_trace`]; the same routine backs the in-process
+//! schema test, so the checked contract cannot drift from the emitter.
+
+use crate::json::{parse, Json};
+
+/// Required keys per event `type`, mirroring [`crate::Event::to_json`]
+/// and [`crate::MetricsSnapshot::to_trace_json`].
+const SCHEMAS: &[(&str, &[&str])] = &[
+    ("run_start", &["name"]),
+    (
+        "decision",
+        &[
+            "round",
+            "ct",
+            "host",
+            "gamma",
+            "tie_break",
+            "cache_hits",
+            "cache_misses",
+            "candidates",
+        ],
+    ),
+    (
+        "commit",
+        &[
+            "ct",
+            "host",
+            "invalidated_component",
+            "invalidated_witness",
+            "routed_tts",
+            "routed_hops",
+        ],
+    ),
+    ("sim_queue_depth", &["time", "depth", "processed"]),
+    ("sim_app_rate", &["time", "app", "rate"]),
+    ("sim_element_state", &["epoch", "element", "up"]),
+    ("snapshot", &["counters"]),
+];
+
+/// Validates one JSONL trace line. Returns the event's `type` tag.
+///
+/// # Errors
+///
+/// Returns a description when the line is not a JSON object, lacks a
+/// string `type`, names an unknown type, or misses a required key.
+pub fn validate_line(line: &str) -> Result<&'static str, String> {
+    let json = parse(line).map_err(|e| format!("not JSON: {e}"))?;
+    if !matches!(json, Json::Obj(_)) {
+        return Err("line is not a JSON object".to_owned());
+    }
+    let kind = json
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string \"type\" key".to_owned())?;
+    let (tag, required) = SCHEMAS
+        .iter()
+        .find(|(t, _)| *t == kind)
+        .ok_or_else(|| format!("unknown event type {kind:?}"))?;
+    for key in *required {
+        if json.get(key).is_none() {
+            return Err(format!("{kind} event missing required key {key:?}"));
+        }
+    }
+    Ok(tag)
+}
+
+/// Validates a whole trace: every non-empty line must satisfy
+/// [`validate_line`], and the final line must be the `snapshot`.
+///
+/// Returns the number of validated lines.
+///
+/// # Errors
+///
+/// Returns `(line_number, description)` (1-based) for the first
+/// offending line, or line 0 when the trace is empty or does not end in
+/// a snapshot.
+pub fn validate_trace(contents: &str) -> Result<usize, (usize, String)> {
+    let mut count = 0;
+    let mut last_kind = "";
+    for (i, line) in contents.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        last_kind = validate_line(line).map_err(|e| (i + 1, e))?;
+        count += 1;
+    }
+    if count == 0 {
+        return Err((0, "trace is empty".to_owned()));
+    }
+    if last_kind != "snapshot" {
+        return Err((0, format!("trace ends in {last_kind:?}, not \"snapshot\"")));
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectRecorder, Event, Recorder};
+
+    #[test]
+    fn real_events_validate() {
+        let r = CollectRecorder::new();
+        r.event(&Event::RunStart { name: "t".into() });
+        r.event(&Event::SimQueueDepth {
+            time: 1.0,
+            depth: 3,
+            processed: 7,
+        });
+        r.counter("c", 2);
+        let mut trace = String::new();
+        for e in r.events() {
+            trace.push_str(&e.to_json().render());
+            trace.push('\n');
+        }
+        trace.push_str(&r.snapshot().to_trace_json().render());
+        trace.push('\n');
+        assert_eq!(validate_trace(&trace), Ok(3));
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(validate_line("not json").is_err());
+        assert!(validate_line("[1,2]").is_err());
+        assert!(validate_line("{\"type\":\"nope\"}").is_err());
+        assert!(validate_line("{\"type\":\"run_start\"}").is_err());
+        let err = validate_trace("{\"type\":\"run_start\",\"name\":\"x\"}\n").unwrap_err();
+        assert!(err.1.contains("snapshot"), "{err:?}");
+        assert!(validate_trace("").is_err());
+    }
+}

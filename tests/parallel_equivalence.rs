@@ -146,6 +146,66 @@ fn default_assigner_is_cached_and_equivalent() {
     }
 }
 
+/// The telemetry stream obeys the same contract as the placements: the
+/// decision trace (candidate sets, chosen host, γ, tie-break reasons)
+/// and every counter (commits, γ-cache hits/misses, both invalidation
+/// rules) must be identical whether rows are filled by one worker
+/// thread or eight. Only the timing histograms may differ — they hold
+/// wall-clock samples and never enter the trace.
+#[cfg(feature = "telemetry")]
+#[test]
+fn decision_traces_and_counters_identical_across_thread_counts() {
+    use sparcle_core::TraceHandle;
+    use sparcle_telemetry::{CollectRecorder, Event};
+
+    for (label, scenario) in scenario_grid().into_iter().take(8) {
+        let caps = scenario.network.capacity_map();
+        let run = |threads: usize| {
+            let recorder = CollectRecorder::new();
+            DynamicRankingAssigner::with_threads(threads)
+                .assign_with_trace(
+                    &scenario.app,
+                    &scenario.network,
+                    &caps,
+                    TraceHandle::new(&recorder),
+                )
+                .expect("grid head scenarios are feasible");
+            (recorder.events(), recorder.snapshot())
+        };
+        let (events_1, snap_1) = run(1);
+        let (events_8, snap_8) = run(8);
+        assert_eq!(
+            events_1, events_8,
+            "{label}: decision/commit event streams diverged across thread counts"
+        );
+        assert_eq!(
+            snap_1.counters, snap_8.counters,
+            "{label}: counters diverged across thread counts"
+        );
+        // The streams must actually carry the assignment: one decision
+        // per ranked CT, one commit per placed CT (ranked + pinned),
+        // with live cache counters.
+        let decisions = events_1
+            .iter()
+            .filter(|e| matches!(e, Event::Decision(_)))
+            .count();
+        let commits = events_1
+            .iter()
+            .filter(|e| matches!(e, Event::Commit(_)))
+            .count();
+        assert!(decisions > 0, "{label}: no decisions traced");
+        assert!(
+            commits >= decisions,
+            "{label}: fewer commits ({commits}) than ranking rounds ({decisions})"
+        );
+        assert_eq!(snap_1.counter("engine.commits"), commits as u64, "{label}");
+        assert!(
+            snap_1.counter("gamma_cache.hits") + snap_1.counter("gamma_cache.misses") > 0,
+            "{label}: γ-cache counters silent"
+        );
+    }
+}
+
 /// Infeasible instances must fail identically too: the cached scan's
 /// `NoHostForCt` must name the same CT the reference scan stops at.
 #[test]
