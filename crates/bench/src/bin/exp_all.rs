@@ -7,39 +7,7 @@
 
 use std::process::Command;
 
-const EXPERIMENTS: &[(&str, &str)] = &[
-    (
-        "exp_fig6",
-        "Tables I/II + Figure 6: face-detection testbed sweep",
-    ),
-    (
-        "exp_fig8",
-        "Figure 8: SPARCLE vs exhaustive optimum percentiles",
-    ),
-    ("exp_fig9", "Figure 9: energy efficiency"),
-    ("exp_fig10", "Figure 10: BE/GR availability vs #paths"),
-    ("exp_fig11", "Figure 11: rate CDFs across bottleneck cases"),
-    ("exp_fig12", "Figure 12: multi-resource percentiles"),
-    (
-        "exp_fig13",
-        "Figure 13: two-app proportional-fair utility CDF",
-    ),
-    ("exp_fig14", "Figure 14: total admitted GR rate"),
-    ("exp_ablation", "Ablations: routing / ranking / prediction"),
-    ("exp_fluctuation", "Extension: capacity fluctuation (§VI)"),
-    ("exp_latency", "Extension: end-to-end latency analysis"),
-    ("exp_diversity", "Extension: diverse multipath extraction"),
-    ("exp_admission", "Extension: GR admission under churn"),
-    (
-        "exp_policy",
-        "Extension: proportional-fair vs max-min allocation",
-    ),
-    (
-        "exp_aimd",
-        "Extension: AIMD rate control vs analytic bottleneck",
-    ),
-    ("exp_scaling", "Theorem 2: running-time scaling table"),
-];
+use sparcle_bench::EXPERIMENTS;
 
 fn main() {
     let harness = sparcle_bench::ExpHarness::new("exp_all");

@@ -1,0 +1,256 @@
+//! Online runtime experiment: the SLO ledger under churn, per
+//! reconcile policy.
+//!
+//! An edge/hub network with flaky hub links is driven through three
+//! arrival traces (Poisson, diurnal, flash crowd) under two failure
+//! regimes (calm / stormy) while the online runtime reacts with
+//! admission, displacement, and policy-ordered re-placement. For every
+//! `trace × regime × policy` cell the SLO ledger reports GR
+//! violation-seconds, the BE delivered-work integral, reaction
+//! latencies, and placement churn.
+//!
+//! A final determinism section replays one ≥10 000-event timeline with
+//! 1 and 8 γ-evaluator worker threads and asserts the runs are
+//! indistinguishable — byte-identical telemetry event logs when built
+//! with the `telemetry` feature, identical ledgers otherwise.
+//!
+//! ```sh
+//! cargo run --release -p sparcle-bench --bin exp_churn
+//! ```
+
+use sparcle_bench::{svg::BarChart, Table};
+use sparcle_core::TraceHandle;
+use sparcle_model::{
+    Application, LinkDirection, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
+};
+use sparcle_runtime::{
+    FluctuationConfig, ReconcilePolicy, RuntimeConfig, SloLedger, SparcleRuntime,
+};
+use sparcle_sim::FluctuationModel;
+use sparcle_workloads::graphs::linear_task_graph;
+use sparcle_workloads::ArrivalTrace;
+
+/// Four edge hosts, two compute hubs. Every edge host reaches the
+/// fast hub over a flaky link and the slower hub over a more reliable
+/// one, so element failures displace applications without ever
+/// partitioning them.
+fn churn_network(flaky: f64) -> Network {
+    let mut b = NetworkBuilder::new();
+    let edges: Vec<NcpId> = (0..4)
+        .map(|i| b.add_ncp(format!("edge{i}"), ResourceVec::cpu(20.0)))
+        .collect();
+    let fast = b.add_ncp("hub-fast", ResourceVec::cpu(2000.0));
+    let slow = b.add_ncp("hub-slow", ResourceVec::cpu(1500.0));
+    for (i, &e) in edges.iter().enumerate() {
+        b.add_link_full(
+            format!("fast{i}"),
+            e,
+            fast,
+            2e4,
+            LinkDirection::Undirected,
+            flaky,
+        )
+        .expect("valid link");
+        b.add_link_full(
+            format!("slow{i}"),
+            e,
+            slow,
+            8e3,
+            LinkDirection::Undirected,
+            flaky / 4.0,
+        )
+        .expect("valid link");
+    }
+    b.build().expect("valid network")
+}
+
+/// Deterministic per-index application mix: every third arrival is
+/// Guaranteed-Rate, Best-Effort priorities cycle 1..=4, endpoints walk
+/// around the edge hosts.
+fn churn_app(index: u64) -> Application {
+    let graph = if index.is_multiple_of(2) {
+        linear_task_graph(&[60.0], &[1200.0, 600.0])
+    } else {
+        linear_task_graph(&[40.0, 40.0], &[1000.0, 800.0, 400.0])
+    }
+    .expect("valid graph");
+    let (src, sink) = (graph.sources()[0], graph.sinks()[0]);
+    let qoe = if index.is_multiple_of(3) {
+        QoeClass::guaranteed_rate(1.5, 0.5)
+    } else {
+        QoeClass::best_effort(1.0 + (index % 4) as f64)
+    };
+    let src_host = NcpId::new((index % 4) as u32);
+    let sink_host = NcpId::new(((index + 1) % 4) as u32);
+    Application::new(graph, qoe, [(src, src_host), (sink, sink_host)]).expect("valid app")
+}
+
+fn run_cell(
+    trace: &ArrivalTrace,
+    flaky: f64,
+    policy: ReconcilePolicy,
+    horizon: f64,
+    sink: TraceHandle<'_>,
+) -> (SloLedger, u64) {
+    let config = RuntimeConfig {
+        horizon,
+        failure_seed: 0xc0de,
+        hold_seed: 0x601d,
+        mean_hold: 25.0,
+        policy,
+        fluctuation: Some(FluctuationConfig {
+            model: FluctuationModel {
+                floor: 0.6,
+                step: 0.05,
+                seed: 9,
+            },
+            period: 5.0,
+        }),
+        ..RuntimeConfig::default()
+    };
+    let arrivals = trace.events(horizon, 0xa11);
+    let mut rt = SparcleRuntime::new(churn_network(flaky), arrivals, churn_app, config);
+    let ledger = rt.run_traced(sink).clone();
+    (ledger, rt.events_processed())
+}
+
+/// One high-churn timeline with ≥10 000 events; returns the rendered
+/// event log (telemetry builds) or the debug-formatted ledger.
+fn determinism_run(threads: usize) -> (String, u64) {
+    let mut config = RuntimeConfig {
+        horizon: 600.0,
+        failure_seed: 0xfa17,
+        hold_seed: 0x401d,
+        mean_hold: 20.0,
+        policy: ReconcilePolicy::GammaImpact,
+        fluctuation: Some(FluctuationConfig {
+            model: FluctuationModel {
+                floor: 0.6,
+                step: 0.05,
+                seed: 9,
+            },
+            period: 0.4,
+        }),
+        ..RuntimeConfig::default()
+    };
+    config.system.assigner_threads = threads;
+    let arrivals = ArrivalTrace::Poisson { rate: 10.0 }.events(config.horizon, 0xbeef);
+    let mut rt = SparcleRuntime::new(churn_network(0.08), arrivals, churn_app, config);
+
+    #[cfg(feature = "telemetry")]
+    {
+        let recorder = sparcle_telemetry::CollectRecorder::new();
+        rt.run_traced(sparcle_core::TraceHandle::new(&recorder));
+        let mut log = String::new();
+        for event in recorder.events() {
+            log.push_str(&event.to_json().render());
+            log.push('\n');
+        }
+        (log, rt.events_processed())
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let ledger = rt.run().clone();
+        (format!("{ledger:?}"), rt.events_processed())
+    }
+}
+
+fn main() {
+    let harness = sparcle_bench::ExpHarness::new("exp_churn");
+    let horizon = 150.0;
+    let traces = [
+        ("poisson", ArrivalTrace::Poisson { rate: 1.2 }),
+        (
+            "diurnal",
+            ArrivalTrace::Diurnal {
+                rate: 1.2,
+                depth: 0.8,
+                period: 50.0,
+            },
+        ),
+        (
+            "flash",
+            ArrivalTrace::FlashCrowd {
+                rate: 0.8,
+                burst_rate: 4.0,
+                burst_start: 60.0,
+                burst_end: 80.0,
+            },
+        ),
+    ];
+    let regimes = [("calm", 0.02), ("stormy", 0.10)];
+    let policies = [
+        ReconcilePolicy::Fifo,
+        ReconcilePolicy::Priority,
+        ReconcilePolicy::GammaImpact,
+    ];
+
+    let mut table = Table::new([
+        "trace",
+        "regime",
+        "policy",
+        "arrivals",
+        "admitted",
+        "displaced",
+        "restores",
+        "churn",
+        "gr_viol_s",
+        "be_integral",
+        "mean_latency_s",
+        "events",
+    ]);
+    let mut chart = BarChart::new(
+        "exp_churn: GR violation-seconds by reconcile policy",
+        "trace / regime",
+        "GR violation-seconds",
+    );
+    let mut policy_viol: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+
+    for (trace_name, trace) in &traces {
+        for (regime_name, flaky) in &regimes {
+            chart.category(format!("{trace_name}/{regime_name}"));
+            for (p, policy) in policies.iter().enumerate() {
+                let (ledger, events) = run_cell(trace, *flaky, *policy, horizon, harness.trace());
+                harness.trace().counter("exp_churn.cells", 1);
+                policy_viol[p].push(ledger.total_gr_violation_seconds());
+                table.row([
+                    (*trace_name).to_owned(),
+                    (*regime_name).to_owned(),
+                    policy.label().to_owned(),
+                    ledger.arrivals().to_string(),
+                    ledger.admitted().to_string(),
+                    ledger.displacements().to_string(),
+                    ledger.restores().to_string(),
+                    ledger.placement_churn().to_string(),
+                    format!("{:.2}", ledger.total_gr_violation_seconds()),
+                    format!("{:.0}", ledger.be_rate_integral()),
+                    format!("{:.3}", ledger.mean_reaction_latency()),
+                    events.to_string(),
+                ]);
+            }
+        }
+    }
+    for (p, policy) in policies.iter().enumerate() {
+        chart.series(policy.label(), policy_viol[p].clone());
+    }
+
+    println!("{}", table.render());
+    let csv = table.write_csv("exp_churn");
+    println!("wrote {}", csv.display());
+    let svg = chart.write_svg("exp_churn_gr_violation");
+    println!("wrote {}", svg.display());
+
+    // Determinism acceptance check: the same 10k-event timeline must be
+    // indistinguishable whether the γ evaluator uses 1 or 8 workers.
+    let (log1, events1) = determinism_run(1);
+    let (log8, events8) = determinism_run(8);
+    assert!(
+        events1 >= 10_000,
+        "determinism timeline too small: {events1} events"
+    );
+    assert_eq!(events1, events8, "event counts diverged across threads");
+    assert_eq!(log1, log8, "runtime event log diverged across threads");
+    println!("determinism: OK ({events1} events, 1 vs 8 threads, identical logs)");
+
+    harness.finish();
+}

@@ -14,6 +14,50 @@ pub mod svg;
 
 pub use harness::{ExpArgs, ExpHarness};
 
+/// The experiment registry: every `exp_*` binary of this crate (except
+/// the `exp_all` driver itself) with a one-line description.
+///
+/// `exp_all` iterates this list, and `tests/exp_list.rs` asserts it
+/// stays in sync with the binaries actually present in `src/bin/` — add
+/// new experiments here.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    (
+        "exp_fig6",
+        "Tables I/II + Figure 6: face-detection testbed sweep",
+    ),
+    (
+        "exp_fig8",
+        "Figure 8: SPARCLE vs exhaustive optimum percentiles",
+    ),
+    ("exp_fig9", "Figure 9: energy efficiency"),
+    ("exp_fig10", "Figure 10: BE/GR availability vs #paths"),
+    ("exp_fig11", "Figure 11: rate CDFs across bottleneck cases"),
+    ("exp_fig12", "Figure 12: multi-resource percentiles"),
+    (
+        "exp_fig13",
+        "Figure 13: two-app proportional-fair utility CDF",
+    ),
+    ("exp_fig14", "Figure 14: total admitted GR rate"),
+    ("exp_ablation", "Ablations: routing / ranking / prediction"),
+    ("exp_fluctuation", "Extension: capacity fluctuation (§VI)"),
+    ("exp_latency", "Extension: end-to-end latency analysis"),
+    ("exp_diversity", "Extension: diverse multipath extraction"),
+    ("exp_admission", "Extension: GR admission under churn"),
+    (
+        "exp_policy",
+        "Extension: proportional-fair vs max-min allocation",
+    ),
+    (
+        "exp_aimd",
+        "Extension: AIMD rate control vs analytic bottleneck",
+    ),
+    ("exp_scaling", "Theorem 2: running-time scaling table"),
+    (
+        "exp_churn",
+        "Online runtime: SLO ledger under churn, per reconcile policy",
+    ),
+];
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;

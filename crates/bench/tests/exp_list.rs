@@ -1,0 +1,51 @@
+//! Guards the experiment registry: `sparcle_bench::EXPERIMENTS` must
+//! list exactly the `exp_*` binaries present in `src/bin/` (minus the
+//! `exp_all` driver itself), so `exp_all` can never silently skip a
+//! newly added experiment.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+#[test]
+fn registry_matches_binaries_on_disk() {
+    let bin_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let on_disk: BTreeSet<String> = std::fs::read_dir(&bin_dir)
+        .expect("read src/bin")
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .expect("file stem")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+
+    let mut registered: BTreeSet<String> = sparcle_bench::EXPERIMENTS
+        .iter()
+        .map(|(name, _)| (*name).to_owned())
+        .collect();
+    assert_eq!(
+        registered.len(),
+        sparcle_bench::EXPERIMENTS.len(),
+        "duplicate names in EXPERIMENTS"
+    );
+    registered.insert("exp_all".to_owned()); // the driver runs the list
+
+    assert_eq!(
+        registered, on_disk,
+        "EXPERIMENTS registry out of sync with src/bin/ \
+         (add new binaries to sparcle_bench::EXPERIMENTS)"
+    );
+}
+
+#[test]
+fn registry_descriptions_are_nonempty() {
+    for (name, what) in sparcle_bench::EXPERIMENTS {
+        assert!(
+            name.starts_with("exp_"),
+            "experiment binaries are exp_*: {name}"
+        );
+        assert!(!what.is_empty(), "{name} needs a description");
+    }
+}

@@ -31,8 +31,8 @@ pub use error::AssignError;
 #[cfg(feature = "telemetry")]
 pub use sparcle_telemetry as telemetry;
 pub use system::{
-    Admission, AllocationPolicy, PlacedBeApp, PlacedGrApp, RejectReason, SparcleSystem,
-    SystemConfig,
+    Admission, AllocationPolicy, DisplacedApp, PlacedBeApp, PlacedGrApp, RejectReason,
+    SparcleSystem, SystemConfig,
 };
 pub use trace::TraceHandle;
 pub use widest_path::{

@@ -52,6 +52,10 @@ pub struct SystemConfig {
     pub solver: ProportionalFairSolver,
     /// How Best-Effort rates are shared.
     pub allocation_policy: AllocationPolicy,
+    /// Worker threads of the γ evaluator
+    /// ([`crate::EvalMode::Cached`]); results are bit-identical for
+    /// every thread count.
+    pub assigner_threads: usize,
 }
 
 impl Default for SystemConfig {
@@ -61,6 +65,63 @@ impl Default for SystemConfig {
             min_path_rate: 1e-9,
             solver: ProportionalFairSolver::new(),
             allocation_policy: AllocationPolicy::ProportionalFair,
+            assigner_threads: 1,
+        }
+    }
+}
+
+/// An application lifted out of the system by [`SparcleSystem::displace`]
+/// with its placement intact, ready for [`SparcleSystem::readmit`] (which
+/// reinstates the exact placement if it still fits) or for a fresh
+/// [`SparcleSystem::submit`] of [`DisplacedApp::application`] (which
+/// re-runs the full pipeline).
+#[derive(Debug, Clone)]
+pub enum DisplacedApp {
+    /// A displaced Guaranteed-Rate application.
+    Gr(PlacedGrApp),
+    /// A displaced Best-Effort application.
+    Be(PlacedBeApp),
+}
+
+impl DisplacedApp {
+    /// The id the application held (preserved by
+    /// [`SparcleSystem::readmit`]).
+    pub fn id(&self) -> AppId {
+        match self {
+            DisplacedApp::Gr(a) => a.id,
+            DisplacedApp::Be(a) => a.id,
+        }
+    }
+
+    /// The application as originally submitted.
+    pub fn application(&self) -> &Application {
+        match self {
+            DisplacedApp::Gr(a) => &a.app,
+            DisplacedApp::Be(a) => &a.app,
+        }
+    }
+
+    /// `true` for a Guaranteed-Rate application.
+    pub fn is_gr(&self) -> bool {
+        matches!(self, DisplacedApp::Gr(_))
+    }
+
+    /// The rate the application carried when displaced (GR: the
+    /// guaranteed rate; BE: the last allocated rate). Reconcile policies
+    /// use this as the γ-impact ordering key.
+    pub fn displaced_rate(&self) -> f64 {
+        match self {
+            DisplacedApp::Gr(a) => a.guaranteed_rate(),
+            DisplacedApp::Be(a) => a.allocated_rate,
+        }
+    }
+
+    /// The scheduling weight (GR applications outrank every BE one;
+    /// among BE, the proportional-fair priority decides).
+    pub fn priority_rank(&self) -> f64 {
+        match self {
+            DisplacedApp::Gr(_) => f64::INFINITY,
+            DisplacedApp::Be(a) => a.priority,
         }
     }
 }
@@ -132,6 +193,12 @@ pub enum RejectReason {
     /// The proportional-fair allocation failed (e.g. a path was left
     /// with zero capacity).
     AllocationFailed(String),
+    /// A [`SparcleSystem::readmit`] found that the preserved placement
+    /// no longer fits the current capacities.
+    PlacementUnfit {
+        /// Index of the first path that no longer fits.
+        path: usize,
+    },
 }
 
 /// The outcome of submitting an application.
@@ -218,10 +285,11 @@ impl SparcleSystem {
         let current_capacities = network.capacity_map();
         let gr_residual = current_capacities.clone();
         let priority_loads = PriorityLoads::zeroed(&network);
+        let assigner = DynamicRankingAssigner::with_threads(config.assigner_threads.max(1));
         SparcleSystem {
             network,
             config,
-            assigner: DynamicRankingAssigner::new(),
+            assigner,
             current_capacities,
             gr_residual,
             be_apps: Vec::new(),
@@ -446,8 +514,21 @@ impl SparcleSystem {
     /// re-allocation of the remaining BE applications. Returns `false`
     /// when the id is unknown.
     pub fn remove(&mut self, id: AppId) -> bool {
+        self.displace(id).is_some()
+    }
+
+    /// Removes an admitted application like [`SparcleSystem::remove`],
+    /// but hands back the full placed entry so the caller can later
+    /// [`SparcleSystem::readmit`] it (exact placement) or resubmit
+    /// [`DisplacedApp::application`] from scratch. Returns `None` for an
+    /// unknown id.
+    ///
+    /// This is the churn runtime's displacement primitive: when a
+    /// network element fails, every application whose paths cross it is
+    /// displaced, queued, and re-placed by the reconcile policy.
+    pub fn displace(&mut self, id: AppId) -> Option<DisplacedApp> {
         if let Some(pos) = self.gr_apps.iter().position(|a| a.id == id) {
-            self.gr_apps.remove(pos);
+            let entry = self.gr_apps.remove(pos);
             // Rebuild the residual from the current capacities rather
             // than adding the departed loads back: after a capacity
             // fluctuation, addition would manufacture phantom capacity
@@ -456,16 +537,110 @@ impl SparcleSystem {
             if !self.be_apps.is_empty() {
                 let _ = self.solve_be_allocation();
             }
-            return true;
+            return Some(DisplacedApp::Gr(entry));
         }
         if let Some(pos) = self.be_apps.iter().position(|a| a.id == id) {
             let entry = self.be_apps.remove(pos);
             self.priority_loads
                 .remove_app(&entry.combined_load, entry.priority);
             let _ = self.solve_be_allocation();
-            return true;
+            return Some(DisplacedApp::Be(entry));
         }
-        false
+        None
+    }
+
+    /// Reinstates a displaced application with its *original* placement
+    /// and id, without re-running task assignment.
+    ///
+    /// * **GR**: every path's reservation must still fit the current
+    ///   GR-residual capacities (checked sequentially, all-or-nothing);
+    ///   on success the reservations are re-subtracted exactly as
+    ///   admission did, so capacity accounting round-trips bit-for-bit.
+    /// * **BE**: the placement is reinstalled and problem (4) re-solved;
+    ///   a solver failure rolls back and rejects.
+    ///
+    /// This is the cheap path after a transient failure: if the element
+    /// recovered, the old placement is still optimal-enough and costs no
+    /// γ evaluation. A rejection leaves the system untouched — fall back
+    /// to `submit(displaced.application().clone())` for a fresh search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the displaced id is still admitted (double readmit).
+    pub fn readmit(&mut self, displaced: DisplacedApp) -> Admission {
+        let id = displaced.id();
+        assert!(
+            self.gr_apps.iter().all(|a| a.id != id) && self.be_apps.iter().all(|a| a.id != id),
+            "readmit of an id that is still admitted: {id:?}"
+        );
+        // Keep fresh ids from colliding with the preserved one.
+        self.next_id = self.next_id.max(id.as_u32() + 1);
+        match displaced {
+            DisplacedApp::Gr(entry) => {
+                let mut residual = self.gr_residual.clone();
+                for (i, (path, rate)) in entry.paths.iter().enumerate() {
+                    if residual.bottleneck_rate(&path.load) + 1e-9 < *rate {
+                        return Admission::Rejected(RejectReason::PlacementUnfit { path: i });
+                    }
+                    residual.subtract_load(&path.load, *rate);
+                }
+                self.gr_residual = residual;
+                self.gr_apps.push(entry);
+                if !self.be_apps.is_empty() {
+                    let _ = self.solve_be_allocation();
+                }
+                Admission::Admitted(id)
+            }
+            DisplacedApp::Be(mut entry) => {
+                entry.allocated_rate = 0.0;
+                self.priority_loads
+                    .add_app(&entry.combined_load, entry.priority);
+                self.be_apps.push(entry);
+                if let Err(e) = self.solve_be_allocation() {
+                    let entry = self.be_apps.pop().expect("just pushed");
+                    self.priority_loads
+                        .remove_app(&entry.combined_load, entry.priority);
+                    let _ = self.solve_be_allocation();
+                    return Admission::Rejected(RejectReason::AllocationFailed(e.to_string()));
+                }
+                Admission::Admitted(id)
+            }
+        }
+    }
+
+    /// Ids of all admitted applications (GR first, then BE, each in
+    /// admission order).
+    pub fn app_ids(&self) -> Vec<AppId> {
+        self.gr_apps
+            .iter()
+            .map(|a| a.id)
+            .chain(self.be_apps.iter().map(|a| a.id))
+            .collect()
+    }
+
+    /// `true` when `id` is currently admitted.
+    pub fn contains(&self, id: AppId) -> bool {
+        self.gr_apps.iter().any(|a| a.id == id) || self.be_apps.iter().any(|a| a.id == id)
+    }
+
+    /// Ids of admitted applications with at least one task assignment
+    /// path crossing `element` (GR first, then BE, each in admission
+    /// order) — the blast radius of an element failure.
+    pub fn apps_using_element(&self, element: sparcle_model::NetworkElement) -> Vec<AppId> {
+        let uses = |placement: &sparcle_model::Placement| {
+            placement.elements_used(&self.network).contains(&element)
+        };
+        let gr = self
+            .gr_apps
+            .iter()
+            .filter(|a| a.paths.iter().any(|(p, _)| uses(&p.placement)))
+            .map(|a| a.id);
+        let be = self
+            .be_apps
+            .iter()
+            .filter(|a| a.paths.iter().any(|p| uses(&p.placement)))
+            .map(|a| a.id);
+        gr.chain(be).collect()
     }
 
     /// Reacts to a computing-network capacity fluctuation (the paper's
@@ -1003,6 +1178,98 @@ mod tests {
         let net = star_network(0.0);
         let mut sys = SparcleSystem::new(net);
         assert!(sys.reschedule(AppId::new(42)).is_none());
+    }
+
+    #[test]
+    fn displace_then_readmit_round_trips_exactly() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let gr_id = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        let be_id = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        let residual_before = sys.gr_residual().clone();
+        let be_rate_before = sys.be_apps()[0].allocated_rate;
+
+        let displaced = sys.displace(gr_id).expect("known id");
+        assert!(displaced.is_gr());
+        assert_eq!(displaced.id(), gr_id);
+        assert!(!sys.contains(gr_id));
+        let adm = sys.readmit(displaced);
+        assert_eq!(adm.id(), Some(gr_id));
+        assert_eq!(sys.gr_residual(), &residual_before, "exact round-trip");
+
+        let displaced = sys.displace(be_id).expect("known id");
+        let adm = sys.readmit(displaced);
+        assert_eq!(adm.id(), Some(be_id));
+        assert!(
+            (sys.be_apps()[0].allocated_rate - be_rate_before).abs() < 1e-9,
+            "BE rate restored"
+        );
+        // Fresh ids never collide with preserved ones.
+        let next = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        assert!(next > be_id);
+    }
+
+    #[test]
+    fn readmit_rejects_when_placement_no_longer_fits() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let id = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        let displaced = sys.displace(id).expect("known id");
+        // Crush the network so the old reservation cannot fit.
+        let mut tiny = sys.network().capacity_map();
+        for ncp in sys.network().ncp_ids() {
+            tiny.ncp_mut(ncp).scale(1e-6);
+        }
+        for link in sys.network().link_ids() {
+            let bw = tiny.link(link);
+            tiny.set_link(link, bw * 1e-6);
+        }
+        sys.apply_capacity_fluctuation(tiny);
+        let before = sys.gr_residual().clone();
+        let adm = sys.readmit(displaced);
+        assert!(matches!(
+            adm,
+            Admission::Rejected(RejectReason::PlacementUnfit { .. })
+        ));
+        assert_eq!(sys.gr_residual(), &before, "rejection leaves no trace");
+        assert!(!sys.contains(id));
+    }
+
+    #[test]
+    fn apps_using_element_finds_the_blast_radius() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let id = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        // The app's endpoints are pinned on the hub, so the hub is
+        // always in the blast radius.
+        let hub = sparcle_model::NetworkElement::Ncp(NcpId::new(0));
+        assert_eq!(sys.apps_using_element(hub), vec![id]);
+        // Union over all elements covers every app.
+        let mut seen = std::collections::BTreeSet::new();
+        for e in sys.network().elements().collect::<Vec<_>>() {
+            seen.extend(sys.apps_using_element(e));
+        }
+        assert!(seen.contains(&id));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sparcle_core::widest_path::{widest_path, widest_path_brute_force};
-use sparcle_core::{DynamicRankingAssigner, PlacementEngine};
+use sparcle_core::{DisplacedApp, DynamicRankingAssigner, PlacementEngine, SparcleSystem};
 use sparcle_model::{
     Application, CapacityMap, LoadMap, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
     TaskGraphBuilder,
@@ -112,6 +112,24 @@ fn pipeline_app(cpu: &[f64], bits: &[f64], src: NcpId, dst: NcpId) -> Applicatio
         [(s, src), (t, dst)],
     )
     .unwrap()
+}
+
+/// Largest relative per-entry difference between two capacity maps.
+///
+/// Needed because `subtract_load` clamps at zero and f64 subtraction is
+/// order-sensitive: rebuilding the residual with the GR apps in a
+/// different order can drift by a few ulps even when no load leaked.
+fn residual_rel_diff(net: &Network, a: &CapacityMap, b: &CapacityMap) -> f64 {
+    let mut worst = 0.0f64;
+    for element in net.elements() {
+        let (va, vb) = (a.element(element), b.element(element));
+        for (kind, _) in va.iter().chain(vb.iter()) {
+            let (x, y) = (va.amount(kind), vb.amount(kind));
+            let denom = x.abs().max(y.abs()).max(1.0);
+            worst = worst.max((x - y).abs() / denom);
+        }
+    }
+    worst
 }
 
 proptest! {
@@ -247,6 +265,83 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Capacity conservation under churn: after an arbitrary sequence of
+    /// admissions, departures, and displace/readmit round-trips, the
+    /// GR-residual `CapacityMap` is *exactly* (bitwise) the one a fresh
+    /// system reaches by replaying only the survivors' placements — no
+    /// load leaks out of `remove`, no phantom capacity leaks in.
+    #[test]
+    fn churn_conserves_capacity(
+        net in arb_network(6),
+        ops in proptest::collection::vec(
+            (0u8..4, 0usize..64, 1.0f64..20.0, 1.0f64..20.0, 0.1f64..1.5),
+            1..40,
+        ),
+    ) {
+        let n = net.ncp_count() as u32;
+        let mut sys = SparcleSystem::new(net.clone());
+        for (kind, pick, cpu, bits, min_rate) in ops {
+            match kind {
+                0 => {
+                    // Best-Effort admission (may be rejected; fine).
+                    let app = pipeline_app(&[cpu], &[bits, bits], NcpId::new(0), NcpId::new(n - 1));
+                    let _ = sys.submit(app).expect("well-formed app");
+                }
+                1 => {
+                    // Guaranteed-Rate admission.
+                    let app = pipeline_app(&[cpu], &[bits, bits], NcpId::new(0), NcpId::new(n - 1))
+                        .with_qoe(QoeClass::guaranteed_rate(min_rate, 0.5))
+                        .expect("valid qoe");
+                    let _ = sys.submit(app).expect("well-formed app");
+                }
+                2 => {
+                    // Departure of a random admitted app.
+                    let ids = sys.app_ids();
+                    if !ids.is_empty() {
+                        prop_assert!(sys.remove(ids[pick % ids.len()]));
+                    }
+                }
+                _ => {
+                    // Displace + readmit round-trip: must restore the
+                    // residual exactly for GR apps.
+                    let ids = sys.app_ids();
+                    if !ids.is_empty() {
+                        let id = ids[pick % ids.len()];
+                        let before = sys.gr_residual().clone();
+                        let displaced = sys.displace(id).expect("listed id");
+                        let was_gr = displaced.is_gr();
+                        let adm = sys.readmit(displaced);
+                        prop_assert!(adm.is_admitted(), "round-trip readmit failed: {adm:?}");
+                        if was_gr {
+                            // Re-appending the app changes the f64
+                            // subtraction order, so allow ulp drift.
+                            let drift = residual_rel_diff(&net, sys.gr_residual(), &before);
+                            prop_assert!(
+                                drift < 1e-9,
+                                "GR round-trip moved the residual by {drift:e}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Replay only the survivors into a fresh system, in the same
+        // order; the residual must be bitwise identical.
+        let mut fresh = SparcleSystem::new(net);
+        for gr in sys.gr_apps().to_vec() {
+            let adm = fresh.readmit(DisplacedApp::Gr(gr));
+            prop_assert!(adm.is_admitted(), "survivor replay rejected: {adm:?}");
+        }
+        for be in sys.be_apps().to_vec() {
+            let adm = fresh.readmit(DisplacedApp::Be(be));
+            prop_assert!(adm.is_admitted(), "survivor replay rejected: {adm:?}");
+        }
+        prop_assert_eq!(
+            sys.gr_residual(), fresh.gr_residual(),
+            "load leaked: residual differs from the canonical survivor replay"
+        );
+    }
 
     /// The modified Dijkstra agrees with the exhaustive widest path on
     /// bigger (up to 12-NCP) graphs carrying nonzero pre-existing load

@@ -1,0 +1,221 @@
+//! The SLO ledger: damage accounting integrated over simulated time.
+//!
+//! Between any two consecutive timeline events the system state is
+//! constant, so every integral quantity (GR violation-seconds, BE
+//! delivered rate) accrues exactly as `state × Δt`. The runtime calls
+//! [`SloLedger::advance_to`] with the pre-event state before applying
+//! each event, which makes the ledger an exact — not sampled — account
+//! of the run.
+
+use std::collections::BTreeMap;
+
+/// Per-run service-level accounting for one churn timeline.
+#[derive(Debug, Clone, Default)]
+pub struct SloLedger {
+    last_time: f64,
+    /// Seconds each GR application (keyed by arrival index) spent with
+    /// its guarantee violated — displaced, or placed but unfit after a
+    /// capacity change.
+    gr_violation: BTreeMap<u64, f64>,
+    /// `∫ Σ_BE allocated_rate dt` — total Best-Effort work delivered.
+    be_rate_integral: f64,
+    /// Disruption-to-re-placement latency per re-placed application.
+    reaction_latencies: Vec<f64>,
+    /// Applications re-placed onto a *new* placement (the churn count —
+    /// exact reinstatements are tracked separately as `restores`).
+    placement_churn: u64,
+    restores: u64,
+    arrivals: u64,
+    admitted: u64,
+    departures: u64,
+    displacements: u64,
+    reconciles: u64,
+}
+
+impl SloLedger {
+    /// Accrues the integrals from the previous event time up to `t`:
+    /// each index in `violating_gr` gains `Δt` violation-seconds and the
+    /// BE integral gains `be_rate × Δt`. Out-of-order times are clamped
+    /// (Δt ≥ 0).
+    pub fn advance_to(
+        &mut self,
+        t: f64,
+        violating_gr: impl IntoIterator<Item = u64>,
+        be_rate: f64,
+    ) {
+        let dt = (t - self.last_time).max(0.0);
+        self.last_time = self.last_time.max(t);
+        if dt == 0.0 {
+            return;
+        }
+        for index in violating_gr {
+            *self.gr_violation.entry(index).or_insert(0.0) += dt;
+        }
+        self.be_rate_integral += be_rate * dt;
+    }
+
+    /// Records one arrival and its admission outcome.
+    pub fn record_arrival(&mut self, admitted: bool) {
+        self.arrivals += 1;
+        if admitted {
+            self.admitted += 1;
+        }
+    }
+
+    /// Records one departure (of a live or displaced application).
+    pub fn record_departure(&mut self) {
+        self.departures += 1;
+    }
+
+    /// Records `n` applications displaced by one disruption.
+    pub fn record_displacements(&mut self, n: u64) {
+        self.displacements += n;
+    }
+
+    /// Records one reconcile pass.
+    pub fn record_reconcile(&mut self) {
+        self.reconciles += 1;
+    }
+
+    /// Records an exact reinstatement (original placement intact).
+    pub fn record_restore(&mut self, latency: f64) {
+        self.restores += 1;
+        self.reaction_latencies.push(latency);
+    }
+
+    /// Records a re-placement onto a new placement (placement churn).
+    pub fn record_replacement(&mut self, latency: f64) {
+        self.placement_churn += 1;
+        self.reaction_latencies.push(latency);
+    }
+
+    /// Total GR violation-seconds across all applications.
+    pub fn total_gr_violation_seconds(&self) -> f64 {
+        self.gr_violation.values().sum()
+    }
+
+    /// Violation-seconds of one GR application by arrival index (`0.0`
+    /// when it never violated).
+    pub fn gr_violation_seconds(&self, index: u64) -> f64 {
+        self.gr_violation.get(&index).copied().unwrap_or(0.0)
+    }
+
+    /// Per-application violation map (arrival index → seconds).
+    pub fn gr_violations(&self) -> &BTreeMap<u64, f64> {
+        &self.gr_violation
+    }
+
+    /// `∫ Σ_BE allocated_rate dt` over the run.
+    pub fn be_rate_integral(&self) -> f64 {
+        self.be_rate_integral
+    }
+
+    /// Mean disruption-to-re-placement latency (`NaN` when nothing was
+    /// re-placed).
+    pub fn mean_reaction_latency(&self) -> f64 {
+        if self.reaction_latencies.is_empty() {
+            f64::NAN
+        } else {
+            self.reaction_latencies.iter().sum::<f64>() / self.reaction_latencies.len() as f64
+        }
+    }
+
+    /// Worst disruption-to-re-placement latency (`0.0` when nothing was
+    /// re-placed).
+    pub fn max_reaction_latency(&self) -> f64 {
+        self.reaction_latencies.iter().fold(0.0, |m, &l| m.max(l))
+    }
+
+    /// All recorded reaction latencies, in re-placement order.
+    pub fn reaction_latencies(&self) -> &[f64] {
+        &self.reaction_latencies
+    }
+
+    /// Applications moved to a *new* placement after displacement.
+    pub fn placement_churn(&self) -> u64 {
+        self.placement_churn
+    }
+
+    /// Applications reinstated on their original placement.
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// Arrivals processed.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Arrivals admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Departures processed.
+    pub fn departures(&self) -> u64 {
+        self.departures
+    }
+
+    /// Applications displaced by element failures.
+    pub fn displacements(&self) -> u64 {
+        self.displacements
+    }
+
+    /// Reconcile passes that ran.
+    pub fn reconciles(&self) -> u64 {
+        self.reconciles
+    }
+
+    /// The simulated time the ledger has accrued up to.
+    pub fn time(&self) -> f64 {
+        self.last_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrals_accrue_piecewise() {
+        let mut l = SloLedger::default();
+        l.advance_to(2.0, [7u64], 3.0);
+        l.advance_to(5.0, [7u64, 9], 1.0);
+        assert_eq!(l.gr_violation_seconds(7), 5.0);
+        assert_eq!(l.gr_violation_seconds(9), 3.0);
+        assert_eq!(l.gr_violation_seconds(4), 0.0);
+        assert_eq!(l.total_gr_violation_seconds(), 8.0);
+        assert_eq!(l.be_rate_integral(), 2.0 * 3.0 + 3.0 * 1.0);
+        assert_eq!(l.time(), 5.0);
+        // Same-instant and out-of-order advances accrue nothing.
+        l.advance_to(5.0, [7u64], 100.0);
+        l.advance_to(4.0, [7u64], 100.0);
+        assert_eq!(l.be_rate_integral(), 9.0);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let mut l = SloLedger::default();
+        assert!(l.mean_reaction_latency().is_nan());
+        assert_eq!(l.max_reaction_latency(), 0.0);
+        l.record_restore(0.2);
+        l.record_replacement(0.6);
+        assert!((l.mean_reaction_latency() - 0.4).abs() < 1e-12);
+        assert_eq!(l.max_reaction_latency(), 0.6);
+        assert_eq!(l.restores(), 1);
+        assert_eq!(l.placement_churn(), 1);
+        assert_eq!(l.reaction_latencies(), &[0.2, 0.6]);
+    }
+
+    #[test]
+    fn counters_count() {
+        let mut l = SloLedger::default();
+        l.record_arrival(true);
+        l.record_arrival(false);
+        l.record_departure();
+        l.record_displacements(3);
+        l.record_reconcile();
+        assert_eq!((l.arrivals(), l.admitted(), l.departures()), (2, 1, 1));
+        assert_eq!((l.displacements(), l.reconciles()), (3, 1));
+    }
+}

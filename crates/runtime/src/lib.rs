@@ -1,0 +1,38 @@
+//! The SPARCLE **online churn runtime**: an event-driven control plane
+//! that owns a [`sparcle_core::SparcleSystem`] and drives it through a
+//! deterministic simulated timeline of
+//!
+//! * application **arrivals** (consumed from the lazy
+//!   [`sparcle_workloads::ArrivalEvents`] iterators) and exponential
+//!   hold-time **departures**,
+//! * network-element **failures and recoveries** (the same
+//!   [`sparcle_sim::ElementStateStream`] epochs the Figure-10 batch
+//!   study samples), and
+//! * background **capacity fluctuation** steps
+//!   ([`sparcle_sim::FluctuationModel`]).
+//!
+//! The paper treats SPARCLE as an *online* scheduler — applications
+//! "arrive over time" (§III-A), placements never migrate, and admission
+//! reacts to the network as it is *now*. The batch experiments elsewhere
+//! in this workspace study each mechanism in isolation; this crate
+//! closes the loop: disruptions displace applications, a pluggable
+//! [`ReconcilePolicy`] decides the order in which they are re-placed
+//! after a configurable control-plane delay, and an [`SloLedger`]
+//! integrates the damage (GR violation-seconds, BE delivered-rate,
+//! reaction latency, placement churn) between events.
+//!
+//! Everything is driven off the deterministic
+//! [`sparcle_sim::des::EventQueue`]: the same seeds produce a
+//! byte-identical `runtime_*` telemetry event log across runs *and
+//! across γ-evaluator thread counts* (`SystemConfig::assigner_threads`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ledger;
+pub mod policy;
+pub mod runtime;
+
+pub use ledger::SloLedger;
+pub use policy::ReconcilePolicy;
+pub use runtime::{ChurnEvent, FluctuationConfig, PendingApp, RuntimeConfig, SparcleRuntime};

@@ -1,0 +1,751 @@
+//! The event loop: [`SparcleRuntime`] owns a [`SparcleSystem`] and a
+//! deterministic timeline of churn events.
+//!
+//! All randomness is consumed at construction (arrival times, element
+//! transitions, fluctuation steps are pre-scheduled) or from dedicated
+//! seeded streams in event order (hold times), and every data structure
+//! iterated during event handling is ordered (`BTreeMap`/`BTreeSet`),
+//! so a run is a pure function of `(network, arrivals, source, config)`
+//! — including across γ-evaluator thread counts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+#[cfg(feature = "telemetry")]
+use sparcle_core::telemetry::Event;
+use sparcle_core::{Admission, DisplacedApp, SparcleSystem, SystemConfig, TraceHandle};
+use sparcle_model::{
+    AppId, Application, CapacityMap, Network, NetworkElement, Placement, QoeClass,
+};
+use sparcle_sim::des::EventQueue;
+use sparcle_sim::{ElementStateStream, FluctuationModel};
+use sparcle_workloads::ArrivalEvent;
+
+use crate::ledger::SloLedger;
+use crate::policy::ReconcilePolicy;
+
+/// Stable trace label of a network element (`"ncp:3"`, `"link:7"`) —
+/// same format the failure simulator emits.
+#[cfg(feature = "telemetry")]
+fn element_label(e: NetworkElement) -> String {
+    match e {
+        NetworkElement::Ncp(id) => format!("ncp:{}", id.index()),
+        NetworkElement::Link(id) => format!("link:{}", id.index()),
+    }
+}
+
+/// One timeline event the control plane reacts to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// The `index`-th application of the arrival trace arrives.
+    Arrival {
+        /// Arrival sequence number (feeds the application source).
+        index: u64,
+    },
+    /// The application admitted for arrival `index` departs.
+    Departure {
+        /// Arrival sequence number of the departing application.
+        index: u64,
+    },
+    /// A network element fails (`up == false`) or recovers.
+    Element {
+        /// The element changing state.
+        element: NetworkElement,
+        /// New state.
+        up: bool,
+    },
+    /// Background capacities move to the pre-sampled step `step`.
+    Fluctuation {
+        /// Index into the pre-sampled fluctuation series.
+        step: usize,
+    },
+    /// The control plane re-places displaced applications.
+    Reconcile {
+        /// Time of the disruption that scheduled this pass.
+        cause: f64,
+    },
+}
+
+/// Capacity-fluctuation configuration of the runtime timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct FluctuationConfig {
+    /// The random-walk model (floor, step, seed).
+    pub model: FluctuationModel,
+    /// Simulated seconds between capacity steps.
+    pub period: f64,
+}
+
+/// Tunables of one churn run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// End of simulated time; events at or before the horizon are
+    /// processed, later ones are dropped.
+    pub horizon: f64,
+    /// Duration of one element-failure epoch (the failure model samples
+    /// per-epoch, exactly as the Figure-10 batch study does).
+    pub epoch_length: f64,
+    /// Seed of the element up/down stream.
+    pub failure_seed: u64,
+    /// Seed of the exponential hold-time stream.
+    pub hold_seed: u64,
+    /// Mean application lifetime (exponential holds).
+    pub mean_hold: f64,
+    /// Optional background capacity fluctuation.
+    pub fluctuation: Option<FluctuationConfig>,
+    /// Fixed control-plane delay between a disruption and its reconcile
+    /// pass.
+    pub reconcile_base_delay: f64,
+    /// Additional reconcile delay per application in the displaced
+    /// queue (modelling per-app re-placement work).
+    pub reconcile_per_app_delay: f64,
+    /// The order displaced applications are re-placed in.
+    pub policy: ReconcilePolicy,
+    /// Configuration of the owned [`SparcleSystem`] (notably
+    /// `assigner_threads`, which must not change results).
+    pub system: SystemConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            horizon: 100.0,
+            epoch_length: 1.0,
+            failure_seed: 0,
+            hold_seed: 0,
+            mean_hold: 10.0,
+            fluctuation: None,
+            reconcile_base_delay: 0.05,
+            reconcile_per_app_delay: 0.01,
+            policy: ReconcilePolicy::Fifo,
+            system: SystemConfig::default(),
+        }
+    }
+}
+
+/// A displaced application waiting for a reconcile pass.
+#[derive(Debug, Clone)]
+pub struct PendingApp {
+    /// Arrival sequence number (the stable identity across
+    /// re-placements).
+    pub index: u64,
+    /// Simulated time of the displacement.
+    pub since: f64,
+    /// The lifted entry (placement preserved).
+    pub displaced: DisplacedApp,
+}
+
+/// The online control plane: owns the [`SparcleSystem`], pops churn
+/// events in deterministic `(time, insertion)` order, and repairs the
+/// system after each one.
+///
+/// `F` produces the `index`-th arriving application; it is called
+/// exactly once per arrival, in event order, so a seeded generator
+/// closure stays deterministic.
+pub struct SparcleRuntime<F> {
+    config: RuntimeConfig,
+    system: SparcleSystem,
+    queue: EventQueue<ChurnEvent>,
+    source: F,
+    hold_rng: StdRng,
+    /// Pre-sampled fluctuation steps (index = `ChurnEvent::Fluctuation`).
+    fluct_steps: Vec<CapacityMap>,
+    /// Latest fluctuated capacities, before zeroing downed elements.
+    base_caps: CapacityMap,
+    down: BTreeSet<NetworkElement>,
+    /// Arrival index → current id of the live application.
+    live: BTreeMap<u64, AppId>,
+    index_of: BTreeMap<AppId, u64>,
+    pending: Vec<PendingApp>,
+    /// Arrival indices of *placed* GR applications whose guarantee the
+    /// current capacities violate.
+    violating: BTreeSet<u64>,
+    ledger: SloLedger,
+    events_processed: u64,
+}
+
+impl<F> std::fmt::Debug for SparcleRuntime<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparcleRuntime")
+            .field("now", &self.queue.now())
+            .field("pending_events", &self.queue.len())
+            .field("live", &self.live.len())
+            .field("displaced", &self.pending.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
+    /// Builds the runtime: pre-schedules every arrival (within the
+    /// horizon), every element up/down transition (at
+    /// `epoch × epoch_length`), and every fluctuation step. Departures
+    /// and reconciles are scheduled dynamically as the run unfolds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive horizon, epoch length, or mean hold, or
+    /// a negative reconcile delay.
+    pub fn new(
+        network: Network,
+        arrivals: impl IntoIterator<Item = ArrivalEvent>,
+        source: F,
+        config: RuntimeConfig,
+    ) -> Self {
+        assert!(
+            config.horizon.is_finite() && config.horizon > 0.0,
+            "horizon must be positive"
+        );
+        assert!(config.epoch_length > 0.0, "epoch length must be positive");
+        assert!(config.mean_hold > 0.0, "mean hold must be positive");
+        assert!(
+            config.reconcile_base_delay >= 0.0 && config.reconcile_per_app_delay >= 0.0,
+            "reconcile delays must be non-negative"
+        );
+        let mut queue = EventQueue::new();
+        for a in arrivals {
+            if a.time < config.horizon {
+                queue.schedule(a.time, ChurnEvent::Arrival { index: a.index });
+            }
+        }
+        let epochs = (config.horizon / config.epoch_length).ceil() as u64;
+        let stream =
+            ElementStateStream::new(&network, network.elements(), epochs, config.failure_seed);
+        for tr in stream.collect_transitions() {
+            let t = tr.epoch as f64 * config.epoch_length;
+            if t < config.horizon {
+                queue.schedule(
+                    t,
+                    ChurnEvent::Element {
+                        element: tr.element,
+                        up: tr.up,
+                    },
+                );
+            }
+        }
+        let mut fluct_steps = Vec::new();
+        if let Some(f) = &config.fluctuation {
+            assert!(f.period > 0.0, "fluctuation period must be positive");
+            let mut series = f.model.series(&network);
+            let mut step = 0usize;
+            loop {
+                let t = (step + 1) as f64 * f.period;
+                if t >= config.horizon {
+                    break;
+                }
+                fluct_steps.push(series.step());
+                queue.schedule(t, ChurnEvent::Fluctuation { step });
+                step += 1;
+            }
+        }
+        let base_caps = network.capacity_map();
+        let hold_rng = StdRng::seed_from_u64(config.hold_seed);
+        let system = SparcleSystem::with_config(network, config.system.clone());
+        SparcleRuntime {
+            config,
+            system,
+            queue,
+            source,
+            hold_rng,
+            fluct_steps,
+            base_caps,
+            down: BTreeSet::new(),
+            live: BTreeMap::new(),
+            index_of: BTreeMap::new(),
+            pending: Vec::new(),
+            violating: BTreeSet::new(),
+            ledger: SloLedger::default(),
+            events_processed: 0,
+        }
+    }
+
+    /// Runs the timeline to the horizon without telemetry.
+    pub fn run(&mut self) -> &SloLedger {
+        self.run_traced(TraceHandle::none())
+    }
+
+    /// Runs the timeline to the horizon, emitting one `runtime_*`
+    /// telemetry event per processed churn event into `trace`.
+    pub fn run_traced(&mut self, trace: TraceHandle<'_>) -> &SloLedger {
+        while let Some((t, event)) = self.queue.pop() {
+            if t > self.config.horizon {
+                break;
+            }
+            self.accrue(t);
+            self.events_processed += 1;
+            trace.counter("runtime.events", 1);
+            match event {
+                ChurnEvent::Arrival { index } => self.on_arrival(t, index, trace),
+                ChurnEvent::Departure { index } => self.on_departure(t, index, trace),
+                ChurnEvent::Element { element, up } => self.on_element(t, element, up, trace),
+                ChurnEvent::Fluctuation { step } => self.on_fluctuation(t, step, trace),
+                ChurnEvent::Reconcile { cause } => self.on_reconcile(t, cause, trace),
+            }
+        }
+        self.accrue(self.config.horizon);
+        &self.ledger
+    }
+
+    /// Integrates the SLO ledger up to `t` using the pre-event state:
+    /// displaced GR applications and placed-but-violated ones accrue
+    /// violation-seconds; the current BE allocation accrues delivered
+    /// work.
+    fn accrue(&mut self, t: f64) {
+        let be_rate: f64 = self.system.be_apps().iter().map(|a| a.allocated_rate).sum();
+        let violating = self
+            .violating
+            .iter()
+            .copied()
+            .chain(
+                self.pending
+                    .iter()
+                    .filter(|p| p.displaced.is_gr())
+                    .map(|p| p.index),
+            )
+            .collect::<Vec<u64>>();
+        self.ledger.advance_to(t, violating, be_rate);
+    }
+
+    /// Current capacities: the latest fluctuation step with every downed
+    /// element zeroed.
+    fn effective_caps(&self) -> CapacityMap {
+        let mut caps = self.base_caps.clone();
+        for &e in &self.down {
+            caps.scale_element(e, 0.0);
+        }
+        caps
+    }
+
+    /// Pushes the effective capacities into the system and refreshes the
+    /// violated-GR set from the system's verdict.
+    fn apply_caps(&mut self) {
+        let violated = self
+            .system
+            .apply_capacity_fluctuation(self.effective_caps());
+        self.violating = violated
+            .iter()
+            .filter_map(|id| self.index_of.get(id).copied())
+            .collect();
+    }
+
+    /// `true` when any path of the displaced placement crosses a downed
+    /// element — exact reinstatement is pointless, go straight to a
+    /// fresh placement search.
+    fn placement_touches_down(&self, displaced: &DisplacedApp) -> bool {
+        if self.down.is_empty() {
+            return false;
+        }
+        let network = self.system.network();
+        let crosses = |placement: &Placement| {
+            placement
+                .elements_used(network)
+                .iter()
+                .any(|e| self.down.contains(e))
+        };
+        match displaced {
+            DisplacedApp::Gr(a) => a.paths.iter().any(|(p, _)| crosses(&p.placement)),
+            DisplacedApp::Be(a) => a.paths.iter().any(|p| crosses(&p.placement)),
+        }
+    }
+
+    fn rate_of(&self, id: AppId) -> f64 {
+        if let Some(gr) = self.system.gr_apps().iter().find(|a| a.id == id) {
+            return gr.guaranteed_rate();
+        }
+        self.system
+            .be_apps()
+            .iter()
+            .find(|a| a.id == id)
+            .map_or(0.0, |a| a.allocated_rate)
+    }
+
+    fn register(&mut self, index: u64, id: AppId) {
+        self.live.insert(index, id);
+        self.index_of.insert(id, index);
+    }
+
+    fn on_arrival(&mut self, t: f64, index: u64, trace: TraceHandle<'_>) {
+        let app = (self.source)(index);
+        let is_gr = matches!(app.qoe(), QoeClass::GuaranteedRate { .. });
+        let admission = self
+            .system
+            .submit(app)
+            .expect("arrival source produced a malformed application");
+        let admitted = admission.is_admitted();
+        let mut rate = 0.0;
+        if let Some(id) = admission.id() {
+            self.register(index, id);
+            rate = self.rate_of(id);
+            let u: f64 = self.hold_rng.gen_range(f64::MIN_POSITIVE..1.0);
+            self.queue.schedule(
+                t + -u.ln() * self.config.mean_hold,
+                ChurnEvent::Departure { index },
+            );
+        }
+        self.ledger.record_arrival(admitted);
+        trace.counter("runtime.arrivals", 1);
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::RuntimeArrival {
+                time: t,
+                app: index as u32,
+                class: if is_gr { "gr" } else { "be" }.to_owned(),
+                admitted,
+                rate,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (is_gr, rate);
+    }
+
+    fn on_departure(&mut self, t: f64, index: u64, trace: TraceHandle<'_>) {
+        let was_present = if let Some(id) = self.live.remove(&index) {
+            self.index_of.remove(&id);
+            self.violating.remove(&index);
+            self.system.remove(id);
+            true
+        } else if let Some(pos) = self.pending.iter().position(|p| p.index == index) {
+            // The app's lifetime ran out while it sat displaced.
+            self.pending.remove(pos);
+            true
+        } else {
+            false
+        };
+        if !was_present {
+            return;
+        }
+        self.ledger.record_departure();
+        trace.counter("runtime.departures", 1);
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::RuntimeDeparture {
+                time: t,
+                app: index as u32,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = t;
+    }
+
+    fn on_element(&mut self, t: f64, element: NetworkElement, up: bool, trace: TraceHandle<'_>) {
+        if up {
+            self.down.remove(&element);
+        } else {
+            self.down.insert(element);
+        }
+        let mut displaced_now = 0u64;
+        if !up {
+            // Blast radius: lift every application whose paths cross the
+            // failed element, keeping the placement for cheap
+            // reinstatement on recovery.
+            for id in self.system.apps_using_element(element) {
+                let displaced = self.system.displace(id).expect("listed id is admitted");
+                let index = self
+                    .index_of
+                    .remove(&id)
+                    .expect("admitted apps are indexed");
+                self.live.remove(&index);
+                self.violating.remove(&index);
+                self.pending.push(PendingApp {
+                    index,
+                    since: t,
+                    displaced,
+                });
+                displaced_now += 1;
+            }
+        }
+        self.apply_caps();
+        self.ledger.record_displacements(displaced_now);
+        trace.counter("runtime.element_transitions", 1);
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::RuntimeElementState {
+                time: t,
+                element: element_label(element),
+                up,
+                displaced: displaced_now,
+            });
+        }
+        if displaced_now > 0 || (up && !self.pending.is_empty()) {
+            let delay = self.config.reconcile_base_delay
+                + self.config.reconcile_per_app_delay * self.pending.len() as f64;
+            self.queue
+                .schedule(t + delay, ChurnEvent::Reconcile { cause: t });
+        }
+    }
+
+    fn on_fluctuation(&mut self, t: f64, step: usize, trace: TraceHandle<'_>) {
+        self.base_caps = self.fluct_steps[step].clone();
+        self.apply_caps();
+        trace.counter("runtime.fluctuations", 1);
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::RuntimeFluctuation {
+                time: t,
+                violated: self.violating.len() as u64,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = t;
+    }
+
+    fn on_reconcile(&mut self, t: f64, cause: f64, trace: TraceHandle<'_>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.pending);
+        self.config.policy.order(&mut batch);
+        let (mut restored, mut replaced, mut failed) = (0u64, 0u64, 0u64);
+        for p in batch {
+            // Cheap path first: reinstate the preserved placement (no γ
+            // evaluation) unless it crosses a still-downed element.
+            if !self.placement_touches_down(&p.displaced) {
+                if let Admission::Admitted(id) = self.system.readmit(p.displaced.clone()) {
+                    restored += 1;
+                    self.register(p.index, id);
+                    self.ledger.record_restore(t - p.since);
+                    continue;
+                }
+            }
+            // Full re-placement: a fresh admission pipeline run on the
+            // current capacities (a new id; the arrival index stays the
+            // stable identity).
+            let fresh = self
+                .system
+                .submit(p.displaced.application().clone())
+                .expect("previously admitted apps are well-formed");
+            match fresh {
+                Admission::Admitted(id) => {
+                    replaced += 1;
+                    self.register(p.index, id);
+                    self.ledger.record_replacement(t - p.since);
+                }
+                Admission::Rejected(_) => {
+                    failed += 1;
+                    self.pending.push(p);
+                }
+            }
+        }
+        self.ledger.record_reconcile();
+        trace.counter("runtime.reconciles", 1);
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::RuntimeReconcile {
+                time: t,
+                policy: self.config.policy.label().to_owned(),
+                restored,
+                replaced,
+                failed,
+                latency: t - cause,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (t, cause, restored, replaced, failed);
+    }
+
+    /// The owned scheduling system (final state after [`Self::run`]).
+    pub fn system(&self) -> &SparcleSystem {
+        &self.system
+    }
+
+    /// The SLO ledger accrued so far.
+    pub fn ledger(&self) -> &SloLedger {
+        &self.ledger
+    }
+
+    /// Applications currently displaced and waiting for a reconcile.
+    pub fn pending(&self) -> &[PendingApp] {
+        &self.pending
+    }
+
+    /// Elements currently down.
+    pub fn down_elements(&self) -> &BTreeSet<NetworkElement> {
+        &self.down
+    }
+
+    /// Arrival indices of the currently live applications.
+    pub fn live_indices(&self) -> Vec<u64> {
+        self.live.keys().copied().collect()
+    }
+
+    /// Churn events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The simulated clock (time of the last processed event).
+    pub fn now(&self) -> f64 {
+        self.queue.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparcle_model::{LinkDirection, NcpId, NetworkBuilder, ResourceVec};
+    use sparcle_workloads::graphs::linear_task_graph;
+    use sparcle_workloads::ArrivalTrace;
+
+    /// Four NCPs, two disjoint source→sink routes: via a big `hub` over
+    /// two flaky links, or via `alt` over two reliable ones — so element
+    /// failures always leave a repair path.
+    fn two_route_network(flaky: f64) -> Network {
+        let mut b = NetworkBuilder::new();
+        let src = b.add_ncp("src-host", ResourceVec::cpu(10.0));
+        let hub = b.add_ncp("hub", ResourceVec::cpu(1000.0));
+        let sink = b.add_ncp("sink-host", ResourceVec::cpu(10.0));
+        let alt = b.add_ncp("alt", ResourceVec::cpu(800.0));
+        b.add_link_full("l0", src, hub, 1e4, LinkDirection::Undirected, flaky)
+            .unwrap();
+        b.add_link_full("l1", hub, sink, 1e4, LinkDirection::Undirected, flaky)
+            .unwrap();
+        b.add_link("l2", src, alt, 1e4).unwrap();
+        b.add_link("l3", alt, sink, 1e4).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Every third arrival is Guaranteed-Rate; priorities cycle.
+    fn app_source(index: u64) -> Application {
+        let graph = linear_task_graph(&[50.0], &[1000.0, 500.0]).unwrap();
+        let (src, sink) = (graph.sources()[0], graph.sinks()[0]);
+        let qoe = if index.is_multiple_of(3) {
+            QoeClass::guaranteed_rate(2.0, 0.5)
+        } else {
+            QoeClass::best_effort(1.0 + (index % 4) as f64)
+        };
+        Application::new(graph, qoe, [(src, NcpId::new(0)), (sink, NcpId::new(2))]).unwrap()
+    }
+
+    fn config(policy: ReconcilePolicy, threads: usize) -> RuntimeConfig {
+        let mut c = RuntimeConfig {
+            horizon: 40.0,
+            epoch_length: 1.0,
+            failure_seed: 11,
+            hold_seed: 7,
+            mean_hold: 15.0,
+            policy,
+            ..RuntimeConfig::default()
+        };
+        c.system.assigner_threads = threads;
+        c
+    }
+
+    fn run_once(policy: ReconcilePolicy, threads: usize) -> SloLedger {
+        let cfg = config(policy, threads);
+        let arrivals = ArrivalTrace::Poisson { rate: 1.0 }.events(cfg.horizon, 42);
+        let mut rt = SparcleRuntime::new(two_route_network(0.15), arrivals, app_source, cfg);
+        rt.run().clone()
+    }
+
+    #[test]
+    fn timeline_is_deterministic() {
+        let a = run_once(ReconcilePolicy::Fifo, 1);
+        let b = run_once(ReconcilePolicy::Fifo, 1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(a.arrivals() > 10, "expected a busy timeline");
+        assert!(a.displacements() > 0, "flaky links should displace apps");
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_run() {
+        let a = run_once(ReconcilePolicy::GammaImpact, 1);
+        let b = run_once(ReconcilePolicy::GammaImpact, 8);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn policies_share_the_same_timeline_volume() {
+        // Policies reorder re-placement, never the exogenous events.
+        let a = run_once(ReconcilePolicy::Fifo, 1);
+        let b = run_once(ReconcilePolicy::Priority, 1);
+        assert_eq!(a.arrivals(), b.arrivals());
+        assert_eq!(a.displacements(), b.displacements());
+    }
+
+    #[test]
+    fn failure_displaces_and_reconcile_repairs() {
+        // One app, one permanently failing hub route: the app must end up
+        // re-placed on the alt route.
+        let mut net = NetworkBuilder::new();
+        let src = net.add_ncp("src", ResourceVec::cpu(10.0));
+        let hub = net.add_ncp("hub", ResourceVec::cpu(1000.0));
+        let sink = net.add_ncp("sink", ResourceVec::cpu(10.0));
+        let alt = net.add_ncp("alt", ResourceVec::cpu(1000.0));
+        net.add_link_full("l0", src, hub, 1e6, LinkDirection::Undirected, 0.25)
+            .unwrap();
+        net.add_link_full("l1", hub, sink, 1e6, LinkDirection::Undirected, 0.25)
+            .unwrap();
+        net.add_link("l2", src, alt, 1e4).unwrap();
+        net.add_link("l3", alt, sink, 1e4).unwrap();
+        let net = net.build().unwrap();
+
+        let cfg = RuntimeConfig {
+            horizon: 20.0,
+            mean_hold: 1e6, // never departs
+            failure_seed: 3,
+            ..RuntimeConfig::default()
+        };
+        let arrivals = vec![ArrivalEvent {
+            time: 0.5,
+            index: 0,
+        }];
+        let mut rt = SparcleRuntime::new(net, arrivals, |_| app_source(1), cfg);
+        let ledger = rt.run().clone();
+        assert_eq!(ledger.arrivals(), 1);
+        assert_eq!(ledger.admitted(), 1);
+        assert!(ledger.displacements() >= 1, "hub route must fail");
+        assert!(
+            ledger.restores() + ledger.placement_churn() >= 1,
+            "the app must be repaired at least once"
+        );
+        assert!(
+            rt.live_indices() == vec![0] || !rt.pending().is_empty(),
+            "the app is either live or awaiting a reconcile"
+        );
+        assert!(ledger.mean_reaction_latency() > 0.0);
+    }
+
+    #[test]
+    fn departures_release_their_apps() {
+        let cfg = RuntimeConfig {
+            horizon: 120.0,
+            mean_hold: 4.0,
+            ..RuntimeConfig::default()
+        };
+        let arrivals = ArrivalTrace::Poisson { rate: 0.3 }.events(30.0, 9);
+        let mut rt = SparcleRuntime::new(two_route_network(0.0), arrivals, app_source, cfg);
+        let ledger = rt.run().clone();
+        assert!(ledger.arrivals() > 0);
+        assert_eq!(
+            ledger.departures(),
+            ledger.admitted(),
+            "with a 120 s horizon and 4 s holds every admitted app departs"
+        );
+        assert!(rt.live_indices().is_empty());
+        assert_eq!(rt.system().app_ids().len(), 0);
+    }
+
+    #[test]
+    fn fluctuation_steps_are_applied() {
+        let cfg = RuntimeConfig {
+            horizon: 30.0,
+            fluctuation: Some(FluctuationConfig {
+                model: FluctuationModel {
+                    floor: 0.4,
+                    step: 0.2,
+                    seed: 5,
+                },
+                period: 2.0,
+            }),
+            ..RuntimeConfig::default()
+        };
+        let arrivals = ArrivalTrace::Poisson { rate: 0.8 }.events(cfg.horizon, 17);
+        let mut rt = SparcleRuntime::new(two_route_network(0.0), arrivals, app_source, cfg);
+        let before = rt.events_processed();
+        rt.run();
+        // 14 fluctuation steps land inside the horizon on top of
+        // arrivals/departures.
+        assert!(rt.events_processed() > before + 14);
+        assert_eq!(rt.ledger().time(), 30.0);
+    }
+}

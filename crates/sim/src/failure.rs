@@ -36,6 +36,160 @@ pub struct FailurePath {
     pub rate: f64,
 }
 
+/// One timestamped element state change: at the start of `epoch` the
+/// element switched to `up`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElementTransition {
+    /// Epoch index at which the new state takes effect.
+    pub epoch: u64,
+    /// The element that changed state.
+    pub element: NetworkElement,
+    /// `true` when the element recovered, `false` when it failed.
+    pub up: bool,
+}
+
+/// Seeded per-epoch element state sampler exposing up/down changes as an
+/// *ordered, timestamped* transition stream.
+///
+/// This is the single failure code path: [`FailureSim::run_traced`]
+/// (the Fig. 10 batch study) and the online runtime both drive their
+/// failure timelines through it, so the per-epoch snapshots and the
+/// event stream can never disagree.
+///
+/// Elements start up; epoch `e` transitions are ordered by element id.
+///
+/// # Examples
+///
+/// ```
+/// use sparcle_sim::failure::ElementStateStream;
+/// use sparcle_model::{LinkDirection, NetworkBuilder, NetworkElement, ResourceVec};
+///
+/// # fn main() -> Result<(), sparcle_model::ModelError> {
+/// let mut nb = NetworkBuilder::new();
+/// let a = nb.add_ncp("a", ResourceVec::cpu(1.0));
+/// let b = nb.add_ncp("b", ResourceVec::cpu(1.0));
+/// let l = nb.add_link_full("ab", a, b, 1.0, LinkDirection::Undirected, 0.5)?;
+/// let net = nb.build()?;
+/// let mut stream =
+///     ElementStateStream::new(&net, [NetworkElement::Link(l)], 1_000, 7);
+/// let mut flips = 0;
+/// let mut transitions = Vec::new();
+/// while stream.step_into(&mut transitions) {
+///     flips += transitions.len();
+/// }
+/// assert!(flips > 0, "a 50%-flaky link flips eventually");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElementStateStream {
+    elements: Vec<NetworkElement>,
+    survival: Vec<f64>,
+    rng: StdRng,
+    up: Vec<bool>,
+    next_epoch: u64,
+    epochs: u64,
+}
+
+impl ElementStateStream {
+    /// Builds a stream over `elements` (deduplicated and sorted by id)
+    /// sampling epochs `0..epochs` with the given seed. Every element
+    /// starts up.
+    pub fn new(
+        network: &Network,
+        elements: impl IntoIterator<Item = NetworkElement>,
+        epochs: u64,
+        seed: u64,
+    ) -> Self {
+        let elements: Vec<NetworkElement> = elements
+            .into_iter()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let survival = elements
+            .iter()
+            .map(|&e| 1.0 - network.element_failure_probability(e))
+            .collect();
+        let up = vec![true; elements.len()];
+        ElementStateStream {
+            elements,
+            survival,
+            rng: StdRng::seed_from_u64(seed),
+            up,
+            next_epoch: 0,
+            epochs,
+        }
+    }
+
+    /// The distinct elements the stream samples, in id order.
+    pub fn elements(&self) -> &[NetworkElement] {
+        &self.elements
+    }
+
+    /// Current up/down state per element (aligned with
+    /// [`ElementStateStream::elements`]).
+    pub fn up_states(&self) -> &[bool] {
+        &self.up
+    }
+
+    /// The epoch the next [`ElementStateStream::step_into`] will sample.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Samples the next epoch. Replaces `transitions` with the state
+    /// changes relative to the previous epoch, ordered by element id.
+    /// Returns `false` (leaving `transitions` empty) once all epochs are
+    /// exhausted.
+    pub fn step_into(&mut self, transitions: &mut Vec<ElementTransition>) -> bool {
+        transitions.clear();
+        if self.next_epoch >= self.epochs {
+            return false;
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        for (i, (u, &s)) in self.up.iter_mut().zip(&self.survival).enumerate() {
+            let now = self.rng.gen::<f64>() < s;
+            if now != *u {
+                *u = now;
+                transitions.push(ElementTransition {
+                    epoch,
+                    element: self.elements[i],
+                    up: now,
+                });
+            }
+        }
+        true
+    }
+
+    /// Runs the stream to completion and returns the full ordered
+    /// transition list (by `(epoch, element)`).
+    pub fn collect_transitions(mut self) -> Vec<ElementTransition> {
+        let mut all = Vec::new();
+        let mut step = Vec::new();
+        while self.step_into(&mut step) {
+            all.extend_from_slice(&step);
+        }
+        all
+    }
+}
+
+impl Iterator for ElementStateStream {
+    type Item = Vec<ElementTransition>;
+
+    /// Per-epoch transition batches (possibly empty vectors) until the
+    /// epoch budget runs out. Prefer [`ElementStateStream::step_into`]
+    /// in hot loops — it reuses one allocation.
+    fn next(&mut self) -> Option<Vec<ElementTransition>> {
+        let mut transitions = Vec::new();
+        if self.step_into(&mut transitions) {
+            Some(transitions)
+        } else {
+            None
+        }
+    }
+}
+
 /// Aggregate results of a failure-injection run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FailureStats {
@@ -123,57 +277,42 @@ impl FailureSim {
         min_rate: Option<f64>,
         trace: TraceHandle<'_>,
     ) -> FailureStats {
-        // Index the distinct elements across all paths.
-        let mut elements: Vec<NetworkElement> = paths
-            .iter()
-            .flat_map(|p| p.elements.iter().copied())
-            .collect::<BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        elements.sort();
-        let survival: Vec<f64> = elements
-            .iter()
-            .map(|&e| 1.0 - network.element_failure_probability(e))
-            .collect();
+        // One shared failure code path: the per-epoch snapshots come
+        // from the same ElementStateStream the online runtime consumes.
+        let mut stream = ElementStateStream::new(
+            network,
+            paths.iter().flat_map(|p| p.elements.iter().copied()),
+            self.epochs,
+            self.seed,
+        );
         let path_members: Vec<Vec<usize>> = paths
             .iter()
             .map(|p| {
                 p.elements
                     .iter()
-                    .map(|e| elements.binary_search(e).expect("indexed"))
+                    .map(|e| stream.elements().binary_search(e).expect("indexed"))
                     .collect()
             })
             .collect();
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut up = vec![false; elements.len()];
         let mut available_epochs = 0u64;
         let mut min_rate_epochs = 0u64;
         let mut rate_sum = 0.0;
-        #[cfg(feature = "telemetry")]
-        let mut prev_up = vec![true; elements.len()];
-        #[cfg(feature = "telemetry")]
         let mut transitions = 0u64;
-        for epoch in 0..self.epochs {
-            #[cfg(not(feature = "telemetry"))]
-            let _ = epoch;
-            for (u, &s) in up.iter_mut().zip(&survival) {
-                *u = rng.gen::<f64>() < s;
-            }
+        let mut step = Vec::new();
+        while stream.step_into(&mut step) {
+            transitions += step.len() as u64;
             #[cfg(feature = "telemetry")]
             if trace.is_enabled() {
-                for (i, (&is_up, prev)) in up.iter().zip(prev_up.iter_mut()).enumerate() {
-                    if is_up != *prev {
-                        *prev = is_up;
-                        transitions += 1;
-                        trace.event(&Event::SimElementState {
-                            epoch,
-                            element: element_label(elements[i]),
-                            up: is_up,
-                        });
-                    }
+                for tr in &step {
+                    trace.event(&Event::SimElementState {
+                        epoch: tr.epoch,
+                        element: element_label(tr.element),
+                        up: tr.up,
+                    });
                 }
             }
+            let up = stream.up_states();
             let mut rate = 0.0;
             let mut any = false;
             for (members, path) in path_members.iter().zip(paths) {
@@ -194,7 +333,6 @@ impl FailureSim {
             trace.counter("sim.failure.epochs", self.epochs);
             trace.counter("sim.failure.available_epochs", available_epochs);
             trace.counter("sim.failure.min_rate_epochs", min_rate_epochs);
-            #[cfg(feature = "telemetry")]
             trace.counter("sim.failure.transitions", transitions);
         }
         let epochs = self.epochs.max(1);
@@ -308,5 +446,81 @@ mod tests {
         let stats = FailureSim::new(100, 1).run(&net, &[], None);
         assert_eq!(stats.availability, 0.0);
         assert_eq!(stats.mean_rate, 0.0);
+    }
+
+    #[test]
+    fn transition_stream_is_ordered_and_deterministic() {
+        let net = star(0.3);
+        let elements = net.elements().collect::<Vec<_>>();
+        let a =
+            ElementStateStream::new(&net, elements.iter().copied(), 500, 9).collect_transitions();
+        let b =
+            ElementStateStream::new(&net, elements.iter().copied(), 500, 9).collect_transitions();
+        assert_eq!(a, b, "same seed must give the same stream");
+        assert!(!a.is_empty(), "30%-flaky links must flip");
+        for w in a.windows(2) {
+            assert!(
+                (w[0].epoch, w[0].element) < (w[1].epoch, w[1].element),
+                "stream must be ordered by (epoch, element): {w:?}"
+            );
+        }
+        let c = ElementStateStream::new(&net, elements, 500, 10).collect_transitions();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn transition_stream_replays_to_batch_availability() {
+        // Reconstructing per-epoch states from the transition stream
+        // must reproduce the batch run's availability exactly — the
+        // "one code path" guarantee the online runtime relies on.
+        let net = star(0.05);
+        let paths = vec![path(&net, &[0, 1], 2.0), path(&net, &[2], 1.0)];
+        let sim = FailureSim::new(20_000, 21);
+        let stats = sim.run(&net, &paths, Some(2.0));
+
+        let mut stream = ElementStateStream::new(
+            &net,
+            paths.iter().flat_map(|p| p.elements.iter().copied()),
+            sim.epochs,
+            sim.seed,
+        );
+        let members: Vec<Vec<usize>> = paths
+            .iter()
+            .map(|p| {
+                p.elements
+                    .iter()
+                    .map(|e| stream.elements().binary_search(e).unwrap())
+                    .collect()
+            })
+            .collect();
+        let mut up: Vec<bool> = vec![true; stream.elements().len()];
+        let (mut avail, mut min_rate_ok) = (0u64, 0u64);
+        let mut step = Vec::new();
+        let mut epochs = 0u64;
+        while stream.step_into(&mut step) {
+            for tr in &step {
+                let i = stream.elements().binary_search(&tr.element).unwrap();
+                up[i] = tr.up;
+            }
+            epochs += 1;
+            let rate: f64 = members
+                .iter()
+                .zip(&paths)
+                .filter(|(m, _)| m.iter().all(|&i| up[i]))
+                .map(|(_, p)| p.rate)
+                .sum();
+            if rate > 0.0 {
+                avail += 1;
+            }
+            if rate + 1e-12 >= 2.0 {
+                min_rate_ok += 1;
+            }
+        }
+        assert_eq!(epochs, sim.epochs);
+        assert_eq!(stats.availability, avail as f64 / epochs as f64);
+        assert_eq!(
+            stats.min_rate_availability,
+            min_rate_ok as f64 / epochs as f64
+        );
     }
 }

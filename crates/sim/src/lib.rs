@@ -34,7 +34,7 @@ pub mod latency;
 pub use adaptive::{run_aimd, AimdConfig, AimdTrace};
 pub use emu::{measure_saturated_rate, EmulationReport, EmulatorConfig};
 pub use energy::{EnergyModel, EnergyReport};
-pub use failure::{FailurePath, FailureSim, FailureStats};
+pub use failure::{ElementStateStream, ElementTransition, FailurePath, FailureSim, FailureStats};
 pub use flow::{
     simulate_flows, simulate_flows_traced, simulate_flows_with_elements, AppFlowStats,
     ArrivalProcess, ElementStats, FlowSimConfig, SimApp,

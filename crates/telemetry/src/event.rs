@@ -146,6 +146,60 @@ pub enum Event {
         /// `true` when the element recovered, `false` when it failed.
         up: bool,
     },
+    /// The online runtime processed an application arrival.
+    RuntimeArrival {
+        /// Simulated time of the arrival.
+        time: f64,
+        /// Application index (arrival sequence number).
+        app: u32,
+        /// QoE class label (`"gr"` or `"be"`).
+        class: String,
+        /// Whether admission control accepted the application.
+        admitted: bool,
+        /// Admitted rate (guaranteed for GR, allocated for BE; `0` when
+        /// rejected).
+        rate: f64,
+    },
+    /// The online runtime processed an application departure.
+    RuntimeDeparture {
+        /// Simulated time of the departure.
+        time: f64,
+        /// Application index.
+        app: u32,
+    },
+    /// A network element failed or recovered under the online runtime.
+    RuntimeElementState {
+        /// Simulated time of the transition.
+        time: f64,
+        /// Element label (`"ncp:3"`, `"link:7"`).
+        element: String,
+        /// `true` on recovery, `false` on failure.
+        up: bool,
+        /// Running applications displaced by the transition.
+        displaced: u64,
+    },
+    /// Background capacities fluctuated under the online runtime.
+    RuntimeFluctuation {
+        /// Simulated time of the capacity step.
+        time: f64,
+        /// GR reservations violated by the new capacities.
+        violated: u64,
+    },
+    /// The runtime's reconcile pass re-placed displaced applications.
+    RuntimeReconcile {
+        /// Simulated time the reconcile pass ran.
+        time: f64,
+        /// Reconcile-policy label (`"fifo"`, `"priority"`, `"gamma"`).
+        policy: String,
+        /// Applications reinstated on their original placement.
+        restored: u64,
+        /// Applications re-placed onto a new placement.
+        replaced: u64,
+        /// Applications that could not be re-placed (left pending).
+        failed: u64,
+        /// Simulated seconds between the disruption and this pass.
+        latency: f64,
+    },
 }
 
 impl Event {
@@ -158,6 +212,11 @@ impl Event {
             Event::SimQueueDepth { .. } => "sim_queue_depth",
             Event::SimAppRate { .. } => "sim_app_rate",
             Event::SimElementState { .. } => "sim_element_state",
+            Event::RuntimeArrival { .. } => "runtime_arrival",
+            Event::RuntimeDeparture { .. } => "runtime_departure",
+            Event::RuntimeElementState { .. } => "runtime_element_state",
+            Event::RuntimeFluctuation { .. } => "runtime_fluctuation",
+            Event::RuntimeReconcile { .. } => "runtime_reconcile",
         }
     }
 
@@ -231,6 +290,58 @@ impl Event {
                 ("element", Json::Str(element.clone())),
                 ("up", Json::Bool(*up)),
             ]),
+            Event::RuntimeArrival {
+                time,
+                app,
+                class,
+                admitted,
+                rate,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("app", Json::Num(*app as f64)),
+                ("class", Json::Str(class.clone())),
+                ("admitted", Json::Bool(*admitted)),
+                ("rate", Json::num(*rate)),
+            ]),
+            Event::RuntimeDeparture { time, app } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("app", Json::Num(*app as f64)),
+            ]),
+            Event::RuntimeElementState {
+                time,
+                element,
+                up,
+                displaced,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("element", Json::Str(element.clone())),
+                ("up", Json::Bool(*up)),
+                ("displaced", Json::Num(*displaced as f64)),
+            ]),
+            Event::RuntimeFluctuation { time, violated } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("violated", Json::Num(*violated as f64)),
+            ]),
+            Event::RuntimeReconcile {
+                time,
+                policy,
+                restored,
+                replaced,
+                failed,
+                latency,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("policy", Json::Str(policy.clone())),
+                ("restored", Json::Num(*restored as f64)),
+                ("replaced", Json::Num(*replaced as f64)),
+                ("failed", Json::Num(*failed as f64)),
+                ("latency", Json::num(*latency)),
+            ]),
         }
     }
 }
@@ -263,6 +374,45 @@ mod tests {
         }
         let line = json.render();
         assert_eq!(crate::json::parse(&line).unwrap(), json);
+    }
+
+    #[test]
+    fn runtime_events_round_trip() {
+        let events = [
+            Event::RuntimeArrival {
+                time: 1.5,
+                app: 4,
+                class: "gr".into(),
+                admitted: true,
+                rate: 2.25,
+            },
+            Event::RuntimeDeparture { time: 2.0, app: 4 },
+            Event::RuntimeElementState {
+                time: 3.0,
+                element: "ncp:1".into(),
+                up: false,
+                displaced: 2,
+            },
+            Event::RuntimeFluctuation {
+                time: 4.0,
+                violated: 1,
+            },
+            Event::RuntimeReconcile {
+                time: 5.0,
+                policy: "gamma".into(),
+                restored: 1,
+                replaced: 1,
+                failed: 0,
+                latency: 0.5,
+            },
+        ];
+        for e in events {
+            let json = e.to_json();
+            assert_eq!(json.get("type").unwrap().as_str(), Some(e.kind()));
+            assert!(e.kind().starts_with("runtime_"), "{}", e.kind());
+            let line = json.render();
+            assert_eq!(crate::json::parse(&line).unwrap(), json);
+        }
     }
 
     #[test]

@@ -39,6 +39,22 @@ const SCHEMAS: &[(&str, &[&str])] = &[
     ("sim_queue_depth", &["time", "depth", "processed"]),
     ("sim_app_rate", &["time", "app", "rate"]),
     ("sim_element_state", &["epoch", "element", "up"]),
+    (
+        "runtime_arrival",
+        &["time", "app", "class", "admitted", "rate"],
+    ),
+    ("runtime_departure", &["time", "app"]),
+    (
+        "runtime_element_state",
+        &["time", "element", "up", "displaced"],
+    ),
+    ("runtime_fluctuation", &["time", "violated"]),
+    (
+        "runtime_reconcile",
+        &[
+            "time", "policy", "restored", "replaced", "failed", "latency",
+        ],
+    ),
     ("snapshot", &["counters"]),
 ];
 
@@ -121,6 +137,47 @@ mod tests {
         trace.push_str(&r.snapshot().to_trace_json().render());
         trace.push('\n');
         assert_eq!(validate_trace(&trace), Ok(3));
+    }
+
+    #[test]
+    fn runtime_events_validate() {
+        let r = CollectRecorder::new();
+        r.event(&Event::RuntimeArrival {
+            time: 0.5,
+            app: 0,
+            class: "be".into(),
+            admitted: false,
+            rate: 0.0,
+        });
+        r.event(&Event::RuntimeElementState {
+            time: 1.0,
+            element: "link:2".into(),
+            up: false,
+            displaced: 3,
+        });
+        r.event(&Event::RuntimeReconcile {
+            time: 1.5,
+            policy: "fifo".into(),
+            restored: 2,
+            replaced: 1,
+            failed: 0,
+            latency: 0.5,
+        });
+        r.event(&Event::RuntimeFluctuation {
+            time: 2.0,
+            violated: 0,
+        });
+        r.event(&Event::RuntimeDeparture { time: 2.5, app: 0 });
+        let mut trace = String::new();
+        for e in r.events() {
+            let line = e.to_json().render();
+            assert_eq!(validate_line(&line), Ok(e.kind()));
+            trace.push_str(&line);
+            trace.push('\n');
+        }
+        trace.push_str(&r.snapshot().to_trace_json().render());
+        trace.push('\n');
+        assert_eq!(validate_trace(&trace), Ok(6));
     }
 
     #[test]

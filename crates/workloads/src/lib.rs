@@ -30,4 +30,4 @@ pub use graphs::{
 pub use scenario_file::{parse_scenario, write_scenario, FileScenario, ScenarioParseError};
 pub use scenarios::{BottleneckCase, GraphKind, Scenario, ScenarioConfig};
 pub use topologies::{TopologyKind, TopologySpec};
-pub use traces::ArrivalTrace;
+pub use traces::{ArrivalEvent, ArrivalEvents, ArrivalTrace};

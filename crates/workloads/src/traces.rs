@@ -13,6 +13,64 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// One application arrival drawn from an [`ArrivalTrace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalEvent {
+    /// Arrival timestamp in `[0, horizon)`.
+    pub time: f64,
+    /// Zero-based arrival sequence number within the trace.
+    pub index: u64,
+}
+
+/// Lazy, seeded arrival generator: yields [`ArrivalEvent`]s in
+/// non-decreasing time order up to an explicit horizon.
+///
+/// Obtained from [`ArrivalTrace::events`]; the online runtime consumes
+/// this directly while batch studies collect it via
+/// [`ArrivalTrace::sample`]. Deterministic per `(trace, horizon, seed)`.
+#[derive(Debug, Clone)]
+pub struct ArrivalEvents {
+    trace: ArrivalTrace,
+    horizon: f64,
+    peak: f64,
+    rng: StdRng,
+    t: f64,
+    index: u64,
+}
+
+impl ArrivalEvents {
+    /// The horizon beyond which no arrivals are produced.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+impl Iterator for ArrivalEvents {
+    type Item = ArrivalEvent;
+
+    fn next(&mut self) -> Option<ArrivalEvent> {
+        if self.peak <= 0.0 {
+            return None;
+        }
+        loop {
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            self.t += -u.ln() / self.peak;
+            if self.t >= self.horizon {
+                return None;
+            }
+            // Thinning: accept with probability λ(t)/λ_max.
+            if self.rng.gen::<f64>() < self.trace.intensity(self.t) / self.peak {
+                let event = ArrivalEvent {
+                    time: self.t,
+                    index: self.index,
+                };
+                self.index += 1;
+                return Some(event);
+            }
+        }
+    }
+}
+
 /// The arrival process to draw from.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalTrace {
@@ -98,27 +156,38 @@ impl ArrivalTrace {
     /// assert!(arrivals.iter().all(|&t| (0.0..100.0).contains(&t)));
     /// ```
     pub fn sample(&self, horizon: f64, seed: u64) -> Vec<f64> {
+        self.events(horizon, seed).map(|e| e.time).collect()
+    }
+
+    /// Lazy counterpart of [`ArrivalTrace::sample`]: an iterator of
+    /// [`ArrivalEvent`]s (timestamp + sequence number) over
+    /// `[0, horizon)`, deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite/negative rates or horizon.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use sparcle_workloads::traces::ArrivalTrace;
+    /// let mut events = ArrivalTrace::Poisson { rate: 2.0 }.events(100.0, 7);
+    /// let first = events.next().unwrap();
+    /// assert_eq!(first.index, 0);
+    /// assert!(first.time >= 0.0 && first.time < 100.0);
+    /// ```
+    pub fn events(&self, horizon: f64, seed: u64) -> ArrivalEvents {
         assert!(horizon.is_finite() && horizon >= 0.0, "bad horizon");
         let peak = self.peak();
         assert!(peak.is_finite() && peak >= 0.0, "bad rate");
-        if peak == 0.0 || horizon == 0.0 {
-            return Vec::new();
+        ArrivalEvents {
+            trace: *self,
+            horizon,
+            peak,
+            rng: StdRng::seed_from_u64(seed),
+            t: 0.0,
+            index: 0,
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut arrivals = Vec::new();
-        let mut t = 0.0;
-        loop {
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            t += -u.ln() / peak;
-            if t >= horizon {
-                break;
-            }
-            // Thinning: accept with probability λ(t)/λ_max.
-            if rng.gen::<f64>() < self.intensity(t) / peak {
-                arrivals.push(t);
-            }
-        }
-        arrivals
     }
 }
 
@@ -184,6 +253,56 @@ mod tests {
         let trace = ArrivalTrace::Poisson { rate: 3.0 };
         assert_eq!(trace.sample(50.0, 42), trace.sample(50.0, 42));
         assert_ne!(trace.sample(50.0, 42), trace.sample(50.0, 43));
+    }
+
+    #[test]
+    fn event_iterators_are_deterministic_for_every_process() {
+        let traces = [
+            ArrivalTrace::Poisson { rate: 3.0 },
+            ArrivalTrace::Diurnal {
+                rate: 4.0,
+                depth: 0.8,
+                period: 50.0,
+            },
+            ArrivalTrace::FlashCrowd {
+                rate: 1.0,
+                burst_rate: 10.0,
+                burst_start: 20.0,
+                burst_end: 40.0,
+            },
+        ];
+        for trace in traces {
+            let a: Vec<_> = trace.events(200.0, 42).collect();
+            let b: Vec<_> = trace.events(200.0, 42).collect();
+            assert_eq!(a, b, "same seed ⇒ identical event sequence ({trace:?})");
+            assert!(!a.is_empty(), "{trace:?} produced no events");
+            let c: Vec<_> = trace.events(200.0, 43).collect();
+            assert_ne!(a, c, "different seed ⇒ different sequence ({trace:?})");
+            // Indices count up from zero; times are sorted in-horizon.
+            for (i, e) in a.iter().enumerate() {
+                assert_eq!(e.index, i as u64);
+                assert!((0.0..200.0).contains(&e.time));
+            }
+            assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+            // The lazy iterator and the batch sampler agree exactly.
+            assert_eq!(
+                a.iter().map(|e| e.time).collect::<Vec<_>>(),
+                trace.sample(200.0, 42),
+            );
+        }
+    }
+
+    #[test]
+    fn event_iterator_respects_horizon_and_fuses() {
+        let mut events = ArrivalTrace::Poisson { rate: 5.0 }.events(10.0, 1);
+        for e in events.by_ref() {
+            assert!(e.time < 10.0);
+        }
+        assert_eq!(events.next(), None, "exhausted iterator stays exhausted");
+        assert!(ArrivalTrace::Poisson { rate: 5.0 }
+            .events(0.0, 1)
+            .next()
+            .is_none());
     }
 
     #[test]

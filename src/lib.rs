@@ -19,7 +19,12 @@
 //! * [`sim`] — a discrete-event queueing simulator, the emulated
 //!   testbed of Figure 4, failure injection, and the energy model.
 //! * [`workloads`] — generators for the paper's task graphs, network
-//!   topologies, bottleneck scenarios, and the face-detection workload.
+//!   topologies, bottleneck scenarios, arrival traces, and the
+//!   face-detection workload.
+//! * [`runtime`] — the online churn runtime: a deterministic control
+//!   plane driving a live system through arrivals, departures, element
+//!   failures, and capacity fluctuation, with pluggable reconcile
+//!   policies and an SLO ledger.
 //!
 //! # Quickstart
 //!
@@ -46,5 +51,6 @@ pub use sparcle_alloc as alloc;
 pub use sparcle_baselines as baselines;
 pub use sparcle_core as core;
 pub use sparcle_model as model;
+pub use sparcle_runtime as runtime;
 pub use sparcle_sim as sim;
 pub use sparcle_workloads as workloads;
