@@ -1,0 +1,510 @@
+//! Perf-regression baseline harness.
+//!
+//! Three pinned, deterministic workloads (a compact cut of `exp_fig6`,
+//! `exp_scaling`, and `exp_churn`) each produce a [`BenchResult`] —
+//! wall time, γ-cache hit rate, DES events/sec, peak event-queue depth
+//! — serialized to `BENCH_<experiment>.json`. The committed copies
+//! under `benchmarks/` are the baseline; `exp_baseline compare` re-runs
+//! the workloads and exits nonzero when a metric regresses past its
+//! tolerance, which is how the nightly CI gate catches performance
+//! drift before it lands.
+//!
+//! Tolerances are direction-aware and per-metric: deterministic metrics
+//! (cache hit rate, queue depth — identical on every run by the
+//! determinism contract) use a tight 2 % band, while wall-clock metrics
+//! default to a loose 50 % band that `--tolerance` can override, since
+//! CI machines are noisy. A metric whose baseline value is zero or
+//! missing is skipped rather than gated.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparcle_baselines::{Assigner, CloudAssigner, HeftAssigner, TStormAssigner, VneAssigner};
+use sparcle_core::{DynamicRankingAssigner, TraceHandle};
+use sparcle_model::{
+    Application, LinkDirection, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
+};
+use sparcle_runtime::{ReconcilePolicy, RuntimeConfig, SparcleRuntime};
+use sparcle_sim::{simulate_flows_traced, ArrivalProcess, FlowSimConfig, SimApp};
+use sparcle_telemetry::{CollectRecorder, Event, Json};
+use sparcle_workloads::face_detection::{face_detection_app, testbed_network, CLOUD};
+use sparcle_workloads::graphs::linear_task_graph;
+use sparcle_workloads::{ArrivalTrace, BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
+
+/// One metric of a [`BenchResult`] and how to judge a change in it.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Key in the serialized `metrics` object.
+    pub name: &'static str,
+    /// `true` when larger values are improvements (throughput-like);
+    /// `false` when smaller values are (time-, depth-like).
+    pub higher_is_better: bool,
+    /// Deterministic metrics are identical run-to-run, so they get the
+    /// tight [`DETERMINISTIC_TOLERANCE`] instead of the wall tolerance.
+    pub deterministic: bool,
+}
+
+/// The four gated metrics, in serialization order.
+pub const METRIC_SPECS: [MetricSpec; 4] = [
+    MetricSpec {
+        name: "wall_time_s",
+        higher_is_better: false,
+        deterministic: false,
+    },
+    MetricSpec {
+        name: "gamma_cache_hit_rate",
+        higher_is_better: true,
+        deterministic: true,
+    },
+    MetricSpec {
+        name: "events_per_sec",
+        higher_is_better: true,
+        deterministic: false,
+    },
+    MetricSpec {
+        name: "peak_queue_depth",
+        higher_is_better: false,
+        deterministic: true,
+    },
+];
+
+/// Relative band for deterministic metrics (float formatting slack
+/// only — the values themselves must not move).
+pub const DETERMINISTIC_TOLERANCE: f64 = 0.02;
+
+/// Default relative band for wall-clock metrics on shared hardware.
+pub const DEFAULT_WALL_TOLERANCE: f64 = 0.5;
+
+/// The measured outcome of one pinned experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Experiment name (`BENCH_<experiment>.json`).
+    pub experiment: String,
+    /// End-to-end wall time of the workload, seconds.
+    pub wall_time_s: f64,
+    /// γ-cache hits / (hits + misses) over all placements (0 when the
+    /// workload performed none).
+    pub gamma_cache_hit_rate: f64,
+    /// Discrete-event throughput: events processed / wall time (0 when
+    /// the workload runs no event loop).
+    pub events_per_sec: f64,
+    /// Peak future-event-list depth of the DES (0 when not simulated).
+    pub peak_queue_depth: f64,
+}
+
+impl BenchResult {
+    /// Metric values in [`METRIC_SPECS`] order.
+    pub fn metrics(&self) -> [f64; 4] {
+        [
+            self.wall_time_s,
+            self.gamma_cache_hit_rate,
+            self.events_per_sec,
+            self.peak_queue_depth,
+        ]
+    }
+
+    /// Serializes to the committed `BENCH_*.json` shape.
+    pub fn to_json(&self) -> Json {
+        let metrics = METRIC_SPECS
+            .iter()
+            .zip(self.metrics())
+            .map(|(spec, value)| (spec.name, Json::num(value)))
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("experiment", Json::Str(self.experiment.clone())),
+            ("metrics", Json::obj(metrics)),
+        ])
+    }
+
+    /// Parses a serialized result; `None` when the shape is wrong.
+    /// Unknown metrics are ignored and missing ones read as 0 (skipped
+    /// by [`compare`]), so the format can grow without breaking old
+    /// baselines.
+    pub fn from_json(json: &Json) -> Option<BenchResult> {
+        let experiment = json.get("experiment")?.as_str()?.to_owned();
+        let metrics = json.get("metrics")?;
+        let value = |name: &str| metrics.get(name).and_then(Json::as_num).unwrap_or(0.0);
+        Some(BenchResult {
+            experiment,
+            wall_time_s: value("wall_time_s"),
+            gamma_cache_hit_rate: value("gamma_cache_hit_rate"),
+            events_per_sec: value("events_per_sec"),
+            peak_queue_depth: value("peak_queue_depth"),
+        })
+    }
+}
+
+/// One metric that moved past its tolerance in the wrong direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Metric name.
+    pub metric: &'static str,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// Relative band that was exceeded.
+    pub tolerance: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.4} -> {:.4} ({:+.1}%, tolerance ±{:.0}%)",
+            self.metric,
+            self.baseline,
+            self.current,
+            100.0 * (self.current - self.baseline) / self.baseline,
+            100.0 * self.tolerance,
+        )
+    }
+}
+
+/// Direction-aware comparison of a fresh result against the committed
+/// baseline. Metrics with a zero or non-finite baseline are skipped
+/// (the workload did not produce them when the baseline was recorded).
+pub fn compare(
+    current: &BenchResult,
+    baseline: &BenchResult,
+    wall_tolerance: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for (spec, (cur, base)) in METRIC_SPECS
+        .iter()
+        .zip(current.metrics().into_iter().zip(baseline.metrics()))
+    {
+        if !base.is_finite() || base == 0.0 {
+            continue;
+        }
+        let tolerance = if spec.deterministic {
+            DETERMINISTIC_TOLERANCE
+        } else {
+            wall_tolerance
+        };
+        let regressed = if spec.higher_is_better {
+            cur < base * (1.0 - tolerance)
+        } else {
+            cur > base * (1.0 + tolerance)
+        };
+        if regressed {
+            regressions.push(Regression {
+                metric: spec.name,
+                baseline: base,
+                current: cur,
+                tolerance,
+            });
+        }
+    }
+    regressions
+}
+
+/// The committed-baseline directory (`<repo>/benchmarks`).
+pub fn baselines_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks")
+}
+
+/// `<dir>/BENCH_<experiment>.json`.
+pub fn result_path(dir: &Path, experiment: &str) -> PathBuf {
+    dir.join(format!("BENCH_{experiment}.json"))
+}
+
+/// A named baseline workload: `(name, runner)`.
+pub type BaselineExperiment = (&'static str, fn() -> BenchResult);
+
+/// The pinned baseline workloads, each a deterministic compact cut of
+/// the experiment it is named after.
+pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 3] = [
+    ("fig6_placement", run_fig6_placement),
+    ("scaling_assign", run_scaling_assign),
+    ("churn_runtime", run_churn_runtime),
+];
+
+/// Runs one registered baseline experiment by name.
+pub fn run_experiment(name: &str) -> Option<BenchResult> {
+    BASELINE_EXPERIMENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, run)| run())
+}
+
+fn hit_rate(snapshot: &sparcle_telemetry::MetricsSnapshot) -> f64 {
+    let hits = snapshot.counter("gamma_cache.hits") as f64;
+    let misses = snapshot.counter("gamma_cache.misses") as f64;
+    if hits + misses == 0.0 {
+        0.0
+    } else {
+        hits / (hits + misses)
+    }
+}
+
+fn peak_depth(events: &[Event]) -> f64 {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::SimQueueDepth { depth, .. } => Some(*depth),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0) as f64
+}
+
+/// Figure-6 cut: the 5-assigner × 3-bandwidth placement sweep
+/// (repeated so the wall clock rises above timer noise) plus one long
+/// saturating flow simulation of the 0.5 Mbps SPARCLE placement.
+fn run_fig6_placement() -> BenchResult {
+    const SWEEP_REPS: usize = 30;
+    let recorder = CollectRecorder::new();
+    let trace = TraceHandle::new(&recorder);
+    let app = face_detection_app(QoeClass::best_effort(1.0)).expect("valid workload");
+
+    let start = Instant::now();
+    let mut sim_placement = None;
+    for rep in 0..SWEEP_REPS {
+        for &bw in &[0.5, 10.0, 22.0] {
+            let network = testbed_network(bw);
+            let caps = network.capacity_map();
+            let algos: Vec<Box<dyn Assigner>> = vec![
+                Box::new(DynamicRankingAssigner::new()),
+                Box::new(HeftAssigner::new()),
+                Box::new(TStormAssigner::new()),
+                Box::new(VneAssigner::new()),
+                Box::new(CloudAssigner::new(CLOUD)),
+            ];
+            for algo in &algos {
+                let path = algo.assign_traced(&app, &network, &caps, trace);
+                if rep == 0 && bw == 0.5 && algo.name() == "SPARCLE" {
+                    sim_placement = Some(path.expect("sparcle places at 0.5 Mbps"));
+                }
+            }
+        }
+    }
+    let placed = sim_placement.expect("sweep includes SPARCLE at 0.5 Mbps");
+    let network = testbed_network(0.5);
+    let rate = 0.9 * placed.rate;
+    simulate_flows_traced(
+        &network,
+        &[SimApp {
+            graph: app.graph(),
+            placement: &placed.placement,
+            rate,
+        }],
+        &FlowSimConfig {
+            duration: 12_000.0 / rate.max(1e-3),
+            warmup: 600.0 / rate.max(1e-3),
+            arrivals: ArrivalProcess::Poisson { seed: 7 },
+        },
+        trace,
+    );
+    let wall = start.elapsed().as_secs_f64();
+
+    let snapshot = recorder.snapshot();
+    let processed = snapshot.counter("sim.events.processed") as f64;
+    BenchResult {
+        experiment: "fig6_placement".to_owned(),
+        wall_time_s: wall,
+        gamma_cache_hit_rate: hit_rate(&snapshot),
+        events_per_sec: if wall > 0.0 { processed / wall } else { 0.0 },
+        peak_queue_depth: peak_depth(&recorder.events()),
+    }
+}
+
+/// Theorem-2 cut: repeated assignment on the largest `exp_scaling`
+/// network point (32 NCPs, 8-stage linear graph). No DES, so the
+/// event-loop metrics stay 0 and the gate watches wall time and the
+/// γ-cache.
+fn run_scaling_assign() -> BenchResult {
+    const REPS: usize = 200;
+    let cfg = {
+        let mut c = ScenarioConfig::new(
+            BottleneckCase::Balanced,
+            GraphKind::Linear { stages: 8 },
+            TopologyKind::Star,
+        );
+        c.ncps = 32;
+        c
+    };
+    let scenario = cfg
+        .sample(&mut StdRng::seed_from_u64(1))
+        .expect("valid scenario");
+    let caps = scenario.network.capacity_map();
+    let assigner = DynamicRankingAssigner::new();
+
+    let recorder = CollectRecorder::new();
+    let start = Instant::now();
+    for _ in 0..REPS {
+        assigner
+            .assign_with_trace(
+                &scenario.app,
+                &scenario.network,
+                &caps,
+                TraceHandle::new(&recorder),
+            )
+            .expect("assignable");
+    }
+    let wall = start.elapsed().as_secs_f64();
+    BenchResult {
+        experiment: "scaling_assign".to_owned(),
+        wall_time_s: wall,
+        gamma_cache_hit_rate: hit_rate(&recorder.snapshot()),
+        events_per_sec: 0.0,
+        peak_queue_depth: 0.0,
+    }
+}
+
+/// Compact `exp_churn` network: four edge hosts, a fast flaky hub and a
+/// slower reliable one.
+fn churn_network(flaky: f64) -> Network {
+    let mut b = NetworkBuilder::new();
+    let edges: Vec<NcpId> = (0..4)
+        .map(|i| b.add_ncp(format!("edge{i}"), ResourceVec::cpu(20.0)))
+        .collect();
+    let fast = b.add_ncp("hub-fast", ResourceVec::cpu(2000.0));
+    let slow = b.add_ncp("hub-slow", ResourceVec::cpu(1500.0));
+    for (i, &e) in edges.iter().enumerate() {
+        b.add_link_full(
+            format!("fast{i}"),
+            e,
+            fast,
+            2e4,
+            LinkDirection::Undirected,
+            flaky,
+        )
+        .expect("valid link");
+        b.add_link_full(
+            format!("slow{i}"),
+            e,
+            slow,
+            8e3,
+            LinkDirection::Undirected,
+            flaky / 4.0,
+        )
+        .expect("valid link");
+    }
+    b.build().expect("valid network")
+}
+
+fn churn_app(index: u64) -> Application {
+    let graph = if index.is_multiple_of(2) {
+        linear_task_graph(&[60.0], &[1200.0, 600.0])
+    } else {
+        linear_task_graph(&[40.0, 40.0], &[1000.0, 800.0, 400.0])
+    }
+    .expect("valid graph");
+    let (src, sink) = (graph.sources()[0], graph.sinks()[0]);
+    let qoe = if index.is_multiple_of(3) {
+        QoeClass::guaranteed_rate(1.5, 0.5)
+    } else {
+        QoeClass::best_effort(1.0 + (index % 4) as f64)
+    };
+    let src_host = NcpId::new((index % 4) as u32);
+    let sink_host = NcpId::new(((index + 1) % 4) as u32);
+    Application::new(graph, qoe, [(src, src_host), (sink, sink_host)]).expect("valid app")
+}
+
+/// Online-runtime cut: one Poisson arrival timeline through the churn
+/// control plane under the FIFO reconcile policy.
+fn run_churn_runtime() -> BenchResult {
+    let config = RuntimeConfig {
+        horizon: 150.0,
+        failure_seed: 0xc0de,
+        hold_seed: 0x601d,
+        mean_hold: 25.0,
+        policy: ReconcilePolicy::Fifo,
+        ..RuntimeConfig::default()
+    };
+    let arrivals = ArrivalTrace::Poisson { rate: 1.2 }.events(config.horizon, 0xa11);
+    let mut rt = SparcleRuntime::new(churn_network(0.05), arrivals, churn_app, config);
+
+    let recorder = CollectRecorder::new();
+    let start = Instant::now();
+    rt.run_traced(TraceHandle::new(&recorder));
+    let wall = start.elapsed().as_secs_f64();
+
+    let events = rt.events_processed() as f64;
+    BenchResult {
+        experiment: "churn_runtime".to_owned(),
+        wall_time_s: wall,
+        gamma_cache_hit_rate: hit_rate(&recorder.snapshot()),
+        events_per_sec: if wall > 0.0 { events / wall } else { 0.0 },
+        peak_queue_depth: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(wall: f64, hit: f64, eps: f64, depth: f64) -> BenchResult {
+        BenchResult {
+            experiment: "t".to_owned(),
+            wall_time_s: wall,
+            gamma_cache_hit_rate: hit,
+            events_per_sec: eps,
+            peak_queue_depth: depth,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = result(1.25, 0.875, 10_000.0, 42.0);
+        let parsed = BenchResult::from_json(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+        // And through the serialized text, as the compare gate reads it.
+        let text = r.to_json().render();
+        let reparsed =
+            BenchResult::from_json(&sparcle_telemetry::parse_json(&text).unwrap()).unwrap();
+        assert_eq!(reparsed, r);
+    }
+
+    #[test]
+    fn compare_flags_a_2x_slowdown() {
+        let baseline = result(1.0, 0.9, 10_000.0, 40.0);
+        let slow = result(2.0, 0.9, 10_000.0, 40.0);
+        let regressions = compare(&slow, &baseline, DEFAULT_WALL_TOLERANCE);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "wall_time_s");
+        assert!(regressions[0].to_string().contains("wall_time_s"));
+    }
+
+    #[test]
+    fn compare_is_direction_aware() {
+        let baseline = result(1.0, 0.9, 10_000.0, 40.0);
+        // Faster, hotter cache, more throughput, shallower queue: all
+        // improvements, none flagged.
+        let better = result(0.4, 0.95, 20_000.0, 30.0);
+        assert!(compare(&better, &baseline, DEFAULT_WALL_TOLERANCE).is_empty());
+        // Cache hit rate is deterministic: a 10 % drop trips the tight
+        // band even though the wall tolerance would allow it.
+        let colder = result(1.0, 0.8, 10_000.0, 40.0);
+        let regressions = compare(&colder, &baseline, DEFAULT_WALL_TOLERANCE);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "gamma_cache_hit_rate");
+    }
+
+    #[test]
+    fn compare_skips_zero_baselines() {
+        let baseline = result(1.0, 0.0, 0.0, 0.0);
+        let current = result(1.0, 0.5, 123.0, 99.0);
+        assert!(compare(&current, &baseline, DEFAULT_WALL_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn compare_tolerance_bounds_the_gate() {
+        let baseline = result(1.0, 0.9, 10_000.0, 40.0);
+        let slightly_slow = result(1.4, 0.9, 10_000.0, 40.0);
+        assert!(compare(&slightly_slow, &baseline, 0.5).is_empty());
+        assert_eq!(compare(&slightly_slow, &baseline, 0.2).len(), 1);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = BASELINE_EXPERIMENTS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), BASELINE_EXPERIMENTS.len());
+        assert!(run_experiment("no-such-experiment").is_none());
+    }
+}

@@ -5,6 +5,10 @@
 //! * `--trace-out <path>` — stream a JSONL telemetry trace (placement
 //!   decisions, commits, sim samples, final counter snapshot) to
 //!   `path`;
+//! * `--trace-spans` — additionally emit hierarchical
+//!   `span_open`/`span_close` events (wall-clock timed; see DESIGN.md
+//!   §9 — span-bearing traces are compared semantically, not
+//!   byte-for-byte);
 //! * `--summary` — print the end-of-run metrics table (counters and
 //!   timing histograms) to stdout.
 //!
@@ -29,6 +33,8 @@ use sparcle_core::TraceHandle;
 pub struct ExpArgs {
     /// Target of the JSONL trace (`--trace-out <path>`).
     pub trace_out: Option<PathBuf>,
+    /// Whether to emit hierarchical span events (`--trace-spans`).
+    pub trace_spans: bool,
     /// Whether to print the end-of-run metrics table (`--summary`).
     pub summary: bool,
 }
@@ -64,6 +70,8 @@ impl ExpArgs {
                 out.trace_out = Some(PathBuf::from(path));
             } else if let Some(path) = arg.strip_prefix("--trace-out=") {
                 out.trace_out = Some(PathBuf::from(path));
+            } else if arg == "--trace-spans" {
+                out.trace_spans = true;
             } else if arg == "--summary" {
                 out.summary = true;
             } else {
@@ -93,6 +101,8 @@ pub struct ExpHarness {
     summary: bool,
     #[cfg(feature = "telemetry")]
     sink: Sink,
+    #[cfg(feature = "telemetry")]
+    spans: Option<sparcle_telemetry::SpanTracker>,
 }
 
 impl std::fmt::Debug for ExpHarness {
@@ -139,15 +149,18 @@ impl ExpHarness {
                 Sink::Jsonl(r) => r.event(&run_start),
                 Sink::Collect(r) => r.event(&run_start),
             }
+            let spans = (args.trace_spans && !matches!(sink, Sink::None))
+                .then(sparcle_telemetry::SpanTracker::new);
             ExpHarness {
                 name,
                 summary: args.summary,
                 sink,
+                spans,
             }
         }
         #[cfg(not(feature = "telemetry"))]
         {
-            if args.trace_out.is_some() || args.summary {
+            if args.trace_out.is_some() || args.trace_spans || args.summary {
                 eprintln!(
                     "note: {name} built without the `telemetry` feature; \
                      --trace-out/--summary are inert"
@@ -165,10 +178,15 @@ impl ExpHarness {
     pub fn trace(&self) -> TraceHandle<'_> {
         #[cfg(feature = "telemetry")]
         {
-            match &self.sink {
-                Sink::None => TraceHandle::none(),
-                Sink::Jsonl(r) => TraceHandle::new(r),
-                Sink::Collect(r) => TraceHandle::new(r),
+            let recorder: Option<&dyn sparcle_telemetry::Recorder> = match &self.sink {
+                Sink::None => None,
+                Sink::Jsonl(r) => Some(r),
+                Sink::Collect(r) => Some(r),
+            };
+            match (recorder, &self.spans) {
+                (Some(r), Some(tracker)) => TraceHandle::with_spans(r, tracker),
+                (Some(r), None) => TraceHandle::new(r),
+                (None, _) => TraceHandle::none(),
             }
         }
         #[cfg(not(feature = "telemetry"))]
@@ -237,6 +255,53 @@ mod tests {
         let a = ExpArgs::parse_from(Vec::<String>::new());
         assert!(!a.summary);
         assert!(a.trace_out.is_none());
+        assert!(!a.trace_spans);
+    }
+
+    #[test]
+    fn parses_trace_spans() {
+        let a = ExpArgs::parse_from(["--trace-spans"]);
+        assert!(a.trace_spans);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn trace_spans_flag_enables_span_emission() {
+        let spanned = ExpHarness::with_args(
+            "unit-test-spans",
+            ExpArgs {
+                trace_out: None,
+                trace_spans: true,
+                summary: true,
+            },
+        );
+        assert!(spanned.trace().spans_enabled());
+        spanned.trace().span("unit.work").finish();
+
+        let plain = ExpHarness::with_args(
+            "unit-test-nospans",
+            ExpArgs {
+                trace_out: None,
+                trace_spans: false,
+                summary: true,
+            },
+        );
+        assert!(plain.trace().is_enabled());
+        assert!(!plain.trace().spans_enabled());
+
+        // --trace-spans without any sink stays fully disabled.
+        let no_sink = ExpHarness::with_args(
+            "unit-test-spans-nosink",
+            ExpArgs {
+                trace_out: None,
+                trace_spans: true,
+                summary: false,
+            },
+        );
+        assert!(!no_sink.trace().is_enabled());
+        assert!(!no_sink.trace().spans_enabled());
+        // Drop harnesses without finish(): no files to clean up except
+        // the two summary collectors, which finish() would write.
     }
 
     #[test]
@@ -250,6 +315,7 @@ mod tests {
     fn harness_records_run_start_and_counters() {
         let args = ExpArgs {
             trace_out: None,
+            trace_spans: false,
             summary: true,
         };
         let h = ExpHarness::with_args("unit-test-harness", args);

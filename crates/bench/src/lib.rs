@@ -9,6 +9,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "telemetry")]
+pub mod baseline;
 pub mod harness;
 pub mod svg;
 
@@ -55,6 +57,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "exp_churn",
         "Online runtime: SLO ledger under churn, per reconcile policy",
+    ),
+    (
+        "exp_baseline",
+        "Perf baselines: pinned workloads + regression compare gate",
     ),
 ];
 

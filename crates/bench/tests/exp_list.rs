@@ -39,6 +39,32 @@ fn registry_matches_binaries_on_disk() {
     );
 }
 
+/// The perf-baseline entry points ride the same registry: `exp_all`
+/// (and anything else iterating `EXPERIMENTS`) must reach the baseline
+/// runner, and every pinned baseline workload must be resolvable by
+/// name so `exp_baseline run <name>` / `compare <name>` cannot drift
+/// from the registered list.
+#[cfg(feature = "telemetry")]
+#[test]
+fn registry_covers_baseline_entry_points() {
+    assert!(
+        sparcle_bench::EXPERIMENTS
+            .iter()
+            .any(|(name, _)| *name == "exp_baseline"),
+        "exp_baseline must be in the experiment registry"
+    );
+    let baselines = &sparcle_bench::baseline::BASELINE_EXPERIMENTS;
+    assert!(baselines.len() >= 3, "need at least three pinned workloads");
+    let mut names: Vec<&str> = baselines.iter().map(|(name, _)| *name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(
+        names.len(),
+        baselines.len(),
+        "baseline workload names must be unique (they key BENCH_<name>.json)"
+    );
+}
+
 #[test]
 fn registry_descriptions_are_nonempty() {
     for (name, what) in sparcle_bench::EXPERIMENTS {

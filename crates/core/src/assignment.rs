@@ -152,6 +152,10 @@ impl DynamicRankingAssigner {
         capacities: &CapacityMap,
         trace: TraceHandle<'_>,
     ) -> Result<AssignedPath, AssignError> {
+        // Root span for one full Algorithm-2 assignment; every
+        // rank-round and commit span nests underneath. An error exit
+        // drops the guard, closing the span as aborted.
+        let assign_span = trace.span("engine.assign");
         let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
         match self.mode {
             EvalMode::Reference => loop {
@@ -176,7 +180,9 @@ impl DynamicRankingAssigner {
                 }
             }
         }
-        engine.finish()
+        let assigned = engine.finish()?;
+        assign_span.finish();
+        Ok(assigned)
     }
 }
 

@@ -468,6 +468,7 @@ impl<'a> PlacementEngine<'a> {
         policy: RoutePolicy,
     ) -> Result<(), AssignError> {
         assert!(!self.placed[ct.index()], "{ct} is already placed");
+        let commit_span = self.trace.span("engine.commit");
         let graph = self.app.graph();
         // Cache rows whose `placed_reachable` set this commit may change:
         // the CTs connected to `ct` through unplaced intermediates,
@@ -526,6 +527,11 @@ impl<'a> PlacementEngine<'a> {
                 }));
             }
         }
+        // A failed route leaves the span to drop: its close is marked
+        // aborted, flagging the error path in profiles.
+        if routed.is_ok() {
+            commit_span.finish();
+        }
         routed.map(|_| ())
     }
 
@@ -540,6 +546,7 @@ impl<'a> PlacementEngine<'a> {
         policy: RoutePolicy,
         touched: &mut LinkSet,
     ) -> Result<(u64, u64), AssignError> {
+        let route_span = self.trace.span("engine.route");
         let graph = self.app.graph();
         let mut routed_tts = 0u64;
         let mut routed_hops = 0u64;
@@ -584,6 +591,7 @@ impl<'a> PlacementEngine<'a> {
             routed_hops += links.len() as u64;
             self.placement.route_tt(tt, links);
         }
+        route_span.finish();
         Ok((routed_tts, routed_hops))
     }
 
@@ -675,11 +683,13 @@ impl<'a> PlacementEngine<'a> {
             self.missing_scratch = missing;
             return Ok(None);
         }
+        let round_span = self.trace.span("engine.rank_round");
         #[cfg(feature = "telemetry")]
         let (cache_hits, cache_misses) = (
             (unplaced_count - missing.len()) as u64,
             missing.len() as u64,
         );
+        let fill_span = (!missing.is_empty()).then(|| self.trace.span("engine.row_fill"));
         let workers = threads.max(1).min(missing.len());
         if workers > 1 {
             let view = self.eval_view();
@@ -723,6 +733,10 @@ impl<'a> PlacementEngine<'a> {
         }
         missing.clear();
         self.missing_scratch = missing;
+        if let Some(span) = fill_span {
+            span.finish();
+        }
+        let merge_span = self.trace.span("engine.rank_merge");
         // Serial merge over the (now complete) rows, reproducing the
         // reference scan's strict-comparison tie-breaks exactly.
         #[cfg(feature = "telemetry")]
@@ -785,6 +799,7 @@ impl<'a> PlacementEngine<'a> {
             }
         }
         let (g, ct, host) = pick.expect("unplaced set is non-empty");
+        merge_span.finish();
         #[cfg(feature = "telemetry")]
         {
             self.trace.counter("engine.rank_rounds", 1);
@@ -808,6 +823,7 @@ impl<'a> PlacementEngine<'a> {
             }
             self.round += 1;
         }
+        round_span.finish();
         Ok(Some((ct, host, g)))
     }
 

@@ -34,7 +34,7 @@ pub use system::{
     Admission, AllocationPolicy, DisplacedApp, PlacedBeApp, PlacedGrApp, RejectReason,
     SparcleSystem, SystemConfig,
 };
-pub use trace::TraceHandle;
+pub use trace::{SpanGuard, TraceHandle};
 pub use widest_path::{
     widest_path, widest_path_brute_force, widest_path_with, widest_tree, DijkstraScratch,
     ReverseAdjacency, WidestPath, WidestTree,

@@ -17,19 +17,31 @@
 //! sets for decision events, timing row fills) is additionally gated on
 //! `#[cfg(feature = "telemetry")]` + [`TraceHandle::is_enabled`], so
 //! even feature-on builds pay nothing when no recorder is attached.
+//!
+//! ## Spans
+//!
+//! Hierarchical timed spans ride the same handle but are **separately
+//! opt-in**: only a handle built with [`TraceHandle::with_spans`]
+//! carries a [`sparcle_telemetry::SpanTracker`], and only such handles
+//! emit `span_open`/`span_close` events from [`TraceHandle::span`].
+//! Span timestamps are wall-clock, so the byte-identical determinism
+//! suites run with span-less handles and see traces without span lines;
+//! `--trace-spans` on the experiment binaries turns them on.
 
 #[cfg(feature = "telemetry")]
-use sparcle_telemetry::{Event, Recorder};
+use sparcle_telemetry::{Event, Recorder, SpanTracker};
 
 /// A copyable, possibly-disconnected reference to a telemetry sink.
 ///
 /// See the module docs for the two feature configurations. Obtain one
-/// with [`TraceHandle::none`] (always) or [`TraceHandle::new`]
-/// (feature-gated).
+/// with [`TraceHandle::none`] (always) or [`TraceHandle::new`] /
+/// [`TraceHandle::with_spans`] (feature-gated).
 #[derive(Clone, Copy, Default)]
 pub struct TraceHandle<'a> {
     #[cfg(feature = "telemetry")]
     recorder: Option<&'a dyn Recorder>,
+    #[cfg(feature = "telemetry")]
+    spans: Option<&'a SpanTracker>,
     #[cfg(not(feature = "telemetry"))]
     _marker: std::marker::PhantomData<&'a ()>,
 }
@@ -38,6 +50,7 @@ impl std::fmt::Debug for TraceHandle<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceHandle")
             .field("enabled", &self.is_enabled())
+            .field("spans", &self.spans_enabled())
             .finish()
     }
 }
@@ -49,11 +62,22 @@ impl<'a> TraceHandle<'a> {
         Self::default()
     }
 
-    /// A handle recording into `recorder`.
+    /// A handle recording into `recorder` (no spans).
     #[cfg(feature = "telemetry")]
     pub fn new(recorder: &'a dyn Recorder) -> Self {
         TraceHandle {
             recorder: Some(recorder),
+            spans: None,
+        }
+    }
+
+    /// A handle recording into `recorder` that additionally emits
+    /// hierarchical span events through `tracker`.
+    #[cfg(feature = "telemetry")]
+    pub fn with_spans(recorder: &'a dyn Recorder, tracker: &'a SpanTracker) -> Self {
+        TraceHandle {
+            recorder: Some(recorder),
+            spans: Some(tracker),
         }
     }
 
@@ -71,10 +95,30 @@ impl<'a> TraceHandle<'a> {
         }
     }
 
+    /// Whether span events are emitted (always `false` with the
+    /// `telemetry` feature off or without a tracker attached).
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        {
+            self.recorder.is_some() && self.spans.is_some()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            false
+        }
+    }
+
     /// The attached recorder, if any.
     #[cfg(feature = "telemetry")]
     pub fn recorder(&self) -> Option<&'a dyn Recorder> {
         self.recorder
+    }
+
+    /// The attached span tracker, if any.
+    #[cfg(feature = "telemetry")]
+    pub fn span_tracker(&self) -> Option<&'a SpanTracker> {
+        self.spans
     }
 
     /// Records a structured event.
@@ -111,6 +155,73 @@ impl<'a> TraceHandle<'a> {
             let _ = (name, nanos);
         }
     }
+
+    /// Opens a hierarchical span named `name`.
+    ///
+    /// Returns an inert guard unless both a recorder **and** a span
+    /// tracker are attached (see the module docs). Close it with
+    /// [`SpanGuard::finish`]; dropping an active guard records an
+    /// aborted close.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'a> {
+        #[cfg(feature = "telemetry")]
+        {
+            let inner = match (self.recorder, self.spans) {
+                (Some(recorder), Some(tracker)) => Some(tracker.open(recorder, name)),
+                _ => None,
+            };
+            SpanGuard { inner }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = name;
+            SpanGuard {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+}
+
+/// RAII guard for a [`TraceHandle::span`]. Zero-sized and inert with
+/// the `telemetry` feature off or when the handle carries no tracker.
+#[must_use = "dropping an active span guard records an aborted close; call finish()"]
+pub struct SpanGuard<'a> {
+    #[cfg(feature = "telemetry")]
+    inner: Option<sparcle_telemetry::Span<'a>>,
+    #[cfg(not(feature = "telemetry"))]
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl std::fmt::Debug for SpanGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+impl SpanGuard<'_> {
+    /// Whether this guard wraps a live span (false for inert guards).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            false
+        }
+    }
+
+    /// Closes the span normally (no-op for inert guards).
+    #[inline]
+    pub fn finish(self) {
+        #[cfg(feature = "telemetry")]
+        if let Some(span) = self.inner {
+            span.finish();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,8 +232,14 @@ mod tests {
     fn none_is_disabled_and_inert() {
         let t = TraceHandle::none();
         assert!(!t.is_enabled());
+        assert!(!t.spans_enabled());
         t.counter("x", 1);
         t.timing("y", 2);
+        let guard = t.span("inert");
+        assert!(!guard.is_active());
+        guard.finish();
+        // Dropping an inert guard is also fine.
+        let _ = t.span("inert2");
     }
 
     #[cfg(feature = "telemetry")]
@@ -131,9 +248,42 @@ mod tests {
         let r = sparcle_telemetry::CollectRecorder::new();
         let t = TraceHandle::new(&r);
         assert!(t.is_enabled());
+        assert!(!t.spans_enabled());
         t.counter("c", 3);
         t.event(&Event::RunStart { name: "t".into() });
         assert_eq!(r.snapshot().counter("c"), 3);
         assert_eq!(r.events().len(), 1);
+        // Without a tracker, span() is inert: no span events.
+        t.span("quiet").finish();
+        assert_eq!(r.events().len(), 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn with_spans_emits_nested_span_events() {
+        let r = sparcle_telemetry::CollectRecorder::new();
+        let tracker = SpanTracker::new();
+        let t = TraceHandle::with_spans(&r, &tracker);
+        assert!(t.spans_enabled());
+        let outer = t.span("outer");
+        assert!(outer.is_active());
+        {
+            let _inner = t.span("inner"); // dropped -> aborted close
+        }
+        outer.finish();
+        let events = r.events();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(
+            &events[1],
+            Event::SpanOpen {
+                parent: Some(0),
+                ..
+            }
+        ));
+        assert!(matches!(&events[2], Event::SpanClose { aborted: true, .. }));
+        assert!(matches!(
+            &events[3],
+            Event::SpanClose { aborted: false, .. }
+        ));
     }
 }

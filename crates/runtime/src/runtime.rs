@@ -267,6 +267,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
     /// Runs the timeline to the horizon, emitting one `runtime_*`
     /// telemetry event per processed churn event into `trace`.
     pub fn run_traced(&mut self, trace: TraceHandle<'_>) -> &SloLedger {
+        let run_span = trace.span("runtime.run");
         while let Some((t, event)) = self.queue.pop() {
             if t > self.config.horizon {
                 break;
@@ -283,6 +284,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             }
         }
         self.accrue(self.config.horizon);
+        run_span.finish();
         &self.ledger
     }
 
@@ -493,6 +495,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         if self.pending.is_empty() {
             return;
         }
+        let reconcile_span = trace.span("runtime.reconcile");
         let mut batch = std::mem::take(&mut self.pending);
         self.config.policy.order(&mut batch);
         let (mut restored, mut replaced, mut failed) = (0u64, 0u64, 0u64);
@@ -541,6 +544,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         }
         #[cfg(not(feature = "telemetry"))]
         let _ = (t, cause, restored, replaced, failed);
+        reconcile_span.finish();
     }
 
     /// The owned scheduling system (final state after [`Self::run`]).

@@ -189,7 +189,12 @@ pub fn simulate_flows_traced(
         );
     }
     let mut sim = FlowSim::new(network, apps, config, trace);
+    // One span over the whole DES loop: per-event spans would dominate
+    // the event loop's cost, so attribution stays at simulation
+    // granularity (see DESIGN.md §9).
+    let span = trace.span("sim.flow");
     sim.run();
+    span.finish();
     sim.finish()
 }
 

@@ -185,6 +185,36 @@ pub enum Event {
         /// GR reservations violated by the new capacities.
         violated: u64,
     },
+    /// A hierarchical timed span opened (see [`crate::span`]).
+    ///
+    /// `t_ns` is wall-clock (monotonic, relative to the
+    /// [`crate::SpanTracker`] epoch) — span events are therefore opt-in
+    /// and excluded from the byte-identical determinism contract; trace
+    /// diffing strips the wall-clock keys.
+    SpanOpen {
+        /// Span id, unique within one tracker's trace.
+        id: u64,
+        /// Id of the enclosing open span, if any.
+        parent: Option<u64>,
+        /// Span name (`"engine.rank_round"`, `"sim.flow"`, …). Static
+        /// so span emission on hot paths never allocates (the ≤5 %
+        /// overhead budget in `bench/tests/span_overhead.rs`).
+        name: &'static str,
+        /// Nanoseconds since the tracker's epoch at open.
+        t_ns: u64,
+    },
+    /// A hierarchical timed span closed.
+    SpanClose {
+        /// Span id matching the corresponding [`Event::SpanOpen`].
+        id: u64,
+        /// Span name (repeated so a close line is self-describing).
+        name: &'static str,
+        /// Wall-clock nanoseconds the span was open.
+        dur_ns: u64,
+        /// `true` when the span was dropped without `finish()` (early
+        /// return or panic unwind).
+        aborted: bool,
+    },
     /// The runtime's reconcile pass re-placed displaced applications.
     RuntimeReconcile {
         /// Simulated time the reconcile pass ran.
@@ -217,6 +247,8 @@ impl Event {
             Event::RuntimeElementState { .. } => "runtime_element_state",
             Event::RuntimeFluctuation { .. } => "runtime_fluctuation",
             Event::RuntimeReconcile { .. } => "runtime_reconcile",
+            Event::SpanOpen { .. } => "span_open",
+            Event::SpanClose { .. } => "span_close",
         }
     }
 
@@ -342,6 +374,30 @@ impl Event {
                 ("failed", Json::Num(*failed as f64)),
                 ("latency", Json::num(*latency)),
             ]),
+            Event::SpanOpen {
+                id,
+                parent,
+                name,
+                t_ns,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("id", Json::Num(*id as f64)),
+                ("parent", parent.map_or(Json::Null, |p| Json::Num(p as f64))),
+                ("name", Json::Str((*name).to_owned())),
+                ("t_ns", Json::Num(*t_ns as f64)),
+            ]),
+            Event::SpanClose {
+                id,
+                name,
+                dur_ns,
+                aborted,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("id", Json::Num(*id as f64)),
+                ("name", Json::Str((*name).to_owned())),
+                ("dur_ns", Json::Num(*dur_ns as f64)),
+                ("aborted", Json::Bool(*aborted)),
+            ]),
         }
     }
 }
@@ -413,6 +469,50 @@ mod tests {
             let line = json.render();
             assert_eq!(crate::json::parse(&line).unwrap(), json);
         }
+    }
+
+    #[test]
+    fn span_events_round_trip() {
+        let events = [
+            Event::SpanOpen {
+                id: 0,
+                parent: None,
+                name: "engine.assign",
+                t_ns: 125,
+            },
+            Event::SpanOpen {
+                id: 1,
+                parent: Some(0),
+                name: "engine.rank_round",
+                t_ns: 250,
+            },
+            Event::SpanClose {
+                id: 1,
+                name: "engine.rank_round",
+                dur_ns: 1000,
+                aborted: false,
+            },
+            Event::SpanClose {
+                id: 0,
+                name: "engine.assign",
+                dur_ns: 2000,
+                aborted: true,
+            },
+        ];
+        for e in events {
+            let json = e.to_json();
+            assert_eq!(json.get("type").unwrap().as_str(), Some(e.kind()));
+            let line = json.render();
+            assert_eq!(crate::json::parse(&line).unwrap(), json);
+        }
+        // A root span serializes its missing parent as JSON null.
+        let root = Event::SpanOpen {
+            id: 7,
+            parent: None,
+            name: "x",
+            t_ns: 0,
+        };
+        assert_eq!(root.to_json().get("parent"), Some(&Json::Null));
     }
 
     #[test]

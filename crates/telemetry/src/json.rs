@@ -74,6 +74,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The array payload, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -301,9 +309,19 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("malformed number"))
+        match text.parse::<f64>() {
+            // Overflowing literals ("1e999") parse to ±Infinity; JSON has
+            // no non-finite numbers, so accepting them would silently
+            // mangle the value. NaN can't be produced by a numeric
+            // literal, but reject defensively rather than debug-assert
+            // in the serializer later.
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            Ok(_) => Err(ParseError {
+                at: start,
+                message: format!("number {text:?} is not representable as a finite f64"),
+            }),
+            Err(_) => Err(self.err("malformed number")),
+        }
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
@@ -414,5 +432,29 @@ mod tests {
     fn number_forms() {
         assert_eq!(parse("-1.5e3").unwrap().as_num(), Some(-1500.0));
         assert_eq!(parse("0").unwrap().as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers_with_clear_error() {
+        for input in ["1e999", "-1e999", "[1,2,1e400]"] {
+            let err = parse(input).unwrap_err();
+            assert!(
+                err.message.contains("finite"),
+                "{input}: unexpected message {:?}",
+                err.message
+            );
+        }
+        // The error names the offending literal and its offset.
+        let err = parse("{\"a\":1e999}").unwrap_err();
+        assert_eq!(err.at, 5);
+        assert!(err.message.contains("1e999"));
+        // Bare NaN/Infinity are not JSON at all.
+        assert!(parse("NaN").is_err());
+        assert!(parse("Infinity").is_err());
+        // The largest finite doubles still parse.
+        assert_eq!(
+            parse("1.7976931348623157e308").unwrap().as_num(),
+            Some(f64::MAX)
+        );
     }
 }

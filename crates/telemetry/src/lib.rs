@@ -1,9 +1,9 @@
 //! # sparcle-telemetry
 //!
 //! Zero-dependency structured telemetry for the SPARCLE workspace:
-//! scheduler decision tracing, counters, fixed-bucket histograms, and
-//! JSONL export. See DESIGN.md §7 for the architecture and the
-//! overhead contract.
+//! scheduler decision tracing, counters, fixed-bucket histograms,
+//! hierarchical timed spans, and JSONL export. See DESIGN.md §7 for the
+//! architecture and the overhead contract, §9 for the span model.
 //!
 //! The crate splits telemetry into two streams with different
 //! guarantees:
@@ -14,6 +14,13 @@
 //! * **Metrics** (counters + histograms, [`MetricsSnapshot`]) may carry
 //!   wall-clock timings. Counters are deterministic and appear in the
 //!   final trace line; histograms never enter the trace.
+//!
+//! **Spans** ([`Span`], [`SpanTracker`]) straddle the two: their
+//! open/close *structure* (ids, parents, names, ordering) is
+//! deterministic, but their timestamps are wall-clock. They are
+//! therefore opt-in — only traces recorded with a [`SpanTracker`]
+//! attached contain `span_open`/`span_close` lines, and `sparcle-trace
+//! diff` compares traces with the wall-clock keys stripped.
 //!
 //! Sinks implement [`Recorder`]. The instrumented crates (`sparcle-core`,
 //! `sparcle-sim`) gate every call site behind their own `telemetry`
@@ -27,44 +34,53 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod schema;
+pub mod span;
 
 pub use event::{Candidate, CommitRecord, CtTieBreak, Event, HostTieBreak, PlacementDecision};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use recorder::{CollectRecorder, JsonlRecorder, NoopRecorder, Recorder};
+pub use span::{Span, SpanTracker};
 
 use std::time::Instant;
 
 /// A scope timer: measures monotonic elapsed time from construction and
-/// records it into the recorder's named histogram on [`Span::finish`]
-/// or drop.
+/// records it into the recorder's named histogram on
+/// [`ScopeTimer::finish`] or drop.
+///
+/// This is the metrics-side sibling of the event-side [`Span`]: a
+/// `ScopeTimer` feeds a histogram (aggregate, no structure), a [`Span`]
+/// emits paired `span_open`/`span_close` events (per-instance, with
+/// parent/child structure).
 ///
 /// ```
-/// use sparcle_telemetry::{CollectRecorder, Span};
+/// use sparcle_telemetry::{CollectRecorder, ScopeTimer};
 /// let recorder = CollectRecorder::new();
 /// {
-///     let _span = Span::start(&recorder, "work_ns");
+///     let _timer = ScopeTimer::start(&recorder, "work_ns");
 ///     // ... timed work ...
 /// }
 /// assert_eq!(recorder.snapshot().histograms["work_ns"].count(), 1);
 /// ```
-pub struct Span<'a> {
+pub struct ScopeTimer<'a> {
     recorder: &'a dyn Recorder,
     name: &'static str,
     start: Instant,
     done: bool,
 }
 
-impl std::fmt::Debug for Span<'_> {
+impl std::fmt::Debug for ScopeTimer<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Span").field("name", &self.name).finish()
+        f.debug_struct("ScopeTimer")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
-impl<'a> Span<'a> {
+impl<'a> ScopeTimer<'a> {
     /// Starts timing now.
     pub fn start(recorder: &'a dyn Recorder, name: &'static str) -> Self {
-        Span {
+        ScopeTimer {
             recorder,
             name,
             start: Instant::now(),
@@ -72,7 +88,7 @@ impl<'a> Span<'a> {
         }
     }
 
-    /// Stops the span early and records the elapsed nanoseconds.
+    /// Stops the timer early and records the elapsed nanoseconds.
     pub fn finish(mut self) {
         self.record();
     }
@@ -86,7 +102,7 @@ impl<'a> Span<'a> {
     }
 }
 
-impl Drop for Span<'_> {
+impl Drop for ScopeTimer<'_> {
     fn drop(&mut self) {
         self.record();
     }
@@ -97,12 +113,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn span_records_once() {
+    fn scope_timer_records_once() {
         let r = CollectRecorder::new();
-        let span = Span::start(&r, "t_ns");
-        span.finish();
+        let timer = ScopeTimer::start(&r, "t_ns");
+        timer.finish();
         {
-            let _implicit = Span::start(&r, "t_ns");
+            let _implicit = ScopeTimer::start(&r, "t_ns");
         }
         assert_eq!(r.snapshot().histograms["t_ns"].count(), 2);
     }

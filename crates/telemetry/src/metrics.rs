@@ -77,11 +77,16 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
-    /// Upper bound of the bucket holding the q-quantile (0 ≤ q ≤ 1).
+    /// Estimate of the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+    /// across the holding bucket's value range, clamped to the observed
+    /// `[min, max]`.
     ///
-    /// Bucket resolution means the answer is exact only to a factor of
-    /// two — fine for the order-of-magnitude latency questions telemetry
-    /// answers.
+    /// The clamp makes degenerate cases exact: a single-sample
+    /// histogram returns that sample for every `q`, and `q = 1` returns
+    /// the true maximum rather than the bucket's upper bound. Within a
+    /// populated bucket the estimate is still only bucket-resolution
+    /// accurate (a factor of two) — fine for the order-of-magnitude
+    /// latency questions telemetry answers.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -89,11 +94,24 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (k, n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Upper bound of bucket k: 2^k - 1 (bucket 0 is just 0).
-                return Some(if k == 0 { 0 } else { (1u64 << k.min(63)) - 1 });
+            if *n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                // Bucket k covers [2^(k-1), 2^k - 1] (bucket 0 is just
+                // 0). Interpolate by the rank's position within the
+                // bucket's occupants.
+                let lower = if k == 0 { 0u64 } else { 1u64 << (k - 1) };
+                let upper = if k == 0 {
+                    0u64
+                } else {
+                    (1u64 << k.min(63)) - 1
+                };
+                let frac = (rank - seen) as f64 / *n as f64;
+                let est = lower as f64 + frac * (upper - lower) as f64;
+                return Some((est.round() as u64).clamp(self.min, self.max));
+            }
+            seen += n;
         }
         Some(self.max)
     }
@@ -247,10 +265,12 @@ mod tests {
         assert_eq!(h.sum(), 1025);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(1000));
-        // p50 of 8 values -> 4th smallest (3), bucket upper bound 3.
+        // p50 of 8 values -> 4th smallest (3): rank 4 tops out bucket
+        // [2,3], interpolating to its upper bound.
         assert_eq!(h.quantile(0.5), Some(3));
-        // p100 lands in 1000's bucket (2^10 - 1 = 1023).
-        assert_eq!(h.quantile(1.0), Some(1023));
+        // p100 lands in 1000's bucket [512,1023]; the [min,max] clamp
+        // pulls the bucket bound back to the true maximum.
+        assert_eq!(h.quantile(1.0), Some(1000));
     }
 
     #[test]
@@ -263,6 +283,75 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), Some(5));
         assert_eq!(a.max(), Some(100));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(42);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+
+        let mut both = Histogram::new();
+        both.merge(&Histogram::new());
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.quantile(0.5), None);
+        assert_eq!(both.min(), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(5);
+        // The [min,max] clamp collapses the bucket range [4,7] to the
+        // one observed value, for every q.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(5), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_and_across_buckets() {
+        // Two samples sharing bucket [4,7]: p50 interpolates halfway
+        // (5.5 -> 6), p100 reaches the bucket's upper bound.
+        let mut h = Histogram::new();
+        h.record(4);
+        h.record(7);
+        assert_eq!(h.quantile(0.5), Some(6));
+        assert_eq!(h.quantile(1.0), Some(7));
+
+        // Samples in distant buckets: the quantile jumps buckets rather
+        // than interpolating between them.
+        let mut far = Histogram::new();
+        far.record(1);
+        far.record(1000);
+        assert_eq!(far.quantile(0.5), Some(1));
+        assert_eq!(far.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn merged_percentiles_match_combined_population() {
+        let mut a = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        b.record(1000);
+        b.record(2000);
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 3006);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(2000));
+        // rank 3 of 6 -> bucket [2,3] upper half.
+        assert_eq!(a.quantile(0.5), Some(3));
+        // p100 clamps bucket [1024,2047] down to the true max.
+        assert_eq!(a.quantile(1.0), Some(2000));
     }
 
     #[test]

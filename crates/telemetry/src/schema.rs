@@ -55,6 +55,8 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "time", "policy", "restored", "replaced", "failed", "latency",
         ],
     ),
+    ("span_open", &["id", "parent", "name", "t_ns"]),
+    ("span_close", &["id", "name", "dur_ns", "aborted"]),
     ("snapshot", &["counters"]),
 ];
 

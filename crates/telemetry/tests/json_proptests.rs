@@ -1,0 +1,121 @@
+//! Property tests for `telemetry::json`: `parse(render(v)) == v` for
+//! arbitrary finite JSON values, including escape-heavy strings and
+//! integers at the edge of `f64`'s exact range.
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use sparcle_telemetry::{parse_json, Json};
+
+/// Characters that stress the escaper: quotes, backslashes, control
+/// characters (named and `\u` forms), multi-byte UTF-8.
+fn arb_char() -> BoxedStrategy<char> {
+    prop_oneof![
+        (0x20u32..0x7f).prop_map(|c| char::from_u32(c).expect("printable ascii")),
+        Just('"'),
+        Just('\\'),
+        Just('\n'),
+        Just('\r'),
+        Just('\t'),
+        Just('\u{0}'),
+        Just('\u{1}'),
+        Just('\u{1f}'),
+        Just('\u{7f}'),
+        Just('µ'),
+        Just('λ'),
+        Just('😀'),
+    ]
+    .boxed()
+}
+
+fn arb_string() -> BoxedStrategy<String> {
+    proptest::collection::vec(arb_char(), 0..12)
+        .prop_map(|chars| chars.into_iter().collect())
+        .boxed()
+}
+
+/// Finite numbers only — `Json::Num` forbids non-finite values (they
+/// serialize as strings via `Json::num`). Includes "large integers":
+/// whole values up to ±2^63, well past 2^53 where `f64` goes sparse,
+/// exercising the shortest-roundtrip Display path.
+fn arb_num() -> BoxedStrategy<f64> {
+    prop_oneof![
+        -1.0e6f64..1.0e6,
+        -1.0f64..1.0,
+        (i64::MIN..i64::MAX).prop_map(|v| v as f64),
+        (0u64..=u64::MAX).prop_map(|v| v as f64),
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MAX),
+        Just(f64::MIN),
+        Just(f64::MIN_POSITIVE),
+        Just(9_007_199_254_740_993.0), // 2^53 + 1 rounds to 2^53
+    ]
+    .boxed()
+}
+
+fn arb_leaf() -> BoxedStrategy<Json> {
+    prop_oneof![
+        Just(Json::Null),
+        Just(Json::Bool(true)),
+        Just(Json::Bool(false)),
+        arb_num().prop_map(Json::Num),
+        arb_string().prop_map(Json::Str),
+    ]
+    .boxed()
+}
+
+fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+    if depth == 0 {
+        return arb_leaf();
+    }
+    let child = || arb_json(depth - 1);
+    prop_oneof![
+        arb_leaf(),
+        proptest::collection::vec(child(), 0..4).prop_map(Json::Arr),
+        // Duplicate keys are fine: Json::Obj is an ordered pair list,
+        // and both render and parse preserve it verbatim.
+        proptest::collection::vec((arb_string(), child()), 0..4).prop_map(Json::Obj),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fundamental round-trip: any finite value survives
+    /// serialize → parse unchanged.
+    #[test]
+    fn render_parse_round_trips(v in arb_json(3)) {
+        let rendered = v.render();
+        let parsed = parse_json(&rendered);
+        prop_assert_eq!(parsed.as_ref(), Ok(&v), "rendered: {}", rendered);
+    }
+
+    /// Rendering is deterministic and stable under one round-trip
+    /// (parse(render(v)) renders to the same bytes).
+    #[test]
+    fn render_is_a_fixed_point(v in arb_json(2)) {
+        let first = v.render();
+        let second = parse_json(&first).expect("round trip").render();
+        prop_assert_eq!(&first, &second);
+    }
+
+    /// Strings with arbitrary escape-worthy characters round-trip when
+    /// wrapped in an object key *and* value position.
+    #[test]
+    fn escaped_strings_round_trip(k in arb_string(), s in arb_string()) {
+        let v = Json::Obj(vec![(k, Json::Str(s))]);
+        let parsed = parse_json(&v.render());
+        prop_assert_eq!(parsed.as_ref(), Ok(&v));
+    }
+
+    /// Whole numbers representable in f64 print without a fraction and
+    /// re-parse to the identical value.
+    #[test]
+    fn large_integers_round_trip(raw in i64::MIN..i64::MAX) {
+        let v = raw as f64;
+        let rendered = Json::Num(v).render();
+        prop_assert!(!rendered.contains('.'), "integral render: {}", rendered);
+        prop_assert_eq!(parse_json(&rendered).unwrap().as_num(), Some(v));
+    }
+}

@@ -1,0 +1,97 @@
+//! # sparcle-trace-tools
+//!
+//! Read-side analysis for SPARCLE JSONL telemetry traces (the
+//! write-side lives in `sparcle-telemetry`; DESIGN.md §7 and §9 cover
+//! the formats). Four operations, shared by the `sparcle-trace` binary
+//! and the in-process tests:
+//!
+//! * [`summary`] — per-kind event counts plus per-app rate/SLO rollups
+//!   from the `runtime_*`/`sim_*` event families;
+//! * [`profile`] — reconstructs the `span_open`/`span_close` tree and
+//!   aggregates it into a self/total-time table, flamegraph-compatible
+//!   folded stacks, and per-placement-round critical-path attribution;
+//! * [`diff`] — semantic comparison of two traces that ignores
+//!   wall-clock span timestamps and localizes the first diverging
+//!   event;
+//! * validation — [`sparcle_telemetry::schema::validate_trace`],
+//!   re-exported here so the binary can run the schema check offline.
+//!
+//! The crate depends only on `sparcle-telemetry` (the data model), so
+//! it can inspect traces produced by any build configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod profile;
+pub mod summary;
+
+pub use sparcle_telemetry::schema::{validate_line, validate_trace};
+use sparcle_telemetry::{parse_json, Json};
+
+/// A trace that failed to load: 1-based line number plus a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number of the offending line (0 for whole-file
+    /// problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a JSONL trace into one [`Json`] value per non-empty line.
+///
+/// Purely syntactic — schema validation is separate (see
+/// [`validate_trace`]), so `diff` and `profile` can still operate on
+/// traces written by newer emitters with unknown event kinds.
+///
+/// # Errors
+///
+/// Returns the first line that is not valid JSON.
+pub fn load_trace(contents: &str) -> Result<Vec<Json>, TraceError> {
+    let mut events = Vec::new();
+    for (i, line) in contents.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let json = parse_json(line).map_err(|e| TraceError {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        events.push(json);
+    }
+    Ok(events)
+}
+
+/// The `type` tag of one parsed trace line (`"?"` when absent).
+pub fn kind_of(event: &Json) -> &str {
+    event.get("type").and_then(Json::as_str).unwrap_or("?")
+}
+
+pub(crate) fn num_field(event: &Json, key: &str) -> Option<f64> {
+    event.get(key).and_then(Json::as_num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_trace_parses_lines_and_reports_position() {
+        let events = load_trace("{\"type\":\"run_start\",\"name\":\"x\"}\n\n{\"a\":1}\n").unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(kind_of(&events[0]), "run_start");
+        assert_eq!(kind_of(&events[1]), "?");
+
+        let err = load_trace("{\"ok\":1}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

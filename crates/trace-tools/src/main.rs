@@ -1,0 +1,112 @@
+//! `sparcle-trace` — offline analysis of SPARCLE JSONL telemetry traces.
+//!
+//! ```text
+//! sparcle-trace summary  <trace.jsonl>              per-kind counts + rollups
+//! sparcle-trace profile  <trace.jsonl> [--folded F] span self/total table,
+//!                                                   per-round critical paths;
+//!                                                   folded stacks to F
+//! sparcle-trace diff     <a.jsonl> <b.jsonl>        semantic compare (ignores
+//!                                                   wall-clock span times)
+//! sparcle-trace validate <trace.jsonl>              offline schema check
+//! ```
+//!
+//! Exit codes: `0` success (for `diff`: traces equivalent), `1` finding
+//! (divergence / invalid trace), `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+use sparcle_trace_tools::{diff, load_trace, profile, summary, validate_trace};
+
+const USAGE: &str = "usage: sparcle-trace <summary|profile|diff|validate> <trace.jsonl> ...
+  summary  <trace>                per-kind counts, app/reconcile/queue rollups
+  profile  <trace> [--folded <out>]  span profile, critical paths, folded stacks
+  diff     <a> <b>                first diverging event (wall-clock-insensitive)
+  validate <trace>                schema-check every line";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("sparcle-trace: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, rest) = args.split_first().ok_or(USAGE)?;
+    match cmd.as_str() {
+        "summary" => {
+            let [path] = rest else {
+                return Err(USAGE.to_owned());
+            };
+            let events = load_trace(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", summary::summarize(&events).render());
+            Ok(ExitCode::SUCCESS)
+        }
+        "profile" => {
+            let (path, folded_out) = match rest {
+                [path] => (path, None),
+                [path, flag, out] if flag == "--folded" => (path, Some(out)),
+                _ => return Err(USAGE.to_owned()),
+            };
+            let events = load_trace(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+            let forest = profile::SpanForest::build(&events);
+            if forest.nodes.is_empty() {
+                return Err(format!(
+                    "{path}: no span events — re-run the experiment with --trace-spans"
+                ));
+            }
+            print!("{}", profile::render_table(&profile::aggregate(&forest)));
+            println!();
+            print!("{}", profile::render_rounds(&forest));
+            if let Some(out) = folded_out {
+                std::fs::write(out, forest.folded_stacks())
+                    .map_err(|e| format!("write {out}: {e}"))?;
+                println!("\nwrote folded stacks to {out}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let [path_a, path_b] = rest else {
+                return Err(USAGE.to_owned());
+            };
+            let a = load_trace(&read(path_a)?).map_err(|e| format!("{path_a}: {e}"))?;
+            let b = load_trace(&read(path_b)?).map_err(|e| format!("{path_b}: {e}"))?;
+            match diff::diff_traces(&a, &b) {
+                None => {
+                    println!(
+                        "traces are semantically identical ({} events; wall-clock keys ignored)",
+                        a.len()
+                    );
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(divergence) => {
+                    println!("{}", divergence.render());
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        "validate" => {
+            let [path] = rest else {
+                return Err(USAGE.to_owned());
+            };
+            match validate_trace(&read(path)?) {
+                Ok(count) => {
+                    println!("{path}: {count} events, schema OK");
+                    Ok(ExitCode::SUCCESS)
+                }
+                Err((line, message)) => {
+                    println!("{path}:{line}: {message}");
+                    Ok(ExitCode::FAILURE)
+                }
+            }
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    }
+}

@@ -1,0 +1,265 @@
+//! Whole-trace rollups: event-kind counts, per-app admission/rate
+//! stats from the `runtime_*` family, reconcile aggregates by policy,
+//! peak queue depth from the DES samples, and the final counter
+//! snapshot.
+
+use std::collections::BTreeMap;
+
+use sparcle_telemetry::Json;
+
+use crate::{kind_of, num_field};
+
+/// Admission and lifetime facts for one application id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AppStats {
+    /// Service class from the arrival event (empty when unknown).
+    pub class: String,
+    /// Whether the placement engine admitted the app.
+    pub admitted: bool,
+    /// Offered rate at arrival.
+    pub rate: f64,
+    /// Arrival time.
+    pub arrived_at: f64,
+    /// Departure time, when a `runtime_departure` was seen.
+    pub departed_at: Option<f64>,
+}
+
+/// Aggregate over all `runtime_reconcile` events of one policy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReconcileStats {
+    /// Number of reconcile passes.
+    pub count: u64,
+    /// Summed restored placements.
+    pub restored: u64,
+    /// Summed re-placed placements.
+    pub replaced: u64,
+    /// Summed failures to re-place.
+    pub failed: u64,
+    /// Summed reconcile latency (divide by `count` for the mean).
+    pub total_latency: f64,
+}
+
+/// Everything the `summary` subcommand reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Event count per `type` tag.
+    pub kind_counts: BTreeMap<String, u64>,
+    /// Per-app rollups keyed by app id (`runtime_arrival`/`_departure`).
+    pub apps: BTreeMap<u64, AppStats>,
+    /// Reconcile aggregates keyed by policy name.
+    pub reconciles: BTreeMap<String, ReconcileStats>,
+    /// Highest `sim_queue_depth.depth` sample.
+    pub peak_queue_depth: Option<u64>,
+    /// Last `sim_queue_depth.processed` sample (monotone in the DES).
+    pub processed: Option<u64>,
+    /// Counters from the final snapshot line, in snapshot order.
+    pub counters: Vec<(String, f64)>,
+}
+
+/// Folds a parsed trace into a [`TraceSummary`]. Unknown event kinds
+/// are counted but otherwise ignored, so newer traces still summarize.
+pub fn summarize(events: &[Json]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    for event in events {
+        let kind = kind_of(event);
+        *s.kind_counts.entry(kind.to_owned()).or_insert(0) += 1;
+        match kind {
+            "runtime_arrival" => {
+                let Some(app) = num_field(event, "app").map(|v| v as u64) else {
+                    continue;
+                };
+                let entry = s.apps.entry(app).or_default();
+                entry.class = event
+                    .get("class")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned();
+                entry.admitted = event
+                    .get("admitted")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false);
+                entry.rate = num_field(event, "rate").unwrap_or(0.0);
+                entry.arrived_at = num_field(event, "time").unwrap_or(0.0);
+            }
+            "runtime_departure" => {
+                let Some(app) = num_field(event, "app").map(|v| v as u64) else {
+                    continue;
+                };
+                s.apps.entry(app).or_default().departed_at = num_field(event, "time");
+            }
+            "runtime_reconcile" => {
+                let policy = event
+                    .get("policy")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                let entry = s.reconciles.entry(policy).or_default();
+                entry.count += 1;
+                entry.restored += num_field(event, "restored").map_or(0, |v| v as u64);
+                entry.replaced += num_field(event, "replaced").map_or(0, |v| v as u64);
+                entry.failed += num_field(event, "failed").map_or(0, |v| v as u64);
+                entry.total_latency += num_field(event, "latency").unwrap_or(0.0);
+            }
+            "sim_queue_depth" => {
+                if let Some(depth) = num_field(event, "depth").map(|v| v as u64) {
+                    s.peak_queue_depth = Some(s.peak_queue_depth.unwrap_or(0).max(depth));
+                }
+                if let Some(p) = num_field(event, "processed").map(|v| v as u64) {
+                    s.processed = Some(p);
+                }
+            }
+            "snapshot" => {
+                if let Some(Json::Obj(pairs)) = event.get("counters") {
+                    for (name, value) in pairs {
+                        if let Some(v) = value.as_num() {
+                            s.counters.push((name.clone(), v));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+impl TraceSummary {
+    /// How many apps the trace admitted (vs. total seen arriving).
+    pub fn admitted_count(&self) -> (usize, usize) {
+        let admitted = self.apps.values().filter(|a| a.admitted).count();
+        (admitted, self.apps.len())
+    }
+
+    /// The human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("events by kind:\n");
+        for (kind, count) in &self.kind_counts {
+            out.push_str(&format!("  {kind:<24} {count:>8}\n"));
+        }
+        if !self.apps.is_empty() {
+            let (admitted, total) = self.admitted_count();
+            out.push_str(&format!("\napps: {admitted}/{total} admitted\n"));
+            for (app, stats) in &self.apps {
+                let lifetime = match stats.departed_at {
+                    Some(d) => format!("{:.3}..{d:.3}", stats.arrived_at),
+                    None => format!("{:.3}..", stats.arrived_at),
+                };
+                out.push_str(&format!(
+                    "  app {app:>4} [{}] {} rate {:.3} alive {lifetime}\n",
+                    stats.class,
+                    if stats.admitted {
+                        "admitted"
+                    } else {
+                        "rejected"
+                    },
+                    stats.rate,
+                ));
+            }
+        }
+        if !self.reconciles.is_empty() {
+            out.push_str("\nreconcile passes by policy:\n");
+            for (policy, r) in &self.reconciles {
+                let mean = if r.count == 0 {
+                    0.0
+                } else {
+                    r.total_latency / r.count as f64
+                };
+                out.push_str(&format!(
+                    "  {policy:<12} passes {:>4}  restored {:>4}  replaced {:>4}  failed {:>4}  \
+                     mean latency {mean:.3}\n",
+                    r.count, r.restored, r.replaced, r.failed,
+                ));
+            }
+        }
+        if let Some(peak) = self.peak_queue_depth {
+            out.push_str(&format!(
+                "\nDES: peak queue depth {peak}, events processed {}\n",
+                self.processed.unwrap_or(0)
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\nfinal counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<32} {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_trace;
+
+    fn runtime_trace() -> Vec<Json> {
+        let lines = [
+            r#"{"type":"run_start","name":"t"}"#,
+            r#"{"type":"runtime_arrival","time":0.5,"app":0,"class":"gold","admitted":true,"rate":2.5}"#,
+            r#"{"type":"runtime_arrival","time":0.7,"app":1,"class":"be","admitted":false,"rate":1.0}"#,
+            r#"{"type":"runtime_departure","time":3.0,"app":0}"#,
+            r#"{"type":"runtime_reconcile","time":1.0,"policy":"fifo","restored":2,"replaced":1,"failed":0,"latency":0.4}"#,
+            r#"{"type":"runtime_reconcile","time":2.0,"policy":"fifo","restored":1,"replaced":0,"failed":1,"latency":0.6}"#,
+            r#"{"type":"sim_queue_depth","time":1.0,"depth":4,"processed":10}"#,
+            r#"{"type":"sim_queue_depth","time":2.0,"depth":9,"processed":25}"#,
+            r#"{"type":"sim_queue_depth","time":3.0,"depth":2,"processed":40}"#,
+            r#"{"type":"snapshot","counters":{"engine.rounds":12,"gamma.cache_hits":30}}"#,
+        ];
+        load_trace(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn counts_kinds_and_rolls_up_apps() {
+        let s = summarize(&runtime_trace());
+        assert_eq!(s.kind_counts["runtime_arrival"], 2);
+        assert_eq!(s.kind_counts["sim_queue_depth"], 3);
+        assert_eq!(s.admitted_count(), (1, 2));
+        let app0 = &s.apps[&0];
+        assert_eq!(app0.class, "gold");
+        assert!(app0.admitted);
+        assert_eq!(app0.departed_at, Some(3.0));
+        assert_eq!(s.apps[&1].departed_at, None);
+    }
+
+    #[test]
+    fn aggregates_reconciles_and_queue_depth() {
+        let s = summarize(&runtime_trace());
+        let fifo = &s.reconciles["fifo"];
+        assert_eq!(fifo.count, 2);
+        assert_eq!((fifo.restored, fifo.replaced, fifo.failed), (3, 1, 1));
+        assert!((fifo.total_latency - 1.0).abs() < 1e-9);
+        assert_eq!(s.peak_queue_depth, Some(9));
+        assert_eq!(s.processed, Some(40));
+    }
+
+    #[test]
+    fn captures_snapshot_counters_in_order() {
+        let s = summarize(&runtime_trace());
+        assert_eq!(
+            s.counters,
+            vec![
+                ("engine.rounds".to_owned(), 12.0),
+                ("gamma.cache_hits".to_owned(), 30.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let report = summarize(&runtime_trace()).render();
+        assert!(report.contains("events by kind:"));
+        assert!(report.contains("apps: 1/2 admitted"));
+        assert!(report.contains("reconcile passes by policy:"));
+        assert!(report.contains("peak queue depth 9"));
+        assert!(report.contains("engine.rounds"));
+    }
+
+    #[test]
+    fn empty_trace_summarizes_to_defaults() {
+        let s = summarize(&[]);
+        assert!(s.kind_counts.is_empty());
+        assert_eq!(s.peak_queue_depth, None);
+        assert!(s.render().contains("events by kind:"));
+    }
+}
