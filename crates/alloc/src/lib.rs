@@ -29,5 +29,8 @@ pub mod predict;
 
 pub use availability::{AvailabilityError, PathAvailability};
 pub use maxmin::{max_min_allocation, MaxMinAllocation};
-pub use num::{AllocError, Allocation, ConstraintRow, ConstraintSystem, ProportionalFairSolver};
+pub use num::{
+    AllocError, Allocation, ConstraintRow, ConstraintSystem, IncrementalConstraints,
+    ProportionalFairSolver, SolveStats,
+};
 pub use predict::PriorityLoads;

@@ -21,7 +21,7 @@
 //! constraint rows). The KKT conditions of the original problem are
 //! checked by [`Allocation::kkt_residual`].
 
-use sparcle_model::{LoadMap, Network, NetworkElement, ResourceKind};
+use sparcle_model::{CapacityMap, LoadMap, Network, NetworkElement, ResourceKind};
 use std::error::Error;
 use std::fmt;
 
@@ -127,6 +127,149 @@ impl ConstraintSystem {
     }
 }
 
+/// A [`ConstraintSystem`] maintained incrementally as applications come
+/// and go, without rebuilding the matrix from scratch per solve.
+///
+/// Rows are kept sorted by `(element, kind)` — exactly the emission
+/// order of [`ConstraintSystem::from_loads`] (NCP rows ascending by id,
+/// kinds sorted within each NCP, then link rows ascending) — and a row
+/// is present iff at least one application has a strictly positive
+/// coefficient on it (matching `from_loads`, whose all-zero rows are
+/// dropped by [`ConstraintSystem::push_row`]). The wrapped system is
+/// therefore **structurally identical** to a scratch `from_loads` over
+/// the same load list: same rows in the same order, and each
+/// coefficient is read through the same [`LoadMap`] accessor
+/// `from_loads` uses, so no arithmetic drift is possible.
+///
+/// Row capacities are *not* tracked incrementally; call
+/// [`Self::refresh_capacities`] with the live residual before each
+/// solve.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalConstraints {
+    system: ConstraintSystem,
+    /// Per-row count of strictly positive coefficients; the row is
+    /// dropped when this reaches zero.
+    nonzero: Vec<usize>,
+}
+
+impl IncrementalConstraints {
+    /// An empty system with no applications.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The wrapped constraint system (rows sorted by `(element, kind)`).
+    pub fn system(&self) -> &ConstraintSystem {
+        &self.system
+    }
+
+    /// Number of application columns.
+    pub fn app_count(&self) -> usize {
+        self.system.app_count
+    }
+
+    fn row_key(row: &ConstraintRow) -> (NetworkElement, ResourceKind) {
+        row.element
+            .expect("incremental rows always carry their element key")
+    }
+
+    fn coeff(load: &LoadMap, element: NetworkElement, kind: ResourceKind) -> f64 {
+        match element {
+            NetworkElement::Ncp(id) => load.ncp(id).amount(kind),
+            NetworkElement::Link(id) => load.link(id),
+        }
+    }
+
+    /// Appends a new application column at the end.
+    pub fn push_app(&mut self, load: &LoadMap) {
+        self.insert_app(self.system.app_count, load);
+    }
+
+    /// Inserts an application column at `col`, shifting later columns
+    /// right — the inverse of [`Self::remove_app`] at the same position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col > app_count()`.
+    pub fn insert_app(&mut self, col: usize, load: &LoadMap) {
+        assert!(col <= self.system.app_count, "column index in range");
+        self.system.app_count += 1;
+        for (row, nz) in self.system.rows.iter_mut().zip(&mut self.nonzero) {
+            let (element, kind) = row
+                .element
+                .expect("incremental rows always carry their element key");
+            let c = Self::coeff(load, element, kind);
+            row.coeffs.insert(col, c);
+            if c > 0.0 {
+                *nz += 1;
+            }
+        }
+        // Create the rows this load binds that no resident app binds yet,
+        // at their sorted position.
+        for (element, kind, amount) in load.positive_entries() {
+            let key = (element, kind);
+            if let Err(pos) = self
+                .system
+                .rows
+                .binary_search_by(|r| Self::row_key(r).cmp(&key))
+            {
+                let mut coeffs = vec![0.0; self.system.app_count];
+                coeffs[col] = amount;
+                self.system.rows.insert(
+                    pos,
+                    ConstraintRow {
+                        element: Some(key),
+                        // Placeholder; refresh_capacities runs before
+                        // every solve.
+                        capacity: 0.0,
+                        coeffs,
+                    },
+                );
+                self.nonzero.insert(pos, 1);
+            }
+        }
+    }
+
+    /// Removes the application column at `col`, shifting later columns
+    /// left and dropping rows no surviving application binds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= app_count()`.
+    pub fn remove_app(&mut self, col: usize) {
+        assert!(col < self.system.app_count, "column index in range");
+        self.system.app_count -= 1;
+        let mut i = 0;
+        while i < self.system.rows.len() {
+            let c = self.system.rows[i].coeffs.remove(col);
+            if c > 0.0 {
+                self.nonzero[i] -= 1;
+            }
+            if self.nonzero[i] == 0 {
+                self.system.rows.remove(i);
+                self.nonzero.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Copies the current capacity of every row's element out of `caps`,
+    /// through the same accessors [`ConstraintSystem::from_loads`] uses.
+    /// Call once before each solve so the rows see the live GR residual.
+    pub fn refresh_capacities(&mut self, caps: &CapacityMap) {
+        for row in &mut self.system.rows {
+            let (element, kind) = row
+                .element
+                .expect("incremental rows always carry their element key");
+            row.capacity = match element {
+                NetworkElement::Ncp(id) => caps.ncp(id).amount(kind),
+                NetworkElement::Link(id) => caps.link(id),
+            };
+        }
+    }
+}
+
 /// Why the allocator failed.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -219,6 +362,21 @@ impl Allocation {
     }
 }
 
+/// Iteration accounting for one [`ProportionalFairSolver`] run.
+///
+/// Exposed so callers can report warm-start savings (a warm run executes
+/// only the tail of the cold barrier schedule, so `outer_iters` and
+/// `inner_iters` drop well below their cold counterparts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Outer (barrier-shrink) rounds executed.
+    pub outer_iters: usize,
+    /// Total damped-Newton steps taken across all rounds.
+    pub inner_iters: usize,
+    /// Whether the run reused a previous allocation as its start.
+    pub warm_started: bool,
+}
+
 /// Log-barrier path-following solver for the weighted proportional-fair
 /// allocation problem (4).
 ///
@@ -250,6 +408,12 @@ pub struct ProportionalFairSolver {
     outer_iters: usize,
     /// Gradient-ascent steps per outer iteration.
     inner_iters: usize,
+    /// Outer iterations used when warm-started: the run executes only
+    /// the **tail** of the cold μ schedule (the early high-μ rounds
+    /// exist to walk a bad start onto the central path, which a warm
+    /// start is already near), landing on the same final μ as a cold
+    /// solve so duals and accuracy match.
+    warm_outer_iters: usize,
 }
 
 impl Default for ProportionalFairSolver {
@@ -259,6 +423,7 @@ impl Default for ProportionalFairSolver {
             mu_shrink: 0.15,
             outer_iters: 11,
             inner_iters: 60,
+            warm_outer_iters: 3,
         }
     }
 }
@@ -293,6 +458,19 @@ impl ProportionalFairSolver {
         system: &ConstraintSystem,
         priorities: &[f64],
     ) -> Result<Allocation, AllocError> {
+        Ok(self.solve_impl(system, priorities, None)?.0)
+    }
+
+    /// Like [`Self::solve`], additionally returning iteration counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn solve_with_stats(
+        &self,
+        system: &ConstraintSystem,
+        priorities: &[f64],
+    ) -> Result<(Allocation, SolveStats), AllocError> {
         self.solve_impl(system, priorities, None)
     }
 
@@ -312,6 +490,30 @@ impl ProportionalFairSolver {
         priorities: &[f64],
         start: &[f64],
     ) -> Result<Allocation, AllocError> {
+        Ok(self.solve_warm_with_stats(system, priorities, start)?.0)
+    }
+
+    /// Like [`Self::solve_warm`], additionally returning iteration
+    /// counts.
+    ///
+    /// A `start` with no usable entry (nothing positive and finite)
+    /// carries no information; such runs degrade to a cold solve whose
+    /// result is **bitwise identical** to [`Self::solve`] and report
+    /// `warm_started: false`. A start that is usable but wildly
+    /// infeasible (worst row overloaded more than 10×) also reports
+    /// `warm_started: false` and runs the full barrier schedule from
+    /// the repaired start, since the fast tail-only schedule cannot
+    /// recover from it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::solve`].
+    pub fn solve_warm_with_stats(
+        &self,
+        system: &ConstraintSystem,
+        priorities: &[f64],
+        start: &[f64],
+    ) -> Result<(Allocation, SolveStats), AllocError> {
         assert_eq!(start.len(), system.app_count(), "one start rate per app");
         self.solve_impl(system, priorities, Some(start))
     }
@@ -321,7 +523,7 @@ impl ProportionalFairSolver {
         system: &ConstraintSystem,
         priorities: &[f64],
         start: Option<&[f64]>,
-    ) -> Result<Allocation, AllocError> {
+    ) -> Result<(Allocation, SolveStats), AllocError> {
         let n = system.app_count();
         assert_eq!(priorities.len(), n, "one priority per application");
         for &p in priorities {
@@ -347,6 +549,12 @@ impl ProportionalFairSolver {
             }
         }
 
+        // A warm start with no usable (positive, finite) entry carries
+        // no information — demote it to a cold solve so the result is
+        // bitwise identical to `solve` (readmission of a lone BE app
+        // with a zeroed rate relies on this exactness).
+        let start = start.filter(|warm| warm.iter().any(|&w| w.is_finite() && w > 0.0));
+
         // Strictly feasible start: x_i = (1/2n) · min over binding rows
         // of C_j / R_ji — or the caller's warm start pulled into the
         // interior.
@@ -360,8 +568,8 @@ impl ProportionalFairSolver {
                 (cap / (2.0 * n as f64)).max(1e-12)
             })
             .collect();
-        let x0: Vec<f64> = match start {
-            None => cold,
+        let (x0, warm_started): (Vec<f64>, bool) = match start {
+            None => (cold, false),
             Some(warm) => {
                 // Replace non-positive entries, then shrink uniformly
                 // until every row has at least 10 % slack.
@@ -383,16 +591,35 @@ impl ProportionalFairSolver {
                         *xi *= shrink;
                     }
                 }
-                x
+                // The fast tail-only schedule is safe only for a start
+                // that is already near-feasible (the previous optimum
+                // after a bounded capacity change, or one new app next
+                // to incumbents). A wildly overloaded start needs the
+                // early high-μ rounds to walk back to the central path,
+                // so it runs the full schedule instead.
+                (x, worst <= 10.0)
             }
         };
         let mut u: Vec<f64> = x0.iter().map(|&x| x.max(1e-300).ln()).collect();
 
         let pscale = priorities.iter().cloned().fold(f64::MIN, f64::max);
+        // Warm runs execute only the tail of the cold μ schedule; μ is
+        // advanced to the tail's start by the same repeated
+        // multiplication a cold run performs, so the μ sequence (and the
+        // final μ the duals are scaled by) matches bitwise.
+        let outer = if warm_started {
+            self.warm_outer_iters.min(self.outer_iters)
+        } else {
+            self.outer_iters
+        };
         let mut mu = self.mu0 * pscale;
+        for _ in 0..self.outer_iters - outer {
+            mu *= self.mu_shrink;
+        }
         let mut slacks = vec![0.0; rows.len()];
-        for _ in 0..self.outer_iters {
-            self.maximize_barrier(rows, priorities, mu, &mut u, &mut slacks);
+        let mut inner_total = 0usize;
+        for _ in 0..outer {
+            inner_total += self.maximize_barrier(rows, priorities, mu, &mut u, &mut slacks);
             mu *= self.mu_shrink;
         }
         mu /= self.mu_shrink; // μ of the last completed solve
@@ -406,11 +633,18 @@ impl ProportionalFairSolver {
             .zip(&rates)
             .map(|(&p, &x)| p * x.ln())
             .sum();
-        Ok(Allocation {
-            rates,
-            duals,
-            utility,
-        })
+        Ok((
+            Allocation {
+                rates,
+                duals,
+                utility,
+            },
+            SolveStats {
+                outer_iters: outer,
+                inner_iters: inner_total,
+                warm_started,
+            },
+        ))
     }
 
     /// Damped Newton maximization of
@@ -421,6 +655,8 @@ impl ProportionalFairSolver {
     /// * gradient `g_i = P_i − Σ_j w_j R_ji x_i`;
     /// * Hessian `H_ik = −[δ_ik Σ_j w_j R_ji x_i
     ///   + Σ_j (w_j / s_j)(R_ji x_i)(R_jk x_k)]` (negative definite).
+    ///
+    /// Returns the number of Newton steps attempted.
     fn maximize_barrier(
         &self,
         rows: &[ConstraintRow],
@@ -428,7 +664,7 @@ impl ProportionalFairSolver {
         mu: f64,
         u: &mut [f64],
         slacks: &mut [f64],
-    ) {
+    ) -> usize {
         let n = u.len();
         let mut x: Vec<f64> = u.iter().map(|&ui| ui.exp()).collect();
         compute_slacks(rows, &x, slacks);
@@ -438,6 +674,13 @@ impl ProportionalFairSolver {
         let mut trial = vec![0.0; n];
         let mut trial_x = vec![0.0; n];
         let mut trial_slacks = vec![0.0; rows.len()];
+        // Per-row sparse scratch: the (index, R_ji·x_i) pairs with a
+        // nonzero product. Rebuilt each Newton step; index order matches
+        // the dense loop, so every float is accumulated in the same
+        // order and the result stays bitwise identical.
+        let mut rx: Vec<(usize, f64)> = Vec::with_capacity(n);
+        let pscale = priorities.iter().cloned().fold(f64::MIN, f64::max);
+        let mut steps = 0usize;
         for _ in 0..self.inner_iters {
             for (g, &p) in grad.iter_mut().zip(priorities) {
                 *g = p;
@@ -446,26 +689,31 @@ impl ProportionalFairSolver {
             for (row, &s) in rows.iter().zip(slacks.iter()) {
                 let s = s.max(1e-300);
                 let w = mu / s;
-                for i in 0..n {
-                    let ri = row.coeffs[i] * x[i];
-                    if ri == 0.0 {
-                        continue;
-                    }
+                rx.clear();
+                rx.extend(
+                    row.coeffs
+                        .iter()
+                        .zip(&x)
+                        .enumerate()
+                        .filter_map(|(i, (&c, &xi))| {
+                            let ri = c * xi;
+                            (ri != 0.0).then_some((i, ri))
+                        }),
+                );
+                for &(i, ri) in &rx {
                     grad[i] -= w * ri;
                     hess[i * n + i] += w * ri;
-                    for k in 0..n {
-                        let rk = row.coeffs[k] * x[k];
-                        if rk != 0.0 {
-                            hess[i * n + k] += (w / s) * ri * rk;
-                        }
+                    let hrow = &mut hess[i * n..(i + 1) * n];
+                    for &(k, rk) in &rx {
+                        hrow[k] += (w / s) * ri * rk;
                     }
                 }
             }
             let gnorm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
-            let pscale = priorities.iter().cloned().fold(f64::MIN, f64::max);
             if gnorm < 1e-11 * pscale {
                 break;
             }
+            steps += 1;
             // Newton direction d solves (−H) d = g.
             let dir = match cholesky_solve(&hess, &grad, n) {
                 Some(d) => d,
@@ -497,6 +745,7 @@ impl ProportionalFairSolver {
                 break;
             }
         }
+        steps
     }
 }
 
@@ -779,6 +1028,117 @@ mod tests {
             .unwrap();
         assert!((alloc.rates[0] - 5.0).abs() < 1e-4, "{:?}", alloc.rates);
         assert!((alloc.rates[1] - 20.0).abs() < 1e-3, "{:?}", alloc.rates);
+    }
+
+    #[test]
+    fn warm_start_stats_show_iteration_savings() {
+        let mut sys = ConstraintSystem::new(3);
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 2.0,
+            coeffs: vec![1.0, 2.0, 0.5],
+        });
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 5.0,
+            coeffs: vec![0.5, 1.0, 4.0],
+        });
+        let prios = [1.0, 2.0, 0.5];
+        let solver = ProportionalFairSolver::new();
+        let (cold, cold_stats) = solver.solve_with_stats(&sys, &prios).unwrap();
+        assert!(!cold_stats.warm_started);
+        assert_eq!(cold_stats.outer_iters, 11);
+        let (warm, warm_stats) = solver
+            .solve_warm_with_stats(&sys, &prios, &cold.rates)
+            .unwrap();
+        assert!(warm_stats.warm_started);
+        assert_eq!(warm_stats.outer_iters, 3);
+        assert!(
+            warm_stats.inner_iters < cold_stats.inner_iters,
+            "warm {} vs cold {}",
+            warm_stats.inner_iters,
+            cold_stats.inner_iters
+        );
+        for (a, b) in cold.rates.iter().zip(&warm.rates) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn useless_warm_start_is_bitwise_identical_to_cold() {
+        // No positive finite entry ⇒ the warm path must degrade to the
+        // exact cold solve (the system layer relies on this when a BE
+        // app is readmitted with a zeroed rate as the only resident).
+        let mut sys = ConstraintSystem::new(2);
+        sys.push_row(ConstraintRow {
+            element: None,
+            capacity: 3.0,
+            coeffs: vec![1.0, 2.0],
+        });
+        let prios = [1.0, 4.0];
+        let solver = ProportionalFairSolver::new();
+        let cold = solver.solve(&sys, &prios).unwrap();
+        for start in [[0.0, 0.0], [0.0, -1.0], [f64::NAN, f64::INFINITY]] {
+            let (warm, stats) = solver.solve_warm_with_stats(&sys, &prios, &start).unwrap();
+            assert!(!stats.warm_started);
+            assert_eq!(cold.rates, warm.rates);
+            assert_eq!(cold.duals, warm.duals);
+            assert_eq!(cold.utility, warm.utility);
+        }
+    }
+
+    #[test]
+    fn incremental_constraints_match_from_loads_through_churn() {
+        use sparcle_model::{LinkId, LoadMap, NetworkBuilder, ResourceVec};
+        let mut nb = NetworkBuilder::new();
+        let x = nb.add_ncp("x", ResourceVec::cpu_memory(100.0, 50.0));
+        let y = nb.add_ncp("y", ResourceVec::cpu(80.0));
+        let z = nb.add_ncp("z", ResourceVec::cpu(60.0));
+        nb.add_link("xy", x, y, 40.0).unwrap();
+        nb.add_link("yz", y, z, 30.0).unwrap();
+        let net = nb.build().unwrap();
+        let caps = net.capacity_map();
+
+        let mut load_a = LoadMap::zeroed(&net);
+        load_a.add_ct_load(x, &ResourceVec::cpu_memory(10.0, 5.0));
+        load_a.add_tt_load(LinkId::new(0), 8.0);
+        let mut load_b = LoadMap::zeroed(&net);
+        load_b.add_ct_load(y, &ResourceVec::cpu(4.0));
+        load_b.add_tt_load(LinkId::new(1), 2.0);
+        let mut load_c = LoadMap::zeroed(&net);
+        load_c.add_ct_load(x, &ResourceVec::cpu(1.0));
+        load_c.add_ct_load(z, &ResourceVec::cpu(6.0));
+
+        let check = |inc: &IncrementalConstraints, resident: &[&LoadMap]| {
+            let mut inc = inc.clone();
+            inc.refresh_capacities(&caps);
+            let scratch = ConstraintSystem::from_loads(&net, &caps, resident);
+            assert_eq!(inc.system().app_count(), scratch.app_count());
+            assert_eq!(inc.system().rows(), scratch.rows());
+        };
+
+        let mut inc = IncrementalConstraints::new();
+        check(&inc, &[]);
+        inc.push_app(&load_a);
+        check(&inc, &[&load_a]);
+        inc.push_app(&load_b);
+        check(&inc, &[&load_a, &load_b]);
+        inc.push_app(&load_c);
+        check(&inc, &[&load_a, &load_b, &load_c]);
+        // Remove the middle column; later columns shift left.
+        inc.remove_app(1);
+        check(&inc, &[&load_a, &load_c]);
+        // Re-insert at the original position.
+        inc.insert_app(1, &load_b);
+        check(&inc, &[&load_a, &load_b, &load_c]);
+        // Drain completely; rows must vanish with their last binder.
+        inc.remove_app(0);
+        check(&inc, &[&load_b, &load_c]);
+        inc.remove_app(1);
+        check(&inc, &[&load_b]);
+        inc.remove_app(0);
+        check(&inc, &[]);
+        assert!(inc.system().rows().is_empty());
     }
 
     #[test]

@@ -85,6 +85,31 @@ impl PriorityLoads {
         }
     }
 
+    /// Overwrites the resident-priority total of one element.
+    ///
+    /// The incremental state core in `sparcle-core` keeps this tracker a
+    /// *pure function* of the admitted-application list: on departure it
+    /// re-derives each touched element as the fold `Σ priorities` over
+    /// the surviving applications (in admission order, matching
+    /// [`Self::add_app`]'s accumulation bit-for-bit) and stores the
+    /// result here, instead of the clamped subtraction of
+    /// [`Self::remove_app`] which drifts in float arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is negative or non-finite, or `element` is out
+    /// of range.
+    pub fn set_element(&mut self, element: NetworkElement, total: f64) {
+        assert!(
+            total.is_finite() && total >= 0.0,
+            "resident priority total must be finite and non-negative"
+        );
+        match element {
+            NetworkElement::Ncp(id) => self.ncps[id.index()] = total,
+            NetworkElement::Link(id) => self.links[id.index()] = total,
+        }
+    }
+
     /// Removes a previously added application (e.g. on departure).
     pub fn remove_app(&mut self, load: &LoadMap, priority: f64) {
         for element in load.loaded_elements() {

@@ -1,9 +1,11 @@
 //! Perf-regression baseline harness.
 //!
-//! Three pinned, deterministic workloads (a compact cut of `exp_fig6`,
-//! `exp_scaling`, and `exp_churn`) each produce a [`BenchResult`] —
-//! wall time, γ-cache hit rate, DES events/sec, peak event-queue depth
-//! — serialized to `BENCH_<experiment>.json`. The committed copies
+//! Four pinned, deterministic workloads (compact cuts of `exp_fig6`,
+//! `exp_scaling`, and `exp_churn`, plus the incremental-state solver
+//! timeline) each produce a [`BenchResult`] — wall time, γ-cache hit
+//! rate, DES events/sec, peak event-queue depth, per-event BE solve
+//! cost, and warm-start Newton steps — serialized to
+//! `BENCH_<experiment>.json`. The committed copies
 //! under `benchmarks/` are the baseline; `exp_baseline compare` re-runs
 //! the workloads and exits nonzero when a metric regresses past its
 //! tolerance, which is how the nightly CI gate catches performance
@@ -46,8 +48,8 @@ pub struct MetricSpec {
     pub deterministic: bool,
 }
 
-/// The four gated metrics, in serialization order.
-pub const METRIC_SPECS: [MetricSpec; 4] = [
+/// The six gated metrics, in serialization order.
+pub const METRIC_SPECS: [MetricSpec; 6] = [
     MetricSpec {
         name: "wall_time_s",
         higher_is_better: false,
@@ -65,6 +67,16 @@ pub const METRIC_SPECS: [MetricSpec; 4] = [
     },
     MetricSpec {
         name: "peak_queue_depth",
+        higher_is_better: false,
+        deterministic: true,
+    },
+    MetricSpec {
+        name: "be_solve_ms_per_event",
+        higher_is_better: false,
+        deterministic: false,
+    },
+    MetricSpec {
+        name: "warm_inner_iters_per_solve",
         higher_is_better: false,
         deterministic: true,
     },
@@ -92,16 +104,24 @@ pub struct BenchResult {
     pub events_per_sec: f64,
     /// Peak future-event-list depth of the DES (0 when not simulated).
     pub peak_queue_depth: f64,
+    /// Wall-clock milliseconds spent in BE allocation solves per DES
+    /// event (0 when the workload runs no online system).
+    pub be_solve_ms_per_event: f64,
+    /// Newton steps per warm-started BE solve — deterministic, so it
+    /// gates the warm-start schedule itself rather than the machine.
+    pub warm_inner_iters_per_solve: f64,
 }
 
 impl BenchResult {
     /// Metric values in [`METRIC_SPECS`] order.
-    pub fn metrics(&self) -> [f64; 4] {
+    pub fn metrics(&self) -> [f64; 6] {
         [
             self.wall_time_s,
             self.gamma_cache_hit_rate,
             self.events_per_sec,
             self.peak_queue_depth,
+            self.be_solve_ms_per_event,
+            self.warm_inner_iters_per_solve,
         ]
     }
 
@@ -132,6 +152,8 @@ impl BenchResult {
             gamma_cache_hit_rate: value("gamma_cache_hit_rate"),
             events_per_sec: value("events_per_sec"),
             peak_queue_depth: value("peak_queue_depth"),
+            be_solve_ms_per_event: value("be_solve_ms_per_event"),
+            warm_inner_iters_per_solve: value("warm_inner_iters_per_solve"),
         })
     }
 }
@@ -216,10 +238,11 @@ pub type BaselineExperiment = (&'static str, fn() -> BenchResult);
 
 /// The pinned baseline workloads, each a deterministic compact cut of
 /// the experiment it is named after.
-pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 3] = [
+pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 4] = [
     ("fig6_placement", run_fig6_placement),
     ("scaling_assign", run_scaling_assign),
     ("churn_runtime", run_churn_runtime),
+    ("churn_solver", run_churn_solver),
 ];
 
 /// Runs one registered baseline experiment by name.
@@ -308,6 +331,8 @@ fn run_fig6_placement() -> BenchResult {
         gamma_cache_hit_rate: hit_rate(&snapshot),
         events_per_sec: if wall > 0.0 { processed / wall } else { 0.0 },
         peak_queue_depth: peak_depth(&recorder.events()),
+        be_solve_ms_per_event: 0.0,
+        warm_inner_iters_per_solve: 0.0,
     }
 }
 
@@ -351,6 +376,8 @@ fn run_scaling_assign() -> BenchResult {
         gamma_cache_hit_rate: hit_rate(&recorder.snapshot()),
         events_per_sec: 0.0,
         peak_queue_depth: 0.0,
+        be_solve_ms_per_event: 0.0,
+        warm_inner_iters_per_solve: 0.0,
     }
 }
 
@@ -430,6 +457,61 @@ fn run_churn_runtime() -> BenchResult {
         gamma_cache_hit_rate: hit_rate(&recorder.snapshot()),
         events_per_sec: if wall > 0.0 { events / wall } else { 0.0 },
         peak_queue_depth: 0.0,
+        be_solve_ms_per_event: 0.0,
+        warm_inner_iters_per_solve: 0.0,
+    }
+}
+
+/// Incremental-state solver cut: the `exp_churn` determinism timeline
+/// (high-rate Poisson arrivals, flaky links, fast capacity
+/// fluctuation) with the per-event solve cost and the warm-start
+/// schedule's Newton-step budget pulled from the system's state
+/// counters. `warm_inner_iters_per_solve` is deterministic, so the
+/// gate pins the warm-start schedule itself; `be_solve_ms_per_event`
+/// rides the wall-clock band and catches solver slowdowns.
+fn run_churn_solver() -> BenchResult {
+    let config = RuntimeConfig {
+        horizon: 600.0,
+        failure_seed: 0xfa17,
+        hold_seed: 0x401d,
+        mean_hold: 20.0,
+        policy: ReconcilePolicy::GammaImpact,
+        fluctuation: Some(sparcle_runtime::FluctuationConfig {
+            model: sparcle_sim::FluctuationModel {
+                floor: 0.6,
+                step: 0.05,
+                seed: 9,
+            },
+            period: 0.4,
+        }),
+        ..RuntimeConfig::default()
+    };
+    let arrivals = ArrivalTrace::Poisson { rate: 10.0 }.events(config.horizon, 0xbeef);
+    let mut rt = SparcleRuntime::new(churn_network(0.08), arrivals, churn_app, config);
+
+    let recorder = CollectRecorder::new();
+    let start = Instant::now();
+    rt.run_traced(TraceHandle::new(&recorder));
+    let wall = start.elapsed().as_secs_f64();
+
+    let events = rt.events_processed() as f64;
+    let stats = rt.system().state_stats();
+    BenchResult {
+        experiment: "churn_solver".to_owned(),
+        wall_time_s: wall,
+        gamma_cache_hit_rate: hit_rate(&recorder.snapshot()),
+        events_per_sec: if wall > 0.0 { events / wall } else { 0.0 },
+        peak_queue_depth: 0.0,
+        be_solve_ms_per_event: if events > 0.0 {
+            stats.solve_nanos as f64 / 1e6 / events
+        } else {
+            0.0
+        },
+        warm_inner_iters_per_solve: if stats.warm_solves > 0 {
+            stats.inner_iters_warm as f64 / stats.warm_solves as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -444,6 +526,8 @@ mod tests {
             gamma_cache_hit_rate: hit,
             events_per_sec: eps,
             peak_queue_depth: depth,
+            be_solve_ms_per_event: 0.0,
+            warm_inner_iters_per_solve: 0.0,
         }
     }
 

@@ -115,8 +115,9 @@ fn run_cell(
 }
 
 /// One high-churn timeline with ≥10 000 events; returns the rendered
-/// event log (telemetry builds) or the debug-formatted ledger.
-fn determinism_run(threads: usize) -> (String, u64) {
+/// event log (telemetry builds) or the debug-formatted ledger, plus
+/// the system's solver/state work counters.
+fn determinism_run(threads: usize) -> (String, u64, sparcle_core::StateStats) {
     let mut config = RuntimeConfig {
         horizon: 600.0,
         failure_seed: 0xfa17,
@@ -146,12 +147,14 @@ fn determinism_run(threads: usize) -> (String, u64) {
             log.push_str(&event.to_json().render());
             log.push('\n');
         }
-        (log, rt.events_processed())
+        let stats = rt.system().state_stats().clone();
+        (log, rt.events_processed(), stats)
     }
     #[cfg(not(feature = "telemetry"))]
     {
         let ledger = rt.run().clone();
-        (format!("{ledger:?}"), rt.events_processed())
+        let stats = rt.system().state_stats().clone();
+        (format!("{ledger:?}"), rt.events_processed(), stats)
     }
 }
 
@@ -242,8 +245,8 @@ fn main() {
 
     // Determinism acceptance check: the same 10k-event timeline must be
     // indistinguishable whether the γ evaluator uses 1 or 8 workers.
-    let (log1, events1) = determinism_run(1);
-    let (log8, events8) = determinism_run(8);
+    let (log1, events1, stats) = determinism_run(1);
+    let (log8, events8, _) = determinism_run(8);
     assert!(
         events1 >= 10_000,
         "determinism timeline too small: {events1} events"
@@ -251,6 +254,20 @@ fn main() {
     assert_eq!(events1, events8, "event counts diverged across threads");
     assert_eq!(log1, log8, "runtime event log diverged across threads");
     println!("determinism: OK ({events1} events, 1 vs 8 threads, identical logs)");
+    println!(
+        "solver: {} solves ({} warm / {} cold), {:.2} warm iters/solve, \
+         {:.3} ms/solve, {} element updates, {} full rebuilds, \
+         {} commits, {} rollbacks",
+        stats.solves,
+        stats.warm_solves,
+        stats.cold_solves,
+        stats.inner_iters_warm as f64 / (stats.warm_solves.max(1)) as f64,
+        stats.solve_nanos as f64 / 1e6 / (stats.solves.max(1)) as f64,
+        stats.residual_element_updates,
+        stats.residual_full_recomputes,
+        stats.txn_commits,
+        stats.txn_rollbacks,
+    );
 
     harness.finish();
 }

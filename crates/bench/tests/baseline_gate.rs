@@ -78,7 +78,8 @@ fn deterministic_metrics_get_the_tight_band() {
     let specs: Vec<_> = METRIC_SPECS.iter().filter(|s| s.deterministic).collect();
     assert!(
         specs.iter().any(|s| s.name == "gamma_cache_hit_rate")
-            && specs.iter().any(|s| s.name == "peak_queue_depth"),
+            && specs.iter().any(|s| s.name == "peak_queue_depth")
+            && specs.iter().any(|s| s.name == "warm_inner_iters_per_solve"),
         "run-to-run-identical metrics must be gated deterministically"
     );
     let baseline = BenchResult {
@@ -87,6 +88,8 @@ fn deterministic_metrics_get_the_tight_band() {
         gamma_cache_hit_rate: 0.5,
         events_per_sec: 1000.0,
         peak_queue_depth: 100.0,
+        be_solve_ms_per_event: 0.1,
+        warm_inner_iters_per_solve: 30.0,
     };
     let mut drifted = baseline.clone();
     drifted.peak_queue_depth = 105.0; // +5 % on a deterministic metric

@@ -19,6 +19,7 @@
 pub mod assignment;
 pub mod engine;
 pub mod error;
+pub mod state;
 pub mod system;
 pub mod trace;
 pub mod widest_path;
@@ -30,9 +31,10 @@ pub use engine::{fewest_hops_path, AssignedPath, PlacementEngine, RoutePolicy};
 pub use error::AssignError;
 #[cfg(feature = "telemetry")]
 pub use sparcle_telemetry as telemetry;
+pub use state::{StateMaintenance, StateStats, SystemState};
 pub use system::{
     Admission, AllocationPolicy, DisplacedApp, PlacedBeApp, PlacedGrApp, RejectReason,
-    SparcleSystem, SystemConfig,
+    SparcleSystem, SystemConfig, SystemTxn,
 };
 pub use trace::{SpanGuard, TraceHandle};
 pub use widest_path::{

@@ -1,0 +1,376 @@
+//! The incrementally-maintained mutable state of a
+//! [`SparcleSystem`](crate::SparcleSystem), and the undo machinery
+//! behind its transactional mutation API.
+//!
+//! ## The canonical-state invariant
+//!
+//! At every transaction boundary, the derived state is a **pure
+//! function** of the primary state:
+//!
+//! * `gr_residual` equals `current_capacities` minus every admitted GR
+//!   reservation, folded in `gr_apps` vector order (each path's load
+//!   subtracted with clamping at zero);
+//! * `priority_loads` equals, per element, the sum of the priorities of
+//!   the BE applications whose combined load touches that element,
+//!   accumulated in `be_apps` vector order;
+//! * the incremental constraint matrix equals
+//!   `ConstraintSystem::from_loads` over the `be_apps` loads
+//!   (maintained by [`sparcle_alloc::IncrementalConstraints`]).
+//!
+//! Incremental maintenance preserves these equalities **bitwise**, not
+//! just approximately:
+//!
+//! * admissions extend the fold (subtract the new loads in path order —
+//!   exactly the operations the canonical fold would append);
+//! * removals and undos re-derive each *touched* element by replaying
+//!   the canonical fold restricted to that element, using the
+//!   per-element ops of [`CapacityMap`] that are bitwise identical to
+//!   the dense ones;
+//! * untouched elements keep their value, which is sound because
+//!   subtracting a zero load is the bitwise identity on non-negative
+//!   capacities (`(x − 0·r).max(0) = x`), so dropping a zero-load term
+//!   from the fold cannot change it.
+//!
+//! [`StateMaintenance::Scratch`] replaces the per-element replays with
+//! full rebuilds of the same folds — the reference the differential
+//! suite (`tests/incremental_equivalence.rs`) compares against.
+
+use crate::system::{DisplacedApp, PlacedBeApp, PlacedGrApp};
+use sparcle_alloc::num::IncrementalConstraints;
+use sparcle_alloc::predict::PriorityLoads;
+use sparcle_model::{CapacityMap, Network, NetworkElement};
+
+/// How the derived state (GR residual, priority loads, constraint
+/// matrix) is kept in sync with the admitted applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StateMaintenance {
+    /// Delta-maintain: update only the elements an operation touches,
+    /// replaying the canonical fold per element (bitwise identical to a
+    /// full rebuild; see the module docs).
+    #[default]
+    Incremental,
+    /// Rebuild the derived state from scratch on every mutation and
+    /// solve — the slow reference path the differential suite compares
+    /// the incremental path against.
+    Scratch,
+}
+
+/// Counters describing the work the state core has done. Obtain via
+/// [`crate::SparcleSystem::state_stats`].
+///
+/// All fields except [`Self::solve_nanos`] are deterministic functions
+/// of the operation sequence; `solve_nanos` is wall-clock and must
+/// never be exported into determinism-checked telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateStats {
+    /// BE allocations solved (problem (4) or max-min).
+    pub solves: u64,
+    /// Solves that reused the previous rates via the solver's fast
+    /// warm-start schedule.
+    pub warm_solves: u64,
+    /// Solves that ran the full cold barrier schedule.
+    pub cold_solves: u64,
+    /// Newton steps spent inside warm solves.
+    pub inner_iters_warm: u64,
+    /// Newton steps spent inside cold solves.
+    pub inner_iters_cold: u64,
+    /// Wall-clock nanoseconds spent in BE solves (including constraint
+    /// refresh). **Not deterministic** — keep out of traced counters.
+    pub solve_nanos: u64,
+    /// Individual residual elements re-derived by the canonical
+    /// per-element replay.
+    pub residual_element_updates: u64,
+    /// Full residual rebuilds (fluctuations, scratch mode, capacity
+    /// restores).
+    pub residual_full_recomputes: u64,
+    /// Transactions committed.
+    pub txn_commits: u64,
+    /// Transactions rolled back (including what-if probes).
+    pub txn_rollbacks: u64,
+}
+
+/// The mutable state of a [`SparcleSystem`](crate::SparcleSystem):
+/// admitted applications, current capacities, and the derived state
+/// (GR residual, BE priority loads, incremental constraint matrix).
+///
+/// All mutation goes through [`crate::SystemTxn`] (obtained from
+/// [`crate::SparcleSystem::begin`]), which records an undo log so any
+/// prefix of a mutation sequence can be rolled back exactly; reads are
+/// available here and via the owning system's accessors.
+#[derive(Debug)]
+pub struct SystemState {
+    pub(crate) current_capacities: CapacityMap,
+    pub(crate) gr_residual: CapacityMap,
+    pub(crate) be_apps: Vec<PlacedBeApp>,
+    pub(crate) gr_apps: Vec<PlacedGrApp>,
+    pub(crate) priority_loads: PriorityLoads,
+    pub(crate) constraints: IncrementalConstraints,
+    pub(crate) next_id: u32,
+    pub(crate) stats: StateStats,
+}
+
+impl SystemState {
+    pub(crate) fn new(network: &Network) -> Self {
+        let current_capacities = network.capacity_map();
+        let gr_residual = current_capacities.clone();
+        SystemState {
+            current_capacities,
+            gr_residual,
+            be_apps: Vec::new(),
+            gr_apps: Vec::new(),
+            priority_loads: PriorityLoads::zeroed(network),
+            constraints: IncrementalConstraints::new(),
+            next_id: 0,
+            stats: StateStats::default(),
+        }
+    }
+
+    /// The network's current capacities (nominal until a fluctuation is
+    /// applied).
+    pub fn current_capacities(&self) -> &CapacityMap {
+        &self.current_capacities
+    }
+
+    /// Current capacities minus all GR reservations.
+    pub fn gr_residual(&self) -> &CapacityMap {
+        &self.gr_residual
+    }
+
+    /// Admitted Best-Effort applications in admission order.
+    pub fn be_apps(&self) -> &[PlacedBeApp] {
+        &self.be_apps
+    }
+
+    /// Admitted Guaranteed-Rate applications in admission order.
+    pub fn gr_apps(&self) -> &[PlacedGrApp] {
+        &self.gr_apps
+    }
+
+    /// Work counters (see [`StateStats`]).
+    pub fn stats(&self) -> &StateStats {
+        &self.stats
+    }
+
+    pub(crate) fn snapshot_rates(&self) -> Vec<f64> {
+        self.be_apps.iter().map(|a| a.allocated_rate).collect()
+    }
+
+    fn restore_rates(&mut self, rates: &[f64]) {
+        debug_assert_eq!(rates.len(), self.be_apps.len(), "snapshot arity");
+        for (entry, &rate) in self.be_apps.iter_mut().zip(rates) {
+            entry.allocated_rate = rate;
+        }
+    }
+
+    /// Re-derives one residual element from the canonical fold: copy
+    /// the element's current capacity, then subtract every admitted GR
+    /// path's load on it, in `gr_apps` order. This is the dense
+    /// rebuild's arithmetic restricted to one element, so the result is
+    /// bitwise identical to [`Self::rebuild_residual_full`].
+    fn recompute_residual_element(&mut self, element: NetworkElement) {
+        self.gr_residual
+            .copy_element_from(&self.current_capacities, element);
+        for gr in &self.gr_apps {
+            for (path, rate) in &gr.paths {
+                self.gr_residual
+                    .subtract_load_element(element, &path.load, *rate);
+            }
+        }
+    }
+
+    pub(crate) fn rebuild_residual_full(&mut self) {
+        let mut residual = self.current_capacities.clone();
+        for gr in &self.gr_apps {
+            for (path, rate) in &gr.paths {
+                residual.subtract_load(&path.load, *rate);
+            }
+        }
+        self.gr_residual = residual;
+        self.stats.residual_full_recomputes += 1;
+    }
+
+    /// Restores the canonical residual value of `elements` after a
+    /// structural change ([`StateMaintenance`] decides per-element
+    /// replay vs. full rebuild; both produce bitwise-equal state).
+    pub(crate) fn refresh_residual(&mut self, mode: StateMaintenance, elements: &[NetworkElement]) {
+        match mode {
+            StateMaintenance::Incremental => {
+                for &e in elements {
+                    self.recompute_residual_element(e);
+                }
+                self.stats.residual_element_updates += elements.len() as u64;
+            }
+            StateMaintenance::Scratch => self.rebuild_residual_full(),
+        }
+    }
+
+    /// Re-derives one priority-load element from the canonical fold:
+    /// the sum of the priorities of the BE applications whose combined
+    /// load touches the element, in `be_apps` order — the same
+    /// accumulation [`PriorityLoads::add_app`] performs.
+    fn recompute_priority_element(&mut self, element: NetworkElement) {
+        let mut total = 0.0;
+        for be in &self.be_apps {
+            // Same loaded-element criterion as `LoadMap::loaded_elements`.
+            let touched = match element {
+                NetworkElement::Ncp(id) => !be.combined_load.ncp(id).is_zero(),
+                NetworkElement::Link(id) => be.combined_load.link(id) > 0.0,
+            };
+            if touched {
+                total += be.priority;
+            }
+        }
+        self.priority_loads.set_element(element, total);
+    }
+
+    pub(crate) fn rebuild_priorities_full(&mut self, network: &Network) {
+        let mut loads = PriorityLoads::zeroed(network);
+        for be in &self.be_apps {
+            loads.add_app(&be.combined_load, be.priority);
+        }
+        self.priority_loads = loads;
+    }
+
+    /// Restores the canonical priority-load value of `elements` after a
+    /// BE structural change.
+    pub(crate) fn refresh_priorities(
+        &mut self,
+        network: &Network,
+        mode: StateMaintenance,
+        elements: &[NetworkElement],
+    ) {
+        match mode {
+            StateMaintenance::Incremental => {
+                for &e in elements {
+                    self.recompute_priority_element(e);
+                }
+            }
+            StateMaintenance::Scratch => self.rebuild_priorities_full(network),
+        }
+    }
+
+    /// Applies one undo record. Returns the application entry popped
+    /// off the admitted lists, if the record held one (so a failed
+    /// readmit can hand ownership back to its caller).
+    pub(crate) fn apply_undo(
+        &mut self,
+        op: UndoOp,
+        network: &Network,
+        mode: StateMaintenance,
+    ) -> Option<DisplacedApp> {
+        match op {
+            UndoOp::PopGr => {
+                let entry = self.gr_apps.pop().expect("undo log matches state");
+                let touched = gr_touched_elements(&entry);
+                self.refresh_residual(mode, &touched);
+                Some(DisplacedApp::Gr(entry))
+            }
+            UndoOp::InsertGr(pos, entry) => {
+                let touched = gr_touched_elements(&entry);
+                self.gr_apps.insert(pos, entry);
+                self.refresh_residual(mode, &touched);
+                None
+            }
+            UndoOp::PopBe => {
+                let entry = self.be_apps.pop().expect("undo log matches state");
+                if mode == StateMaintenance::Incremental {
+                    self.constraints.remove_app(self.be_apps.len());
+                }
+                let touched = entry.combined_load.loaded_elements();
+                self.refresh_priorities(network, mode, &touched);
+                Some(DisplacedApp::Be(entry))
+            }
+            UndoOp::InsertBe(pos, entry) => {
+                let touched = entry.combined_load.loaded_elements();
+                self.be_apps.insert(pos, entry);
+                if mode == StateMaintenance::Incremental {
+                    self.constraints
+                        .insert_app(pos, &self.be_apps[pos].combined_load);
+                }
+                self.refresh_priorities(network, mode, &touched);
+                None
+            }
+            UndoOp::RestoreRates(rates) => {
+                self.restore_rates(&rates);
+                None
+            }
+            UndoOp::RestoreNextId(id) => {
+                self.next_id = id;
+                None
+            }
+            UndoOp::RestoreCaps(old) => {
+                self.current_capacities = old;
+                self.rebuild_residual_full();
+                None
+            }
+            UndoOp::RecomputeResidual(elements) => {
+                self.refresh_residual(mode, &elements);
+                None
+            }
+        }
+    }
+}
+
+/// Union of the residual elements a GR entry's paths load, sorted and
+/// deduplicated.
+pub(crate) fn gr_touched_elements(entry: &PlacedGrApp) -> Vec<NetworkElement> {
+    let mut out: Vec<NetworkElement> = entry
+        .paths
+        .iter()
+        .flat_map(|(path, _)| path.load.loaded_elements())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// One reversible step of a transaction, recorded *after* the forward
+/// mutation it undoes. Undos run in reverse order; structural records
+/// restore the canonical derived state of the elements they touch, so a
+/// full unwind leaves the state bitwise equal to the pre-transaction
+/// snapshot (see the module docs for the invariant).
+#[derive(Debug)]
+pub(crate) enum UndoOp {
+    /// Undo a `gr_apps.push`: pop the entry (returning it) and restore
+    /// the canonical residual of its touched elements.
+    PopGr,
+    /// Undo a `gr_apps.remove(pos)`: re-insert the stashed entry at its
+    /// original position. Committing instead extracts the entry as a
+    /// [`DisplacedApp`].
+    InsertGr(usize, PlacedGrApp),
+    /// Undo a `be_apps.push` (and its constraint column / priority
+    /// fold-append).
+    PopBe,
+    /// Undo a `be_apps.remove(pos)` (see [`UndoOp::InsertGr`]).
+    InsertBe(usize, PlacedBeApp),
+    /// Restore every BE `allocated_rate` from a snapshot taken before
+    /// the transaction's first solve.
+    RestoreRates(Vec<f64>),
+    /// Restore the id counter (undoes `fresh_id` / readmit id bumps).
+    RestoreNextId(u32),
+    /// Restore the previous capacity map wholesale (fluctuation undo);
+    /// forces a full residual rebuild.
+    RestoreCaps(CapacityMap),
+    /// Re-derive the given residual elements from the canonical fold
+    /// (undoes raw sparse subtractions made during GR path search and
+    /// readmission before the entry exists in `gr_apps`).
+    RecomputeResidual(Vec<NetworkElement>),
+}
+
+/// The undo log of one [`crate::SystemTxn`].
+#[derive(Debug, Default)]
+pub(crate) struct TxnLog {
+    pub(crate) ops: Vec<UndoOp>,
+}
+
+impl TxnLog {
+    pub(crate) fn push(&mut self, op: UndoOp) {
+        self.ops.push(op);
+    }
+
+    /// A marker for partial unwinds: everything pushed after the
+    /// savepoint can be undone without touching what came before.
+    pub(crate) fn savepoint(&self) -> usize {
+        self.ops.len()
+    }
+}

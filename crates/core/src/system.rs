@@ -17,15 +17,32 @@
 //!
 //! Task placements are never migrated after admission (the paper's
 //! no-migration constraint); only BE rates are re-allocated.
+//!
+//! ## Transactions
+//!
+//! All mutation flows through [`SystemTxn`] ([`SparcleSystem::begin`]):
+//! each operation records undo steps into the transaction's log, and a
+//! rollback (explicit, or implicit when the transaction is dropped)
+//! replays them in reverse, restoring the state bitwise (see
+//! [`crate::state`] for the invariant that makes this exact). The
+//! convenience methods ([`SparcleSystem::submit`],
+//! [`SparcleSystem::displace`], …) each open, run, and commit one
+//! transaction. Rollback-only transactions are cheap what-if probes:
+//! submit a displaced application, read the rate it would get, roll
+//! back, and the system — including the id counter and every BE rate —
+//! is exactly as before.
 
 use crate::assignment::{assign_multipath, DynamicRankingAssigner};
 use crate::engine::AssignedPath;
 use crate::error::AssignError;
+use crate::state::{
+    gr_touched_elements, StateMaintenance, StateStats, SystemState, TxnLog, UndoOp,
+};
 use sparcle_alloc::availability::PathAvailability;
 use sparcle_alloc::maxmin::max_min_allocation;
 use sparcle_alloc::num::{Allocation, ConstraintSystem, ProportionalFairSolver};
-use sparcle_alloc::predict::PriorityLoads;
 use sparcle_model::{AppId, Application, CapacityMap, LoadMap, Network, QoeClass};
+use std::sync::Arc;
 
 /// How Best-Effort rates are shared (§IV-C; the paper uses weighted
 /// proportional fairness, problem (4)).
@@ -56,6 +73,11 @@ pub struct SystemConfig {
     /// ([`crate::EvalMode::Cached`]); results are bit-identical for
     /// every thread count.
     pub assigner_threads: usize,
+    /// How derived state (GR residual, priority loads, constraint
+    /// matrix) is maintained. [`StateMaintenance::Incremental`] and
+    /// [`StateMaintenance::Scratch`] produce bitwise-identical results;
+    /// the scratch path exists as the differential-testing reference.
+    pub maintenance: StateMaintenance,
 }
 
 impl Default for SystemConfig {
@@ -66,6 +88,7 @@ impl Default for SystemConfig {
             solver: ProportionalFairSolver::new(),
             allocation_policy: AllocationPolicy::ProportionalFair,
             assigner_threads: 1,
+            maintenance: StateMaintenance::Incremental,
         }
     }
 }
@@ -73,7 +96,7 @@ impl Default for SystemConfig {
 /// An application lifted out of the system by [`SparcleSystem::displace`]
 /// with its placement intact, ready for [`SparcleSystem::readmit`] (which
 /// reinstates the exact placement if it still fits) or for a fresh
-/// [`SparcleSystem::submit`] of [`DisplacedApp::application`] (which
+/// [`SparcleSystem::submit`] of [`DisplacedApp::application_arc`] (which
 /// re-runs the full pipeline).
 #[derive(Debug, Clone)]
 pub enum DisplacedApp {
@@ -98,6 +121,15 @@ impl DisplacedApp {
         match self {
             DisplacedApp::Gr(a) => &a.app,
             DisplacedApp::Be(a) => &a.app,
+        }
+    }
+
+    /// The application as originally submitted, as a cheap shared
+    /// handle — resubmitting via this avoids cloning the task graph.
+    pub fn application_arc(&self) -> Arc<Application> {
+        match self {
+            DisplacedApp::Gr(a) => a.app.clone(),
+            DisplacedApp::Be(a) => a.app.clone(),
         }
     }
 
@@ -131,8 +163,9 @@ impl DisplacedApp {
 pub struct PlacedBeApp {
     /// System-assigned identifier.
     pub id: AppId,
-    /// The application as submitted.
-    pub app: Application,
+    /// The application as submitted (shared — placements referencing
+    /// the same submission clone only the handle).
+    pub app: Arc<Application>,
     /// Its task assignment paths (at least one).
     pub paths: Vec<AssignedPath>,
     /// Per-unit-rate load: `Σ_p f_p · load_p` with `f_p` the fraction of
@@ -152,8 +185,8 @@ pub struct PlacedBeApp {
 pub struct PlacedGrApp {
     /// System-assigned identifier.
     pub id: AppId,
-    /// The application as submitted.
-    pub app: Application,
+    /// The application as submitted (shared).
+    pub app: Arc<Application>,
     /// Its task assignment paths with the rate reserved on each.
     pub paths: Vec<(AssignedPath, f64)>,
     /// Achieved min-rate availability (eq. (7)).
@@ -181,7 +214,7 @@ impl PlacedGrApp {
 #[non_exhaustive]
 pub enum RejectReason {
     /// No task assignment path could be found at all.
-    NoPath(String),
+    NoPath(&'static str),
     /// The requested (min-rate) availability could not be reached with
     /// the configured maximum number of paths.
     QoeUnreachable {
@@ -263,15 +296,7 @@ pub struct SparcleSystem {
     network: Network,
     config: SystemConfig,
     assigner: DynamicRankingAssigner,
-    /// The network's current capacities (nominal until a fluctuation is
-    /// applied).
-    current_capacities: CapacityMap,
-    /// Current capacities minus all GR reservations.
-    gr_residual: CapacityMap,
-    be_apps: Vec<PlacedBeApp>,
-    gr_apps: Vec<PlacedGrApp>,
-    priority_loads: PriorityLoads,
-    next_id: u32,
+    state: SystemState,
 }
 
 impl SparcleSystem {
@@ -282,20 +307,13 @@ impl SparcleSystem {
 
     /// Creates a system with explicit configuration.
     pub fn with_config(network: Network, config: SystemConfig) -> Self {
-        let current_capacities = network.capacity_map();
-        let gr_residual = current_capacities.clone();
-        let priority_loads = PriorityLoads::zeroed(&network);
         let assigner = DynamicRankingAssigner::with_threads(config.assigner_threads.max(1));
+        let state = SystemState::new(&network);
         SparcleSystem {
             network,
             config,
             assigner,
-            current_capacities,
-            gr_residual,
-            be_apps: Vec::new(),
-            gr_apps: Vec::new(),
-            priority_loads,
-            next_id: 0,
+            state,
         }
     }
 
@@ -304,44 +322,405 @@ impl SparcleSystem {
         &self.network
     }
 
+    /// The full mutable state (admitted apps, capacities, residuals) as
+    /// a read-only view.
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// Work counters of the state core: solves (warm/cold split),
+    /// residual recomputations, transaction commits and rollbacks.
+    pub fn state_stats(&self) -> &StateStats {
+        self.state.stats()
+    }
+
     /// Capacities remaining after GR reservations (shared by BE apps).
     pub fn gr_residual(&self) -> &CapacityMap {
-        &self.gr_residual
+        self.state.gr_residual()
     }
 
     /// Admitted Best-Effort applications.
     pub fn be_apps(&self) -> &[PlacedBeApp] {
-        &self.be_apps
+        self.state.be_apps()
     }
 
     /// Admitted Guaranteed-Rate applications.
     pub fn gr_apps(&self) -> &[PlacedGrApp] {
-        &self.gr_apps
+        self.state.gr_apps()
     }
 
     /// Total *guaranteed* rate of all admitted GR applications (the
     /// Figure 14 metric). Capacity reserved for failover paths is larger;
     /// see [`PlacedGrApp::reserved_rate`].
     pub fn total_gr_rate(&self) -> f64 {
-        self.gr_apps.iter().map(PlacedGrApp::guaranteed_rate).sum()
+        self.state
+            .gr_apps()
+            .iter()
+            .map(PlacedGrApp::guaranteed_rate)
+            .sum()
     }
 
     /// The BE objective `Σ P_J log x_J` at the current allocation.
     pub fn be_utility(&self) -> f64 {
-        self.be_apps
+        self.state
+            .be_apps()
             .iter()
             .map(|a| a.priority * a.allocated_rate.ln())
             .sum()
     }
 
-    /// Submits an application; dispatches on its QoE class.
+    /// Opens a transaction. Mutations made through the returned handle
+    /// become permanent on [`SystemTxn::commit`]; [`SystemTxn::rollback`]
+    /// (or dropping the handle) restores the state bitwise.
+    pub fn begin(&mut self) -> SystemTxn<'_> {
+        SystemTxn {
+            sys: self,
+            log: TxnLog::default(),
+        }
+    }
+
+    /// Submits an application; dispatches on its QoE class. Accepts an
+    /// owned [`Application`] or a shared `Arc<Application>`.
     ///
     /// # Errors
     ///
     /// Returns [`AssignError`] only for malformed inputs (bad pins); a
     /// *feasibility* failure is an [`Admission::Rejected`], not an error.
-    pub fn submit(&mut self, app: Application) -> Result<Admission, AssignError> {
-        app.check_against_network(&self.network)?;
+    pub fn submit(&mut self, app: impl Into<Arc<Application>>) -> Result<Admission, AssignError> {
+        let mut txn = self.begin();
+        let admission = txn.submit(app)?;
+        txn.commit();
+        Ok(admission)
+    }
+
+    /// Removes an admitted application (departure). GR departures
+    /// release their reserved capacity; BE departures trigger a
+    /// re-allocation of the remaining BE applications. Returns `false`
+    /// when the id is unknown.
+    pub fn remove(&mut self, id: AppId) -> bool {
+        self.displace(id).is_some()
+    }
+
+    /// Removes an admitted application like [`SparcleSystem::remove`],
+    /// but hands back the full placed entry so the caller can later
+    /// [`SparcleSystem::readmit`] it (exact placement) or resubmit
+    /// [`DisplacedApp::application_arc`] from scratch. Returns `None`
+    /// for an unknown id.
+    ///
+    /// This is the churn runtime's displacement primitive: when a
+    /// network element fails, every application whose paths cross it is
+    /// displaced, queued, and re-placed by the reconcile policy.
+    pub fn displace(&mut self, id: AppId) -> Option<DisplacedApp> {
+        let mut txn = self.begin();
+        if !txn.displace(id) {
+            return None;
+        }
+        txn.commit().into_iter().next()
+    }
+
+    /// Displaces every listed application in one transaction with a
+    /// single BE re-solve at the end, returning the placed entries in
+    /// `ids` order. A failure's whole blast radius should leave through
+    /// this: per-removal intermediate allocations are never observable,
+    /// so computing them is pure waste.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is not admitted.
+    pub fn displace_batch(&mut self, ids: &[AppId]) -> Vec<DisplacedApp> {
+        let mut txn = self.begin();
+        txn.displace_all(ids);
+        txn.commit()
+    }
+
+    /// Reinstates a displaced application with its *original* placement
+    /// and id, without re-running task assignment.
+    ///
+    /// * **GR**: every path's reservation must still fit the current
+    ///   GR-residual capacities (checked sequentially, all-or-nothing);
+    ///   on success the reservations are re-subtracted exactly as
+    ///   admission did, so capacity accounting round-trips bit-for-bit.
+    /// * **BE**: the placement is reinstalled and problem (4) re-solved;
+    ///   a solver failure rolls back and rejects.
+    ///
+    /// This is the cheap path after a transient failure: if the element
+    /// recovered, the old placement is still optimal-enough and costs no
+    /// γ evaluation. A rejection leaves the system untouched — fall back
+    /// to `submit(displaced.application_arc())` for a fresh search (or
+    /// use [`SparcleSystem::try_readmit`] to get the entry back without
+    /// cloning it up front).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the displaced id is still admitted (double readmit).
+    pub fn readmit(&mut self, displaced: DisplacedApp) -> Admission {
+        match self.try_readmit(displaced) {
+            Ok(id) => Admission::Admitted(id),
+            Err((_, reason)) => Admission::Rejected(reason),
+        }
+    }
+
+    /// Like [`SparcleSystem::readmit`], but a rejection returns the
+    /// displaced entry (with its pre-displacement rate intact) along
+    /// with the reason, so callers keep ownership without cloning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the displaced id is still admitted (double readmit).
+    // The wide Err is the point: it hands the entry back without a clone.
+    #[allow(clippy::result_large_err)]
+    pub fn try_readmit(
+        &mut self,
+        displaced: DisplacedApp,
+    ) -> Result<AppId, (DisplacedApp, RejectReason)> {
+        let id = displaced.id();
+        assert!(
+            !self.contains(id),
+            "readmit of an id that is still admitted: {id:?}"
+        );
+        let mut txn = self.begin();
+        match txn.readmit_inner(displaced) {
+            Ok(id) => {
+                txn.commit();
+                Ok(id)
+            }
+            Err(out) => {
+                // The log is already unwound; dropping the empty
+                // transaction is free.
+                drop(txn);
+                Err(out)
+            }
+        }
+    }
+
+    /// Ids of all admitted applications (GR first, then BE, each in
+    /// admission order).
+    pub fn app_ids(&self) -> Vec<AppId> {
+        self.state
+            .gr_apps()
+            .iter()
+            .map(|a| a.id)
+            .chain(self.state.be_apps().iter().map(|a| a.id))
+            .collect()
+    }
+
+    /// `true` when `id` is currently admitted.
+    pub fn contains(&self, id: AppId) -> bool {
+        self.state.gr_apps().iter().any(|a| a.id == id)
+            || self.state.be_apps().iter().any(|a| a.id == id)
+    }
+
+    /// Ids of admitted applications with at least one task assignment
+    /// path crossing `element` (GR first, then BE, each in admission
+    /// order) — the blast radius of an element failure.
+    pub fn apps_using_element(&self, element: sparcle_model::NetworkElement) -> Vec<AppId> {
+        let uses = |placement: &sparcle_model::Placement| {
+            placement.elements_used(&self.network).contains(&element)
+        };
+        let gr = self
+            .state
+            .gr_apps()
+            .iter()
+            .filter(|a| a.paths.iter().any(|(p, _)| uses(&p.placement)))
+            .map(|a| a.id);
+        let be = self
+            .state
+            .be_apps()
+            .iter()
+            .filter(|a| a.paths.iter().any(|p| uses(&p.placement)))
+            .map(|a| a.id);
+        gr.chain(be).collect()
+    }
+
+    /// Reacts to a computing-network capacity fluctuation (the paper's
+    /// stated future-work direction): replaces the base capacities with
+    /// `new_capacities` (same shape as the network), re-derives the
+    /// GR-residual by subtracting the existing GR reservations, and
+    /// re-solves the BE allocation. Placements are *not* migrated — only
+    /// rates adapt, consistent with the no-migration constraint.
+    ///
+    /// Returns the ids of GR applications whose reservations no longer
+    /// fit the new capacities (sorted by id, deduplicated); their
+    /// guarantee is violated until capacity recovers or the caller
+    /// removes and resubmits them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_capacities` does not match the network shape or
+    /// contains negative / non-finite entries.
+    pub fn apply_capacity_fluctuation(&mut self, new_capacities: CapacityMap) -> Vec<AppId> {
+        assert_eq!(
+            new_capacities.ncp_count(),
+            self.network.ncp_count(),
+            "capacity map must match the network"
+        );
+        assert_eq!(
+            new_capacities.link_count(),
+            self.network.link_count(),
+            "capacity map must match the network"
+        );
+        assert!(
+            new_capacities.is_finite_non_negative(),
+            "capacities must be finite and non-negative"
+        );
+        let mut txn = self.begin();
+        let violated = txn.apply_fluctuation(new_capacities);
+        txn.commit();
+        violated
+    }
+
+    /// Re-schedules an admitted application from scratch: releases its
+    /// current placement, runs the full admission pipeline again on the
+    /// freed capacities, and — if the fresh admission fails — rolls the
+    /// whole transaction back, reinstating the old placement (and every
+    /// BE rate) exactly.
+    ///
+    /// This is the *migration* escape hatch for capacity fluctuation:
+    /// when [`Self::apply_capacity_fluctuation`] flags a GR application,
+    /// `reschedule` finds it new paths that fit the shrunken network (or
+    /// proves none exist). It deliberately breaks the paper's
+    /// no-migration rule, so it is never invoked implicitly.
+    ///
+    /// Returns `None` for an unknown id; `Some(admission)` otherwise,
+    /// where a rejection means the old placement is still in force.
+    pub fn reschedule(&mut self, id: AppId) -> Option<Admission> {
+        let app: Arc<Application> = self
+            .state
+            .gr_apps()
+            .iter()
+            .find(|a| a.id == id)
+            .map(|a| a.app.clone())
+            .or_else(|| {
+                self.state
+                    .be_apps()
+                    .iter()
+                    .find(|a| a.id == id)
+                    .map(|a| a.app.clone())
+            })?;
+        let mut txn = self.begin();
+        txn.displace(id);
+        let admission = txn
+            .submit(app)
+            .expect("previously admitted apps are well-formed");
+        if admission.is_admitted() {
+            txn.commit();
+        } else {
+            txn.rollback();
+        }
+        Some(admission)
+    }
+
+    /// Solves problem (4) over all admitted BE applications against the
+    /// GR-residual capacities and stores each `allocated_rate`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (infeasible / unconstrained columns).
+    pub fn solve_be_allocation(&mut self) -> Result<Option<Allocation>, sparcle_alloc::AllocError> {
+        self.solve_be_internal()
+    }
+
+    /// Re-solves the BE allocation: refresh the incrementally-maintained
+    /// constraint system (or rebuild it, in scratch mode) and run the
+    /// solver warm-started from the incumbent rates. The solver demotes
+    /// itself to a bitwise-cold start when no incumbent rate is usable
+    /// (first admission, lone readmit).
+    fn solve_be_internal(&mut self) -> Result<Option<Allocation>, sparcle_alloc::AllocError> {
+        if self.state.be_apps().is_empty() {
+            return Ok(None);
+        }
+        let t0 = std::time::Instant::now();
+        let state = &mut self.state;
+        let priorities: Vec<f64> = state.be_apps.iter().map(|a| a.priority).collect();
+        let scratch;
+        let system: &ConstraintSystem = match self.config.maintenance {
+            StateMaintenance::Incremental => {
+                state.constraints.refresh_capacities(&state.gr_residual);
+                state.constraints.system()
+            }
+            StateMaintenance::Scratch => {
+                let loads: Vec<&LoadMap> = state.be_apps.iter().map(|a| &a.combined_load).collect();
+                scratch = ConstraintSystem::from_loads(&self.network, &state.gr_residual, &loads);
+                &scratch
+            }
+        };
+        let (allocation, solve_stats) = match self.config.allocation_policy {
+            AllocationPolicy::ProportionalFair => {
+                let previous: Vec<f64> = state.be_apps.iter().map(|a| a.allocated_rate).collect();
+                let (allocation, stats) =
+                    self.config
+                        .solver
+                        .solve_warm_with_stats(system, &priorities, &previous)?;
+                (allocation, Some(stats))
+            }
+            AllocationPolicy::MaxMin => {
+                let mm = max_min_allocation(system, &priorities)?;
+                let utility = priorities
+                    .iter()
+                    .zip(&mm.rates)
+                    .map(|(&p, &x)| p * x.ln())
+                    .sum();
+                (
+                    Allocation {
+                        rates: mm.rates,
+                        duals: vec![0.0; system.rows().len()],
+                        utility,
+                    },
+                    None,
+                )
+            }
+        };
+        state.stats.solves += 1;
+        match solve_stats {
+            Some(s) if s.warm_started => {
+                state.stats.warm_solves += 1;
+                state.stats.inner_iters_warm += s.inner_iters as u64;
+            }
+            Some(s) => {
+                state.stats.cold_solves += 1;
+                state.stats.inner_iters_cold += s.inner_iters as u64;
+            }
+            None => {}
+        }
+        state.stats.solve_nanos += t0.elapsed().as_nanos() as u64;
+        for (entry, &rate) in state.be_apps.iter_mut().zip(&allocation.rates) {
+            entry.allocated_rate = rate;
+        }
+        Ok(Some(allocation))
+    }
+}
+
+/// An open transaction over a [`SparcleSystem`].
+///
+/// Every mutating operation appends undo records; [`Self::commit`] makes
+/// the changes permanent, while [`Self::rollback`] — or dropping the
+/// handle — replays the records in reverse, restoring the pre-transaction
+/// state bitwise (BE rates, residuals, priority loads, constraint
+/// matrix, and the id counter included).
+#[derive(Debug)]
+pub struct SystemTxn<'a> {
+    sys: &'a mut SparcleSystem,
+    log: TxnLog,
+}
+
+impl SystemTxn<'_> {
+    /// Read access to the system mid-transaction (e.g. to inspect the
+    /// rate a probe submission would receive before rolling back).
+    pub fn system(&self) -> &SparcleSystem {
+        self.sys
+    }
+
+    /// Submits an application inside this transaction (see
+    /// [`SparcleSystem::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] for malformed inputs; the transaction's
+    /// earlier operations stay intact (the failed submission itself is
+    /// unwound).
+    pub fn submit(&mut self, app: impl Into<Arc<Application>>) -> Result<Admission, AssignError> {
+        let app: Arc<Application> = app.into();
+        app.check_against_network(&self.sys.network)?;
         match app.qoe().clone() {
             QoeClass::BestEffort {
                 priority,
@@ -354,39 +733,151 @@ impl SparcleSystem {
         }
     }
 
+    /// Displaces an admitted application inside this transaction. The
+    /// entry is handed out by [`Self::commit`]; a rollback reinstates it
+    /// at its original position. Returns `false` for an unknown id.
+    pub fn displace(&mut self, id: AppId) -> bool {
+        self.displace_inner(id, true)
+    }
+
+    /// Displaces every listed application, then re-solves the BE
+    /// allocation **once** instead of after every removal — the batch
+    /// form a failure's blast radius wants. The removals and the final
+    /// rates land in the same transaction, so a rollback restores every
+    /// entry and every rate bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is not admitted (the batch is taken from the
+    /// system's own index, so a miss is caller corruption).
+    pub fn displace_all(&mut self, ids: &[AppId]) -> usize {
+        let mut removed = 0;
+        for &id in ids {
+            assert!(
+                self.displace_inner(id, false),
+                "batch displace of unknown id {id:?}"
+            );
+            removed += 1;
+        }
+        if removed > 0 && !self.sys.state.be_apps.is_empty() {
+            self.log
+                .push(UndoOp::RestoreRates(self.sys.state.snapshot_rates()));
+            let _ = self.sys.solve_be_internal();
+        }
+        removed
+    }
+
+    fn displace_inner(&mut self, id: AppId, solve: bool) -> bool {
+        let mode = self.sys.config.maintenance;
+        let sys = &mut *self.sys;
+        if let Some(pos) = sys.state.gr_apps.iter().position(|a| a.id == id) {
+            let entry = sys.state.gr_apps.remove(pos);
+            let touched = gr_touched_elements(&entry);
+            sys.state.refresh_residual(mode, &touched);
+            self.log.push(UndoOp::InsertGr(pos, entry));
+            if solve && !sys.state.be_apps.is_empty() {
+                self.log
+                    .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
+                let _ = sys.solve_be_internal();
+            }
+            return true;
+        }
+        if let Some(pos) = sys.state.be_apps.iter().position(|a| a.id == id) {
+            let entry = sys.state.be_apps.remove(pos);
+            if mode == StateMaintenance::Incremental {
+                sys.state.constraints.remove_app(pos);
+            }
+            let touched = entry.combined_load.loaded_elements();
+            sys.state.refresh_priorities(&sys.network, mode, &touched);
+            self.log.push(UndoOp::InsertBe(pos, entry));
+            if solve {
+                self.log
+                    .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
+                let _ = sys.solve_be_internal();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Makes the transaction's changes permanent. Returns the entries
+    /// displaced during the transaction (ownership leaves the log here,
+    /// so displacement never clones a placement).
+    pub fn commit(mut self) -> Vec<DisplacedApp> {
+        let mut displaced = Vec::new();
+        for op in self.log.ops.drain(..) {
+            match op {
+                UndoOp::InsertGr(_, entry) => displaced.push(DisplacedApp::Gr(entry)),
+                UndoOp::InsertBe(_, entry) => displaced.push(DisplacedApp::Be(entry)),
+                _ => {}
+            }
+        }
+        self.sys.state.stats.txn_commits += 1;
+        displaced
+    }
+
+    /// Undoes everything this transaction did, restoring the system
+    /// bitwise to its state at [`SparcleSystem::begin`].
+    pub fn rollback(mut self) {
+        self.unwind_to(0);
+        self.sys.state.stats.txn_rollbacks += 1;
+    }
+
+    fn unwind_to(&mut self, savepoint: usize) -> Vec<DisplacedApp> {
+        let mut popped = Vec::new();
+        let sys = &mut *self.sys;
+        while self.log.ops.len() > savepoint {
+            let op = self.log.ops.pop().expect("length checked");
+            if let Some(entry) = sys
+                .state
+                .apply_undo(op, &sys.network, sys.config.maintenance)
+            {
+                popped.push(entry);
+            }
+        }
+        popped
+    }
+
     fn fresh_id(&mut self) -> AppId {
-        let id = AppId::new(self.next_id);
-        self.next_id += 1;
+        self.log.push(UndoOp::RestoreNextId(self.sys.state.next_id));
+        let id = AppId::new(self.sys.state.next_id);
+        self.sys.state.next_id += 1;
         id
     }
 
     /// Figure 3, steps 1–4 for a BE application.
     fn submit_be(
         &mut self,
-        app: Application,
+        app: Arc<Application>,
         priority: f64,
         availability_target: Option<f64>,
     ) -> Result<Admission, AssignError> {
+        let sys = &mut *self.sys;
         // Step 1: predict available resources via eq. (6).
-        let predicted = self.priority_loads.predict(&self.gr_residual, priority);
+        let predicted = sys
+            .state
+            .priority_loads
+            .predict(&sys.state.gr_residual, priority);
 
         // Steps 2–3: add paths until the availability target is met.
+        // This phase only reads system state, so rejections here leave
+        // nothing to unwind.
         let want_paths = if availability_target.is_some() {
-            self.config.max_paths_per_app
+            sys.config.max_paths_per_app
         } else {
             1
         };
         let (all_paths, _) = assign_multipath(
-            &self.assigner,
+            &sys.assigner,
             &app,
-            &self.network,
+            &sys.network,
             &predicted,
             want_paths,
-            self.config.min_path_rate,
+            sys.config.min_path_rate,
         );
         if all_paths.is_empty() {
             return Ok(Admission::Rejected(RejectReason::NoPath(
-                "no task assignment path with positive rate".to_owned(),
+                "no task assignment path with positive rate",
             )));
         }
         // Keep the minimal prefix of paths satisfying the target.
@@ -396,8 +887,8 @@ impl SparcleSystem {
         for path in all_paths {
             analyzer
                 .add_path(
-                    &self.network,
-                    path.placement.elements_used(&self.network),
+                    &sys.network,
+                    path.placement.elements_used(&sys.network),
                     path.rate,
                 )
                 .map_err(|e| AssignError::Model(availability_to_model_error(&e)))?;
@@ -422,11 +913,16 @@ impl SparcleSystem {
 
         // Combined per-unit-rate load, splitting rate across paths
         // proportionally to their standalone rates.
-        let combined_load = combine_loads(&self.network, &paths);
+        let combined_load = combine_loads(&sys.network, &paths);
 
+        let savepoint = self.log.savepoint();
         let id = self.fresh_id();
-        self.priority_loads.add_app(&combined_load, priority);
-        self.be_apps.push(PlacedBeApp {
+        let sys = &mut *self.sys;
+        sys.state.priority_loads.add_app(&combined_load, priority);
+        if sys.config.maintenance == StateMaintenance::Incremental {
+            sys.state.constraints.push_app(&combined_load);
+        }
+        sys.state.be_apps.push(PlacedBeApp {
             id,
             app,
             paths,
@@ -435,46 +931,96 @@ impl SparcleSystem {
             availability: availability_target.and(achieved),
             allocated_rate: 0.0,
         });
+        self.log.push(UndoOp::PopBe);
+        self.log
+            .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
 
         // Step 4: re-solve (4) for all BE applications.
-        if let Err(e) = self.solve_be_allocation() {
-            // Roll back the admission.
-            let entry = self.be_apps.pop().expect("just pushed");
-            self.priority_loads
-                .remove_app(&entry.combined_load, entry.priority);
-            // Restore previous rates.
-            let _ = self.solve_be_allocation();
-            return Ok(Admission::Rejected(RejectReason::AllocationFailed(
-                e.to_string(),
-            )));
+        match self.sys.solve_be_internal() {
+            Ok(_) => Ok(Admission::Admitted(id)),
+            Err(e) => {
+                let message = e.to_string();
+                self.unwind_to(savepoint);
+                Ok(Admission::Rejected(RejectReason::AllocationFailed(message)))
+            }
+        }
+    }
+
+    /// §IV-D for a GR application: iterate paths until eq. (7) meets the
+    /// target, reserving capacity; all-or-nothing (a rejection unwinds
+    /// the trial reservations exactly).
+    fn submit_gr(
+        &mut self,
+        app: Arc<Application>,
+        min_rate: f64,
+        target: f64,
+    ) -> Result<Admission, AssignError> {
+        let savepoint = self.log.savepoint();
+        let (paths, achieved) = match self.collect_gr_paths(&app, min_rate, target) {
+            Ok(found) => found,
+            Err(e) => {
+                self.unwind_to(savepoint);
+                return Err(e);
+            }
+        };
+        if achieved + 1e-12 < target {
+            self.unwind_to(savepoint);
+            return Ok(Admission::Rejected(RejectReason::QoeUnreachable {
+                achieved,
+                target,
+            }));
+        }
+        let id = self.fresh_id();
+        let sys = &mut *self.sys;
+        sys.state.gr_apps.push(PlacedGrApp {
+            id,
+            app,
+            paths,
+            min_rate_availability: achieved,
+            min_rate,
+        });
+        self.log.push(UndoOp::PopGr);
+        // GR reservations shrink what BE apps share; re-solve their rates.
+        if !sys.state.be_apps.is_empty() {
+            self.log
+                .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
+            let _ = sys.solve_be_internal();
         }
         Ok(Admission::Admitted(id))
     }
 
-    /// §IV-D for a GR application: iterate paths until eq. (7) meets the
-    /// target, reserving capacity; all-or-nothing.
-    fn submit_gr(
+    /// The GR path loop: reserve trial paths directly on the residual
+    /// (each subtraction is logged for exact undo) until the min-rate
+    /// availability of eq. (7) reaches the target or paths run out.
+    fn collect_gr_paths(
         &mut self,
-        app: Application,
+        app: &Application,
         min_rate: f64,
         target: f64,
-    ) -> Result<Admission, AssignError> {
-        let mut residual = self.gr_residual.clone();
+    ) -> Result<(Vec<(AssignedPath, f64)>, f64), AssignError> {
         let mut paths: Vec<(AssignedPath, f64)> = Vec::new();
         let mut analyzer = PathAvailability::new();
         let mut achieved = 0.0;
-        for _ in 0..self.config.max_paths_per_app {
-            let path = match self.assigner.assign(&app, &self.network, &residual) {
-                Ok(p) if p.rate > self.config.min_path_rate && p.rate.is_finite() => p,
+        for _ in 0..self.sys.config.max_paths_per_app {
+            let sys = &mut *self.sys;
+            let path = match sys
+                .assigner
+                .assign(app, &sys.network, &sys.state.gr_residual)
+            {
+                Ok(p) if p.rate > sys.config.min_path_rate && p.rate.is_finite() => p,
                 _ => break,
             };
             // Reserving more than R_J on one path buys no QoE.
             let reserved = path.rate.min(min_rate);
-            residual.subtract_load(&path.load, reserved);
+            let touched = path.load.loaded_elements();
+            sys.state
+                .gr_residual
+                .subtract_load_sparse(&path.load, reserved);
+            self.log.push(UndoOp::RecomputeResidual(touched));
             analyzer
                 .add_path(
-                    &self.network,
-                    path.placement.elements_used(&self.network),
+                    &sys.network,
+                    path.placement.elements_used(&sys.network),
                     reserved,
                 )
                 .map_err(|e| AssignError::Model(availability_to_model_error(&e)))?;
@@ -486,310 +1032,131 @@ impl SparcleSystem {
                 break;
             }
         }
-        if achieved + 1e-12 < target {
-            // Reject without touching system state.
-            return Ok(Admission::Rejected(RejectReason::QoeUnreachable {
-                achieved,
-                target,
-            }));
-        }
-        let id = self.fresh_id();
-        self.gr_residual = residual;
-        self.gr_apps.push(PlacedGrApp {
-            id,
-            app,
-            paths,
-            min_rate_availability: achieved,
-            min_rate,
-        });
-        // GR reservations shrink what BE apps share; re-solve their rates.
-        if !self.be_apps.is_empty() {
-            let _ = self.solve_be_allocation();
-        }
-        Ok(Admission::Admitted(id))
+        Ok((paths, achieved))
     }
 
-    /// Removes an admitted application (departure). GR departures
-    /// release their reserved capacity; BE departures trigger a
-    /// re-allocation of the remaining BE applications. Returns `false`
-    /// when the id is unknown.
-    pub fn remove(&mut self, id: AppId) -> bool {
-        self.displace(id).is_some()
-    }
-
-    /// Removes an admitted application like [`SparcleSystem::remove`],
-    /// but hands back the full placed entry so the caller can later
-    /// [`SparcleSystem::readmit`] it (exact placement) or resubmit
-    /// [`DisplacedApp::application`] from scratch. Returns `None` for an
-    /// unknown id.
-    ///
-    /// This is the churn runtime's displacement primitive: when a
-    /// network element fails, every application whose paths cross it is
-    /// displaced, queued, and re-placed by the reconcile policy.
-    pub fn displace(&mut self, id: AppId) -> Option<DisplacedApp> {
-        if let Some(pos) = self.gr_apps.iter().position(|a| a.id == id) {
-            let entry = self.gr_apps.remove(pos);
-            // Rebuild the residual from the current capacities rather
-            // than adding the departed loads back: after a capacity
-            // fluctuation, addition would manufacture phantom capacity
-            // (the subtraction had been clamped at zero).
-            self.recompute_gr_residual();
-            if !self.be_apps.is_empty() {
-                let _ = self.solve_be_allocation();
-            }
-            return Some(DisplacedApp::Gr(entry));
-        }
-        if let Some(pos) = self.be_apps.iter().position(|a| a.id == id) {
-            let entry = self.be_apps.remove(pos);
-            self.priority_loads
-                .remove_app(&entry.combined_load, entry.priority);
-            let _ = self.solve_be_allocation();
-            return Some(DisplacedApp::Be(entry));
-        }
-        None
-    }
-
-    /// Reinstates a displaced application with its *original* placement
-    /// and id, without re-running task assignment.
-    ///
-    /// * **GR**: every path's reservation must still fit the current
-    ///   GR-residual capacities (checked sequentially, all-or-nothing);
-    ///   on success the reservations are re-subtracted exactly as
-    ///   admission did, so capacity accounting round-trips bit-for-bit.
-    /// * **BE**: the placement is reinstalled and problem (4) re-solved;
-    ///   a solver failure rolls back and rejects.
-    ///
-    /// This is the cheap path after a transient failure: if the element
-    /// recovered, the old placement is still optimal-enough and costs no
-    /// γ evaluation. A rejection leaves the system untouched — fall back
-    /// to `submit(displaced.application().clone())` for a fresh search.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the displaced id is still admitted (double readmit).
-    pub fn readmit(&mut self, displaced: DisplacedApp) -> Admission {
+    /// Reinstates a displaced entry (see [`SparcleSystem::try_readmit`]).
+    #[allow(clippy::result_large_err)] // Err returns ownership, not a message
+    fn readmit_inner(
+        &mut self,
+        displaced: DisplacedApp,
+    ) -> Result<AppId, (DisplacedApp, RejectReason)> {
         let id = displaced.id();
-        assert!(
-            self.gr_apps.iter().all(|a| a.id != id) && self.be_apps.iter().all(|a| a.id != id),
-            "readmit of an id that is still admitted: {id:?}"
-        );
+        let savepoint = self.log.savepoint();
         // Keep fresh ids from colliding with the preserved one.
-        self.next_id = self.next_id.max(id.as_u32() + 1);
+        self.log.push(UndoOp::RestoreNextId(self.sys.state.next_id));
+        self.sys.state.next_id = self.sys.state.next_id.max(id.as_u32() + 1);
         match displaced {
             DisplacedApp::Gr(entry) => {
-                let mut residual = self.gr_residual.clone();
+                let mut unfit = None;
                 for (i, (path, rate)) in entry.paths.iter().enumerate() {
-                    if residual.bottleneck_rate(&path.load) + 1e-9 < *rate {
-                        return Admission::Rejected(RejectReason::PlacementUnfit { path: i });
+                    let sys = &mut *self.sys;
+                    if sys.state.gr_residual.bottleneck_rate(&path.load) + 1e-9 < *rate {
+                        unfit = Some(i);
+                        break;
                     }
-                    residual.subtract_load(&path.load, *rate);
+                    let touched = path.load.loaded_elements();
+                    sys.state
+                        .gr_residual
+                        .subtract_load_sparse(&path.load, *rate);
+                    self.log.push(UndoOp::RecomputeResidual(touched));
                 }
-                self.gr_residual = residual;
-                self.gr_apps.push(entry);
-                if !self.be_apps.is_empty() {
-                    let _ = self.solve_be_allocation();
+                if let Some(path) = unfit {
+                    self.unwind_to(savepoint);
+                    return Err((
+                        DisplacedApp::Gr(entry),
+                        RejectReason::PlacementUnfit { path },
+                    ));
                 }
-                Admission::Admitted(id)
+                let sys = &mut *self.sys;
+                sys.state.gr_apps.push(entry);
+                self.log.push(UndoOp::PopGr);
+                if !sys.state.be_apps.is_empty() {
+                    self.log
+                        .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
+                    let _ = sys.solve_be_internal();
+                }
+                Ok(id)
             }
             DisplacedApp::Be(mut entry) => {
+                let displaced_rate = entry.allocated_rate;
                 entry.allocated_rate = 0.0;
-                self.priority_loads
+                let sys = &mut *self.sys;
+                sys.state
+                    .priority_loads
                     .add_app(&entry.combined_load, entry.priority);
-                self.be_apps.push(entry);
-                if let Err(e) = self.solve_be_allocation() {
-                    let entry = self.be_apps.pop().expect("just pushed");
-                    self.priority_loads
-                        .remove_app(&entry.combined_load, entry.priority);
-                    let _ = self.solve_be_allocation();
-                    return Admission::Rejected(RejectReason::AllocationFailed(e.to_string()));
+                if sys.config.maintenance == StateMaintenance::Incremental {
+                    sys.state.constraints.push_app(&entry.combined_load);
                 }
-                Admission::Admitted(id)
+                sys.state.be_apps.push(entry);
+                self.log.push(UndoOp::PopBe);
+                self.log
+                    .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
+                match self.sys.solve_be_internal() {
+                    Ok(_) => Ok(id),
+                    Err(e) => {
+                        let message = e.to_string();
+                        let mut popped = self.unwind_to(savepoint);
+                        let mut entry = match popped.pop() {
+                            Some(DisplacedApp::Be(entry)) => entry,
+                            other => {
+                                unreachable!("undo log returns the pushed entry, got {other:?}")
+                            }
+                        };
+                        // Keep the pre-displacement rate visible to the
+                        // caller: reconcile policies order by it.
+                        entry.allocated_rate = displaced_rate;
+                        Err((
+                            DisplacedApp::Be(entry),
+                            RejectReason::AllocationFailed(message),
+                        ))
+                    }
+                }
             }
         }
     }
 
-    /// Ids of all admitted applications (GR first, then BE, each in
-    /// admission order).
-    pub fn app_ids(&self) -> Vec<AppId> {
-        self.gr_apps
-            .iter()
-            .map(|a| a.id)
-            .chain(self.be_apps.iter().map(|a| a.id))
-            .collect()
-    }
-
-    /// `true` when `id` is currently admitted.
-    pub fn contains(&self, id: AppId) -> bool {
-        self.gr_apps.iter().any(|a| a.id == id) || self.be_apps.iter().any(|a| a.id == id)
-    }
-
-    /// Ids of admitted applications with at least one task assignment
-    /// path crossing `element` (GR first, then BE, each in admission
-    /// order) — the blast radius of an element failure.
-    pub fn apps_using_element(&self, element: sparcle_model::NetworkElement) -> Vec<AppId> {
-        let uses = |placement: &sparcle_model::Placement| {
-            placement.elements_used(&self.network).contains(&element)
-        };
-        let gr = self
-            .gr_apps
-            .iter()
-            .filter(|a| a.paths.iter().any(|(p, _)| uses(&p.placement)))
-            .map(|a| a.id);
-        let be = self
-            .be_apps
-            .iter()
-            .filter(|a| a.paths.iter().any(|p| uses(&p.placement)))
-            .map(|a| a.id);
-        gr.chain(be).collect()
-    }
-
-    /// Reacts to a computing-network capacity fluctuation (the paper's
-    /// stated future-work direction): replaces the base capacities with
-    /// `new_capacities` (same shape as the network), re-derives the
-    /// GR-residual by subtracting the existing GR reservations, and
-    /// re-solves the BE allocation. Placements are *not* migrated — only
-    /// rates adapt, consistent with the no-migration constraint.
-    ///
-    /// Returns the ids of GR applications whose reservations no longer
-    /// fit the new capacities (their guarantee is violated until
-    /// capacity recovers or the caller removes and resubmits them).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `new_capacities` does not match the network shape.
-    pub fn apply_capacity_fluctuation(&mut self, new_capacities: CapacityMap) -> Vec<AppId> {
-        assert_eq!(
-            new_capacities.ncp_count(),
-            self.network.ncp_count(),
-            "capacity map must match the network"
-        );
-        assert_eq!(
-            new_capacities.link_count(),
-            self.network.link_count(),
-            "capacity map must match the network"
-        );
-        self.current_capacities = new_capacities;
-        let mut residual = self.current_capacities.clone();
+    /// Replaces the base capacities (see
+    /// [`SparcleSystem::apply_capacity_fluctuation`]). The residual
+    /// rebuild below *is* the canonical fold, interleaved with the
+    /// per-path fit checks that flag violated GR guarantees.
+    fn apply_fluctuation(&mut self, new_capacities: CapacityMap) -> Vec<AppId> {
+        let sys = &mut *self.sys;
+        let old = std::mem::replace(&mut sys.state.current_capacities, new_capacities);
+        self.log.push(UndoOp::RestoreCaps(old));
+        let mut residual = sys.state.current_capacities.clone();
         let mut violated = Vec::new();
-        for gr in &self.gr_apps {
+        for gr in &sys.state.gr_apps {
             for (path, rate) in &gr.paths {
                 // Check fit before subtracting (subtraction clamps).
-                let fits = residual.bottleneck_rate(&path.load) + 1e-9 >= *rate;
-                if !fits && !violated.contains(&gr.id) {
+                if residual.bottleneck_rate(&path.load) + 1e-9 < *rate {
                     violated.push(gr.id);
                 }
                 residual.subtract_load(&path.load, *rate);
             }
         }
-        self.gr_residual = residual;
-        if !self.be_apps.is_empty() {
-            let _ = self.solve_be_allocation();
+        violated.sort_unstable_by_key(|id| id.as_u32());
+        violated.dedup();
+        sys.state.gr_residual = residual;
+        sys.state.stats.residual_full_recomputes += 1;
+        if !sys.state.be_apps.is_empty() {
+            self.log
+                .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
+            let _ = sys.solve_be_internal();
         }
         violated
     }
+}
 
-    /// Rebuilds `gr_residual` as the current capacities minus every
-    /// admitted GR reservation.
-    fn recompute_gr_residual(&mut self) {
-        let mut residual = self.current_capacities.clone();
-        for gr in &self.gr_apps {
-            for (path, rate) in &gr.paths {
-                residual.subtract_load(&path.load, *rate);
-            }
+impl Drop for SystemTxn<'_> {
+    /// A transaction dropped without [`SystemTxn::commit`] rolls back —
+    /// this is what makes what-if probes and error paths safe by
+    /// construction.
+    fn drop(&mut self) {
+        if !self.log.ops.is_empty() {
+            self.unwind_to(0);
+            self.sys.state.stats.txn_rollbacks += 1;
         }
-        self.gr_residual = residual;
-    }
-
-    /// Re-schedules an admitted application from scratch: releases its
-    /// current placement, runs the full admission pipeline again on the
-    /// freed capacities, and — if the fresh admission fails — reinstates
-    /// the old placement untouched.
-    ///
-    /// This is the *migration* escape hatch for capacity fluctuation:
-    /// when [`Self::apply_capacity_fluctuation`] flags a GR application,
-    /// `reschedule` finds it new paths that fit the shrunken network (or
-    /// proves none exist). It deliberately breaks the paper's
-    /// no-migration rule, so it is never invoked implicitly.
-    ///
-    /// Returns `None` for an unknown id; `Some(admission)` otherwise,
-    /// where a rejection means the old placement is still in force.
-    pub fn reschedule(&mut self, id: AppId) -> Option<Admission> {
-        if let Some(pos) = self.gr_apps.iter().position(|a| a.id == id) {
-            let entry = self.gr_apps[pos].clone();
-            self.remove(id);
-            let admission = self
-                .submit(entry.app.clone())
-                .expect("previously admitted apps are well-formed");
-            if !admission.is_admitted() {
-                // Reinstate the old reservation.
-                self.gr_apps.push(entry);
-                self.recompute_gr_residual();
-                let _ = self.solve_be_allocation();
-            }
-            return Some(admission);
-        }
-        if let Some(pos) = self.be_apps.iter().position(|a| a.id == id) {
-            let entry = self.be_apps[pos].clone();
-            self.remove(id);
-            let admission = self
-                .submit(entry.app.clone())
-                .expect("previously admitted apps are well-formed");
-            if !admission.is_admitted() {
-                self.priority_loads
-                    .add_app(&entry.combined_load, entry.priority);
-                self.be_apps.push(entry);
-                let _ = self.solve_be_allocation();
-            }
-            return Some(admission);
-        }
-        None
-    }
-
-    /// Solves problem (4) over all admitted BE applications against the
-    /// GR-residual capacities and stores each `allocated_rate`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates solver errors (infeasible / unconstrained columns).
-    pub fn solve_be_allocation(&mut self) -> Result<Option<Allocation>, sparcle_alloc::AllocError> {
-        if self.be_apps.is_empty() {
-            return Ok(None);
-        }
-        let loads: Vec<&LoadMap> = self.be_apps.iter().map(|a| &a.combined_load).collect();
-        let priorities: Vec<f64> = self.be_apps.iter().map(|a| a.priority).collect();
-        let system = ConstraintSystem::from_loads(&self.network, &self.gr_residual, &loads);
-        let allocation = match self.config.allocation_policy {
-            AllocationPolicy::ProportionalFair => {
-                // Warm-start from the incumbent rates when every app
-                // already has one (epoch re-allocations); cold-start on
-                // admission (the newcomer's rate is still zero).
-                let previous: Vec<f64> = self.be_apps.iter().map(|a| a.allocated_rate).collect();
-                if previous.iter().all(|&r| r > 0.0) {
-                    self.config
-                        .solver
-                        .solve_warm(&system, &priorities, &previous)?
-                } else {
-                    self.config.solver.solve(&system, &priorities)?
-                }
-            }
-            AllocationPolicy::MaxMin => {
-                let mm = max_min_allocation(&system, &priorities)?;
-                let utility = priorities
-                    .iter()
-                    .zip(&mm.rates)
-                    .map(|(&p, &x)| p * x.ln())
-                    .sum();
-                Allocation {
-                    rates: mm.rates,
-                    duals: vec![0.0; system.rows().len()],
-                    utility,
-                }
-            }
-        };
-        for (entry, &rate) in self.be_apps.iter_mut().zip(&allocation.rates) {
-            entry.allocated_rate = rate;
-        }
-        Ok(Some(allocation))
     }
 }
 
@@ -1303,5 +1670,105 @@ mod tests {
             .unwrap();
         let expect = 2.0 * sys.be_apps()[0].allocated_rate.ln();
         assert!((sys.be_utility() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_transaction_rolls_back_bitwise() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        sys.submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap();
+        let be_id = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        let residual = sys.gr_residual().clone();
+        let rates: Vec<f64> = sys.be_apps().iter().map(|a| a.allocated_rate).collect();
+
+        // Probe: what would a new BE submission get? Then roll back.
+        let mut txn = sys.begin();
+        let adm = txn
+            .submit(simple_app(QoeClass::best_effort(2.0), 10.0, 50.0))
+            .unwrap();
+        assert!(adm.is_admitted());
+        let probe_rate = txn.system().be_apps().last().unwrap().allocated_rate;
+        assert!(probe_rate > 0.0);
+        txn.rollback();
+
+        assert_eq!(sys.gr_residual(), &residual, "residual restored bitwise");
+        let after: Vec<f64> = sys.be_apps().iter().map(|a| a.allocated_rate).collect();
+        assert_eq!(rates, after, "rates restored bitwise");
+        assert_eq!(sys.be_apps().len(), 1);
+        assert_eq!(sys.be_apps()[0].id, be_id);
+        // The probe's id was returned to the pool: the next admission
+        // gets the id the probe briefly held.
+        let next = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        assert_eq!(Some(next), adm.id());
+        assert!(sys.state_stats().txn_rollbacks >= 1);
+    }
+
+    #[test]
+    fn dropped_transaction_rolls_back() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        let residual = sys.gr_residual().clone();
+        let rates: Vec<f64> = sys.be_apps().iter().map(|a| a.allocated_rate).collect();
+        {
+            let mut txn = sys.begin();
+            txn.submit(simple_app(QoeClass::best_effort(3.0), 10.0, 50.0))
+                .unwrap();
+            // Dropped without commit.
+        }
+        assert_eq!(sys.be_apps().len(), 1);
+        assert_eq!(sys.gr_residual(), &residual);
+        let after: Vec<f64> = sys.be_apps().iter().map(|a| a.allocated_rate).collect();
+        assert_eq!(rates, after);
+    }
+
+    #[test]
+    fn scratch_maintenance_matches_incremental() {
+        let run = |maintenance: StateMaintenance| {
+            let config = SystemConfig {
+                maintenance,
+                ..SystemConfig::default()
+            };
+            let mut sys = SparcleSystem::with_config(star_network(0.0), config);
+            let gr = sys
+                .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+                .unwrap()
+                .id()
+                .unwrap();
+            sys.submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+                .unwrap();
+            sys.submit(simple_app(QoeClass::best_effort(2.0), 20.0, 100.0))
+                .unwrap();
+            let displaced = sys.displace(gr).unwrap();
+            sys.readmit(displaced);
+            let mut halved = sys.network().capacity_map();
+            for ncp in sys.network().ncp_ids() {
+                halved.ncp_mut(ncp).scale(0.5);
+            }
+            sys.apply_capacity_fluctuation(halved);
+            (
+                sys.gr_residual().clone(),
+                sys.be_apps()
+                    .iter()
+                    .map(|a| a.allocated_rate)
+                    .collect::<Vec<_>>(),
+                sys.app_ids(),
+            )
+        };
+        let incremental = run(StateMaintenance::Incremental);
+        let scratch = run(StateMaintenance::Scratch);
+        assert_eq!(incremental.0, scratch.0, "residual bitwise equal");
+        assert_eq!(incremental.1, scratch.1, "rates bitwise equal");
+        assert_eq!(incremental.2, scratch.2, "admissions equal");
     }
 }

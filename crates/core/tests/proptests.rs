@@ -426,3 +426,128 @@ proptest! {
         engine.finish().expect("complete placement validates");
     }
 }
+
+/// A committed operation to replay on a fresh system when checking that
+/// rolled-back transactions are invisible.
+enum ReplayOp {
+    Submit(std::sync::Arc<Application>),
+    Displace(sparcle_model::AppId),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interleaved transaction commit/rollback leaves the system state
+    /// **bitwise** equal to a fresh system replaying only the committed
+    /// operations. Rollbacks — including multi-operation what-if probes
+    /// that displace one application and submit another — must be
+    /// perfectly invisible: the GR residual, the admitted id sequence,
+    /// every BE allocated rate, and the id counter all match the
+    /// canonical replay, because undo restores exact rate snapshots and
+    /// re-derives residual elements through the same canonical fold the
+    /// fresh admission path uses.
+    #[test]
+    fn rolled_back_transactions_are_invisible(
+        net in arb_network(6),
+        ops in proptest::collection::vec(
+            (0u8..4, 0usize..64, 1.0f64..20.0, 1.0f64..20.0, 0.1f64..1.5, 0u8..2),
+            1..28,
+        ),
+    ) {
+        use std::sync::Arc;
+        let n = net.ncp_count() as u32;
+        let mut sys = SparcleSystem::new(net.clone());
+        let mut committed: Vec<ReplayOp> = Vec::new();
+        for (kind, pick, cpu, bits, min_rate, commit) in ops {
+            let commit = commit == 1;
+            match kind {
+                0 | 1 => {
+                    // Single-op transaction: one BE or GR submission,
+                    // committed or rolled back.
+                    let app = pipeline_app(&[cpu], &[bits, bits], NcpId::new(0), NcpId::new(n - 1));
+                    let app = if kind == 1 {
+                        app.with_qoe(QoeClass::guaranteed_rate(min_rate, 0.5)).expect("valid qoe")
+                    } else {
+                        app
+                    };
+                    let app = Arc::new(app);
+                    let mut txn = sys.begin();
+                    let _ = txn.submit(app.clone()).expect("well-formed app");
+                    if commit {
+                        txn.commit();
+                        committed.push(ReplayOp::Submit(app));
+                    } else {
+                        txn.rollback();
+                    }
+                }
+                2 => {
+                    // Single-op transaction: one displacement.
+                    let ids = sys.app_ids();
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let id = ids[pick % ids.len()];
+                    let mut txn = sys.begin();
+                    prop_assert!(txn.displace(id));
+                    if commit {
+                        prop_assert_eq!(txn.commit().len(), 1);
+                        committed.push(ReplayOp::Displace(id));
+                    } else {
+                        txn.rollback();
+                    }
+                }
+                _ => {
+                    // Multi-op transaction (the reconcile probe shape):
+                    // displace an admitted app, then submit a new one,
+                    // committed or rolled back as a unit.
+                    let ids = sys.app_ids();
+                    let app = Arc::new(pipeline_app(
+                        &[cpu], &[bits, bits], NcpId::new(0), NcpId::new(n - 1),
+                    ));
+                    let mut txn = sys.begin();
+                    let displaced = if ids.is_empty() {
+                        None
+                    } else {
+                        let id = ids[pick % ids.len()];
+                        prop_assert!(txn.displace(id));
+                        Some(id)
+                    };
+                    let _ = txn.submit(app.clone()).expect("well-formed app");
+                    if commit {
+                        txn.commit();
+                        if let Some(id) = displaced {
+                            committed.push(ReplayOp::Displace(id));
+                        }
+                        committed.push(ReplayOp::Submit(app));
+                    } else {
+                        txn.rollback();
+                    }
+                }
+            }
+        }
+        // Replay only the committed operations on a fresh system. If
+        // every rollback was invisible, the two systems agree bitwise
+        // at every step, so each replayed displacement finds its id.
+        let mut fresh = SparcleSystem::new(net);
+        for op in committed {
+            match op {
+                ReplayOp::Submit(app) => {
+                    let _ = fresh.submit(app).expect("well-formed app");
+                }
+                ReplayOp::Displace(id) => {
+                    prop_assert!(fresh.displace(id).is_some(), "replay lost id {id:?}");
+                }
+            }
+        }
+        prop_assert_eq!(
+            sys.gr_residual(), fresh.gr_residual(),
+            "rollback left a residual trace"
+        );
+        prop_assert_eq!(sys.app_ids(), fresh.app_ids(), "admitted id sequences differ");
+        let rates: Vec<u64> =
+            sys.be_apps().iter().map(|a| a.allocated_rate.to_bits()).collect();
+        let fresh_rates: Vec<u64> =
+            fresh.be_apps().iter().map(|a| a.allocated_rate.to_bits()).collect();
+        prop_assert_eq!(rates, fresh_rates, "BE rates diverged from the canonical replay");
+    }
+}

@@ -124,6 +124,68 @@ impl CapacityMap {
         }
     }
 
+    /// Like [`Self::subtract_load`] but skips elements the load leaves
+    /// untouched. For non-negative capacities a zero-amount subtraction
+    /// is the identity, so the result is **bitwise identical** to the
+    /// dense subtraction — this is the delta op the incremental residual
+    /// maintenance in `sparcle-core` relies on.
+    pub fn subtract_load_sparse(&mut self, load: &LoadMap, rate: f64) {
+        for (i, l) in load.ncps.iter().enumerate() {
+            if !l.is_zero() {
+                self.ncps[i].sub_scaled(l, rate);
+            }
+        }
+        for (i, &bits) in load.links.iter().enumerate() {
+            if bits != 0.0 {
+                self.links[i] = (self.links[i] - bits * rate).max(0.0);
+            }
+        }
+    }
+
+    /// Subtracts `rate × load` on a **single** element, leaving every
+    /// other entry untouched. Uses the exact arithmetic of
+    /// [`Self::subtract_load`] restricted to `element`, so replaying a
+    /// sequence of subtractions per-element reproduces the dense fold
+    /// bit-for-bit.
+    pub fn subtract_load_element(&mut self, element: NetworkElement, load: &LoadMap, rate: f64) {
+        match element {
+            NetworkElement::Ncp(id) => {
+                self.ncps[id.index()].sub_scaled(load.ncp(id), rate);
+            }
+            NetworkElement::Link(id) => {
+                let i = id.index();
+                self.links[i] = (self.links[i] - load.links[i] * rate).max(0.0);
+            }
+        }
+    }
+
+    /// Copies one element's capacity from `other` (same shape) — the
+    /// seed of a per-element canonical recompute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `element` is out of range for either map.
+    pub fn copy_element_from(&mut self, other: &CapacityMap, element: NetworkElement) {
+        match element {
+            NetworkElement::Ncp(id) => {
+                self.ncps[id.index()] = other.ncps[id.index()].clone();
+            }
+            NetworkElement::Link(id) => {
+                self.links[id.index()] = other.links[id.index()];
+            }
+        }
+    }
+
+    /// `true` when every entry is finite and non-negative — the
+    /// precondition under which the sparse delta ops above are bitwise
+    /// equivalent to their dense counterparts.
+    pub fn is_finite_non_negative(&self) -> bool {
+        self.ncps
+            .iter()
+            .all(|v| v.iter().all(|(_, a)| a.is_finite() && a >= 0.0))
+            && self.links.iter().all(|&b| b.is_finite() && b >= 0.0)
+    }
+
     /// Scales the capacity of one element by `factor` — used by the
     /// priority-share prediction of eq. (6).
     pub fn scale_element(&mut self, element: NetworkElement, factor: f64) {
@@ -279,6 +341,43 @@ impl LoadMap {
         }
     }
 
+    /// Number of NCP entries.
+    pub fn ncp_count(&self) -> usize {
+        self.ncps.len()
+    }
+
+    /// Number of link entries.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Strictly positive `(element, kind, amount)` entries in
+    /// NCPs-then-links order, kinds in their sorted storage order — the
+    /// same order [`crate::Network::elements`] walks and constraint
+    /// builders emit rows in.
+    pub fn positive_entries(
+        &self,
+    ) -> impl Iterator<Item = (NetworkElement, ResourceKind, f64)> + '_ {
+        let ncps = self.ncps.iter().enumerate().flat_map(|(i, v)| {
+            v.iter()
+                .filter(|&(_, a)| a > 0.0)
+                .map(move |(kind, a)| (NetworkElement::Ncp(NcpId::new(i as u32)), kind, a))
+        });
+        let links = self
+            .links
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0.0)
+            .map(|(i, &b)| {
+                (
+                    NetworkElement::Link(LinkId::new(i as u32)),
+                    ResourceKind::Bandwidth,
+                    b,
+                )
+            });
+        ncps.chain(links)
+    }
+
     /// Elements carrying non-zero load, in NCPs-then-links order.
     pub fn loaded_elements(&self) -> Vec<NetworkElement> {
         let mut out = Vec::new();
@@ -420,6 +519,60 @@ mod tests {
         // At the bottleneck rate, the binding element hits 1.0.
         let u = cap.utilization(&load, cap.bottleneck_rate(&load));
         assert!((u[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_delta_ops_match_dense_subtraction_bitwise() {
+        let net = net2();
+        let mut load = LoadMap::zeroed(&net);
+        load.add_ct_load(NcpId::new(0), &ResourceVec::cpu(7.3));
+        load.add_tt_load(LinkId::new(0), 11.1);
+
+        let mut dense = CapacityMap::full(&net);
+        let mut sparse = CapacityMap::full(&net);
+        dense.subtract_load(&load, 1.7);
+        sparse.subtract_load_sparse(&load, 1.7);
+        assert_eq!(dense, sparse);
+
+        // Per-element replay over every element reproduces the dense fold.
+        let mut replayed = CapacityMap::full(&net);
+        for i in 0..replayed.ncp_count() {
+            replayed.subtract_load_element(NetworkElement::Ncp(NcpId::new(i as u32)), &load, 1.7);
+        }
+        for i in 0..replayed.link_count() {
+            replayed.subtract_load_element(NetworkElement::Link(LinkId::new(i as u32)), &load, 1.7);
+        }
+        assert_eq!(dense, replayed);
+
+        // copy_element_from restores individual elements.
+        let full = CapacityMap::full(&net);
+        let mut restored = dense.clone();
+        restored.copy_element_from(&full, NetworkElement::Ncp(NcpId::new(0)));
+        restored.copy_element_from(&full, NetworkElement::Link(LinkId::new(0)));
+        assert_eq!(restored, full);
+        assert!(full.is_finite_non_negative());
+    }
+
+    #[test]
+    fn positive_entries_lists_loads_in_element_order() {
+        let net = net2();
+        let mut load = LoadMap::zeroed(&net);
+        load.add_ct_load(NcpId::new(1), &ResourceVec::cpu(4.0));
+        load.add_tt_load(LinkId::new(0), 8.0);
+        let entries: Vec<_> = load.positive_entries().collect();
+        assert_eq!(
+            entries,
+            vec![
+                (NetworkElement::Ncp(NcpId::new(1)), ResourceKind::Cpu, 4.0),
+                (
+                    NetworkElement::Link(LinkId::new(0)),
+                    ResourceKind::Bandwidth,
+                    8.0
+                ),
+            ]
+        );
+        assert_eq!(load.ncp_count(), 2);
+        assert_eq!(load.link_count(), 1);
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub enum ReconcilePolicy {
     /// application that was carrying the most rate — and therefore
     /// loses the most while unplaced — goes first.
     GammaImpact,
+    /// Descending *probed* rate: before ordering, the runtime submits
+    /// each displaced application inside a rollback-only transaction
+    /// and reads the rate it would actually get on the current
+    /// capacities, so the ordering reflects the post-disruption
+    /// network rather than pre-disruption history. Requires the
+    /// transactional probe in `SparcleRuntime`; [`Self::order`] alone
+    /// falls back to the γ-impact ordering.
+    GammaProbe,
 }
 
 impl ReconcilePolicy {
@@ -31,6 +39,7 @@ impl ReconcilePolicy {
             ReconcilePolicy::Fifo => "fifo",
             ReconcilePolicy::Priority => "priority",
             ReconcilePolicy::GammaImpact => "gamma",
+            ReconcilePolicy::GammaProbe => "gamma-probe",
         }
     }
 
@@ -46,12 +55,16 @@ impl ReconcilePolicy {
                     .total_cmp(&a.displaced.priority_rank())
                     .then(a.index.cmp(&b.index))
             }),
-            ReconcilePolicy::GammaImpact => pending.sort_by(|a, b| {
-                b.displaced
-                    .displaced_rate()
-                    .total_cmp(&a.displaced.displaced_rate())
-                    .then(a.index.cmp(&b.index))
-            }),
+            // Without a system to probe against, GammaProbe degrades to
+            // the historical-rate ordering.
+            ReconcilePolicy::GammaImpact | ReconcilePolicy::GammaProbe => {
+                pending.sort_by(|a, b| {
+                    b.displaced
+                        .displaced_rate()
+                        .total_cmp(&a.displaced.displaced_rate())
+                        .then(a.index.cmp(&b.index))
+                })
+            }
         }
     }
 }
@@ -65,6 +78,7 @@ mod tests {
         assert_eq!(ReconcilePolicy::Fifo.label(), "fifo");
         assert_eq!(ReconcilePolicy::Priority.label(), "priority");
         assert_eq!(ReconcilePolicy::GammaImpact.label(), "gamma");
+        assert_eq!(ReconcilePolicy::GammaProbe.label(), "gamma-probe");
         assert_eq!(ReconcilePolicy::default(), ReconcilePolicy::Fifo);
     }
 }

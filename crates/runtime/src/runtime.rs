@@ -284,6 +284,24 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             }
         }
         self.accrue(self.config.horizon);
+        // Deterministic state-core counters (wall-clock nanos stay out:
+        // traces are compared bit-for-bit across thread counts).
+        let stats = self.system.state_stats();
+        trace.counter("system.solves", stats.solves);
+        trace.counter("system.warm_solves", stats.warm_solves);
+        trace.counter("system.cold_solves", stats.cold_solves);
+        trace.counter("system.warm_inner_iters", stats.inner_iters_warm);
+        trace.counter("system.cold_inner_iters", stats.inner_iters_cold);
+        trace.counter(
+            "system.residual_element_updates",
+            stats.residual_element_updates,
+        );
+        trace.counter(
+            "system.residual_full_recomputes",
+            stats.residual_full_recomputes,
+        );
+        trace.counter("system.txn_commits", stats.txn_commits);
+        trace.counter("system.txn_rollbacks", stats.txn_rollbacks);
         run_span.finish();
         &self.ledger
     }
@@ -438,10 +456,12 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         let mut displaced_now = 0u64;
         if !up {
             // Blast radius: lift every application whose paths cross the
-            // failed element, keeping the placement for cheap
-            // reinstatement on recovery.
-            for id in self.system.apps_using_element(element) {
-                let displaced = self.system.displace(id).expect("listed id is admitted");
+            // failed element in one transaction (a single BE re-solve),
+            // keeping the placements for cheap reinstatement on
+            // recovery.
+            let ids = self.system.apps_using_element(element);
+            let entries = self.system.displace_batch(&ids);
+            for (id, displaced) in ids.into_iter().zip(entries) {
                 let index = self
                     .index_of
                     .remove(&id)
@@ -497,17 +517,26 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         }
         let reconcile_span = trace.span("runtime.reconcile");
         let mut batch = std::mem::take(&mut self.pending);
-        self.config.policy.order(&mut batch);
+        if self.config.policy == ReconcilePolicy::GammaProbe {
+            self.order_by_probe(&mut batch);
+        } else {
+            self.config.policy.order(&mut batch);
+        }
         let (mut restored, mut replaced, mut failed) = (0u64, 0u64, 0u64);
-        for p in batch {
+        for mut p in batch {
             // Cheap path first: reinstate the preserved placement (no γ
             // evaluation) unless it crosses a still-downed element.
             if !self.placement_touches_down(&p.displaced) {
-                if let Admission::Admitted(id) = self.system.readmit(p.displaced.clone()) {
-                    restored += 1;
-                    self.register(p.index, id);
-                    self.ledger.record_restore(t - p.since);
-                    continue;
+                match self.system.try_readmit(p.displaced) {
+                    Ok(id) => {
+                        restored += 1;
+                        self.register(p.index, id);
+                        self.ledger.record_restore(t - p.since);
+                        continue;
+                    }
+                    // Ownership comes back on rejection; fall through to
+                    // the fresh-placement path.
+                    Err((displaced, _)) => p.displaced = displaced,
                 }
             }
             // Full re-placement: a fresh admission pipeline run on the
@@ -515,7 +544,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             // stable identity).
             let fresh = self
                 .system
-                .submit(p.displaced.application().clone())
+                .submit(p.displaced.application_arc())
                 .expect("previously admitted apps are well-formed");
             match fresh {
                 Admission::Admitted(id) => {
@@ -547,9 +576,49 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         reconcile_span.finish();
     }
 
+    /// Orders the displaced batch by what-if probes: each application is
+    /// submitted inside a rollback-only transaction and the rate it
+    /// would get *on the current capacities* is read before the
+    /// transaction unwinds — the system (rates, residuals, and the id
+    /// counter included) is left bitwise untouched. Highest probed rate
+    /// first; failed probes last; ties fall back to the arrival index.
+    fn order_by_probe(&mut self, batch: &mut Vec<PendingApp>) {
+        let mut keyed: Vec<(f64, PendingApp)> = batch
+            .drain(..)
+            .map(|p| {
+                let mut txn = self.system.begin();
+                let probed = match txn.submit(p.displaced.application_arc()) {
+                    Ok(Admission::Admitted(_)) => {
+                        if p.displaced.is_gr() {
+                            // A GR admission guarantees exactly R_J.
+                            p.displaced.displaced_rate()
+                        } else {
+                            txn.system()
+                                .be_apps()
+                                .last()
+                                .map_or(f64::NEG_INFINITY, |a| a.allocated_rate)
+                        }
+                    }
+                    _ => f64::NEG_INFINITY,
+                };
+                txn.rollback();
+                (probed, p)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.index.cmp(&b.1.index)));
+        batch.extend(keyed.into_iter().map(|(_, p)| p));
+    }
+
     /// The owned scheduling system (final state after [`Self::run`]).
     pub fn system(&self) -> &SparcleSystem {
         &self.system
+    }
+
+    /// Consumes the runtime, handing out the owned system — for
+    /// post-run state inspection (e.g. the differential suites compare
+    /// final residuals and rates across configurations).
+    pub fn into_system(self) -> SparcleSystem {
+        self.system
     }
 
     /// The SLO ledger accrued so far.
@@ -664,6 +733,20 @@ mod tests {
         let b = run_once(ReconcilePolicy::Priority, 1);
         assert_eq!(a.arrivals(), b.arrivals());
         assert_eq!(a.displacements(), b.displacements());
+    }
+
+    #[test]
+    fn gamma_probe_policy_is_deterministic_across_threads() {
+        // The probe transactions must roll back exactly: a probing run
+        // is a pure function of the timeline, including across γ
+        // evaluator thread counts.
+        let a = run_once(ReconcilePolicy::GammaProbe, 1);
+        let b = run_once(ReconcilePolicy::GammaProbe, 8);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // And probing never changes the exogenous event volume.
+        let c = run_once(ReconcilePolicy::GammaImpact, 1);
+        assert_eq!(a.arrivals(), c.arrivals());
+        assert_eq!(a.displacements(), c.displacements());
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Differential suite for the incremental system-state core.
+//!
+//! `SparcleSystem` maintains its derived state (GR residual, BE
+//! constraint matrix, priority loads) by **delta** under
+//! `StateMaintenance::Incremental`, with every touched element
+//! re-derived through the same canonical fold a from-scratch rebuild
+//! uses. The contract (see `sparcle_core::state` module docs) is that
+//! the incremental path is *bitwise indistinguishable* from the
+//! scratch path: same admissions, same residuals, same BE rates, same
+//! decision/event stream.
+//!
+//! This suite holds the two modes to that contract over full online
+//! runtime histories — three arrival traces × two failure regimes,
+//! with capacity fluctuation, displacement, and policy-ordered
+//! re-placement all active — so every transactional mutation path
+//! (submit, displace, readmit, reschedule, fluctuation, rollback) is
+//! crossed thousands of times per run.
+
+use sparcle_core::{SparcleSystem, StateMaintenance};
+use sparcle_model::{
+    Application, LinkDirection, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
+};
+use sparcle_runtime::{
+    FluctuationConfig, ReconcilePolicy, RuntimeConfig, SloLedger, SparcleRuntime,
+};
+use sparcle_sim::FluctuationModel;
+use sparcle_workloads::graphs::linear_task_graph;
+use sparcle_workloads::ArrivalTrace;
+
+/// Four edge hosts and two hubs with flaky hub links — the same shape
+/// as the churn experiment, small enough that a full history runs in
+/// well under a second per mode.
+fn grid_network(flaky: f64) -> Network {
+    let mut b = NetworkBuilder::new();
+    let edges: Vec<NcpId> = (0..4)
+        .map(|i| b.add_ncp(format!("edge{i}"), ResourceVec::cpu(20.0)))
+        .collect();
+    let fast = b.add_ncp("hub-fast", ResourceVec::cpu(2000.0));
+    let slow = b.add_ncp("hub-slow", ResourceVec::cpu(1500.0));
+    for (i, &e) in edges.iter().enumerate() {
+        b.add_link_full(
+            format!("fast{i}"),
+            e,
+            fast,
+            2e4,
+            LinkDirection::Undirected,
+            flaky,
+        )
+        .expect("valid link");
+        b.add_link_full(
+            format!("slow{i}"),
+            e,
+            slow,
+            8e3,
+            LinkDirection::Undirected,
+            flaky / 4.0,
+        )
+        .expect("valid link");
+    }
+    b.build().expect("valid network")
+}
+
+/// Deterministic application mix: every third arrival Guaranteed-Rate,
+/// BE priorities cycling 1..=4, endpoints walking the edge hosts.
+fn grid_app(index: u64) -> Application {
+    let graph = if index.is_multiple_of(2) {
+        linear_task_graph(&[60.0], &[1200.0, 600.0])
+    } else {
+        linear_task_graph(&[40.0, 40.0], &[1000.0, 800.0, 400.0])
+    }
+    .expect("valid graph");
+    let (src, sink) = (graph.sources()[0], graph.sinks()[0]);
+    let qoe = if index.is_multiple_of(3) {
+        QoeClass::guaranteed_rate(1.5, 0.5)
+    } else {
+        QoeClass::best_effort(1.0 + (index % 4) as f64)
+    };
+    Application::new(
+        graph,
+        qoe,
+        [
+            (src, NcpId::new((index % 4) as u32)),
+            (sink, NcpId::new(((index + 1) % 4) as u32)),
+        ],
+    )
+    .expect("valid app")
+}
+
+/// The trace × regime grid: 3 arrival shapes × calm/stormy failures.
+fn grid() -> Vec<(String, ArrivalTrace, f64)> {
+    let traces = [
+        ("poisson", ArrivalTrace::Poisson { rate: 1.5 }),
+        (
+            "diurnal",
+            ArrivalTrace::Diurnal {
+                rate: 1.5,
+                depth: 0.8,
+                period: 40.0,
+            },
+        ),
+        (
+            "flash",
+            ArrivalTrace::FlashCrowd {
+                rate: 1.0,
+                burst_rate: 4.0,
+                burst_start: 40.0,
+                burst_end: 60.0,
+            },
+        ),
+    ];
+    let regimes = [("calm", 0.02), ("stormy", 0.10)];
+    let mut out = Vec::new();
+    for (tn, trace) in &traces {
+        for (rn, flaky) in &regimes {
+            out.push((format!("{tn}/{rn}"), *trace, *flaky));
+        }
+    }
+    out
+}
+
+/// Everything one runtime history observably produces.
+struct RunOutput {
+    ledger: SloLedger,
+    events_processed: u64,
+    /// Consumed system at end of run, for final-state comparison.
+    system: SparcleSystem,
+    #[cfg(feature = "telemetry")]
+    event_log: String,
+    #[cfg(feature = "telemetry")]
+    counters: std::collections::BTreeMap<String, u64>,
+}
+
+fn run(trace: &ArrivalTrace, flaky: f64, maintenance: StateMaintenance) -> RunOutput {
+    let mut config = RuntimeConfig {
+        horizon: 90.0,
+        failure_seed: 0xd1ff,
+        hold_seed: 0x7e57,
+        mean_hold: 15.0,
+        policy: ReconcilePolicy::GammaImpact,
+        fluctuation: Some(FluctuationConfig {
+            model: FluctuationModel {
+                floor: 0.6,
+                step: 0.05,
+                seed: 9,
+            },
+            period: 2.0,
+        }),
+        ..RuntimeConfig::default()
+    };
+    config.system.maintenance = maintenance;
+    let arrivals = trace.events(config.horizon, 0x5eed);
+    let mut rt = SparcleRuntime::new(grid_network(flaky), arrivals, grid_app, config);
+
+    #[cfg(feature = "telemetry")]
+    {
+        let recorder = sparcle_telemetry::CollectRecorder::new();
+        let ledger = rt
+            .run_traced(sparcle_core::TraceHandle::new(&recorder))
+            .clone();
+        let mut event_log = String::new();
+        for event in recorder.events() {
+            event_log.push_str(&event.to_json().render());
+            event_log.push('\n');
+        }
+        let counters = recorder.snapshot().counters;
+        let events_processed = rt.events_processed();
+        RunOutput {
+            ledger,
+            events_processed,
+            system: rt.into_system(),
+            event_log,
+            counters,
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let ledger = rt.run().clone();
+        let events_processed = rt.events_processed();
+        RunOutput {
+            ledger,
+            events_processed,
+            system: rt.into_system(),
+        }
+    }
+}
+
+/// The two residual-maintenance counters are *expected* to differ — they
+/// are the mode's signature, not part of the behavioral contract.
+#[cfg(feature = "telemetry")]
+const MODE_SIGNATURE_COUNTERS: [&str; 2] = [
+    "system.residual_element_updates",
+    "system.residual_full_recomputes",
+];
+
+#[test]
+fn incremental_matches_scratch_over_full_histories() {
+    for (label, trace, flaky) in grid() {
+        let inc = run(&trace, flaky, StateMaintenance::Incremental);
+        let scr = run(&trace, flaky, StateMaintenance::Scratch);
+
+        assert_eq!(
+            inc.events_processed, scr.events_processed,
+            "{label}: event counts diverged"
+        );
+        assert!(
+            format!("{:?}", inc.ledger) == format!("{:?}", scr.ledger),
+            "{label}: SLO ledgers diverged:\n  inc: {:?}\n  scr: {:?}",
+            inc.ledger,
+            scr.ledger
+        );
+
+        // Final system state, bitwise.
+        assert_eq!(
+            inc.system.app_ids(),
+            scr.system.app_ids(),
+            "{label}: admitted id sequences diverged"
+        );
+        assert_eq!(
+            inc.system.gr_residual(),
+            scr.system.gr_residual(),
+            "{label}: GR residual diverged (delta maintenance leaked)"
+        );
+        let rates = |s: &SparcleSystem| -> Vec<u64> {
+            s.be_apps()
+                .iter()
+                .map(|a| a.allocated_rate.to_bits())
+                .collect()
+        };
+        assert_eq!(
+            rates(&inc.system),
+            rates(&scr.system),
+            "{label}: BE allocated rates diverged"
+        );
+
+        // Useful histories only: every mutation path must actually run.
+        assert!(inc.ledger.arrivals() > 0, "{label}: no arrivals");
+        assert!(inc.ledger.displacements() > 0, "{label}: no displacements");
+
+        #[cfg(feature = "telemetry")]
+        {
+            assert!(
+                inc.event_log == scr.event_log,
+                "{label}: telemetry event logs diverged"
+            );
+            let strip = |mut c: std::collections::BTreeMap<String, u64>| {
+                for k in MODE_SIGNATURE_COUNTERS {
+                    c.remove(k);
+                }
+                c
+            };
+            assert_eq!(
+                strip(inc.counters.clone()),
+                strip(scr.counters.clone()),
+                "{label}: deterministic counters diverged"
+            );
+            // The signature counters prove each mode took its own path.
+            assert!(
+                inc.counters
+                    .get("system.residual_element_updates")
+                    .copied()
+                    .unwrap_or(0)
+                    > 0,
+                "{label}: incremental mode never used the delta path"
+            );
+            assert_eq!(
+                scr.counters
+                    .get("system.residual_element_updates")
+                    .copied()
+                    .unwrap_or(0),
+                0,
+                "{label}: scratch mode used the delta path"
+            );
+            assert!(
+                scr.counters
+                    .get("system.residual_full_recomputes")
+                    .copied()
+                    .unwrap_or(0)
+                    > inc
+                        .counters
+                        .get("system.residual_full_recomputes")
+                        .copied()
+                        .unwrap_or(0),
+                "{label}: scratch mode should rebuild strictly more often"
+            );
+        }
+    }
+}
+
+/// The γ-probe policy drives rollback-only transactions through the
+/// incremental constraint maintenance on every reconcile; it must obey
+/// the same cross-mode contract.
+#[test]
+fn gamma_probe_policy_matches_across_modes() {
+    let trace = ArrivalTrace::Poisson { rate: 1.5 };
+    let run_probe = |maintenance| {
+        let mut config = RuntimeConfig {
+            horizon: 80.0,
+            failure_seed: 0xfa11,
+            hold_seed: 0x0dd,
+            mean_hold: 15.0,
+            policy: ReconcilePolicy::GammaProbe,
+            ..RuntimeConfig::default()
+        };
+        config.system.maintenance = maintenance;
+        let arrivals = trace.events(config.horizon, 0xcafe);
+        let mut rt = SparcleRuntime::new(grid_network(0.1), arrivals, grid_app, config);
+        let ledger = format!("{:?}", rt.run().clone());
+        let stats = rt.system().state_stats().clone();
+        (ledger, stats.txn_rollbacks, rt.into_system())
+    };
+    let (ledger_inc, rollbacks_inc, sys_inc) = run_probe(StateMaintenance::Incremental);
+    let (ledger_scr, rollbacks_scr, sys_scr) = run_probe(StateMaintenance::Scratch);
+    assert_eq!(ledger_inc, ledger_scr, "γ-probe ledgers diverged");
+    assert_eq!(rollbacks_inc, rollbacks_scr, "probe counts diverged");
+    assert!(rollbacks_inc > 0, "γ-probe policy never probed");
+    assert_eq!(sys_inc.gr_residual(), sys_scr.gr_residual());
+    assert_eq!(sys_inc.app_ids(), sys_scr.app_ids());
+}
