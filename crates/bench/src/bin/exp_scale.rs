@@ -1,0 +1,109 @@
+//! Scale experiment: Algorithm 2 on 5k–10k-NCP dispersed topologies.
+//!
+//! Sweeps two sizes of the seeded hub-and-spoke network from
+//! `sparcle_workloads::scale` and times full dynamic-ranking
+//! assignments under both graph representations — the legacy adjacency
+//! maps and the flat CSR arrays — printing wall time per assignment,
+//! placements per second, and the achieved rate. The rate bits must be
+//! identical across representations (the CSR port is a pure speedup);
+//! this binary asserts it on every size it touches.
+//!
+//! Extra flags on top of the shared harness ones:
+//!
+//! * `--ncps <n>` — the largest topology size (default 5000; the sweep
+//!   also runs `n/2`). Nightly smoke runs pass a reduced size.
+//! * `--reps <n>` — timed assignments per (size, repr) cell (default 3).
+
+use sparcle_bench::{ExpArgs, ExpHarness, Table};
+use sparcle_core::{DynamicRankingAssigner, GraphRepr};
+use sparcle_workloads::ScaleSpec;
+use std::time::Instant;
+
+struct ScaleArgs {
+    ncps: usize,
+    reps: usize,
+    rest: Vec<String>,
+}
+
+fn parse_scale_args() -> ScaleArgs {
+    let mut out = ScaleArgs {
+        ncps: 5_000,
+        reps: 3,
+        rest: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ncps" => {
+                let v = it.next().expect("--ncps requires a count");
+                out.ncps = v.parse().expect("--ncps must be an integer");
+                assert!(out.ncps >= 8, "--ncps must be at least 8");
+            }
+            "--reps" => {
+                let v = it.next().expect("--reps requires a count");
+                out.reps = v.parse().expect("--reps must be an integer");
+                assert!(out.reps >= 1, "--reps must be at least 1");
+            }
+            _ => out.rest.push(arg),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_scale_args();
+    let harness = ExpHarness::with_args("exp_scale", ExpArgs::parse_from(args.rest.clone()));
+    println!(
+        "=== Scale: Algorithm 2 on hub-and-spoke topologies (mean of {} runs) ===",
+        args.reps
+    );
+
+    let mut table = Table::new([
+        "|N| (NCPs)",
+        "repr",
+        "time per assignment (ms)",
+        "placements/s",
+        "rate (Mbps)",
+    ]);
+    for ncps in [args.ncps / 2, args.ncps] {
+        let scenario = ScaleSpec::new(ncps).build().expect("valid scale scenario");
+        let caps = scenario.network.capacity_map();
+        let mut rate_bits: Option<u64> = None;
+        for repr in [GraphRepr::Legacy, GraphRepr::Csr] {
+            let assigner = DynamicRankingAssigner::new().with_repr(repr);
+            // Warm-up carries the trace so the decision stream holds one
+            // assignment per (size, repr) cell, not `reps` duplicates.
+            let warm = assigner
+                .assign_with_trace(&scenario.app, &scenario.network, &caps, harness.trace())
+                .expect("assignable");
+            match rate_bits {
+                None => rate_bits = Some(warm.rate.to_bits()),
+                Some(bits) => assert_eq!(
+                    bits,
+                    warm.rate.to_bits(),
+                    "graph representations must agree bit-for-bit at {ncps} NCPs"
+                ),
+            }
+            let mut placements = 0usize;
+            let start = Instant::now();
+            for _ in 0..args.reps {
+                let path = assigner
+                    .assign(&scenario.app, &scenario.network, &caps)
+                    .expect("assignable");
+                placements += path.placement.ct_count();
+            }
+            let secs = start.elapsed().as_secs_f64();
+            table.row([
+                format!("{ncps}"),
+                repr.to_string(),
+                format!("{:.1}", secs * 1e3 / args.reps as f64),
+                format!("{:.0}", placements as f64 / secs.max(1e-9)),
+                format!("{:.3}", warm.rate),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let path = table.write_csv("scale_assign_sweep");
+    println!("wrote {}", path.display());
+    harness.finish();
+}

@@ -55,6 +55,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ),
     ("exp_scaling", "Theorem 2: running-time scaling table"),
     (
+        "exp_scale",
+        "Scale: CSR vs legacy assignment on 5k-NCP topologies",
+    ),
+    (
         "exp_churn",
         "Online runtime: SLO ledger under churn, per reconcile policy",
     ),

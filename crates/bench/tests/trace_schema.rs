@@ -60,11 +60,27 @@ fn produce_trace(path: &std::path::Path) {
     recorder.finish().expect("flush trace");
 }
 
+/// Resolves `TRACE_FILE` against the test's cwd (the package dir) and,
+/// failing that, the workspace root — the nightly workflow names traces
+/// relative to the checkout (`target/nightly-*.jsonl`) while cargo runs
+/// this binary from `crates/bench`.
+fn resolve_trace_file(file: &std::path::Path) -> std::path::PathBuf {
+    if file.is_relative() && !file.exists() {
+        let from_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(file);
+        if from_root.exists() {
+            return from_root;
+        }
+    }
+    file.to_path_buf()
+}
+
 #[test]
 fn every_trace_line_conforms_to_the_schema() {
     let (contents, source) = match std::env::var_os("TRACE_FILE") {
         Some(file) => (
-            std::fs::read_to_string(&file).unwrap_or_else(|e| {
+            std::fs::read_to_string(resolve_trace_file(file.as_ref())).unwrap_or_else(|e| {
                 panic!("TRACE_FILE {} unreadable: {e}", file.to_string_lossy())
             }),
             file.to_string_lossy().into_owned(),

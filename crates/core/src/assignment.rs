@@ -19,7 +19,7 @@
 use crate::engine::{AssignedPath, PlacementEngine};
 use crate::error::AssignError;
 use crate::trace::TraceHandle;
-use sparcle_model::{Application, CapacityMap, Network};
+use sparcle_model::{Application, CapacityMap, GraphRepr, Network};
 
 /// How [`DynamicRankingAssigner`] evaluates γ each ranking round.
 ///
@@ -78,14 +78,17 @@ pub enum EvalMode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynamicRankingAssigner {
     mode: EvalMode,
+    repr: GraphRepr,
 }
 
 impl Default for DynamicRankingAssigner {
-    /// The cached single-threaded evaluator — always at least as fast as
-    /// [`Self::reference`], same results.
+    /// The cached single-threaded evaluator over the flat CSR
+    /// representation — always at least as fast as [`Self::reference`],
+    /// same results.
     fn default() -> Self {
         DynamicRankingAssigner {
             mode: EvalMode::Cached { threads: 1 },
+            repr: GraphRepr::default(),
         }
     }
 }
@@ -96,10 +99,14 @@ impl DynamicRankingAssigner {
         Self::default()
     }
 
-    /// The uncached single-threaded evaluator, straight off eq. (2).
+    /// The uncached single-threaded evaluator, straight off eq. (2),
+    /// over the legacy adjacency — the ground truth every fast path
+    /// (γ-cache, worker threads, CSR representation) is differenced
+    /// against.
     pub fn reference() -> Self {
         DynamicRankingAssigner {
             mode: EvalMode::Reference,
+            repr: GraphRepr::Legacy,
         }
     }
 
@@ -110,12 +117,27 @@ impl DynamicRankingAssigner {
             mode: EvalMode::Cached {
                 threads: threads.max(1),
             },
+            repr: GraphRepr::default(),
         }
+    }
+
+    /// The same assigner over an explicit graph representation. Results
+    /// are identical for both (`tests/csr_equivalence.rs`); only speed
+    /// differs.
+    #[must_use]
+    pub fn with_repr(mut self, repr: GraphRepr) -> Self {
+        self.repr = repr;
+        self
     }
 
     /// The evaluation mode this assigner runs in.
     pub fn mode(&self) -> EvalMode {
         self.mode
+    }
+
+    /// The graph representation this assigner evaluates over.
+    pub fn repr(&self) -> GraphRepr {
+        self.repr
     }
 
     /// Runs Algorithm 2: finds one task assignment path for `app` on
@@ -156,7 +178,8 @@ impl DynamicRankingAssigner {
         // rank-round and commit span nests underneath. An error exit
         // drops the guard, closing the span as aborted.
         let assign_span = trace.span("engine.assign");
-        let mut engine = PlacementEngine::new_traced(app, network, capacities, trace)?;
+        let mut engine =
+            PlacementEngine::new_traced_with_repr(app, network, capacities, trace, self.repr)?;
         match self.mode {
             EvalMode::Reference => loop {
                 // Rank: for each unplaced CT, its best achievable γ;

@@ -77,13 +77,15 @@
 use crate::error::AssignError;
 use crate::trace::TraceHandle;
 use crate::widest_path::{
-    widest_path, widest_path_with, widest_tree, DijkstraScratch, ReverseAdjacency, WidestTree,
+    csr_widest_path_with, csr_widest_tree, widest_path, widest_path_with, widest_tree, CsrScratch,
+    CsrWidestTree, DijkstraScratch, ReverseAdjacency, WidestTree,
 };
 use sparcle_model::{
-    Application, CapacityMap, CtId, LinkId, LoadMap, NcpId, Network, Placement, TaskGraph, TtId,
+    Application, CapacityMap, CsrNetwork, CtId, GraphRepr, LinkId, LoadMap, NcpId, Network,
+    Placement, TaskGraph, TtId,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 #[cfg(feature = "telemetry")]
 use sparcle_telemetry::{
@@ -166,59 +168,139 @@ impl LinkSet {
 /// plus the witness links the values depend on (see module docs).
 /// `f64::NEG_INFINITY` marks hosts that cannot route every placed
 /// reachable CT (the reference path's `gamma == None`).
+///
+/// Rows are keyed on *dense* element ids (positions in `net`, bits in
+/// `witness`), so every row also carries the build `generation` of the
+/// topology it was computed against: dense ids collide across rebuilt
+/// topologies, and [`LinkSet::intersects`] silently truncates on
+/// mismatched link counts, so a row from another topology could pass
+/// witness-based invalidation while being completely wrong. The
+/// generation stamp makes such rows unusable instead.
 #[derive(Debug, Clone, PartialEq)]
 struct GammaRow {
     net: Vec<f64>,
     witness: LinkSet,
+    generation: u64,
+}
+
+/// Sweep buffers for one γ-row fill under either representation. Both
+/// trees size themselves at call time, so `Default` is enough for the
+/// worker threads that own one each.
+#[derive(Debug, Clone, Default)]
+struct RowScratch {
+    legacy: WidestTree,
+    csr: CsrWidestTree,
+}
+
+/// The graph structure the sweeps traverse, per [`GraphRepr`].
+#[derive(Clone, Copy)]
+enum ReprView<'e> {
+    Legacy(&'e ReverseAdjacency),
+    Csr(&'e CsrNetwork),
 }
 
 /// The read-only engine state a γ row is a pure function of. Borrowing
 /// it field-by-field (rather than `&self`) is what lets worker threads
-/// share it while each owns a private [`WidestTree`].
+/// share it while each owns a private [`RowScratch`].
 struct EvalView<'e> {
     graph: &'e TaskGraph,
     placement: &'e Placement,
     placed: &'e [bool],
     capacities: &'e CapacityMap,
     load: &'e LoadMap,
-    rev: &'e ReverseAdjacency,
+    repr: ReprView<'e>,
+    ncp_count: usize,
     link_count: usize,
+    generation: u64,
+}
+
+/// Folds one completed sweep into the row: per host, `min` with the
+/// sweep's width, or `NEG_INFINITY` once any target is unreachable.
+fn fold_sweep(net: &mut [f64], width_from: impl Fn(NcpId) -> Option<f64>) {
+    for (j, entry) in net.iter_mut().enumerate() {
+        if *entry == f64::NEG_INFINITY {
+            continue;
+        }
+        match width_from(NcpId::new(j as u32)) {
+            Some(w) => *entry = entry.min(w),
+            None => *entry = f64::NEG_INFINITY,
+        }
+    }
 }
 
 impl EvalView<'_> {
     /// Computes one CT's γ row: one reversed widest-path sweep per placed
     /// reachable CT, folded with `min` per host. Exact equality with the
     /// pairwise reference path holds because both take the same min over
-    /// the same unique widest-path widths.
-    fn compute_net_row(&self, ct: CtId, tree: &mut WidestTree) -> GammaRow {
-        let n = self.rev.ncp_count();
-        let mut net = vec![f64::INFINITY; n];
+    /// the same unique widest-path widths — under either representation
+    /// (the CSR sweep is bit-identical to the legacy one by the ordering
+    /// contract in [`sparcle_model::csr`]).
+    fn compute_net_row(&self, ct: CtId, scratch: &mut RowScratch) -> GammaRow {
+        let mut net = vec![f64::INFINITY; self.ncp_count];
         let mut witness = LinkSet::new(self.link_count);
         for reach in self.graph.placed_reachable(ct, |c| self.placed[c.index()]) {
             let target = self
                 .placement
                 .ct_host(reach.ct)
                 .expect("reachable CTs are placed");
-            widest_tree(
-                self.rev,
-                tree,
-                self.capacities,
-                self.load,
-                reach.min_bits,
-                target,
-            );
-            for (j, entry) in net.iter_mut().enumerate() {
-                if *entry == f64::NEG_INFINITY {
-                    continue;
+            match self.repr {
+                ReprView::Csr(csr) => {
+                    csr_widest_tree(
+                        csr,
+                        &mut scratch.csr,
+                        self.capacities,
+                        self.load,
+                        reach.min_bits,
+                        target,
+                    );
+                    fold_sweep(&mut net, |j| scratch.csr.width_from(j));
+                    scratch.csr.for_each_tree_link(|l| witness.insert(l));
                 }
-                match tree.width_from(NcpId::new(j as u32)) {
-                    Some(w) => *entry = entry.min(w),
-                    None => *entry = f64::NEG_INFINITY,
+                ReprView::Legacy(rev) => {
+                    widest_tree(
+                        rev,
+                        &mut scratch.legacy,
+                        self.capacities,
+                        self.load,
+                        reach.min_bits,
+                        target,
+                    );
+                    fold_sweep(&mut net, |j| scratch.legacy.width_from(j));
+                    scratch.legacy.for_each_tree_link(|l| witness.insert(l));
                 }
             }
-            tree.for_each_tree_link(|l| witness.insert(l));
         }
-        GammaRow { net, witness }
+        GammaRow {
+            net,
+            witness,
+            generation: self.generation,
+        }
+    }
+}
+
+/// A portable snapshot of γ-cache rows, produced by
+/// [`PlacementEngine::export_rows`] and consumed by
+/// [`PlacementEngine::adopt_rows`].
+///
+/// Rows computed before any unpinned commit are pure functions of
+/// `(application, network, capacities)` — the pinned placement is forced
+/// — so a fresh engine over the same inputs may adopt them instead of
+/// recomputing, turning its first ranking round into all cache hits.
+/// The snapshot carries the topology generation and shape; adoption
+/// validates both, so rows can never alias a rebuilt topology (see
+/// `GammaRow`).
+#[derive(Debug, Clone)]
+pub struct GammaRows {
+    generation: u64,
+    ct_count: usize,
+    ncp_count: usize,
+    rows: Vec<Option<GammaRow>>,
+}
+
+impl GammaRows {
+    /// Number of present (adoptable) rows in the snapshot.
+    pub fn present(&self) -> usize {
+        self.rows.iter().flatten().count()
     }
 }
 
@@ -243,19 +325,35 @@ pub struct PlacementEngine<'a> {
     placement: Placement,
     load: LoadMap,
     placed: Vec<bool>,
-    /// Reversed arcs powering the batched per-row sweeps.
-    rev: ReverseAdjacency,
+    /// Which representation the sweeps traverse.
+    repr: GraphRepr,
+    /// Reversed arcs powering the legacy per-row sweeps (`Legacy` only —
+    /// at CSR scale the flat reverse arcs replace it, and skipping its
+    /// construction matters on 5k+-NCP networks).
+    rev: Option<ReverseAdjacency>,
+    /// The flat view powering the bucketed sweeps (`Csr` only).
+    csr: Option<Arc<CsrNetwork>>,
+    /// The network's build generation, stamped into every cached row.
+    generation: u64,
     /// γ-cache: one optional row per CT (see module docs).
     cache: Vec<Option<GammaRow>>,
     /// Serial-path sweep buffers (worker threads allocate their own).
-    tree: WidestTree,
-    /// Commit-time routing buffers.
+    row_scratch: RowScratch,
+    /// Commit-time routing buffers (legacy representation).
     route_scratch: DijkstraScratch,
+    /// Commit-time routing buffers (CSR representation).
+    csr_route_scratch: CsrScratch,
     /// Telemetry sink; zero-sized when the `telemetry` feature is off.
     trace: TraceHandle<'a>,
     /// Reused across [`Self::rank_round`] calls so the steady-state
     /// ranking loop allocates nothing.
     missing_scratch: Vec<CtId>,
+    /// Construction (and its pinned commits) has finished.
+    pinned_done: bool,
+    /// An unpinned commit has happened — cached rows may now depend on
+    /// ranking decisions and stop being exportable (see
+    /// [`Self::export_rows`]).
+    unpinned_committed: bool,
     /// Ranking rounds completed (numbers the decision events).
     #[cfg(feature = "telemetry")]
     round: u64,
@@ -292,12 +390,35 @@ impl<'a> PlacementEngine<'a> {
         capacities: &'a CapacityMap,
         trace: TraceHandle<'a>,
     ) -> Result<Self, AssignError> {
+        Self::new_traced_with_repr(app, network, capacities, trace, GraphRepr::default())
+    }
+
+    /// Like [`Self::new_traced`], with an explicit graph representation.
+    /// Both representations commit byte-identical placements (routes,
+    /// rates, telemetry) — `tests/csr_equivalence.rs` enforces this —
+    /// so [`GraphRepr::Legacy`] exists for differencing and as the
+    /// reference the CSR fast path is validated against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn new_traced_with_repr(
+        app: &'a Application,
+        network: &'a Network,
+        capacities: &'a CapacityMap,
+        trace: TraceHandle<'a>,
+        repr: GraphRepr,
+    ) -> Result<Self, AssignError> {
         app.check_against_network(network)?;
         assert_eq!(
             capacities.ncp_count(),
             network.ncp_count(),
             "capacity map must match the network shape"
         );
+        let (rev, csr) = match repr {
+            GraphRepr::Legacy => (Some(ReverseAdjacency::new(network)), None),
+            GraphRepr::Csr => (None, Some(Arc::clone(network.csr()))),
+        };
         let mut engine = PlacementEngine {
             app,
             network,
@@ -305,24 +426,38 @@ impl<'a> PlacementEngine<'a> {
             placement: Placement::empty(app.graph()),
             load: LoadMap::zeroed(network),
             placed: vec![false; app.graph().ct_count()],
-            rev: ReverseAdjacency::new(network),
+            repr,
+            rev,
+            csr,
+            generation: network.generation(),
             cache: vec![None; app.graph().ct_count()],
-            tree: WidestTree::new(network.ncp_count()),
-            route_scratch: DijkstraScratch::new(network.ncp_count()),
+            row_scratch: RowScratch::default(),
+            // Both routing scratches resize lazily on first use, so the
+            // representation not in play costs nothing.
+            route_scratch: DijkstraScratch::default(),
+            csr_route_scratch: CsrScratch::default(),
             trace,
             missing_scratch: Vec::new(),
+            pinned_done: false,
+            unpinned_committed: false,
             #[cfg(feature = "telemetry")]
             round: 0,
         };
         for (&ct, &host) in app.pinned() {
             engine.commit(ct, host)?;
         }
+        engine.pinned_done = true;
         Ok(engine)
     }
 
     /// The telemetry handle this engine records into.
     pub fn trace(&self) -> TraceHandle<'a> {
         self.trace
+    }
+
+    /// The graph representation this engine traverses.
+    pub fn graph_repr(&self) -> GraphRepr {
+        self.repr
     }
 
     /// The application being placed.
@@ -468,6 +603,9 @@ impl<'a> PlacementEngine<'a> {
         policy: RoutePolicy,
     ) -> Result<(), AssignError> {
         assert!(!self.placed[ct.index()], "{ct} is already placed");
+        if self.pinned_done {
+            self.unpinned_committed = true;
+        }
         let commit_span = self.trace.span("engine.commit");
         let graph = self.app.graph();
         // Cache rows whose `placed_reachable` set this commit may change:
@@ -566,16 +704,30 @@ impl<'a> PlacementEngine<'a> {
             let from_host = self.placement.ct_host(t.from()).expect("placed");
             let to_host = self.placement.ct_host(t.to()).expect("placed");
             let links = match policy {
-                RoutePolicy::Widest => widest_path_with(
-                    &mut self.route_scratch,
-                    self.network,
-                    self.capacities,
-                    &self.load,
-                    t.bits_per_unit(),
-                    from_host,
-                    to_host,
-                )
-                .map(|p| p.links),
+                RoutePolicy::Widest => match self.csr.as_deref() {
+                    Some(csr) => csr_widest_path_with(
+                        &mut self.csr_route_scratch,
+                        csr,
+                        self.capacities,
+                        &self.load,
+                        t.bits_per_unit(),
+                        from_host,
+                        to_host,
+                    )
+                    .map(|p| p.links),
+                    None => widest_path_with(
+                        &mut self.route_scratch,
+                        self.network,
+                        self.capacities,
+                        &self.load,
+                        t.bits_per_unit(),
+                        from_host,
+                        to_host,
+                    )
+                    .map(|p| p.links),
+                },
+                // Hop-count routing ignores widths entirely, so it runs
+                // on the legacy adjacency under both representations.
                 RoutePolicy::FewestHops => fewest_hops_path(self.network, from_host, to_host),
             }
             .ok_or(AssignError::NoRoute {
@@ -595,6 +747,22 @@ impl<'a> PlacementEngine<'a> {
         Ok((routed_tts, routed_hops))
     }
 
+    /// The active representation's traversal structure.
+    fn repr_view(&self) -> ReprView<'_> {
+        match (&self.csr, &self.rev) {
+            (Some(csr), _) => ReprView::Csr(csr),
+            (None, Some(rev)) => ReprView::Legacy(rev),
+            (None, None) => unreachable!("one representation is always materialized"),
+        }
+    }
+
+    /// `true` when `row` was computed against this engine's topology —
+    /// the last line of defense against dense-id aliasing across
+    /// rebuilt networks (see [`GammaRow`]).
+    fn row_valid(&self, row: &GammaRow) -> bool {
+        row.generation == self.generation
+    }
+
     /// The read-only state snapshot γ rows are computed from.
     fn eval_view(&self) -> EvalView<'_> {
         EvalView {
@@ -603,14 +771,19 @@ impl<'a> PlacementEngine<'a> {
             placed: &self.placed,
             capacities: self.capacities,
             load: &self.load,
-            rev: &self.rev,
+            repr: self.repr_view(),
+            ncp_count: self.network.ncp_count(),
             link_count: self.network.link_count(),
+            generation: self.generation,
         }
     }
 
     /// Fills `ct`'s cache row if missing (serial path).
     fn ensure_row(&mut self, ct: CtId) {
-        if self.cache[ct.index()].is_some() {
+        if self.cache[ct.index()]
+            .as_ref()
+            .is_some_and(|r| self.row_valid(r))
+        {
             return;
         }
         #[cfg(feature = "telemetry")]
@@ -621,10 +794,16 @@ impl<'a> PlacementEngine<'a> {
             placed: &self.placed,
             capacities: self.capacities,
             load: &self.load,
-            rev: &self.rev,
+            repr: match (&self.csr, &self.rev) {
+                (Some(csr), _) => ReprView::Csr(csr),
+                (None, Some(rev)) => ReprView::Legacy(rev),
+                (None, None) => unreachable!("one representation is always materialized"),
+            },
+            ncp_count: self.network.ncp_count(),
             link_count: self.network.link_count(),
+            generation: self.generation,
         };
-        let row = view.compute_net_row(ct, &mut self.tree);
+        let row = view.compute_net_row(ct, &mut self.row_scratch);
         self.cache[ct.index()] = Some(row);
         #[cfg(feature = "telemetry")]
         if let Some(t0) = started {
@@ -675,7 +854,10 @@ impl<'a> PlacementEngine<'a> {
                 continue;
             }
             unplaced_count += 1;
-            if self.cache[ct.index()].is_none() {
+            let present = self.cache[ct.index()]
+                .as_ref()
+                .is_some_and(|r| self.row_valid(r));
+            if !present {
                 missing.push(ct);
             }
         }
@@ -703,13 +885,13 @@ impl<'a> PlacementEngine<'a> {
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     s.spawn(|| {
-                        let mut tree = WidestTree::new(view.rev.ncp_count());
+                        let mut scratch = RowScratch::default();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&ct) = missing.get(i) else { break };
                             #[cfg(feature = "telemetry")]
                             let started = std::time::Instant::now();
-                            let row = view.compute_net_row(ct, &mut tree);
+                            let row = view.compute_net_row(ct, &mut scratch);
                             #[cfg(feature = "telemetry")]
                             fill_ns.lock().expect("timing mutex").push(
                                 u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
@@ -825,6 +1007,58 @@ impl<'a> PlacementEngine<'a> {
         }
         round_span.finish();
         Ok(Some((ct, host, g)))
+    }
+
+    /// Exports the current γ-cache rows for adoption by another engine
+    /// over the same `(application, network, capacities)` triple.
+    ///
+    /// Returns `None` once any *unpinned* commit has happened: from that
+    /// point the cached rows depend on this engine's ranking decisions
+    /// and would poison a fresh engine. Before that, every row is a pure
+    /// function of the shared inputs (construction commits exactly the
+    /// pinned CTs, in pinned order), so adoption is sound and
+    /// bit-preserving. Typical use: run one [`Self::rank_round`] on a
+    /// seeder engine, export, and let repeated re-assignments of the
+    /// same app start warm — `scale_assign` in `sparcle-bench` does
+    /// exactly this.
+    pub fn export_rows(&self) -> Option<GammaRows> {
+        if self.unpinned_committed {
+            return None;
+        }
+        Some(GammaRows {
+            generation: self.generation,
+            ct_count: self.app.graph().ct_count(),
+            ncp_count: self.network.ncp_count(),
+            rows: self.cache.clone(),
+        })
+    }
+
+    /// Adopts exported γ rows into this engine's cache, filling only
+    /// empty slots, and returns how many rows were adopted.
+    ///
+    /// Adoption is refused wholesale (returns 0) when the snapshot's
+    /// topology generation or shape differs from this engine's, or when
+    /// this engine has already committed an unpinned CT — the stale-row
+    /// aliasing the generation stamp exists to prevent (see
+    /// `GammaRow`; the regression lives in `tests/csr_equivalence.rs`).
+    pub fn adopt_rows(&mut self, rows: &GammaRows) -> usize {
+        if rows.generation != self.generation
+            || rows.ct_count != self.app.graph().ct_count()
+            || rows.ncp_count != self.network.ncp_count()
+            || self.unpinned_committed
+        {
+            return 0;
+        }
+        let mut adopted = 0;
+        for (slot, row) in self.cache.iter_mut().zip(&rows.rows) {
+            if slot.is_none() {
+                if let Some(row) = row {
+                    *slot = Some(row.clone());
+                    adopted += 1;
+                }
+            }
+        }
+        adopted
     }
 
     /// Finishes the assignment: validates the placement and computes the

@@ -27,8 +27,9 @@ pub mod widest_path;
 pub use assignment::{
     assign_multipath, assign_multipath_diverse, DynamicRankingAssigner, EvalMode,
 };
-pub use engine::{fewest_hops_path, AssignedPath, PlacementEngine, RoutePolicy};
+pub use engine::{fewest_hops_path, AssignedPath, GammaRows, PlacementEngine, RoutePolicy};
 pub use error::AssignError;
+pub use sparcle_model::GraphRepr;
 #[cfg(feature = "telemetry")]
 pub use sparcle_telemetry as telemetry;
 pub use state::{StateMaintenance, StateStats, SystemState};
@@ -38,6 +39,7 @@ pub use system::{
 };
 pub use trace::{SpanGuard, TraceHandle};
 pub use widest_path::{
-    widest_path, widest_path_brute_force, widest_path_with, widest_tree, DijkstraScratch,
+    csr_widest_path, csr_widest_path_with, csr_widest_tree, widest_path, widest_path_brute_force,
+    widest_path_with, widest_tree, BucketQueue, CsrScratch, CsrWidestTree, DijkstraScratch,
     ReverseAdjacency, WidestPath, WidestTree,
 };

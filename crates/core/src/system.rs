@@ -41,7 +41,7 @@ use crate::state::{
 use sparcle_alloc::availability::PathAvailability;
 use sparcle_alloc::maxmin::max_min_allocation;
 use sparcle_alloc::num::{Allocation, ConstraintSystem, ProportionalFairSolver};
-use sparcle_model::{AppId, Application, CapacityMap, LoadMap, Network, QoeClass};
+use sparcle_model::{AppId, Application, CapacityMap, GraphRepr, LoadMap, Network, QoeClass};
 use std::sync::Arc;
 
 /// How Best-Effort rates are shared (§IV-C; the paper uses weighted
@@ -73,6 +73,10 @@ pub struct SystemConfig {
     /// ([`crate::EvalMode::Cached`]); results are bit-identical for
     /// every thread count.
     pub assigner_threads: usize,
+    /// Graph representation the γ evaluator traverses
+    /// ([`GraphRepr::Csr`] by default); results are bit-identical for
+    /// both, only speed differs.
+    pub graph_repr: GraphRepr,
     /// How derived state (GR residual, priority loads, constraint
     /// matrix) is maintained. [`StateMaintenance::Incremental`] and
     /// [`StateMaintenance::Scratch`] produce bitwise-identical results;
@@ -88,6 +92,7 @@ impl Default for SystemConfig {
             solver: ProportionalFairSolver::new(),
             allocation_policy: AllocationPolicy::ProportionalFair,
             assigner_threads: 1,
+            graph_repr: GraphRepr::default(),
             maintenance: StateMaintenance::Incremental,
         }
     }
@@ -307,7 +312,8 @@ impl SparcleSystem {
 
     /// Creates a system with explicit configuration.
     pub fn with_config(network: Network, config: SystemConfig) -> Self {
-        let assigner = DynamicRankingAssigner::with_threads(config.assigner_threads.max(1));
+        let assigner = DynamicRankingAssigner::with_threads(config.assigner_threads.max(1))
+            .with_repr(config.graph_repr);
         let state = SystemState::new(&network);
         SparcleSystem {
             network,

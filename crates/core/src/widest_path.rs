@@ -13,8 +13,21 @@
 //! were added on top of the bits already routed there. Maximizing the
 //! minimum width is the classic widest-path (bottleneck shortest path)
 //! problem, solved by a modified Dijkstra in `O(|L| log |N|)`.
+//!
+//! Two implementations coexist, selected by
+//! [`sparcle_model::GraphRepr`] at the engine level:
+//!
+//! * the original binary-heap Dijkstra over [`Network`]'s nested-`Vec`
+//!   adjacency ([`widest_path_with`] / [`widest_tree`]), kept as the
+//!   ground truth; and
+//! * a bucketed (dial-style) queue over the flat [`CsrNetwork`] arrays
+//!   ([`csr_widest_path_with`] / [`csr_widest_tree`]), which quantizes
+//!   widths by their f64 *exponent* into 256 buckets and keeps an
+//!   exact max-heap inside each bucket, so the pop order — including
+//!   every tie-break — is identical to the binary heap's and results
+//!   stay byte-identical across representations (see [`BucketQueue`]).
 
-use sparcle_model::{CapacityMap, LinkId, LoadMap, NcpId, Network};
+use sparcle_model::{CapacityMap, CsrNetwork, LinkId, LoadMap, NcpId, Network};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -341,6 +354,334 @@ pub fn widest_tree(
     }
 }
 
+/// Number of width buckets: one per group of 8 biased f64 exponents.
+const WIDTH_BUCKETS: usize = 1 << 8;
+
+/// Quantizes a non-negative width to its bucket: the top 8 bits of the
+/// f64's 11-bit biased exponent. For non-negative finite values this is
+/// monotone in the width (IEEE-754 bit patterns of same-sign floats
+/// order like the floats, and dropping low bits preserves that
+/// non-strictly), `+∞` lands in the top bucket (0xff), and `0.0` in
+/// bucket 0. Eight exponents per bucket keeps the queue's fixed costs
+/// (allocation, cursor scan from the `+∞` bucket down to working
+/// widths) small enough not to hurt tiny networks, while still
+/// splitting the frontier across far more buckets than any one sweep
+/// touches. Widths are never negative here: capacities are non-negative
+/// and [`link_width`] returns `+∞` whenever its denominator is not
+/// positive.
+#[inline]
+fn width_bucket(width: f64) -> usize {
+    debug_assert!(width >= 0.0, "path widths are never negative: {width}");
+    (width.to_bits() >> 55) as usize
+}
+
+/// A bucketed (dial-style) max-priority queue over path widths.
+///
+/// Entries are spread across `WIDTH_BUCKETS` buckets by
+/// `width_bucket` — a *monotone* quantization, so the globally widest
+/// entry always sits in the highest non-empty bucket. Each bucket is a
+/// small exact max-heap on the legacy `Candidate` ordering (width, then
+/// node id), which makes the overall pop sequence **identical** to the
+/// single binary heap the legacy Dijkstra uses: quantization only
+/// decides *which* heap an entry waits in, never who pops first. This
+/// keeps routes and rates byte-identical across representations while
+/// shrinking the hot heap from all frontier nodes to one exponent's
+/// worth.
+///
+/// A monotone-decreasing cursor tracks the highest occupied bucket
+/// (widest-path relaxations never push wider than the entry being
+/// popped), and a touched-list makes [`BucketQueue::clear`] proportional
+/// to the buckets actually used, not all of them.
+#[derive(Debug, Clone)]
+pub struct BucketQueue {
+    buckets: Vec<BinaryHeap<Candidate>>,
+    touched: Vec<u16>,
+    cursor: usize,
+    len: usize,
+}
+
+impl Default for BucketQueue {
+    fn default() -> Self {
+        BucketQueue::new()
+    }
+}
+
+impl BucketQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BucketQueue {
+            buckets: (0..WIDTH_BUCKETS).map(|_| BinaryHeap::new()).collect(),
+            touched: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues `node` at `width` (must be non-negative, possibly `+∞`).
+    pub fn push(&mut self, width: f64, node: NcpId) {
+        let b = width_bucket(width);
+        if self.buckets[b].is_empty() {
+            self.touched.push(b as u16);
+        }
+        self.buckets[b].push(Candidate { width, node });
+        if b > self.cursor {
+            self.cursor = b;
+        }
+        self.len += 1;
+    }
+
+    /// Pops the widest entry (ties: the larger node id, exactly like the
+    /// legacy `BinaryHeap<Candidate>`).
+    pub fn pop(&mut self) -> Option<(f64, NcpId)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.cursor].is_empty() {
+            self.cursor -= 1;
+        }
+        let c = self.buckets[self.cursor]
+            .pop()
+            .expect("cursor rests on a non-empty bucket");
+        self.len -= 1;
+        Some((c.width, c.node))
+    }
+
+    /// Empties the queue, draining only the buckets that were used.
+    pub fn clear(&mut self) {
+        for &b in &self.touched {
+            self.buckets[b as usize].clear();
+        }
+        self.touched.clear();
+        self.cursor = 0;
+        self.len = 0;
+    }
+}
+
+/// Parent-pointer sentinel in the flat scratch arrays: "no predecessor".
+const NO_PREV: u32 = u32::MAX;
+
+/// Reusable buffers for the CSR widest-path sweep: SoA parent pointers
+/// (`u32` + sentinel instead of `Option<(NcpId, LinkId)>`) and the
+/// bucketed queue. The CSR twin of [`DijkstraScratch`].
+#[derive(Debug, Clone, Default)]
+pub struct CsrScratch {
+    phi: Vec<f64>,
+    prev_node: Vec<u32>,
+    prev_link: Vec<u32>,
+    done: Vec<bool>,
+    queue: BucketQueue,
+}
+
+impl CsrScratch {
+    /// Creates buffers sized for an `n`-NCP network.
+    pub fn new(n: usize) -> Self {
+        CsrScratch {
+            phi: vec![f64::NEG_INFINITY; n],
+            prev_node: vec![NO_PREV; n],
+            prev_link: vec![NO_PREV; n],
+            done: vec![false; n],
+            queue: BucketQueue::new(),
+        }
+    }
+
+    /// Clears all buffers, resizing to `n` nodes if the network grew.
+    fn reset(&mut self, n: usize) {
+        self.phi.clear();
+        self.phi.resize(n, f64::NEG_INFINITY);
+        self.prev_node.clear();
+        self.prev_node.resize(n, NO_PREV);
+        self.prev_link.clear();
+        self.prev_link.resize(n, NO_PREV);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.queue.clear();
+    }
+}
+
+/// [`csr_widest_path_with`] over freshly-allocated buffers; convenience
+/// for tests and one-shot callers.
+pub fn csr_widest_path(
+    csr: &CsrNetwork,
+    capacities: &CapacityMap,
+    load: &LoadMap,
+    tt_bits: f64,
+    from: NcpId,
+    to: NcpId,
+) -> Option<WidestPath> {
+    let mut scratch = CsrScratch::new(csr.ncp_count());
+    csr_widest_path_with(&mut scratch, csr, capacities, load, tt_bits, from, to)
+}
+
+/// Algorithm 1 over the flat CSR arrays with the bucketed queue.
+///
+/// Byte-identical to [`widest_path_with`] on the same topology: the CSR
+/// arc order equals the legacy neighbor order (so equal-width `prev`
+/// choices match) and the [`BucketQueue`] pops in the legacy heap order
+/// (so the label-setting sequence matches).
+pub fn csr_widest_path_with(
+    scratch: &mut CsrScratch,
+    csr: &CsrNetwork,
+    capacities: &CapacityMap,
+    load: &LoadMap,
+    tt_bits: f64,
+    from: NcpId,
+    to: NcpId,
+) -> Option<WidestPath> {
+    if from == to {
+        return Some(WidestPath {
+            links: Vec::new(),
+            width: f64::INFINITY,
+        });
+    }
+    scratch.reset(csr.ncp_count());
+    let CsrScratch {
+        phi,
+        prev_node,
+        prev_link,
+        done,
+        queue,
+    } = scratch;
+    phi[from.index()] = f64::INFINITY;
+    queue.push(f64::INFINITY, from);
+    while let Some((width, node)) = queue.pop() {
+        if done[node.index()] {
+            continue;
+        }
+        done[node.index()] = true;
+        if node == to {
+            // Reconstruct the link sequence.
+            let mut links = Vec::new();
+            let mut at = to.index();
+            while prev_node[at] != NO_PREV {
+                links.push(LinkId::new(prev_link[at]));
+                at = prev_node[at] as usize;
+            }
+            links.reverse();
+            queue.clear();
+            return Some(WidestPath { links, width });
+        }
+        let (heads, links) = csr.out_arcs(node);
+        for (&head, &arc_link) in heads.iter().zip(links) {
+            let neighbor = head as usize;
+            if done[neighbor] {
+                continue;
+            }
+            let link = LinkId::new(arc_link);
+            let w = width.min(link_width(capacities, load, link, tt_bits));
+            if w > phi[neighbor] {
+                phi[neighbor] = w;
+                prev_node[neighbor] = node.as_u32();
+                prev_link[neighbor] = arc_link;
+                queue.push(w, NcpId::new(head));
+            }
+        }
+    }
+    None
+}
+
+/// The CSR twin of [`WidestTree`]: a completed single-target sweep over
+/// the flat reverse arcs, with SoA parent pointers. `width_from` and
+/// `for_each_tree_link` report exactly what the legacy tree would.
+#[derive(Debug, Clone, Default)]
+pub struct CsrWidestTree {
+    phi: Vec<f64>,
+    prev_node: Vec<u32>,
+    prev_link: Vec<u32>,
+    done: Vec<bool>,
+    queue: BucketQueue,
+}
+
+impl CsrWidestTree {
+    /// Creates buffers sized for an `n`-NCP network.
+    pub fn new(n: usize) -> Self {
+        CsrWidestTree {
+            phi: vec![f64::NEG_INFINITY; n],
+            prev_node: vec![NO_PREV; n],
+            prev_link: vec![NO_PREV; n],
+            done: vec![false; n],
+            queue: BucketQueue::new(),
+        }
+    }
+
+    /// The widest `from → target` width computed by the last
+    /// [`csr_widest_tree`] run, or `None` when `from` cannot reach the
+    /// target at all.
+    pub fn width_from(&self, from: NcpId) -> Option<f64> {
+        let w = self.phi[from.index()];
+        if w == f64::NEG_INFINITY {
+            None
+        } else {
+            Some(w)
+        }
+    }
+
+    /// Calls `f` for every link of the witness tree, in node order —
+    /// the same enumeration [`WidestTree::for_each_tree_link`] uses.
+    pub fn for_each_tree_link(&self, mut f: impl FnMut(LinkId)) {
+        for (i, &p) in self.prev_node.iter().enumerate() {
+            if p != NO_PREV {
+                f(LinkId::new(self.prev_link[i]));
+            }
+        }
+    }
+}
+
+/// Runs the full (no early exit) reversed widest-path sweep from
+/// `target` over the CSR reverse arcs — the flat twin of
+/// [`widest_tree`], producing bit-identical `φ` and witness trees.
+pub fn csr_widest_tree(
+    csr: &CsrNetwork,
+    tree: &mut CsrWidestTree,
+    capacities: &CapacityMap,
+    load: &LoadMap,
+    tt_bits: f64,
+    target: NcpId,
+) {
+    let n = csr.ncp_count();
+    tree.phi.clear();
+    tree.phi.resize(n, f64::NEG_INFINITY);
+    tree.prev_node.clear();
+    tree.prev_node.resize(n, NO_PREV);
+    tree.prev_link.clear();
+    tree.prev_link.resize(n, NO_PREV);
+    tree.done.clear();
+    tree.done.resize(n, false);
+    tree.queue.clear();
+    tree.phi[target.index()] = f64::INFINITY;
+    tree.queue.push(f64::INFINITY, target);
+    while let Some((width, node)) = tree.queue.pop() {
+        if tree.done[node.index()] {
+            continue;
+        }
+        tree.done[node.index()] = true;
+        let (tails, links) = csr.in_arcs(node);
+        for (&tail, &arc_link) in tails.iter().zip(links) {
+            let neighbor = tail as usize;
+            if tree.done[neighbor] {
+                continue;
+            }
+            let link = LinkId::new(arc_link);
+            let w = width.min(link_width(capacities, load, link, tt_bits));
+            if w > tree.phi[neighbor] {
+                tree.phi[neighbor] = w;
+                tree.prev_node[neighbor] = node.as_u32();
+                tree.prev_link[neighbor] = arc_link;
+                tree.queue.push(w, NcpId::new(tail));
+            }
+        }
+    }
+}
+
 /// Brute-force widest path by exhaustive DFS over simple paths. Only for
 /// verification on small networks (exponential time).
 pub fn widest_path_brute_force(
@@ -545,5 +886,104 @@ mod tests {
             at = net.link(l).traverse_from(at).expect("continuous route");
         }
         assert_eq!(at, NcpId::new(3));
+    }
+
+    #[test]
+    fn bucket_queue_pops_in_legacy_heap_order() {
+        // Mixed magnitudes (different exponents), same-exponent
+        // neighbors (1.25 vs 1.5), exact ties (two 4.0s differing only
+        // by node), zero, and +∞.
+        let entries = [
+            (1.25, 7u32),
+            (f64::INFINITY, 0),
+            (0.0, 5),
+            (4.0, 2),
+            (1.5, 1),
+            (4.0, 9),
+            (1e-300, 3),
+            (1024.0, 4),
+        ];
+        let mut legacy = BinaryHeap::new();
+        let mut bucketed = BucketQueue::new();
+        for &(w, n) in &entries {
+            legacy.push(Candidate {
+                width: w,
+                node: NcpId::new(n),
+            });
+            bucketed.push(w, NcpId::new(n));
+        }
+        assert_eq!(bucketed.len(), entries.len());
+        while let Some(c) = legacy.pop() {
+            let (w, n) = bucketed.pop().expect("same number of entries");
+            assert_eq!((w.to_bits(), n), (c.width.to_bits(), c.node));
+        }
+        assert!(bucketed.is_empty());
+        assert_eq!(bucketed.pop(), None);
+    }
+
+    #[test]
+    fn bucket_queue_clear_resets_cursor() {
+        let mut q = BucketQueue::new();
+        q.push(f64::INFINITY, NcpId::new(0));
+        q.push(2.0, NcpId::new(1));
+        q.clear();
+        assert!(q.is_empty());
+        q.push(3.0, NcpId::new(2));
+        assert_eq!(q.pop(), Some((3.0, NcpId::new(2))));
+    }
+
+    #[test]
+    fn csr_path_matches_legacy_on_diamond() {
+        let net = diamond();
+        let csr = net.csr();
+        let caps = net.capacity_map();
+        let mut load = LoadMap::zeroed(&net);
+        for bits in [0.0, 1.0, 4.0] {
+            for s in 0..4u32 {
+                for t in 0..4u32 {
+                    let legacy =
+                        widest_path(&net, &caps, &load, bits, NcpId::new(s), NcpId::new(t));
+                    let flat =
+                        csr_widest_path(csr, &caps, &load, bits, NcpId::new(s), NcpId::new(t));
+                    match (legacy, flat) {
+                        (Some(l), Some(f)) => {
+                            assert_eq!(l.links, f.links, "routes diverged {s}->{t}");
+                            assert_eq!(l.width.to_bits(), f.width.to_bits());
+                        }
+                        (None, None) => {}
+                        other => panic!("reachability diverged: {other:?}"),
+                    }
+                }
+            }
+            load.add_tt_load(LinkId::new(0), 2.0);
+        }
+    }
+
+    #[test]
+    fn csr_tree_matches_legacy_tree() {
+        let net = diamond();
+        let csr = net.csr();
+        let rev = ReverseAdjacency::new(&net);
+        let caps = net.capacity_map();
+        let mut load = LoadMap::zeroed(&net);
+        load.add_tt_load(LinkId::new(1), 3.0);
+        for target in net.ncp_ids() {
+            let mut legacy = WidestTree::new(net.ncp_count());
+            let mut flat = CsrWidestTree::new(net.ncp_count());
+            widest_tree(&rev, &mut legacy, &caps, &load, 1.0, target);
+            csr_widest_tree(csr, &mut flat, &caps, &load, 1.0, target);
+            for j in net.ncp_ids() {
+                assert_eq!(
+                    legacy.width_from(j).map(f64::to_bits),
+                    flat.width_from(j).map(f64::to_bits),
+                    "φ diverged at {j} for target {target}"
+                );
+            }
+            let mut legacy_links = Vec::new();
+            legacy.for_each_tree_link(|l| legacy_links.push(l));
+            let mut flat_links = Vec::new();
+            flat.for_each_tree_link(|l| flat_links.push(l));
+            assert_eq!(legacy_links, flat_links, "witness tree diverged");
+        }
     }
 }

@@ -1,11 +1,13 @@
 //! Property-based tests for SPARCLE's core algorithms.
 
 use proptest::prelude::*;
-use sparcle_core::widest_path::{widest_path, widest_path_brute_force};
+use sparcle_core::widest_path::{
+    csr_widest_path, widest_path, widest_path_brute_force, BucketQueue,
+};
 use sparcle_core::{DisplacedApp, DynamicRankingAssigner, PlacementEngine, SparcleSystem};
 use sparcle_model::{
-    Application, CapacityMap, LoadMap, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
-    TaskGraphBuilder,
+    Application, CapacityMap, CsrNetwork, LoadMap, NcpId, Network, NetworkBuilder, QoeClass,
+    ResourceVec, TaskGraphBuilder,
 };
 
 /// Strategy: a random connected network of `n` NCPs — a spanning spine
@@ -424,6 +426,154 @@ proptest! {
             }
         }
         engine.finish().expect("complete placement validates");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bucketed CSR Dijkstra is **exactly** the legacy heap Dijkstra:
+    /// on random loaded graphs — including parallel edges (`arb_network`
+    /// freely duplicates endpoint pairs) — both searches return the same
+    /// reachability verdict, a bit-identical width, and the *same link
+    /// sequence*. Width quantization spreads entries across buckets but
+    /// each bucket is an exact heap, so the argmax path choice can never
+    /// change.
+    #[test]
+    fn csr_widest_path_is_exactly_the_legacy_search(
+        net in arb_network(10),
+        bits in 0.0f64..50.0,
+        loads in proptest::collection::vec(0.0f64..100.0, 24),
+        from in 0u32..10,
+        to in 0u32..10,
+    ) {
+        let caps = net.capacity_map();
+        let mut load = LoadMap::zeroed(&net);
+        for (i, link) in net.link_ids().enumerate() {
+            load.add_tt_load(link, loads[i % loads.len()]);
+        }
+        let n = net.ncp_count() as u32;
+        let (from, to) = (NcpId::new(from % n), NcpId::new(to % n));
+        let legacy = widest_path(&net, &caps, &load, bits, from, to);
+        let csr = csr_widest_path(net.csr(), &caps, &load, bits, from, to);
+        match (legacy, csr) {
+            (Some(l), Some(c)) => {
+                prop_assert_eq!(
+                    l.width.to_bits(), c.width.to_bits(),
+                    "CSR width {} vs legacy {}", c.width, l.width
+                );
+                prop_assert_eq!(l.links, c.links, "witness routes diverged");
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "reachability mismatch {other:?}"),
+        }
+    }
+
+    /// Same exactness on degenerate graphs: zero-capacity links produce
+    /// zero-width path candidates, which quantize into bucket 0 and must
+    /// still pop in legacy heap order.
+    #[test]
+    fn csr_widest_path_is_exact_with_zero_width_links(
+        net in arb_network_degenerate(12),
+        bits in 0.5f64..50.0,
+        loads in proptest::collection::vec(0.5f64..100.0, 30),
+        from in 0u32..12,
+        to in 0u32..12,
+    ) {
+        let caps = net.capacity_map();
+        let mut load = LoadMap::zeroed(&net);
+        for (i, link) in net.link_ids().enumerate() {
+            load.add_tt_load(link, loads[i % loads.len()]);
+        }
+        let n = net.ncp_count() as u32;
+        let (from, to) = (NcpId::new(from % n), NcpId::new(to % n));
+        let legacy = widest_path(&net, &caps, &load, bits, from, to);
+        let csr = csr_widest_path(net.csr(), &caps, &load, bits, from, to);
+        match (legacy, csr) {
+            (Some(l), Some(c)) => {
+                prop_assert_eq!(l.width.to_bits(), c.width.to_bits());
+                prop_assert_eq!(l.links, c.links, "witness routes diverged");
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "reachability mismatch {other:?}"),
+        }
+    }
+
+    /// The bucketed queue pops exactly the legacy `BinaryHeap` order:
+    /// width descending, node id descending on width ties — even with
+    /// duplicate widths, zeros, and infinities, and with pushes
+    /// interleaved between pops (monotone non-increasing, as Dijkstra
+    /// produces them).
+    #[test]
+    fn bucket_queue_pop_order_is_the_legacy_heap_order(
+        entries in proptest::collection::vec(
+            (prop_oneof![Just(0.0f64), Just(f64::INFINITY), 1e-300f64..1e300], 0u32..32),
+            1..64,
+        ),
+    ) {
+        let mut queue = BucketQueue::new();
+        for &(w, node) in &entries {
+            queue.push(w, NcpId::new(node));
+        }
+        let mut expected: Vec<(u64, u32)> = entries
+            .iter()
+            .map(|&(w, node)| (w.to_bits(), node))
+            .collect();
+        // Non-negative f64 bit patterns order like the floats, so this
+        // is exactly (width desc, node desc) — the legacy heap order.
+        expected.sort_unstable_by(|a, b| b.cmp(a));
+        let mut popped = Vec::new();
+        while let Some((w, node)) = queue.pop() {
+            popped.push((w.to_bits(), node.as_u32()));
+        }
+        prop_assert_eq!(popped, expected);
+        prop_assert!(queue.is_empty());
+    }
+
+    /// CSR construction round-trips arbitrary topologies: element counts
+    /// match, every forward arc list is the legacy `neighbors` order,
+    /// every reverse arc is a real forward arc, and the SoA bandwidth
+    /// mirror is bit-exact.
+    #[test]
+    fn csr_round_trips_arbitrary_topologies(net in arb_network_degenerate(12)) {
+        let csr = CsrNetwork::build(&net);
+        prop_assert_eq!(csr.ncp_count(), net.ncp_count());
+        prop_assert_eq!(csr.link_count(), net.link_count());
+        let mut forward_arcs = 0;
+        for ncp in net.ncp_ids() {
+            let (heads, links) = csr.out_arcs(ncp);
+            let legacy: Vec<(u32, u32)> = net
+                .neighbors(ncp)
+                .map(|(link, peer)| (peer.as_u32(), link.as_u32()))
+                .collect();
+            let flat: Vec<(u32, u32)> = heads.iter().copied().zip(links.iter().copied()).collect();
+            prop_assert_eq!(flat, legacy, "forward arcs of {:?} diverged", ncp);
+            forward_arcs += heads.len();
+        }
+        prop_assert_eq!(forward_arcs, csr.arc_count());
+        // Reverse arcs: grouped by head, each (tail, link) a real
+        // forward arc, and the total count matches.
+        let mut reverse_arcs = 0;
+        for ncp in net.ncp_ids() {
+            let (tails, links) = csr.in_arcs(ncp);
+            for (&tail, &link) in tails.iter().zip(links) {
+                let (heads, out_links) = csr.out_arcs(NcpId::new(tail));
+                let found = heads
+                    .iter()
+                    .zip(out_links)
+                    .any(|(&h, &l)| h == ncp.as_u32() && l == link);
+                prop_assert!(found, "reverse arc {tail}->{:?} via {link} has no forward twin", ncp);
+            }
+            reverse_arcs += tails.len();
+        }
+        prop_assert_eq!(reverse_arcs, csr.arc_count());
+        for link in net.link_ids() {
+            prop_assert_eq!(
+                csr.link_bandwidth(link).to_bits(),
+                net.link(link).bandwidth().to_bits(),
+                "bandwidth mirror diverged for {:?}", link
+            );
+        }
     }
 }
 

@@ -1,0 +1,340 @@
+//! Flat CSR (compressed sparse row) view of a [`Network`].
+//!
+//! The pointer-chasing `Vec<Vec<(LinkId, NcpId)>>` adjacency inside
+//! [`Network`] is convenient to build but hostile to the placement
+//! engine's hot loop: every γ-row fill walks the whole graph once per
+//! placed reachable CT, and at thousands of NCPs the nested-`Vec`
+//! layout turns each neighbor scan into a cache miss per node.
+//! [`CsrNetwork`] stores the same arcs as three flat arrays per
+//! direction (`row_ptr`, `col_idx`, `arc_link`) plus SoA copies of the
+//! static per-element attributes, so a widest-path sweep streams
+//! linearly through memory.
+//!
+//! ## Ordering contract
+//!
+//! The CSR arc order is **exactly** the legacy traversal order — this
+//! is load-bearing, not cosmetic. Widest-path parents update only on
+//! *strict* width improvement, so among equal-width alternatives the
+//! iteration order decides the witness route, and routes are part of
+//! placement equality. Concretely:
+//!
+//! * forward arcs of node `u` appear in the order
+//!   [`Network::neighbors`] yields them (links in insertion order);
+//! * reverse arcs of node `v` appear ordered by (source node
+//!   ascending, then that source's forward-arc order) — the order
+//!   `ReverseAdjacency::new` in `sparcle-core` pushes them.
+//!
+//! `tests/csr_equivalence.rs` holds the two representations to
+//! byte-identical placements, rates, and telemetry on the strength of
+//! this contract.
+//!
+//! ## Generations
+//!
+//! Every [`Network`] built by [`crate::NetworkBuilder`] draws a fresh
+//! **generation** from a process-global counter, and its CSR view
+//! inherits it. Caches keyed on dense element ids (the placement
+//! engine's γ rows) stamp the generation they were computed under and
+//! refuse to cross generations — two topologies with identical shapes
+//! but different capacities would otherwise alias each other's rows
+//! (dense ids collide and bitset witness intersection silently
+//! truncates on mismatched link counts). Generations order by build
+//! sequence, so they must never leak into telemetry events or
+//! serialized artifacts compared across runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ids::{LinkId, NcpId};
+use crate::network::Network;
+
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// Draws the next topology generation (process-unique, monotone).
+pub(crate) fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Which graph representation the placement engine traverses.
+///
+/// Both representations hold the same arcs in the same order and
+/// produce bit-identical placements, rates, and telemetry (the
+/// differential suite `tests/csr_equivalence.rs` enforces this); they
+/// differ only in memory layout and therefore speed. The legacy
+/// nested-`Vec` walk stays available as the ground truth the flat
+/// representation is differenced against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GraphRepr {
+    /// The original `Vec<Vec<(LinkId, NcpId)>>` adjacency with the
+    /// binary-heap widest-path queue.
+    Legacy,
+    /// The flat [`CsrNetwork`] arrays with the bucketed widest-path
+    /// queue (the default).
+    #[default]
+    Csr,
+}
+
+impl std::fmt::Display for GraphRepr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphRepr::Legacy => f.write_str("legacy"),
+            GraphRepr::Csr => f.write_str("csr"),
+        }
+    }
+}
+
+/// Flat CSR adjacency (forward and reverse) plus SoA attribute arrays
+/// for one immutable [`Network`].
+///
+/// Obtained from [`Network::csr`], which builds it lazily once and
+/// shares it behind an `Arc` across engine instances and clones of the
+/// network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrNetwork {
+    generation: u64,
+    ncp_count: usize,
+    link_count: usize,
+    /// Forward arcs: node `u`'s arcs live at `row_ptr[u]..row_ptr[u+1]`.
+    row_ptr: Vec<u32>,
+    /// Head node of each forward arc.
+    col_idx: Vec<u32>,
+    /// Link carrying each forward arc.
+    arc_link: Vec<u32>,
+    /// Reverse arcs: arcs *into* node `v` at `rev_row_ptr[v]..`.
+    rev_row_ptr: Vec<u32>,
+    /// Tail node of each reverse arc.
+    rev_col_idx: Vec<u32>,
+    /// Link carrying each reverse arc.
+    rev_arc_link: Vec<u32>,
+    /// Nominal bandwidth per link (dense by `LinkId`).
+    link_bandwidth: Vec<f64>,
+    /// Failure probability per NCP (dense by `NcpId`).
+    ncp_failure: Vec<f64>,
+    /// Failure probability per link (dense by `LinkId`).
+    link_failure: Vec<f64>,
+}
+
+impl CsrNetwork {
+    /// Builds the CSR view of `network`, preserving the legacy
+    /// traversal order exactly (see the module docs).
+    pub fn build(network: &Network) -> Self {
+        let n = network.ncp_count();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0u32);
+        let mut col_idx = Vec::new();
+        let mut arc_link = Vec::new();
+        for u in network.ncp_ids() {
+            for (link, v) in network.neighbors(u) {
+                col_idx.push(v.as_u32());
+                arc_link.push(link.as_u32());
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+
+        // Counting sort of the forward arcs by head node. Enumerating
+        // them in (tail asc, forward order) and appending per head
+        // bucket reproduces the reverse-adjacency insertion order.
+        let arcs = col_idx.len();
+        let mut rev_row_ptr = vec![0u32; n + 1];
+        for &v in &col_idx {
+            rev_row_ptr[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            rev_row_ptr[i + 1] += rev_row_ptr[i];
+        }
+        let mut cursor: Vec<u32> = rev_row_ptr[..n].to_vec();
+        let mut rev_col_idx = vec![0u32; arcs];
+        let mut rev_arc_link = vec![0u32; arcs];
+        for u in 0..n {
+            for a in row_ptr[u] as usize..row_ptr[u + 1] as usize {
+                let v = col_idx[a] as usize;
+                let slot = cursor[v] as usize;
+                rev_col_idx[slot] = u as u32;
+                rev_arc_link[slot] = arc_link[a];
+                cursor[v] += 1;
+            }
+        }
+
+        CsrNetwork {
+            generation: network.generation(),
+            ncp_count: n,
+            link_count: network.link_count(),
+            row_ptr,
+            col_idx,
+            arc_link,
+            rev_row_ptr,
+            rev_col_idx,
+            rev_arc_link,
+            link_bandwidth: network
+                .link_ids()
+                .map(|l| network.link(l).bandwidth())
+                .collect(),
+            ncp_failure: network
+                .ncp_ids()
+                .map(|p| network.ncp(p).failure_probability())
+                .collect(),
+            link_failure: network
+                .link_ids()
+                .map(|l| network.link(l).failure_probability())
+                .collect(),
+        }
+    }
+
+    /// The generation of the [`Network`] this view was built from.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of NCPs.
+    pub fn ncp_count(&self) -> usize {
+        self.ncp_count
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// Number of directed arcs (undirected links contribute two).
+    pub fn arc_count(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Forward arcs out of `node` as parallel `(heads, links)` slices,
+    /// in the legacy [`Network::neighbors`] order.
+    #[inline]
+    pub fn out_arcs(&self, node: NcpId) -> (&[u32], &[u32]) {
+        let lo = self.row_ptr[node.index()] as usize;
+        let hi = self.row_ptr[node.index() + 1] as usize;
+        (&self.col_idx[lo..hi], &self.arc_link[lo..hi])
+    }
+
+    /// Reverse arcs into `node` as parallel `(tails, links)` slices, in
+    /// the legacy reverse-adjacency order.
+    #[inline]
+    pub fn in_arcs(&self, node: NcpId) -> (&[u32], &[u32]) {
+        let lo = self.rev_row_ptr[node.index()] as usize;
+        let hi = self.rev_row_ptr[node.index() + 1] as usize;
+        (&self.rev_col_idx[lo..hi], &self.rev_arc_link[lo..hi])
+    }
+
+    /// `(link, neighbor)` pairs traversable from `node` — the CSR
+    /// mirror of [`Network::neighbors`], identical order.
+    pub fn neighbors(&self, node: NcpId) -> impl Iterator<Item = (LinkId, NcpId)> + '_ {
+        let (heads, links) = self.out_arcs(node);
+        links
+            .iter()
+            .zip(heads)
+            .map(|(&l, &v)| (LinkId::new(l), NcpId::new(v)))
+    }
+
+    /// Nominal bandwidth of `link`.
+    #[inline]
+    pub fn link_bandwidth(&self, link: LinkId) -> f64 {
+        self.link_bandwidth[link.index()]
+    }
+
+    /// Failure probability of `ncp`.
+    #[inline]
+    pub fn ncp_failure(&self, ncp: NcpId) -> f64 {
+        self.ncp_failure[ncp.index()]
+    }
+
+    /// Failure probability of `link`.
+    #[inline]
+    pub fn link_failure(&self, link: LinkId) -> f64 {
+        self.link_failure[link.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{LinkDirection, NetworkBuilder};
+    use crate::resources::ResourceVec;
+
+    fn sample() -> Network {
+        let mut b = NetworkBuilder::new();
+        let x = b.add_ncp("x", ResourceVec::cpu(10.0));
+        let y = b.add_ncp("y", ResourceVec::cpu(20.0));
+        let z = b.add_ncp("z", ResourceVec::cpu(30.0));
+        b.add_link("xy", x, y, 100.0).unwrap();
+        b.add_link_full("yz", y, z, 200.0, LinkDirection::Directed, 0.25)
+            .unwrap();
+        b.add_link("zx", z, x, 300.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forward_arcs_match_legacy_neighbor_order() {
+        let net = sample();
+        let csr = CsrNetwork::build(&net);
+        assert_eq!(csr.ncp_count(), net.ncp_count());
+        assert_eq!(csr.link_count(), net.link_count());
+        for u in net.ncp_ids() {
+            let legacy: Vec<_> = net.neighbors(u).collect();
+            let flat: Vec<_> = csr.neighbors(u).collect();
+            assert_eq!(legacy, flat, "forward order diverged at {u}");
+        }
+    }
+
+    #[test]
+    fn reverse_arcs_match_reverse_adjacency_order() {
+        let net = sample();
+        let csr = CsrNetwork::build(&net);
+        // Reference: the order ReverseAdjacency::new uses.
+        let mut adj: Vec<Vec<(LinkId, NcpId)>> = vec![Vec::new(); net.ncp_count()];
+        for u in net.ncp_ids() {
+            for (link, v) in net.neighbors(u) {
+                adj[v.index()].push((link, u));
+            }
+        }
+        for v in net.ncp_ids() {
+            let (tails, links) = csr.in_arcs(v);
+            let flat: Vec<_> = links
+                .iter()
+                .zip(tails)
+                .map(|(&l, &u)| (LinkId::new(l), NcpId::new(u)))
+                .collect();
+            assert_eq!(adj[v.index()], flat, "reverse order diverged at {v}");
+        }
+    }
+
+    #[test]
+    fn soa_attributes_round_trip() {
+        let net = sample();
+        let csr = CsrNetwork::build(&net);
+        for l in net.link_ids() {
+            assert_eq!(csr.link_bandwidth(l), net.link(l).bandwidth());
+            assert_eq!(csr.link_failure(l), net.link(l).failure_probability());
+        }
+        for p in net.ncp_ids() {
+            assert_eq!(csr.ncp_failure(p), net.ncp(p).failure_probability());
+        }
+        // Directed yz contributes one arc; the undirected links two.
+        assert_eq!(csr.arc_count(), 5);
+    }
+
+    #[test]
+    fn generations_are_unique_per_build() {
+        let a = sample();
+        let b = sample();
+        assert_ne!(a.generation(), b.generation());
+        // Clones share the topology instance, hence the generation.
+        assert_eq!(a.clone().generation(), a.generation());
+        assert_eq!(a.csr().generation(), a.generation());
+    }
+
+    #[test]
+    fn csr_view_is_shared_across_clones() {
+        let net = sample();
+        let csr = std::sync::Arc::clone(net.csr());
+        let cloned = net.clone();
+        assert!(std::sync::Arc::ptr_eq(&csr, cloned.csr()));
+    }
+
+    #[test]
+    fn graph_repr_default_and_display() {
+        assert_eq!(GraphRepr::default(), GraphRepr::Csr);
+        assert_eq!(GraphRepr::Legacy.to_string(), "legacy");
+        assert_eq!(GraphRepr::Csr.to_string(), "csr");
+    }
+}

@@ -56,6 +56,7 @@
 
 pub mod app;
 pub mod capacity;
+pub mod csr;
 pub mod dot;
 pub mod error;
 pub mod ids;
@@ -66,6 +67,7 @@ pub mod taskgraph;
 
 pub use app::{Application, QoeClass};
 pub use capacity::{CapacityMap, LoadMap};
+pub use csr::{CsrNetwork, GraphRepr};
 pub use error::{ModelError, RouteError};
 pub use ids::{AppId, CtId, LinkId, NcpId, NetworkElement, TtId};
 pub use network::{Link, LinkDirection, Ncp, Network, NetworkBuilder};

@@ -32,6 +32,9 @@
 //! # }
 //! ```
 
+use std::sync::{Arc, OnceLock};
+
+use crate::csr::{next_generation, CsrNetwork};
 use crate::error::ModelError;
 use crate::ids::{LinkId, NcpId, NetworkElement};
 use crate::resources::ResourceVec;
@@ -265,18 +268,38 @@ impl NetworkBuilder {
             ncps: self.ncps,
             links: self.links,
             adjacency,
+            generation: next_generation(),
+            csr: OnceLock::new(),
         })
     }
 }
 
 /// An immutable dispersed computing network of NCPs and links.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Network {
     name: String,
     ncps: Vec<Ncp>,
     links: Vec<Link>,
     /// For each NCP, the `(link, neighbor)` pairs traversable *from* it.
     adjacency: Vec<Vec<(LinkId, NcpId)>>,
+    /// Process-unique build stamp; see [`crate::csr`] module docs.
+    generation: u64,
+    /// Lazily-built flat CSR view, shared across clones.
+    csr: OnceLock<Arc<CsrNetwork>>,
+}
+
+/// Equality is structural: two networks with the same elements and
+/// wiring are equal regardless of when they were built (the generation
+/// stamp and the lazy CSR cell are deliberately ignored — separately
+/// built but identical topologies must compare equal, e.g. for seeded
+/// scenario determinism checks).
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.ncps == other.ncps
+            && self.links == other.links
+            && self.adjacency == other.adjacency
+    }
 }
 
 impl Network {
@@ -376,6 +399,20 @@ impl Network {
     /// (see [`crate::capacity::CapacityMap`]).
     pub fn capacity_map(&self) -> crate::capacity::CapacityMap {
         crate::capacity::CapacityMap::full(self)
+    }
+
+    /// Process-unique build stamp of this topology instance (clones
+    /// share it; separately-built networks never do). Dense-id keyed
+    /// caches use it to refuse rows from a different topology — see the
+    /// [`crate::csr`] module docs.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The flat CSR view of this network, built lazily on first use and
+    /// shared (behind an `Arc`) across clones made after that point.
+    pub fn csr(&self) -> &Arc<CsrNetwork> {
+        self.csr.get_or_init(|| Arc::new(CsrNetwork::build(self)))
     }
 }
 

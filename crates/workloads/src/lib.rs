@@ -8,6 +8,8 @@
 //! * [`face_detection`] — the real experimental workload of §V-A:
 //!   Table II's face-detection pipeline and Table I's testbed network
 //!   (Figure 4), parameterized by the field bandwidth swept in Figure 6;
+//! * [`scale`] — seeded 5k–10k-NCP two-level hub-and-spoke topologies
+//!   (plus a backbone-crossing pipeline app) for scale experiments;
 //! * [`scenario_file`] — the plain-text experiment scenario files the
 //!   paper's emulator reads (parser + writer);
 //! * [`traces`] — seeded arrival-time generators (Poisson, diurnal,
@@ -18,6 +20,7 @@
 
 pub mod face_detection;
 pub mod graphs;
+pub mod scale;
 pub mod scenario_file;
 pub mod scenarios;
 pub mod topologies;
@@ -27,6 +30,7 @@ pub use face_detection::{face_detection_app, face_detection_graph, testbed_netwo
 pub use graphs::{
     diamond_task_graph, linear_task_graph, linear_task_graph_multi, random_task_graph,
 };
+pub use scale::{ScaleScenario, ScaleSpec};
 pub use scenario_file::{parse_scenario, write_scenario, FileScenario, ScenarioParseError};
 pub use scenarios::{BottleneckCase, GraphKind, Scenario, ScenarioConfig};
 pub use topologies::{TopologyKind, TopologySpec};

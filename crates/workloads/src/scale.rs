@@ -1,0 +1,201 @@
+//! Large-topology generator for scale experiments (5k–10k NCPs).
+//!
+//! The paper's simulations stop at tens of NCPs; the repo's north star
+//! (and the dispersed-computing throughput experiments of Zhao et al.)
+//! needs placement on *thousands*. This module builds a deterministic,
+//! seeded **two-level hub-and-spoke** network — a chain of backbone
+//! hubs, each fanning out to a block of leaves — which matches how
+//! dispersed IoT deployments actually cluster (site gateways on a
+//! backbone, devices behind each gateway) while keeping the link count
+//! `O(n)`, so a 10k-NCP instance stays sparse instead of exploding
+//! quadratically like [`crate::topologies::TopologyKind::FullyConnected`].
+//!
+//! The companion application is a linear pipeline whose source is
+//! pinned behind the *first* hub and sink behind the *last*, forcing
+//! every placement to reason about the whole backbone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparcle_model::{
+    Application, ModelError, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
+};
+
+use crate::graphs::linear_task_graph;
+
+/// Spec for one seeded scale scenario (network + pinned pipeline app).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSpec {
+    /// Total NCPs (hubs + leaves). Must be ≥ 4.
+    pub ncps: usize,
+    /// Leaves attached to each hub (the hub count follows from this).
+    pub leaves_per_hub: usize,
+    /// Compute stages of the pipeline application.
+    pub stages: usize,
+    /// Seed for the capacity/bandwidth draws.
+    pub seed: u64,
+}
+
+impl ScaleSpec {
+    /// A spec with the default shape: 64 leaves per hub, an 8-stage
+    /// pipeline, seed 1.
+    pub fn new(ncps: usize) -> Self {
+        ScaleSpec {
+            ncps,
+            leaves_per_hub: 64,
+            stages: 8,
+            seed: 1,
+        }
+    }
+
+    /// Number of backbone hubs this spec produces.
+    pub fn hub_count(&self) -> usize {
+        (self.ncps / (self.leaves_per_hub + 1)).max(2)
+    }
+
+    /// Builds the network and the pinned pipeline application.
+    ///
+    /// Identical specs always build identical scenarios (topology,
+    /// capacities, pins) — the draws come from a seeded [`StdRng`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] for degenerate shapes (fewer than 4
+    /// NCPs, zero stages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncps < 4` or `stages == 0`.
+    pub fn build(&self) -> Result<ScaleScenario, ModelError> {
+        assert!(self.ncps >= 4, "scale topologies need at least 4 NCPs");
+        assert!(self.stages >= 1, "the pipeline needs at least one stage");
+        let hubs = self.hub_count();
+        let leaves = self.ncps - hubs;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut b = NetworkBuilder::new();
+        b.name(format!("scale-{}", self.ncps));
+        // Hubs first (dense ids 0..hubs): strong compute, chained by a
+        // wide backbone.
+        let hub_ids: Vec<NcpId> = (0..hubs)
+            .map(|h| {
+                let cpu = rng.gen_range(2_000.0..6_000.0);
+                b.add_ncp(format!("hub{h}"), ResourceVec::cpu(cpu))
+            })
+            .collect();
+        for w in hub_ids.windows(2) {
+            let bw = rng.gen_range(5_000.0..15_000.0);
+            b.add_link(
+                format!("bb-{}-{}", w[0].index(), w[1].index()),
+                w[0],
+                w[1],
+                bw,
+            )?;
+        }
+        // Leaves round-robin across hubs: modest compute, narrower
+        // uplinks.
+        let mut leaf_ids = Vec::with_capacity(leaves);
+        for l in 0..leaves {
+            let hub = hub_ids[l % hubs];
+            let cpu = rng.gen_range(50.0..150.0);
+            let leaf = b.add_ncp(format!("leaf{l}"), ResourceVec::cpu(cpu));
+            let bw = rng.gen_range(500.0..1_500.0);
+            b.add_link(
+                format!("up-{}-{}", hub.index(), leaf.index()),
+                hub,
+                leaf,
+                bw,
+            )?;
+            leaf_ids.push(leaf);
+        }
+        let network = b.build()?;
+
+        // Pipeline: source behind the first hub, sink behind the last —
+        // the widest route must cross the whole backbone.
+        let cycles: Vec<f64> = (0..self.stages).map(|_| rng.gen_range(5.0..15.0)).collect();
+        let bits: Vec<f64> = (0..=self.stages)
+            .map(|_| rng.gen_range(5.0..15.0))
+            .collect();
+        let graph = linear_task_graph(&cycles, &bits)?;
+        let source_ct = graph.ct_ids().next().expect("pipeline has a source");
+        let sink_ct = graph.ct_ids().last().expect("pipeline has a sink");
+        let source_host = *leaf_ids.first().unwrap_or(&hub_ids[0]);
+        let sink_host = leaf_ids
+            .iter()
+            .rev()
+            .find(|l| {
+                // The last leaf attached to the last hub.
+                (l.index() - hubs) % hubs == hubs - 1
+            })
+            .copied()
+            .unwrap_or(hub_ids[hubs - 1]);
+        let app = Application::new(
+            graph,
+            QoeClass::best_effort(1.0),
+            [(source_ct, source_host), (sink_ct, sink_host)],
+        )?;
+        Ok(ScaleScenario { network, app })
+    }
+}
+
+/// One built scale scenario.
+#[derive(Debug, Clone)]
+pub struct ScaleScenario {
+    /// The two-level hub-and-spoke network.
+    pub network: Network,
+    /// The pipeline application, endpoints pinned across the backbone.
+    pub app: Application,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_the_requested_size() {
+        let s = ScaleSpec::new(500).build().unwrap();
+        assert_eq!(s.network.ncp_count(), 500);
+        // Two-level tree: exactly n - 1 links (chain of hubs + leaves).
+        assert_eq!(s.network.link_count(), 499);
+        assert!(s.network.all_reachable_from(NcpId::new(0)));
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = ScaleSpec::new(300).build().unwrap();
+        let b = ScaleSpec::new(300).build().unwrap();
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.app.pinned(), b.app.pinned());
+        let c = ScaleSpec {
+            seed: 7,
+            ..ScaleSpec::new(300)
+        }
+        .build()
+        .unwrap();
+        assert_ne!(a.network, c.network);
+    }
+
+    #[test]
+    fn endpoints_sit_behind_opposite_hubs() {
+        let spec = ScaleSpec::new(400);
+        let s = spec.build().unwrap();
+        let hubs = spec.hub_count();
+        let pins: Vec<NcpId> = s.app.pinned().values().copied().collect();
+        assert_eq!(pins.len(), 2);
+        for pin in pins {
+            assert!(pin.index() >= hubs, "endpoints are pinned on leaves");
+        }
+    }
+
+    #[test]
+    fn link_widths_are_heterogeneous() {
+        let s = ScaleSpec::new(300).build().unwrap();
+        let mut bws: Vec<f64> = s
+            .network
+            .link_ids()
+            .map(|l| s.network.link(l).bandwidth())
+            .collect();
+        bws.sort_by(f64::total_cmp);
+        assert!(bws.first().unwrap() >= &500.0, "uplinks start at 500");
+        assert!(bws.last().unwrap() > &5_000.0, "backbone links are wide");
+    }
+}
