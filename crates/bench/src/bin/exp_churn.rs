@@ -18,13 +18,15 @@
 //! cargo run --release -p sparcle-bench --bin exp_churn
 //! ```
 
+use std::path::Path;
+
 use sparcle_bench::{svg::BarChart, Table};
 use sparcle_core::TraceHandle;
 use sparcle_model::{
     Application, LinkDirection, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
 };
 use sparcle_runtime::{
-    FluctuationConfig, ReconcilePolicy, RuntimeConfig, SloLedger, SparcleRuntime,
+    FluctuationConfig, MonitorConfig, ReconcilePolicy, RuntimeConfig, SloLedger, SparcleRuntime,
 };
 use sparcle_sim::FluctuationModel;
 use sparcle_workloads::graphs::linear_task_graph;
@@ -85,13 +87,36 @@ fn churn_app(index: u64) -> Application {
     Application::new(graph, qoe, [(src, src_host), (sink, sink_host)]).expect("valid app")
 }
 
+/// Observability-plane configuration every cell runs under: 5 s ticks,
+/// a 30 s window, detectors tuned to this workload. Even the calm
+/// regime accrues ~0.09 GR violation-seconds per second, so the budget
+/// is set to 0.4 viol-s/s — quiet cells stay an order of magnitude
+/// below it while the flash-crowd × stormy cells (~0.9 viol-s/s) burn
+/// through it. The γ-cache detector is disabled (floor 0): each online
+/// placement ranks with a fresh engine, so the windowed hit rate is
+/// legitimately zero here (see BENCH_churn_runtime.json).
+fn cell_monitor(metrics_out: Option<std::path::PathBuf>) -> MonitorConfig {
+    MonitorConfig {
+        period: 5.0,
+        slots: 6,
+        rules: sparcle_runtime::AlertRules {
+            slo_violation_budget: 0.4,
+            cache_hit_floor: 0.0,
+            ..sparcle_runtime::AlertRules::default()
+        },
+        metrics_out,
+    }
+}
+
+/// Ledger, events processed, and monitor alert edges of one cell.
 fn run_cell(
     trace: &ArrivalTrace,
     flaky: f64,
     policy: ReconcilePolicy,
     horizon: f64,
+    metrics_out: Option<std::path::PathBuf>,
     sink: TraceHandle<'_>,
-) -> (SloLedger, u64) {
+) -> (SloLedger, u64, u64) {
     let config = RuntimeConfig {
         horizon,
         failure_seed: 0xc0de,
@@ -106,12 +131,14 @@ fn run_cell(
             },
             period: 5.0,
         }),
+        monitor: Some(cell_monitor(metrics_out)),
         ..RuntimeConfig::default()
     };
     let arrivals = trace.events(horizon, 0xa11);
     let mut rt = SparcleRuntime::new(churn_network(flaky), arrivals, churn_app, config);
     let ledger = rt.run_traced(sink).clone();
-    (ledger, rt.events_processed())
+    let alerts = rt.monitor().map_or(0, |m| m.alerts_total());
+    (ledger, rt.events_processed(), alerts)
 }
 
 /// One high-churn timeline with ≥10 000 events; returns the rendered
@@ -135,6 +162,9 @@ fn determinism_run(threads: usize) -> (String, u64, sparcle_core::StateStats) {
         ..RuntimeConfig::default()
     };
     config.system.assigner_threads = threads;
+    // Monitoring runs during the determinism replay too, so the
+    // byte-identical assertion covers the monitor_* event stream.
+    config.monitor = Some(cell_monitor(None));
     let arrivals = ArrivalTrace::Poisson { rate: 10.0 }.events(config.horizon, 0xbeef);
     let mut rt = SparcleRuntime::new(churn_network(0.08), arrivals, churn_app, config);
 
@@ -200,6 +230,7 @@ fn main() {
         "gr_viol_s",
         "be_integral",
         "mean_latency_s",
+        "alerts",
         "events",
     ]);
     let mut chart = BarChart::new(
@@ -209,12 +240,27 @@ fn main() {
     );
     let mut policy_viol: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
 
+    let mut quiet_alerts = 0u64;
+    let mut storm_flash_alerts = 0u64;
     for (trace_name, trace) in &traces {
         for (regime_name, flaky) in &regimes {
             chart.category(format!("{trace_name}/{regime_name}"));
             for (p, policy) in policies.iter().enumerate() {
-                let (ledger, events) = run_cell(trace, *flaky, *policy, horizon, harness.trace());
+                let (ledger, events, alerts) = run_cell(
+                    trace,
+                    *flaky,
+                    *policy,
+                    horizon,
+                    harness.metrics_out().map(Path::to_path_buf),
+                    harness.trace(),
+                );
                 harness.trace().counter("exp_churn.cells", 1);
+                harness.trace().counter("exp_churn.alert_edges", alerts);
+                match (*trace_name, *regime_name) {
+                    ("poisson", "calm") => quiet_alerts += alerts,
+                    ("flash", "stormy") => storm_flash_alerts += alerts,
+                    _ => {}
+                }
                 policy_viol[p].push(ledger.total_gr_violation_seconds());
                 table.row([
                     (*trace_name).to_owned(),
@@ -228,6 +274,7 @@ fn main() {
                     format!("{:.2}", ledger.total_gr_violation_seconds()),
                     format!("{:.0}", ledger.be_rate_integral()),
                     format!("{:.3}", ledger.mean_reaction_latency()),
+                    alerts.to_string(),
                     events.to_string(),
                 ]);
             }
@@ -238,6 +285,18 @@ fn main() {
     }
 
     println!("{}", table.render());
+
+    // Alerting acceptance: the detectors must stay silent on the quiet
+    // Poisson × calm cells and catch the flash-crowd × stormy overload.
+    assert_eq!(
+        quiet_alerts, 0,
+        "the quiet poisson/calm cells must not trip any detector"
+    );
+    assert!(
+        storm_flash_alerts >= 1,
+        "the flash/stormy cells must trip at least one alert"
+    );
+    println!("alerting: OK (poisson/calm quiet, flash/stormy fired {storm_flash_alerts} edges)");
     let csv = table.write_csv("exp_churn");
     println!("wrote {}", csv.display());
     let svg = chart.write_svg("exp_churn_gr_violation");

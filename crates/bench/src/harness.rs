@@ -10,7 +10,13 @@
 //!   §9 — span-bearing traces are compared semantically, not
 //!   byte-for-byte);
 //! * `--summary` — print the end-of-run metrics table (counters and
-//!   timing histograms) to stdout.
+//!   timing histograms) to stdout;
+//! * `--metrics-out <path>` — write a Prometheus-style text exposition
+//!   of the final counters to `path`. Experiments that run the churn
+//!   runtime's observability monitor also hand this path to
+//!   [`sparcle_runtime::MonitorConfig::metrics_out`]
+//!   (via [`ExpHarness::metrics_out`]), so the file is rewritten on
+//!   every monitor tick during the run and finalized at `finish()`.
 //!
 //! Usage pattern:
 //!
@@ -37,6 +43,9 @@ pub struct ExpArgs {
     pub trace_spans: bool,
     /// Whether to print the end-of-run metrics table (`--summary`).
     pub summary: bool,
+    /// Target of the Prometheus-style metrics exposition
+    /// (`--metrics-out <path>`).
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl ExpArgs {
@@ -74,6 +83,11 @@ impl ExpArgs {
                 out.trace_spans = true;
             } else if arg == "--summary" {
                 out.summary = true;
+            } else if arg == "--metrics-out" {
+                let path = it.next().expect("--metrics-out requires a path");
+                out.metrics_out = Some(PathBuf::from(path));
+            } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
+                out.metrics_out = Some(PathBuf::from(path));
             } else {
                 eprintln!("note: ignoring unknown argument {arg:?}");
             }
@@ -99,6 +113,7 @@ enum Sink {
 pub struct ExpHarness {
     name: &'static str,
     summary: bool,
+    metrics_out: Option<PathBuf>,
     #[cfg(feature = "telemetry")]
     sink: Sink,
     #[cfg(feature = "telemetry")]
@@ -138,7 +153,9 @@ impl ExpHarness {
                     JsonlRecorder::create(path)
                         .unwrap_or_else(|e| panic!("create trace file {}: {e}", path.display())),
                 ),
-                None if args.summary => Sink::Collect(CollectRecorder::new()),
+                None if args.summary || args.metrics_out.is_some() => {
+                    Sink::Collect(CollectRecorder::new())
+                }
                 None => Sink::None,
             };
             let run_start = Event::RunStart {
@@ -154,6 +171,7 @@ impl ExpHarness {
             ExpHarness {
                 name,
                 summary: args.summary,
+                metrics_out: args.metrics_out,
                 sink,
                 spans,
             }
@@ -166,11 +184,21 @@ impl ExpHarness {
                      --trace-out/--summary are inert"
                 );
             }
+            // --metrics-out stays live: the churn runtime's monitor
+            // writes the exposition file in every build configuration.
             ExpHarness {
                 name,
                 summary: args.summary,
+                metrics_out: args.metrics_out,
             }
         }
+    }
+
+    /// The `--metrics-out` path, when given — experiments hand this to
+    /// `sparcle_runtime::MonitorConfig::metrics_out` so the file tracks
+    /// the run tick by tick.
+    pub fn metrics_out(&self) -> Option<&std::path::Path> {
+        self.metrics_out.as_deref()
     }
 
     /// The handle experiment code threads into `assign_traced`,
@@ -213,6 +241,28 @@ impl ExpHarness {
                 Sink::Jsonl(r) => r.finish().expect("flush trace file"),
                 Sink::Collect(r) => r.snapshot(),
             };
+            if let Some(path) = &self.metrics_out {
+                // Append so a monitor-written exposition (periodic
+                // sparcle_* gauges) keeps its last tick; the final
+                // counter series use a distinct metric name.
+                use std::io::Write;
+                let mut text = String::from(
+                    "# HELP sparcle_counter_total Final telemetry counters of the run\n\
+                     # TYPE sparcle_counter_total counter\n",
+                );
+                for (name, value) in &snapshot.counters {
+                    text.push_str(&format!(
+                        "sparcle_counter_total{{name=\"{name}\"}} {value}\n"
+                    ));
+                }
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .and_then(|mut f| f.write_all(text.as_bytes()))
+                    .unwrap_or_else(|e| panic!("write metrics file {}: {e}", path.display()));
+                println!("wrote {}", path.display());
+            }
             if self.summary {
                 println!("\n=== telemetry summary: {} ===", self.name);
                 println!("{}", snapshot.render_summary());
@@ -264,15 +314,57 @@ mod tests {
         assert!(a.trace_spans);
     }
 
+    #[test]
+    fn parses_metrics_out_in_both_spellings() {
+        let a = ExpArgs::parse_from(["--metrics-out", "/tmp/m.prom"]);
+        assert_eq!(
+            a.metrics_out.as_deref(),
+            Some(std::path::Path::new("/tmp/m.prom"))
+        );
+        let b = ExpArgs::parse_from(["--metrics-out=/tmp/n.prom"]);
+        assert_eq!(
+            b.metrics_out.as_deref(),
+            Some(std::path::Path::new("/tmp/n.prom"))
+        );
+        assert!(ExpArgs::parse_from(Vec::<String>::new())
+            .metrics_out
+            .is_none());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metrics_out_writes_a_prometheus_exposition() {
+        let dir = crate::experiments_dir();
+        std::fs::create_dir_all(&dir).expect("create experiments dir");
+        let path = dir.join("unit-test-metrics-out.prom");
+        let _ = std::fs::remove_file(&path);
+        let h = ExpHarness::with_args(
+            "unit-test-metrics-out",
+            ExpArgs {
+                metrics_out: Some(path.clone()),
+                ..ExpArgs::default()
+            },
+        );
+        // --metrics-out alone must enable a collecting sink.
+        assert!(h.trace().is_enabled());
+        h.trace().counter("unit.widgets", 7);
+        h.finish();
+        let text = std::fs::read_to_string(&path).expect("exposition written");
+        assert!(text.contains("# TYPE sparcle_counter_total counter"));
+        assert!(text.contains("sparcle_counter_total{name=\"unit.widgets\"} 7"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(dir.join("unit-test-metrics-out_metrics.json"));
+    }
+
     #[cfg(feature = "telemetry")]
     #[test]
     fn trace_spans_flag_enables_span_emission() {
         let spanned = ExpHarness::with_args(
             "unit-test-spans",
             ExpArgs {
-                trace_out: None,
                 trace_spans: true,
                 summary: true,
+                ..ExpArgs::default()
             },
         );
         assert!(spanned.trace().spans_enabled());
@@ -281,9 +373,9 @@ mod tests {
         let plain = ExpHarness::with_args(
             "unit-test-nospans",
             ExpArgs {
-                trace_out: None,
                 trace_spans: false,
                 summary: true,
+                ..ExpArgs::default()
             },
         );
         assert!(plain.trace().is_enabled());
@@ -293,9 +385,9 @@ mod tests {
         let no_sink = ExpHarness::with_args(
             "unit-test-spans-nosink",
             ExpArgs {
-                trace_out: None,
                 trace_spans: true,
                 summary: false,
+                ..ExpArgs::default()
             },
         );
         assert!(!no_sink.trace().is_enabled());
@@ -314,9 +406,9 @@ mod tests {
     #[test]
     fn harness_records_run_start_and_counters() {
         let args = ExpArgs {
-            trace_out: None,
             trace_spans: false,
             summary: true,
+            ..ExpArgs::default()
         };
         let h = ExpHarness::with_args("unit-test-harness", args);
         h.trace().counter("test.counter", 3);

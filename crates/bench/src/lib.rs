@@ -63,6 +63,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "Online runtime: SLO ledger under churn, per reconcile policy",
     ),
     (
+        "exp_monitor",
+        "Observability plane: monitor ticks, burn rates, alert edges",
+    ),
+    (
         "exp_baseline",
         "Perf baselines: pinned workloads + regression compare gate",
     ),

@@ -91,6 +91,7 @@ fn deterministic_metrics_get_the_tight_band() {
         be_solve_ms_per_event: 0.1,
         warm_inner_iters_per_solve: 30.0,
         placements_per_sec: 250.0,
+        monitor_overhead_ratio: 1.0,
     };
     let mut drifted = baseline.clone();
     drifted.peak_queue_depth = 105.0; // +5 % on a deterministic metric

@@ -65,6 +65,25 @@ fn registry_covers_baseline_entry_points() {
     );
 }
 
+/// Every registered binary must accept `--metrics-out` so operators
+/// can point any experiment at a Prometheus scrape file. Binaries get
+/// that by going through `ExpHarness` (which parses the flag); the one
+/// holdout with a bespoke CLI (`exp_baseline`) must at least tolerate
+/// unknown flags instead of dying on them.
+#[test]
+fn every_registered_binary_accepts_metrics_out() {
+    let bin_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    for (name, _) in sparcle_bench::EXPERIMENTS {
+        let source = std::fs::read_to_string(bin_dir.join(format!("{name}.rs")))
+            .unwrap_or_else(|e| panic!("read {name}.rs: {e}"));
+        assert!(
+            source.contains("ExpHarness") || source.contains("ignoring unknown argument"),
+            "{name} must parse --metrics-out via ExpHarness \
+             (or explicitly tolerate unknown flags)"
+        );
+    }
+}
+
 #[test]
 fn registry_descriptions_are_nonempty() {
     for (name, what) in sparcle_bench::EXPERIMENTS {

@@ -16,7 +16,7 @@
 //! [`assign_multipath`] repeats the algorithm with residual capacities to
 //! extract additional task assignment paths for availability (§IV-D).
 
-use crate::engine::{AssignedPath, PlacementEngine};
+use crate::engine::{AssignStats, AssignedPath, PlacementEngine};
 use crate::error::AssignError;
 use crate::trace::TraceHandle;
 use sparcle_model::{Application, CapacityMap, GraphRepr, Network};
@@ -174,6 +174,40 @@ impl DynamicRankingAssigner {
         capacities: &CapacityMap,
         trace: TraceHandle<'_>,
     ) -> Result<AssignedPath, AssignError> {
+        self.assign_traced_with_stats(app, network, capacities, trace)
+            .map(|(path, _)| path)
+    }
+
+    /// [`Self::assign`], also returning the engine's always-compiled
+    /// γ-cache work counters ([`AssignStats`]) — the feature-independent
+    /// signal the runtime's observability monitor folds into its
+    /// windows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::assign`].
+    pub fn assign_with_stats(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+    ) -> Result<(AssignedPath, AssignStats), AssignError> {
+        self.assign_traced_with_stats(app, network, capacities, TraceHandle::none())
+    }
+
+    /// [`Self::assign_with_trace`] + [`Self::assign_with_stats`]
+    /// combined: traced assignment that also returns the work counters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::assign`].
+    pub fn assign_traced_with_stats(
+        &self,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<(AssignedPath, AssignStats), AssignError> {
         // Root span for one full Algorithm-2 assignment; every
         // rank-round and commit span nests underneath. An error exit
         // drops the guard, closing the span as aborted.
@@ -203,9 +237,10 @@ impl DynamicRankingAssigner {
                 }
             }
         }
+        let stats = engine.stats();
         let assigned = engine.finish()?;
         assign_span.finish();
-        Ok(assigned)
+        Ok((assigned, stats))
     }
 }
 
@@ -257,7 +292,27 @@ pub fn assign_multipath(
     max_paths: usize,
     min_rate: f64,
 ) -> (Vec<AssignedPath>, CapacityMap) {
-    assign_multipath_diverse(assigner, app, network, capacities, max_paths, min_rate, 1.0)
+    let (paths, residual, _) =
+        assign_multipath_stats(assigner, app, network, capacities, max_paths, min_rate);
+    (paths, residual)
+}
+
+/// [`assign_multipath`], also returning the γ-cache work counters
+/// ([`AssignStats`]) accumulated across every successfully assigned
+/// path.
+pub fn assign_multipath_stats(
+    assigner: &DynamicRankingAssigner,
+    app: &Application,
+    network: &Network,
+    capacities: &CapacityMap,
+    max_paths: usize,
+    min_rate: f64,
+) -> (Vec<AssignedPath>, CapacityMap, AssignStats) {
+    let mut stats = AssignStats::default();
+    let (paths, residual) = multipath_inner(
+        assigner, app, network, capacities, max_paths, min_rate, 1.0, &mut stats,
+    );
+    (paths, residual, stats)
 }
 
 /// [`assign_multipath`] with an element-diversity bias (an extension
@@ -284,6 +339,30 @@ pub fn assign_multipath_diverse(
     min_rate: f64,
     diversity_discount: f64,
 ) -> (Vec<AssignedPath>, CapacityMap) {
+    let mut stats = AssignStats::default();
+    multipath_inner(
+        assigner,
+        app,
+        network,
+        capacities,
+        max_paths,
+        min_rate,
+        diversity_discount,
+        &mut stats,
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // internal: the public wrappers curry
+fn multipath_inner(
+    assigner: &DynamicRankingAssigner,
+    app: &Application,
+    network: &Network,
+    capacities: &CapacityMap,
+    max_paths: usize,
+    min_rate: f64,
+    diversity_discount: f64,
+    stats: &mut AssignStats,
+) -> (Vec<AssignedPath>, CapacityMap) {
     assert!(
         diversity_discount > 0.0 && diversity_discount <= 1.0,
         "diversity discount must lie in (0, 1]"
@@ -292,8 +371,11 @@ pub fn assign_multipath_diverse(
     let mut biased = capacities.clone();
     let mut paths: Vec<AssignedPath> = Vec::new();
     for _ in 0..max_paths {
-        let mut path = match assigner.assign(app, network, &biased) {
-            Ok(p) => p,
+        let mut path = match assigner.assign_with_stats(app, network, &biased) {
+            Ok((p, s)) => {
+                stats.merge(&s);
+                p
+            }
             Err(_) => break,
         };
         // The biased capacities understate what the path can carry;

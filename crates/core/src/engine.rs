@@ -316,6 +316,40 @@ pub struct AssignedPath {
     pub rate: f64,
 }
 
+/// Always-compiled γ-cache work counters for one assignment (or an
+/// accumulation across assignments via [`AssignStats::merge`]).
+///
+/// Unlike the `gamma_cache.*` telemetry counters — which exist only
+/// with the `telemetry` feature and require a recorder — these are part
+/// of the engine proper, so online consumers (the runtime's
+/// observability monitor, `SparcleSystem`'s state stats) can read cache
+/// behaviour in every build configuration. All fields are deterministic
+/// functions of the input: the missing-row set does not depend on the
+/// worker-thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssignStats {
+    /// Ranking rounds executed ([`PlacementEngine::rank_round`]).
+    pub rank_rounds: u64,
+    /// γ-cache rows served without recomputation.
+    pub cache_hits: u64,
+    /// γ-cache rows (re)computed.
+    pub cache_misses: u64,
+}
+
+impl AssignStats {
+    /// Folds another stats record into this one.
+    pub fn merge(&mut self, other: &AssignStats) {
+        self.rank_rounds += other.rank_rounds;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Total cache lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.cache_hits + self.cache_misses
+    }
+}
+
 /// Incremental, load-tracking placement state for one application.
 #[derive(Debug, Clone)]
 pub struct PlacementEngine<'a> {
@@ -354,6 +388,8 @@ pub struct PlacementEngine<'a> {
     /// ranking decisions and stop being exportable (see
     /// [`Self::export_rows`]).
     unpinned_committed: bool,
+    /// Always-compiled γ-cache work counters (see [`AssignStats`]).
+    stats: AssignStats,
     /// Ranking rounds completed (numbers the decision events).
     #[cfg(feature = "telemetry")]
     round: u64,
@@ -440,6 +476,7 @@ impl<'a> PlacementEngine<'a> {
             missing_scratch: Vec::new(),
             pinned_done: false,
             unpinned_committed: false,
+            stats: AssignStats::default(),
             #[cfg(feature = "telemetry")]
             round: 0,
         };
@@ -866,11 +903,13 @@ impl<'a> PlacementEngine<'a> {
             return Ok(None);
         }
         let round_span = self.trace.span("engine.rank_round");
-        #[cfg(feature = "telemetry")]
         let (cache_hits, cache_misses) = (
             (unplaced_count - missing.len()) as u64,
             missing.len() as u64,
         );
+        self.stats.rank_rounds += 1;
+        self.stats.cache_hits += cache_hits;
+        self.stats.cache_misses += cache_misses;
         let fill_span = (!missing.is_empty()).then(|| self.trace.span("engine.row_fill"));
         let workers = threads.max(1).min(missing.len());
         if workers > 1 {
@@ -1007,6 +1046,11 @@ impl<'a> PlacementEngine<'a> {
         }
         round_span.finish();
         Ok(Some((ct, host, g)))
+    }
+
+    /// The γ-cache work counters accumulated by this engine so far.
+    pub fn stats(&self) -> AssignStats {
+        self.stats
     }
 
     /// Exports the current γ-cache rows for adoption by another engine

@@ -25,9 +25,12 @@ pub mod trace;
 pub mod widest_path;
 
 pub use assignment::{
-    assign_multipath, assign_multipath_diverse, DynamicRankingAssigner, EvalMode,
+    assign_multipath, assign_multipath_diverse, assign_multipath_stats, DynamicRankingAssigner,
+    EvalMode,
 };
-pub use engine::{fewest_hops_path, AssignedPath, GammaRows, PlacementEngine, RoutePolicy};
+pub use engine::{
+    fewest_hops_path, AssignStats, AssignedPath, GammaRows, PlacementEngine, RoutePolicy,
+};
 pub use error::AssignError;
 pub use sparcle_model::GraphRepr;
 #[cfg(feature = "telemetry")]

@@ -87,6 +87,15 @@ pub struct StateStats {
     pub txn_commits: u64,
     /// Transactions rolled back (including what-if probes).
     pub txn_rollbacks: u64,
+    /// γ-cache rows served without recomputation across every
+    /// assignment the system ran (GR path collection and BE multipath
+    /// extraction alike). Monotone work counters: like
+    /// [`Self::txn_rollbacks`], rolled-back transactions keep the work
+    /// they did.
+    pub gamma_cache_hits: u64,
+    /// γ-cache rows (re)computed across every assignment the system
+    /// ran.
+    pub gamma_cache_misses: u64,
 }
 
 /// The mutable state of a [`SparcleSystem`](crate::SparcleSystem):

@@ -32,7 +32,7 @@
 //! back, and the system — including the id counter and every BE rate —
 //! is exactly as before.
 
-use crate::assignment::{assign_multipath, DynamicRankingAssigner};
+use crate::assignment::{assign_multipath_stats, DynamicRankingAssigner};
 use crate::engine::AssignedPath;
 use crate::error::AssignError;
 use crate::state::{
@@ -873,7 +873,7 @@ impl SystemTxn<'_> {
         } else {
             1
         };
-        let (all_paths, _) = assign_multipath(
+        let (all_paths, _, assign_stats) = assign_multipath_stats(
             &sys.assigner,
             &app,
             &sys.network,
@@ -881,6 +881,8 @@ impl SystemTxn<'_> {
             want_paths,
             sys.config.min_path_rate,
         );
+        sys.state.stats.gamma_cache_hits += assign_stats.cache_hits;
+        sys.state.stats.gamma_cache_misses += assign_stats.cache_misses;
         if all_paths.is_empty() {
             return Ok(Admission::Rejected(RejectReason::NoPath(
                 "no task assignment path with positive rate",
@@ -1009,13 +1011,18 @@ impl SystemTxn<'_> {
         let mut achieved = 0.0;
         for _ in 0..self.sys.config.max_paths_per_app {
             let sys = &mut *self.sys;
-            let path = match sys
-                .assigner
-                .assign(app, &sys.network, &sys.state.gr_residual)
-            {
-                Ok(p) if p.rate > sys.config.min_path_rate && p.rate.is_finite() => p,
-                _ => break,
-            };
+            let path =
+                match sys
+                    .assigner
+                    .assign_with_stats(app, &sys.network, &sys.state.gr_residual)
+                {
+                    Ok((p, s)) if p.rate > sys.config.min_path_rate && p.rate.is_finite() => {
+                        sys.state.stats.gamma_cache_hits += s.cache_hits;
+                        sys.state.stats.gamma_cache_misses += s.cache_misses;
+                        p
+                    }
+                    _ => break,
+                };
             // Reserving more than R_J on one path buys no QoE.
             let reserved = path.rate.min(min_rate);
             let touched = path.load.loaded_elements();

@@ -25,14 +25,25 @@
 //! [`sparcle_sim::des::EventQueue`]: the same seeds produce a
 //! byte-identical `runtime_*` telemetry event log across runs *and
 //! across γ-evaluator thread counts* (`SystemConfig::assigner_threads`).
+//!
+//! Long runs are watched from inside the timeline by the [`monitor`]
+//! module: a periodic monitor-tick event folds the ledger and the state
+//! core's work counters into sim-time sliding windows, evaluates
+//! burn-rate/degradation detectors, and emits `monitor_*` telemetry
+//! events (and an optional Prometheus-style metrics file) with the same
+//! byte-identical determinism guarantee.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod ledger;
+pub mod monitor;
 pub mod policy;
 pub mod runtime;
 
 pub use ledger::SloLedger;
+pub use monitor::{
+    AlertRules, AlertTransition, Monitor, MonitorConfig, MonitorSample, TickInput, ALERT_RULES,
+};
 pub use policy::ReconcilePolicy;
 pub use runtime::{ChurnEvent, FluctuationConfig, PendingApp, RuntimeConfig, SparcleRuntime};

@@ -23,6 +23,7 @@ use sparcle_sim::{ElementStateStream, FluctuationModel};
 use sparcle_workloads::ArrivalEvent;
 
 use crate::ledger::SloLedger;
+use crate::monitor::{Monitor, MonitorConfig, TickInput};
 use crate::policy::ReconcilePolicy;
 
 /// Stable trace label of a network element (`"ncp:3"`, `"link:7"`) —
@@ -65,6 +66,9 @@ pub enum ChurnEvent {
         /// Time of the disruption that scheduled this pass.
         cause: f64,
     },
+    /// The observability monitor samples the run (periodic, consumes no
+    /// randomness — enabling it never perturbs the timeline).
+    MonitorTick,
 }
 
 /// Capacity-fluctuation configuration of the runtime timeline.
@@ -101,6 +105,9 @@ pub struct RuntimeConfig {
     pub reconcile_per_app_delay: f64,
     /// The order displaced applications are re-placed in.
     pub policy: ReconcilePolicy,
+    /// Optional observability monitor (windowed health signals and
+    /// burn-rate alerting on a periodic tick).
+    pub monitor: Option<MonitorConfig>,
     /// Configuration of the owned [`SparcleSystem`] (notably
     /// `assigner_threads`, which must not change results).
     pub system: SystemConfig,
@@ -118,6 +125,7 @@ impl Default for RuntimeConfig {
             reconcile_base_delay: 0.05,
             reconcile_per_app_delay: 0.01,
             policy: ReconcilePolicy::Fifo,
+            monitor: None,
             system: SystemConfig::default(),
         }
     }
@@ -161,6 +169,7 @@ pub struct SparcleRuntime<F> {
     /// current capacities violate.
     violating: BTreeSet<u64>,
     ledger: SloLedger,
+    monitor: Option<Monitor>,
     events_processed: u64,
 }
 
@@ -239,6 +248,17 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             }
         }
         let base_caps = network.capacity_map();
+        // Monitor ticks are pre-validated here; the first tick lands one
+        // period in, the handler reschedules the rest. Scheduled last so
+        // a tick sorts after same-time exogenous events — deterministic
+        // either way, but "observe after the world moved" reads better.
+        let monitor = config.monitor.clone().map(|m| {
+            let mon = Monitor::new(m);
+            if mon.config().period <= config.horizon {
+                queue.schedule(mon.config().period, ChurnEvent::MonitorTick);
+            }
+            mon
+        });
         let hold_rng = StdRng::seed_from_u64(config.hold_seed);
         let system = SparcleSystem::with_config(network, config.system.clone());
         SparcleRuntime {
@@ -255,6 +275,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             pending: Vec::new(),
             violating: BTreeSet::new(),
             ledger: SloLedger::default(),
+            monitor,
             events_processed: 0,
         }
     }
@@ -281,6 +302,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
                 ChurnEvent::Element { element, up } => self.on_element(t, element, up, trace),
                 ChurnEvent::Fluctuation { step } => self.on_fluctuation(t, step, trace),
                 ChurnEvent::Reconcile { cause } => self.on_reconcile(t, cause, trace),
+                ChurnEvent::MonitorTick => self.on_monitor_tick(t, trace),
             }
         }
         self.accrue(self.config.horizon);
@@ -302,6 +324,8 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         );
         trace.counter("system.txn_commits", stats.txn_commits);
         trace.counter("system.txn_rollbacks", stats.txn_rollbacks);
+        trace.counter("system.gamma_cache_hits", stats.gamma_cache_hits);
+        trace.counter("system.gamma_cache_misses", stats.gamma_cache_misses);
         run_span.finish();
         &self.ledger
     }
@@ -576,6 +600,74 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         reconcile_span.finish();
     }
 
+    fn on_monitor_tick(&mut self, t: f64, trace: TraceHandle<'_>) {
+        let Some(monitor) = self.monitor.as_mut() else {
+            return;
+        };
+        // `accrue(t)` already ran, so the ledger's integrals cover the
+        // timeline up to this tick (the extra integration points only
+        // move the float rounding, never the measured behaviour).
+        let stats = self.system.state_stats();
+        let input = TickInput {
+            gr_violation_seconds: self.ledger.total_gr_violation_seconds(),
+            arrivals: self.ledger.arrivals(),
+            admitted: self.ledger.admitted(),
+            cache_hits: stats.gamma_cache_hits,
+            cache_misses: stats.gamma_cache_misses,
+            solves: stats.solves,
+            warm_inner_iters: stats.inner_iters_warm,
+            be_rate: self.system.be_apps().iter().map(|a| a.allocated_rate).sum(),
+            queue_depth: self.queue.len() as u64,
+            backlog: self.pending.len() as u64,
+            live: self.live.len() as u64,
+        };
+        let sample = monitor.tick(t, &input);
+        let next = t + monitor.config().period;
+        if next <= self.config.horizon {
+            self.queue.schedule(next, ChurnEvent::MonitorTick);
+        }
+        trace.counter("runtime.monitor_ticks", 1);
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::MonitorSnapshot {
+                time: sample.time,
+                window: sample.window,
+                gr_burn: sample.gr_burn,
+                gr_violation_s: sample.gr_violation_s,
+                be_rate: sample.be_rate,
+                arrival_rate: sample.arrival_rate,
+                admit_rate: sample.admit_rate,
+                cache_hit_rate: sample.cache_hit_rate,
+                cache_lookups: sample.cache_lookups,
+                warm_iters_per_solve: sample.warm_iters_per_solve,
+                solves: sample.solves,
+                queue_depth: sample.queue_depth,
+                queue_p95: sample.queue_p95,
+                backlog: sample.backlog,
+                live: sample.live,
+                alerts_firing: sample.alerts_firing,
+            });
+            for tr in &sample.transitions {
+                trace.event(&Event::MonitorAlert {
+                    time: t,
+                    rule: tr.rule.to_owned(),
+                    state: if tr.firing { "firing" } else { "cleared" }.to_owned(),
+                    value: tr.value,
+                    threshold: tr.threshold,
+                });
+            }
+        }
+        if let Some(path) = &monitor.config().metrics_out {
+            let text = monitor.render_prometheus(&sample);
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!(
+                    "warning: failed to write metrics file {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+
     /// Orders the displaced batch by what-if probes: each application is
     /// submitted inside a rollback-only transaction and the rate it
     /// would get *on the current capacities* is read before the
@@ -624,6 +716,12 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
     /// The SLO ledger accrued so far.
     pub fn ledger(&self) -> &SloLedger {
         &self.ledger
+    }
+
+    /// The observability monitor, when enabled — for post-run alert
+    /// inspection (`ticks()`, `alerts_total()`, `firing()`).
+    pub fn monitor(&self) -> Option<&Monitor> {
+        self.monitor.as_ref()
     }
 
     /// Applications currently displaced and waiting for a reconcile.
@@ -810,6 +908,50 @@ mod tests {
         );
         assert!(rt.live_indices().is_empty());
         assert_eq!(rt.system().app_ids().len(), 0);
+    }
+
+    #[test]
+    fn monitor_ticks_do_not_perturb_the_timeline() {
+        // A MonitorTick consumes no randomness and mutates no system
+        // state, so enabling it must leave the ledger bit-identical.
+        let run = |monitor: Option<MonitorConfig>| {
+            let mut cfg = config(ReconcilePolicy::Fifo, 1);
+            cfg.monitor = monitor;
+            let arrivals = ArrivalTrace::Poisson { rate: 1.0 }.events(cfg.horizon, 42);
+            let mut rt = SparcleRuntime::new(two_route_network(0.15), arrivals, app_source, cfg);
+            rt.run();
+            rt
+        };
+        let off = run(None);
+        let on = run(Some(MonitorConfig::default()));
+        // Event counts match exactly; integrals only to rounding, since
+        // tick times split the ledger's piecewise integration intervals.
+        assert_eq!(off.ledger().arrivals(), on.ledger().arrivals());
+        assert_eq!(off.ledger().admitted(), on.ledger().admitted());
+        assert_eq!(off.ledger().departures(), on.ledger().departures());
+        assert_eq!(off.ledger().displacements(), on.ledger().displacements());
+        assert_eq!(off.ledger().reconciles(), on.ledger().reconciles());
+        assert_eq!(
+            off.ledger().placement_churn(),
+            on.ledger().placement_churn()
+        );
+        let (a, b) = (
+            off.ledger().be_rate_integral(),
+            on.ledger().be_rate_integral(),
+        );
+        assert!((a - b).abs() <= 1e-9 * a.abs(), "{a} vs {b}");
+        let (a, b) = (
+            off.ledger().total_gr_violation_seconds(),
+            on.ledger().total_gr_violation_seconds(),
+        );
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        // 40 s horizon, 5 s period: ticks at 5, 10, …, 40.
+        let monitor = on.monitor().expect("monitor was enabled");
+        assert_eq!(monitor.ticks(), 8);
+        assert_eq!(
+            on.events_processed(),
+            off.events_processed() + monitor.ticks()
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use sparcle_core::TraceHandle;
 use sparcle_model::{
     Application, LinkDirection, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
 };
-use sparcle_runtime::{FluctuationConfig, ReconcilePolicy, RuntimeConfig, SparcleRuntime};
+use sparcle_runtime::{
+    AlertRules, FluctuationConfig, MonitorConfig, ReconcilePolicy, RuntimeConfig, SparcleRuntime,
+};
 use sparcle_sim::FluctuationModel;
 use sparcle_workloads::graphs::linear_task_graph;
 use sparcle_workloads::ArrivalTrace;
@@ -45,6 +47,31 @@ fn app_source(index: u64) -> Application {
 /// Runs a busy churn timeline and serializes every telemetry event,
 /// one JSON line per event.
 fn rendered_log(threads: usize) -> String {
+    rendered_log_with(threads, None)
+}
+
+/// Same timeline with the observability monitor enabled; only the
+/// `monitor_*` lines are kept.
+fn monitor_log(threads: usize) -> String {
+    let monitor = MonitorConfig {
+        period: 5.0,
+        slots: 4,
+        // A tight SLO budget so the flaky-link violations push the burn
+        // rate over threshold — the alert path must be exercised too.
+        rules: AlertRules {
+            slo_violation_budget: 0.005,
+            ..AlertRules::default()
+        },
+        metrics_out: None,
+    };
+    rendered_log_with(threads, Some(monitor))
+        .lines()
+        .filter(|l| l.contains("\"type\":\"monitor_"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn rendered_log_with(threads: usize, monitor: Option<MonitorConfig>) -> String {
     let mut config = RuntimeConfig {
         horizon: 60.0,
         failure_seed: 11,
@@ -62,6 +89,7 @@ fn rendered_log(threads: usize) -> String {
         ..RuntimeConfig::default()
     };
     config.system.assigner_threads = threads;
+    config.monitor = monitor;
     let arrivals = ArrivalTrace::Poisson { rate: 0.8 }.events(config.horizon, 42);
     let mut rt = SparcleRuntime::new(two_route_network(), arrivals, app_source, config);
     let recorder = CollectRecorder::new();
@@ -83,6 +111,33 @@ fn event_log_is_byte_identical_across_thread_counts() {
     );
     assert_eq!(single, rendered_log(1), "repeat run diverged");
     assert_eq!(single, rendered_log(8), "thread count changed the log");
+}
+
+#[test]
+fn monitor_stream_is_byte_identical_across_thread_counts() {
+    let single = monitor_log(1);
+    assert!(
+        single.contains("\"type\":\"monitor_snapshot\""),
+        "snapshots must be emitted:\n{single}"
+    );
+    assert!(
+        single.contains("\"type\":\"monitor_alert\""),
+        "the tight SLO budget must trip the burn-rate alert:\n{single}"
+    );
+    assert_eq!(single, monitor_log(1), "repeat run diverged");
+    assert_eq!(single, monitor_log(2), "2 threads changed the stream");
+    assert_eq!(single, monitor_log(8), "8 threads changed the stream");
+}
+
+#[test]
+fn every_monitor_event_passes_the_schema() {
+    let log = monitor_log(2);
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in log.lines() {
+        kinds.insert(validate_line(line).expect("schema-valid event"));
+    }
+    assert!(kinds.contains("monitor_snapshot"));
+    assert!(kinds.contains("monitor_alert"));
 }
 
 #[test]

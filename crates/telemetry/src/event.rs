@@ -215,6 +215,65 @@ pub enum Event {
         /// return or panic unwind).
         aborted: bool,
     },
+    /// One window snapshot from the runtime's observability monitor.
+    ///
+    /// Emitted on each monitor tick; every field is derived from the
+    /// deterministic sim-time windows in [`crate::window`], so snapshot
+    /// streams are byte-identical across evaluator thread counts.
+    MonitorSnapshot {
+        /// Simulated time of the monitor tick.
+        time: f64,
+        /// Window span in simulated seconds.
+        window: f64,
+        /// GR violation-seconds burn rate: windowed violation-seconds
+        /// divided by the window's SLO budget (1.0 = burning exactly
+        /// the budget).
+        gr_burn: f64,
+        /// Windowed GR violation-seconds (the burn numerator).
+        gr_violation_s: f64,
+        /// Aggregate BE delivered rate at the tick.
+        be_rate: f64,
+        /// Windowed application arrivals per simulated second.
+        arrival_rate: f64,
+        /// Windowed admissions per simulated second.
+        admit_rate: f64,
+        /// Windowed γ-cache hit rate (1.0 when the window saw no
+        /// lookups).
+        cache_hit_rate: f64,
+        /// γ-cache lookups in the window (hit-rate denominator).
+        cache_lookups: u64,
+        /// Windowed warm-start Newton iterations per BE solve (0 when
+        /// the window saw no solves).
+        warm_iters_per_solve: f64,
+        /// BE solves in the window.
+        solves: u64,
+        /// DES future-event-list depth at the tick.
+        queue_depth: u64,
+        /// p95 of the windowed queue-depth samples.
+        queue_p95: u64,
+        /// Applications awaiting re-placement (reconcile backlog).
+        backlog: u64,
+        /// Applications currently placed and running.
+        live: u64,
+        /// Alert rules in the firing state after this tick.
+        alerts_firing: u64,
+    },
+    /// A monitor alert rule changed state (edge-triggered: one event
+    /// when a rule starts firing, one when it clears).
+    MonitorAlert {
+        /// Simulated time of the transition.
+        time: f64,
+        /// Rule label (`"gr_burn_rate"`, `"cache_hit_collapse"`,
+        /// `"solver_iteration_blowup"`, `"backlog_growth"`).
+        rule: String,
+        /// `"firing"` or `"cleared"`.
+        state: String,
+        /// The observed value that crossed (or re-crossed) the
+        /// threshold.
+        value: f64,
+        /// The rule's threshold.
+        threshold: f64,
+    },
     /// The runtime's reconcile pass re-placed displaced applications.
     RuntimeReconcile {
         /// Simulated time the reconcile pass ran.
@@ -247,6 +306,8 @@ impl Event {
             Event::RuntimeElementState { .. } => "runtime_element_state",
             Event::RuntimeFluctuation { .. } => "runtime_fluctuation",
             Event::RuntimeReconcile { .. } => "runtime_reconcile",
+            Event::MonitorSnapshot { .. } => "monitor_snapshot",
+            Event::MonitorAlert { .. } => "monitor_alert",
             Event::SpanOpen { .. } => "span_open",
             Event::SpanClose { .. } => "span_close",
         }
@@ -358,6 +419,56 @@ impl Event {
                 ("time", Json::num(*time)),
                 ("violated", Json::Num(*violated as f64)),
             ]),
+            Event::MonitorSnapshot {
+                time,
+                window,
+                gr_burn,
+                gr_violation_s,
+                be_rate,
+                arrival_rate,
+                admit_rate,
+                cache_hit_rate,
+                cache_lookups,
+                warm_iters_per_solve,
+                solves,
+                queue_depth,
+                queue_p95,
+                backlog,
+                live,
+                alerts_firing,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("window", Json::num(*window)),
+                ("gr_burn", Json::num(*gr_burn)),
+                ("gr_violation_s", Json::num(*gr_violation_s)),
+                ("be_rate", Json::num(*be_rate)),
+                ("arrival_rate", Json::num(*arrival_rate)),
+                ("admit_rate", Json::num(*admit_rate)),
+                ("cache_hit_rate", Json::num(*cache_hit_rate)),
+                ("cache_lookups", Json::Num(*cache_lookups as f64)),
+                ("warm_iters_per_solve", Json::num(*warm_iters_per_solve)),
+                ("solves", Json::Num(*solves as f64)),
+                ("queue_depth", Json::Num(*queue_depth as f64)),
+                ("queue_p95", Json::Num(*queue_p95 as f64)),
+                ("backlog", Json::Num(*backlog as f64)),
+                ("live", Json::Num(*live as f64)),
+                ("alerts_firing", Json::Num(*alerts_firing as f64)),
+            ]),
+            Event::MonitorAlert {
+                time,
+                rule,
+                state,
+                value,
+                threshold,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("rule", Json::Str(rule.clone())),
+                ("state", Json::Str(state.clone())),
+                ("value", Json::num(*value)),
+                ("threshold", Json::num(*threshold)),
+            ]),
             Event::RuntimeReconcile {
                 time,
                 policy,
@@ -466,6 +577,44 @@ mod tests {
             let json = e.to_json();
             assert_eq!(json.get("type").unwrap().as_str(), Some(e.kind()));
             assert!(e.kind().starts_with("runtime_"), "{}", e.kind());
+            let line = json.render();
+            assert_eq!(crate::json::parse(&line).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn monitor_events_round_trip() {
+        let events = [
+            Event::MonitorSnapshot {
+                time: 30.0,
+                window: 20.0,
+                gr_burn: 1.25,
+                gr_violation_s: 2.5,
+                be_rate: 4.0,
+                arrival_rate: 1.1,
+                admit_rate: 0.9,
+                cache_hit_rate: 0.75,
+                cache_lookups: 200,
+                warm_iters_per_solve: 12.5,
+                solves: 8,
+                queue_depth: 17,
+                queue_p95: 31,
+                backlog: 2,
+                live: 9,
+                alerts_firing: 1,
+            },
+            Event::MonitorAlert {
+                time: 30.0,
+                rule: "backlog_growth".into(),
+                state: "cleared".into(),
+                value: 0.0,
+                threshold: 3.0,
+            },
+        ];
+        for e in events {
+            let json = e.to_json();
+            assert_eq!(json.get("type").unwrap().as_str(), Some(e.kind()));
+            assert!(e.kind().starts_with("monitor_"), "{}", e.kind());
             let line = json.render();
             assert_eq!(crate::json::parse(&line).unwrap(), json);
         }

@@ -35,12 +35,14 @@ pub mod metrics;
 pub mod recorder;
 pub mod schema;
 pub mod span;
+pub mod window;
 
 pub use event::{Candidate, CommitRecord, CtTieBreak, Event, HostTieBreak, PlacementDecision};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use recorder::{CollectRecorder, JsonlRecorder, NoopRecorder, Recorder};
 pub use span::{Span, SpanTracker};
+pub use window::{RateEstimator, WindowedCounter, WindowedHistogram};
 
 use std::time::Instant;
 

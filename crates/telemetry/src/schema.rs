@@ -55,6 +55,31 @@ const SCHEMAS: &[(&str, &[&str])] = &[
             "time", "policy", "restored", "replaced", "failed", "latency",
         ],
     ),
+    (
+        "monitor_snapshot",
+        &[
+            "time",
+            "window",
+            "gr_burn",
+            "gr_violation_s",
+            "be_rate",
+            "arrival_rate",
+            "admit_rate",
+            "cache_hit_rate",
+            "cache_lookups",
+            "warm_iters_per_solve",
+            "solves",
+            "queue_depth",
+            "queue_p95",
+            "backlog",
+            "live",
+            "alerts_firing",
+        ],
+    ),
+    (
+        "monitor_alert",
+        &["time", "rule", "state", "value", "threshold"],
+    ),
     ("span_open", &["id", "parent", "name", "t_ns"]),
     ("span_close", &["id", "name", "dur_ns", "aborted"]),
     ("snapshot", &["counters"]),
@@ -180,6 +205,46 @@ mod tests {
         trace.push_str(&r.snapshot().to_trace_json().render());
         trace.push('\n');
         assert_eq!(validate_trace(&trace), Ok(6));
+    }
+
+    #[test]
+    fn monitor_events_validate() {
+        let r = CollectRecorder::new();
+        r.event(&Event::MonitorSnapshot {
+            time: 10.0,
+            window: 20.0,
+            gr_burn: 0.4,
+            gr_violation_s: 0.2,
+            be_rate: 3.5,
+            arrival_rate: 1.2,
+            admit_rate: 1.0,
+            cache_hit_rate: 0.9,
+            cache_lookups: 120,
+            warm_iters_per_solve: 18.0,
+            solves: 6,
+            queue_depth: 40,
+            queue_p95: 55,
+            backlog: 0,
+            live: 12,
+            alerts_firing: 1,
+        });
+        r.event(&Event::MonitorAlert {
+            time: 10.0,
+            rule: "gr_burn_rate".into(),
+            state: "firing".into(),
+            value: 1.8,
+            threshold: 1.0,
+        });
+        let mut trace = String::new();
+        for e in r.events() {
+            let line = e.to_json().render();
+            assert_eq!(validate_line(&line), Ok(e.kind()));
+            trace.push_str(&line);
+            trace.push('\n');
+        }
+        trace.push_str(&r.snapshot().to_trace_json().render());
+        trace.push('\n');
+        assert_eq!(validate_trace(&trace), Ok(3));
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Property tests for `telemetry::window`: windowed-histogram merge is
+//! associative and commutative over the merged window, agrees with
+//! replaying all samples into one instance, and the windowed counter
+//! matches a brute-force sum over the live span.
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use sparcle_telemetry::window::{WindowedCounter, WindowedHistogram};
+
+const SLOT_WIDTH: f64 = 2.0;
+const SLOTS: usize = 5;
+
+/// `(sim_time, value)` samples with times inside a few window spans so
+/// rotation, eviction, and horizon wrap all get exercised.
+fn arb_samples() -> BoxedStrategy<Vec<(f64, u64)>> {
+    let span = SLOT_WIDTH * SLOTS as f64;
+    proptest::collection::vec(
+        (
+            (0.0..4.0 * span).prop_map(|t| (t * 8.0).round() / 8.0),
+            0u64..5000,
+        ),
+        0..40,
+    )
+    .boxed()
+}
+
+fn build(samples: &[(f64, u64)]) -> WindowedHistogram {
+    let mut h = WindowedHistogram::new(SLOT_WIDTH, SLOTS);
+    // Feed in time order, the way a monitor would; interleavings across
+    // instances are then modelled by `merge`.
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for &(t, v) in &sorted {
+        h.record(t, v);
+    }
+    h
+}
+
+proptest! {
+    /// (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c) for windowed histograms.
+    #[test]
+    fn windowed_histogram_merge_is_associative(
+        a in arb_samples(),
+        b in arb_samples(),
+        c in arb_samples(),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// a ⊔ b == b ⊔ a.
+    #[test]
+    fn windowed_histogram_merge_is_commutative(
+        a in arb_samples(),
+        b in arb_samples(),
+    ) {
+        let (ha, hb) = (build(&a), build(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Sharding samples across two instances and merging matches
+    /// feeding everything into one instance, as long as both shards
+    /// observed the full time range (same head -> same evictions).
+    #[test]
+    fn merge_of_shards_matches_single_instance(
+        samples in arb_samples(),
+        split in 0usize..40,
+    ) {
+        let mut all = samples.clone();
+        all.sort_by(|x, y| x.0.total_cmp(&y.0));
+        let split = split.min(all.len());
+
+        let reference = build(&all);
+
+        let mut shard_a = build(&all[..split]);
+        let mut shard_b = build(&all[split..]);
+        // Align both shards to the global head before merging, exactly
+        // what a monitor does by advancing every window at each tick.
+        if let Some(&(last_t, _)) = all.last() {
+            shard_a.advance(last_t);
+            shard_b.advance(last_t);
+        }
+        shard_a.merge(&shard_b);
+        prop_assert_eq!(shard_a, reference);
+    }
+
+    /// The windowed counter's sum equals a brute-force sum over the
+    /// samples that remain inside the trailing window.
+    #[test]
+    fn windowed_counter_matches_brute_force(samples in arb_samples()) {
+        let mut sorted = samples;
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut c = WindowedCounter::new(SLOT_WIDTH, SLOTS);
+        for &(t, v) in &sorted {
+            c.record(t, v);
+        }
+
+        let head_slot = sorted
+            .last()
+            .map(|&(t, _)| (t / SLOT_WIDTH) as u64);
+        let expect: u64 = match head_slot {
+            None => 0,
+            Some(h) => sorted
+                .iter()
+                .filter(|&&(t, _)| h - ((t / SLOT_WIDTH) as u64) < SLOTS as u64)
+                .map(|&(_, v)| v)
+                .sum(),
+        };
+        prop_assert_eq!(c.sum(), expect);
+        let total: u64 = sorted.iter().map(|&(_, v)| v).sum();
+        prop_assert_eq!(c.total(), total);
+    }
+}

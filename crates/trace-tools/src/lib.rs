@@ -7,6 +7,8 @@
 //!
 //! * [`summary`] — per-kind event counts plus per-app rate/SLO rollups
 //!   from the `runtime_*`/`sim_*` event families;
+//! * [`report`] — the observability plane's `monitor_*` families as a
+//!   health-over-time table and an alert timeline;
 //! * [`profile`] — reconstructs the `span_open`/`span_close` tree and
 //!   aggregates it into a self/total-time table, flamegraph-compatible
 //!   folded stacks, and per-placement-round critical-path attribution;
@@ -24,6 +26,7 @@
 
 pub mod diff;
 pub mod profile;
+pub mod report;
 pub mod summary;
 
 pub use sparcle_telemetry::schema::{validate_line, validate_trace};

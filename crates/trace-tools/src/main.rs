@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! sparcle-trace summary  <trace.jsonl>              per-kind counts + rollups
+//! sparcle-trace report   <trace.jsonl>              monitor snapshot table +
+//!                                                   alert timeline
 //! sparcle-trace profile  <trace.jsonl> [--folded F] span self/total table,
 //!                                                   per-round critical paths;
 //!                                                   folded stacks to F
@@ -15,10 +17,11 @@
 
 use std::process::ExitCode;
 
-use sparcle_trace_tools::{diff, load_trace, profile, summary, validate_trace};
+use sparcle_trace_tools::{diff, load_trace, profile, report, summary, validate_trace};
 
-const USAGE: &str = "usage: sparcle-trace <summary|profile|diff|validate> <trace.jsonl> ...
+const USAGE: &str = "usage: sparcle-trace <summary|report|profile|diff|validate> <trace.jsonl> ...
   summary  <trace>                per-kind counts, app/reconcile/queue rollups
+  report   <trace>                monitor snapshot table + alert timeline
   profile  <trace> [--folded <out>]  span profile, critical paths, folded stacks
   diff     <a> <b>                first diverging event (wall-clock-insensitive)
   validate <trace>                schema-check every line";
@@ -48,6 +51,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let events = load_trace(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
             print!("{}", summary::summarize(&events).render());
             Ok(ExitCode::SUCCESS)
+        }
+        "report" => {
+            let [path] = rest else {
+                return Err(USAGE.to_owned());
+            };
+            let events = load_trace(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+            let monitor = report::build(&events);
+            print!("{}", monitor.render());
+            // Exit 1 on "nothing to report" so scripts notice a trace
+            // recorded without monitoring.
+            Ok(if monitor.is_empty() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         "profile" => {
             let (path, folded_out) = match rest {

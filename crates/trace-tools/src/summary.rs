@@ -178,12 +178,69 @@ impl TraceSummary {
                 self.processed.unwrap_or(0)
             ));
         }
+        out.push_str(&self.render_state_core());
         if !self.counters.is_empty() {
             out.push_str("\nfinal counters:\n");
             for (name, value) in &self.counters {
                 out.push_str(&format!("  {name:<32} {value}\n"));
             }
         }
+        out
+    }
+
+    fn counter(&self, name: &str) -> f64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// Rolls the `system.*` state-core work counters (exported by the
+    /// churn runtime's final snapshot) into derived health ratios:
+    /// warm-solve share, Newton iterations per solve, rollback rate,
+    /// and the γ-cache hit rate. Empty when the trace carries none.
+    fn render_state_core(&self) -> String {
+        if !self.counters.iter().any(|(n, _)| n.starts_with("system.")) {
+            return String::new();
+        }
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let mut out = String::new();
+        out.push_str("\nstate core (system.* rollup):\n");
+        let (solves, warm, cold) = (
+            self.counter("system.solves"),
+            self.counter("system.warm_solves"),
+            self.counter("system.cold_solves"),
+        );
+        out.push_str(&format!(
+            "  solves {solves} (warm {warm} / cold {cold}, warm share {:.1}%)\n",
+            100.0 * ratio(warm, solves)
+        ));
+        out.push_str(&format!(
+            "  newton iters/solve: warm {:.1}, cold {:.1}\n",
+            ratio(self.counter("system.warm_inner_iters"), warm),
+            ratio(self.counter("system.cold_inner_iters"), cold),
+        ));
+        out.push_str(&format!(
+            "  residual maintenance: {} element updates, {} full recomputes\n",
+            self.counter("system.residual_element_updates"),
+            self.counter("system.residual_full_recomputes"),
+        ));
+        let (commits, rollbacks) = (
+            self.counter("system.txn_commits"),
+            self.counter("system.txn_rollbacks"),
+        );
+        out.push_str(&format!(
+            "  transactions: {commits} commits, {rollbacks} rollbacks ({:.1}% rolled back)\n",
+            100.0 * ratio(rollbacks, commits + rollbacks)
+        ));
+        let (hits, misses) = (
+            self.counter("system.gamma_cache_hits"),
+            self.counter("system.gamma_cache_misses"),
+        );
+        out.push_str(&format!(
+            "  gamma cache: {hits} hits / {misses} misses ({:.1}% hit rate)\n",
+            100.0 * ratio(hits, hits + misses)
+        ));
         out
     }
 }
@@ -253,6 +310,25 @@ mod tests {
         assert!(report.contains("reconcile passes by policy:"));
         assert!(report.contains("peak queue depth 9"));
         assert!(report.contains("engine.rounds"));
+    }
+
+    #[test]
+    fn system_counters_get_a_rollup_section() {
+        let lines = [
+            r#"{"type":"snapshot","counters":{"system.solves":40,"system.warm_solves":30,"system.cold_solves":10,"system.warm_inner_iters":1500,"system.cold_inner_iters":2100,"system.residual_element_updates":12,"system.residual_full_recomputes":1,"system.txn_commits":36,"system.txn_rollbacks":4,"system.gamma_cache_hits":95,"system.gamma_cache_misses":5}}"#,
+        ];
+        let report = summarize(&load_trace(&lines.join("\n")).unwrap()).render();
+        assert!(report.contains("state core (system.* rollup):"));
+        assert!(report.contains("warm share 75.0%"));
+        assert!(report.contains("warm 50.0, cold 210.0"));
+        assert!(report.contains("10.0% rolled back"));
+        assert!(report.contains("95.0% hit rate"));
+    }
+
+    #[test]
+    fn traces_without_system_counters_skip_the_rollup() {
+        let report = summarize(&runtime_trace()).render();
+        assert!(!report.contains("state core"));
     }
 
     #[test]
