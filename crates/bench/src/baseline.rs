@@ -58,8 +58,8 @@ pub struct MetricSpec {
     pub fixed_tolerance: Option<f64>,
 }
 
-/// The eight gated metrics, in serialization order.
-pub const METRIC_SPECS: [MetricSpec; 8] = [
+/// The ten gated metrics, in serialization order.
+pub const METRIC_SPECS: [MetricSpec; 10] = [
     MetricSpec {
         name: "wall_time_s",
         higher_is_better: false,
@@ -108,6 +108,18 @@ pub const METRIC_SPECS: [MetricSpec; 8] = [
         deterministic: false,
         fixed_tolerance: Some(0.05),
     },
+    MetricSpec {
+        name: "admissions_per_sec",
+        higher_is_better: true,
+        deterministic: false,
+        fixed_tolerance: None,
+    },
+    MetricSpec {
+        name: "p99_decision_ms",
+        higher_is_better: false,
+        deterministic: true,
+        fixed_tolerance: None,
+    },
 ];
 
 /// Relative band for deterministic metrics (float formatting slack
@@ -147,11 +159,19 @@ pub struct BenchResult {
     /// ratio, so it gets a fixed 5 % band — the monitor's overhead
     /// budget.
     pub monitor_overhead_ratio: f64,
+    /// Admission decisions served per second of wall time by the
+    /// service plane (0 when the workload runs no admission service).
+    pub admissions_per_sec: f64,
+    /// 99th-percentile arrival-to-decision latency of the admission
+    /// service in simulated milliseconds — sim-time, hence
+    /// deterministic: it gates the batching/backpressure policy itself,
+    /// not the machine (0 when no admission service runs).
+    pub p99_decision_ms: f64,
 }
 
 impl BenchResult {
     /// Metric values in [`METRIC_SPECS`] order.
-    pub fn metrics(&self) -> [f64; 8] {
+    pub fn metrics(&self) -> [f64; 10] {
         [
             self.wall_time_s,
             self.gamma_cache_hit_rate,
@@ -161,6 +181,8 @@ impl BenchResult {
             self.warm_inner_iters_per_solve,
             self.placements_per_sec,
             self.monitor_overhead_ratio,
+            self.admissions_per_sec,
+            self.p99_decision_ms,
         ]
     }
 
@@ -195,6 +217,8 @@ impl BenchResult {
             warm_inner_iters_per_solve: value("warm_inner_iters_per_solve"),
             placements_per_sec: value("placements_per_sec"),
             monitor_overhead_ratio: value("monitor_overhead_ratio"),
+            admissions_per_sec: value("admissions_per_sec"),
+            p99_decision_ms: value("p99_decision_ms"),
         })
     }
 }
@@ -279,13 +303,14 @@ pub type BaselineExperiment = (&'static str, fn() -> BenchResult);
 
 /// The pinned baseline workloads, each a deterministic compact cut of
 /// the experiment it is named after.
-pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 6] = [
+pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 7] = [
     ("fig6_placement", run_fig6_placement),
     ("scaling_assign", run_scaling_assign),
     ("scale_assign", run_scale_assign),
     ("churn_runtime", run_churn_runtime),
     ("churn_solver", run_churn_solver),
     ("churn_monitor", run_churn_monitor),
+    ("service_admission", run_service_admission),
 ];
 
 /// Runs one registered baseline experiment by name.
@@ -378,6 +403,8 @@ fn run_fig6_placement() -> BenchResult {
         warm_inner_iters_per_solve: 0.0,
         placements_per_sec: 0.0,
         monitor_overhead_ratio: 0.0,
+        admissions_per_sec: 0.0,
+        p99_decision_ms: 0.0,
     }
 }
 
@@ -469,6 +496,8 @@ fn run_scaling_assign() -> BenchResult {
             0.0
         },
         monitor_overhead_ratio: 0.0,
+        admissions_per_sec: 0.0,
+        p99_decision_ms: 0.0,
     }
 }
 
@@ -511,6 +540,8 @@ fn run_scale_assign() -> BenchResult {
             0.0
         },
         monitor_overhead_ratio: 0.0,
+        admissions_per_sec: 0.0,
+        p99_decision_ms: 0.0,
     }
 }
 
@@ -594,6 +625,8 @@ fn run_churn_runtime() -> BenchResult {
         warm_inner_iters_per_solve: 0.0,
         placements_per_sec: 0.0,
         monitor_overhead_ratio: 0.0,
+        admissions_per_sec: 0.0,
+        p99_decision_ms: 0.0,
     }
 }
 
@@ -659,6 +692,8 @@ fn run_churn_monitor() -> BenchResult {
         } else {
             0.0
         },
+        admissions_per_sec: 0.0,
+        p99_decision_ms: 0.0,
     }
 }
 
@@ -714,6 +749,70 @@ fn run_churn_solver() -> BenchResult {
         },
         placements_per_sec: 0.0,
         monitor_overhead_ratio: 0.0,
+        admissions_per_sec: 0.0,
+        p99_decision_ms: 0.0,
+    }
+}
+
+/// Admission-service cut: a pinned flash-crowd request stream (with
+/// every 8th request a snapshot probe) through the micro-batched
+/// service plane over the churn network. `admissions_per_sec` rides
+/// the wall-clock band; `p99_decision_ms` is measured in *sim* time —
+/// deterministic, so the gate pins the batching/backpressure policy
+/// itself (a window-size or shedding change moves it immediately).
+fn run_service_admission() -> BenchResult {
+    let config = sparcle_service::ServiceConfig {
+        batch_window: 0.5,
+        max_batch: 64,
+        queue_capacity: 128,
+        max_defer_windows: 4,
+        ..sparcle_service::ServiceConfig::default()
+    };
+    let requests = sparcle_workloads::RequestStream::new(
+        ArrivalTrace::FlashCrowd {
+            rate: 2.0,
+            burst_rate: 40.0,
+            burst_start: 60.0,
+            burst_end: 120.0,
+        },
+        180.0,
+        0x5eed,
+    )
+    .with_probe_every(8);
+    let mut service =
+        sparcle_service::AdmissionService::new(churn_network(0.05), config, churn_app);
+
+    let start = Instant::now();
+    service.run(requests);
+    let wall = start.elapsed().as_secs_f64();
+
+    let stats = *service.stats();
+    let system_stats = service.system().state_stats();
+    let lookups = (system_stats.gamma_cache_hits + system_stats.gamma_cache_misses) as f64;
+    BenchResult {
+        experiment: "service_admission".to_owned(),
+        wall_time_s: wall,
+        gamma_cache_hit_rate: if lookups > 0.0 {
+            system_stats.gamma_cache_hits as f64 / lookups
+        } else {
+            0.0
+        },
+        events_per_sec: 0.0,
+        peak_queue_depth: 0.0,
+        be_solve_ms_per_event: 0.0,
+        warm_inner_iters_per_solve: if system_stats.warm_solves > 0 {
+            system_stats.inner_iters_warm as f64 / system_stats.warm_solves as f64
+        } else {
+            0.0
+        },
+        placements_per_sec: 0.0,
+        monitor_overhead_ratio: 0.0,
+        admissions_per_sec: if wall > 0.0 {
+            stats.decisions as f64 / wall
+        } else {
+            0.0
+        },
+        p99_decision_ms: 1000.0 * service.decision_wait_quantile(0.99),
     }
 }
 
@@ -732,6 +831,8 @@ mod tests {
             warm_inner_iters_per_solve: 0.0,
             placements_per_sec: 0.0,
             monitor_overhead_ratio: 0.0,
+            admissions_per_sec: 0.0,
+            p99_decision_ms: 0.0,
         }
     }
 

@@ -67,6 +67,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
         "Observability plane: monitor ticks, burn rates, alert edges",
     ),
     (
+        "exp_service",
+        "Service plane: batched admission vs per-request under flash crowds",
+    ),
+    (
         "exp_baseline",
         "Perf baselines: pinned workloads + regression compare gate",
     ),

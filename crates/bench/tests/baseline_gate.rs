@@ -79,7 +79,8 @@ fn deterministic_metrics_get_the_tight_band() {
     assert!(
         specs.iter().any(|s| s.name == "gamma_cache_hit_rate")
             && specs.iter().any(|s| s.name == "peak_queue_depth")
-            && specs.iter().any(|s| s.name == "warm_inner_iters_per_solve"),
+            && specs.iter().any(|s| s.name == "warm_inner_iters_per_solve")
+            && specs.iter().any(|s| s.name == "p99_decision_ms"),
         "run-to-run-identical metrics must be gated deterministically"
     );
     let baseline = BenchResult {
@@ -92,6 +93,8 @@ fn deterministic_metrics_get_the_tight_band() {
         warm_inner_iters_per_solve: 30.0,
         placements_per_sec: 250.0,
         monitor_overhead_ratio: 1.0,
+        admissions_per_sec: 500.0,
+        p99_decision_ms: 12.0,
     };
     let mut drifted = baseline.clone();
     drifted.peak_queue_depth = 105.0; // +5 % on a deterministic metric

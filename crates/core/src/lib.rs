@@ -19,6 +19,7 @@
 pub mod assignment;
 pub mod engine;
 pub mod error;
+pub mod snapshot;
 pub mod state;
 pub mod system;
 pub mod trace;
@@ -32,6 +33,7 @@ pub use engine::{
     fewest_hops_path, AssignStats, AssignedPath, GammaRows, PlacementEngine, RoutePolicy,
 };
 pub use error::AssignError;
+pub use snapshot::{SnapshotBeApp, SnapshotGrApp, StateSnapshot};
 pub use sparcle_model::GraphRepr;
 #[cfg(feature = "telemetry")]
 pub use sparcle_telemetry as telemetry;

@@ -160,7 +160,12 @@ impl SystemState {
         &self.stats
     }
 
-    pub(crate) fn snapshot_rates(&self) -> Vec<f64> {
+    /// The BE `allocated_rate` vector in admission order — the exact
+    /// snapshot the undo log records before each solve so a rollback
+    /// restores rates bitwise. Public so read-side consumers (the
+    /// service plane's [`crate::StateSnapshot`], tests) can check the
+    /// arity contract without relying on `debug_assert`s.
+    pub fn snapshot_rates(&self) -> Vec<f64> {
         self.be_apps.iter().map(|a| a.allocated_rate).collect()
     }
 

@@ -399,6 +399,27 @@ impl SparcleSystem {
         Ok(admission)
     }
 
+    /// Submits a batch of applications in one transaction with a single
+    /// BE re-solve at the end (see [`SystemTxn::submit_all`]): decisions
+    /// are bitwise identical to sequential submission, at one solve per
+    /// batch instead of one per admission. An error unwinds the whole
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] only for malformed inputs (bad pins);
+    /// feasibility failures are per-application [`Admission::Rejected`]
+    /// entries.
+    pub fn submit_batch(
+        &mut self,
+        apps: &[Arc<Application>],
+    ) -> Result<Vec<Admission>, AssignError> {
+        let mut txn = self.begin();
+        let admissions = txn.submit_all(apps)?;
+        txn.commit();
+        Ok(admissions)
+    }
+
     /// Removes an admitted application (departure). GR departures
     /// release their reserved capacity; BE departures trigger a
     /// re-allocation of the remaining BE applications. Returns `false`
@@ -725,18 +746,84 @@ impl SystemTxn<'_> {
     /// earlier operations stay intact (the failed submission itself is
     /// unwound).
     pub fn submit(&mut self, app: impl Into<Arc<Application>>) -> Result<Admission, AssignError> {
-        let app: Arc<Application> = app.into();
+        self.submit_inner(app.into(), false)
+    }
+
+    fn submit_inner(
+        &mut self,
+        app: Arc<Application>,
+        defer_solve: bool,
+    ) -> Result<Admission, AssignError> {
         app.check_against_network(&self.sys.network)?;
         match app.qoe().clone() {
             QoeClass::BestEffort {
                 priority,
                 availability,
-            } => self.submit_be(app, priority, availability),
+            } => self.submit_be(app, priority, availability, defer_solve),
             QoeClass::GuaranteedRate {
                 min_rate,
                 min_rate_availability,
-            } => self.submit_gr(app, min_rate, min_rate_availability),
+            } => self.submit_gr(app, min_rate, min_rate_availability, defer_solve),
         }
+    }
+
+    /// Submits a whole batch of applications with **one** BE re-solve at
+    /// the end instead of one per admission — the micro-batch admission
+    /// the service plane coalesces arrivals into (the write-side dual of
+    /// [`Self::displace_all`]).
+    ///
+    /// Decisions are bitwise identical to submitting the batch
+    /// sequentially: admission control reads only the GR residual and
+    /// the resident-priority tracker (never the incumbent BE
+    /// `allocated_rate`s), so deferring the solve cannot change any
+    /// reject/admit outcome, path set, reservation, or assigned id.
+    /// Only the *final* BE rates are solved jointly (warm-started from
+    /// the pre-batch incumbents) rather than through the chain of
+    /// intermediate allocations — intermediates no caller can observe.
+    /// A batch of one is bitwise identical to [`Self::submit`], rates
+    /// included.
+    ///
+    /// If the batch-final solve fails, the whole batch is unwound and
+    /// replayed through the sequential path, so per-application
+    /// [`RejectReason::AllocationFailed`] attribution matches the
+    /// sequential semantics exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssignError`] for malformed inputs (bad pins); the
+    /// whole batch is unwound — all-or-nothing, unlike feasibility
+    /// rejections which are per-application [`Admission`] values.
+    pub fn submit_all(&mut self, apps: &[Arc<Application>]) -> Result<Vec<Admission>, AssignError> {
+        let batch = self.log.savepoint();
+        let mut admissions = Vec::with_capacity(apps.len());
+        let mut deferred = false;
+        for app in apps {
+            match self.submit_inner(Arc::clone(app), true) {
+                Ok(admission) => {
+                    deferred |= admission.is_admitted();
+                    admissions.push(admission);
+                }
+                Err(e) => {
+                    self.unwind_to(batch);
+                    return Err(e);
+                }
+            }
+        }
+        if deferred && !self.sys.state.be_apps.is_empty() {
+            self.log
+                .push(UndoOp::RestoreRates(self.sys.state.snapshot_rates()));
+            if self.sys.solve_be_internal().is_err() {
+                // The joint solve failed where the sequential chain
+                // might partially succeed: fall back to the sequential
+                // path for exact per-application attribution.
+                self.unwind_to(batch);
+                admissions.clear();
+                for app in apps {
+                    admissions.push(self.submit_inner(Arc::clone(app), false)?);
+                }
+            }
+        }
+        Ok(admissions)
     }
 
     /// Displaces an admitted application inside this transaction. The
@@ -851,12 +938,16 @@ impl SystemTxn<'_> {
         id
     }
 
-    /// Figure 3, steps 1–4 for a BE application.
+    /// Figure 3, steps 1–4 for a BE application. With `defer_solve` the
+    /// final re-solve (step 4) is left to the caller's batch epilogue —
+    /// sound because nothing in steps 1–3 reads `allocated_rate`s (see
+    /// [`Self::submit_all`]).
     fn submit_be(
         &mut self,
         app: Arc<Application>,
         priority: f64,
         availability_target: Option<f64>,
+        defer_solve: bool,
     ) -> Result<Admission, AssignError> {
         let sys = &mut *self.sys;
         // Step 1: predict available resources via eq. (6).
@@ -940,6 +1031,9 @@ impl SystemTxn<'_> {
             allocated_rate: 0.0,
         });
         self.log.push(UndoOp::PopBe);
+        if defer_solve {
+            return Ok(Admission::Admitted(id));
+        }
         self.log
             .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
 
@@ -962,6 +1056,7 @@ impl SystemTxn<'_> {
         app: Arc<Application>,
         min_rate: f64,
         target: f64,
+        defer_solve: bool,
     ) -> Result<Admission, AssignError> {
         let savepoint = self.log.savepoint();
         let (paths, achieved) = match self.collect_gr_paths(&app, min_rate, target) {
@@ -988,8 +1083,9 @@ impl SystemTxn<'_> {
             min_rate,
         });
         self.log.push(UndoOp::PopGr);
-        // GR reservations shrink what BE apps share; re-solve their rates.
-        if !sys.state.be_apps.is_empty() {
+        // GR reservations shrink what BE apps share; re-solve their rates
+        // (deferred to the batch epilogue under `defer_solve`).
+        if !defer_solve && !sys.state.be_apps.is_empty() {
             self.log
                 .push(UndoOp::RestoreRates(sys.state.snapshot_rates()));
             let _ = sys.solve_be_internal();
@@ -1783,5 +1879,146 @@ mod tests {
         assert_eq!(incremental.0, scratch.0, "residual bitwise equal");
         assert_eq!(incremental.1, scratch.1, "rates bitwise equal");
         assert_eq!(incremental.2, scratch.2, "admissions equal");
+    }
+
+    /// A small mixed workload for the batch-admission tests: BE apps of
+    /// varying priority/size, a GR app, and an unplaceable BE app
+    /// (rejected `NoPath` in both modes).
+    fn batch_workload() -> Vec<Arc<Application>> {
+        vec![
+            Arc::new(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0)),
+            Arc::new(simple_app(QoeClass::best_effort(2.0), 20.0, 100.0)),
+            Arc::new(simple_app(QoeClass::guaranteed_rate(2.0, 0.0), 10.0, 50.0)),
+            // No path clears `min_path_rate` for this monster.
+            Arc::new(simple_app(QoeClass::best_effort(1.0), 1e12, 50.0)),
+            Arc::new(simple_app(QoeClass::best_effort(3.0), 15.0, 75.0)),
+        ]
+    }
+
+    #[test]
+    fn batched_submission_matches_sequential_decisions_with_one_solve() {
+        let apps = batch_workload();
+
+        let mut sequential = SparcleSystem::new(star_network(0.0));
+        let seq_admissions: Vec<Admission> = apps
+            .iter()
+            .map(|app| sequential.submit(Arc::clone(app)).unwrap())
+            .collect();
+
+        let mut batched = SparcleSystem::new(star_network(0.0));
+        let solves_before = batched.state_stats().solves;
+        let batch_admissions = batched.submit_batch(&apps).unwrap();
+        let batch_solves = batched.state_stats().solves - solves_before;
+
+        assert_eq!(batch_admissions, seq_admissions, "decisions bitwise equal");
+        assert_eq!(batched.gr_residual(), sequential.gr_residual());
+        assert_eq!(batched.app_ids(), sequential.app_ids());
+        assert_eq!(batch_solves, 1, "one joint solve for the whole batch");
+        assert!(
+            sequential.state_stats().solves > 1,
+            "sequential admission solves per BE/GR admission"
+        );
+        // The joint allocation solves the same problem (4) instance as
+        // the last sequential solve; rates agree to solver tolerance.
+        for (a, b) in batched.be_apps().iter().zip(sequential.be_apps()) {
+            assert!(
+                (a.allocated_rate - b.allocated_rate).abs() < 1e-6,
+                "rates {} vs {}",
+                a.allocated_rate,
+                b.allocated_rate
+            );
+        }
+    }
+
+    #[test]
+    fn failed_joint_solve_falls_back_to_sequential_replay() {
+        // A GR app reserving its full path rate starves the BE apps'
+        // shared elements, so the batch-final joint solve fails and the
+        // batch must replay sequentially — making the whole outcome
+        // (decisions AND rates) bitwise identical to sequential.
+        let apps = vec![
+            Arc::new(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0)),
+            Arc::new(simple_app(QoeClass::best_effort(2.0), 20.0, 100.0)),
+            Arc::new(simple_app(QoeClass::guaranteed_rate(1e6, 0.0), 10.0, 50.0)),
+            Arc::new(simple_app(QoeClass::best_effort(3.0), 15.0, 75.0)),
+        ];
+
+        let mut sequential = SparcleSystem::new(star_network(0.0));
+        let seq_admissions: Vec<Admission> = apps
+            .iter()
+            .map(|app| sequential.submit(Arc::clone(app)).unwrap())
+            .collect();
+
+        let mut batched = SparcleSystem::new(star_network(0.0));
+        let batch_admissions = batched.submit_batch(&apps).unwrap();
+
+        assert_eq!(batch_admissions, seq_admissions, "decisions bitwise equal");
+        assert_eq!(batched.gr_residual(), sequential.gr_residual());
+        let seq_rates: Vec<f64> = sequential
+            .be_apps()
+            .iter()
+            .map(|a| a.allocated_rate)
+            .collect();
+        let batch_rates: Vec<f64> = batched.be_apps().iter().map(|a| a.allocated_rate).collect();
+        assert_eq!(batch_rates, seq_rates, "replayed rates bitwise equal");
+    }
+
+    #[test]
+    fn batch_of_one_is_bitwise_identical_to_submit() {
+        let app = Arc::new(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0));
+
+        let mut sequential = SparcleSystem::new(star_network(0.0));
+        sequential
+            .submit(simple_app(QoeClass::best_effort(2.0), 20.0, 100.0))
+            .unwrap();
+        let mut batched = SparcleSystem::new(star_network(0.0));
+        batched
+            .submit(simple_app(QoeClass::best_effort(2.0), 20.0, 100.0))
+            .unwrap();
+
+        let seq = sequential.submit(Arc::clone(&app)).unwrap();
+        let batch = batched.submit_batch(std::slice::from_ref(&app)).unwrap();
+        assert_eq!(batch, vec![seq]);
+        let seq_rates: Vec<f64> = sequential
+            .be_apps()
+            .iter()
+            .map(|a| a.allocated_rate)
+            .collect();
+        let batch_rates: Vec<f64> = batched.be_apps().iter().map(|a| a.allocated_rate).collect();
+        assert_eq!(batch_rates, seq_rates, "rates bitwise equal");
+        assert_eq!(
+            batched.state_stats().solves,
+            sequential.state_stats().solves
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut sys = SparcleSystem::new(star_network(0.0));
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        let before = sys.snapshot();
+        let solves = sys.state_stats().solves;
+        let admissions = sys.submit_batch(&[]).unwrap();
+        assert!(admissions.is_empty());
+        assert_eq!(sys.state_stats().solves, solves, "no solve for no work");
+        assert_eq!(sys.snapshot(), before);
+    }
+
+    #[test]
+    fn rolled_back_batch_restores_state_bitwise() {
+        let mut sys = SparcleSystem::new(star_network(0.0));
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        let before = sys.snapshot();
+        let rates_before = sys.state().snapshot_rates();
+
+        let mut txn = sys.begin();
+        let admissions = txn.submit_all(&batch_workload()).unwrap();
+        assert!(admissions.iter().any(Admission::is_admitted));
+        txn.rollback();
+
+        assert_eq!(sys.snapshot(), before, "rollback restores the view");
+        assert_eq!(sys.state().snapshot_rates(), rates_before, "rates restored");
     }
 }

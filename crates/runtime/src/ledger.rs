@@ -30,6 +30,13 @@ pub struct SloLedger {
     departures: u64,
     displacements: u64,
     reconciles: u64,
+    /// Requests the admission service dropped under backpressure
+    /// (charged here so shedding is SLO damage, not free capacity).
+    sheds: u64,
+    /// Requests the service pushed past their arrival window into a
+    /// later batch (each deferral is one window of added decision
+    /// latency).
+    deferrals: u64,
 }
 
 impl SloLedger {
@@ -75,6 +82,20 @@ impl SloLedger {
     /// Records one reconcile pass.
     pub fn record_reconcile(&mut self) {
         self.reconciles += 1;
+    }
+
+    /// Records one admission request shed by the service's
+    /// backpressure/load-shedding policy (counted as an arrival that
+    /// was not admitted, plus the shed charge).
+    pub fn record_shed(&mut self) {
+        self.arrivals += 1;
+        self.sheds += 1;
+    }
+
+    /// Records `n` requests deferred past their arrival window into a
+    /// later micro-batch.
+    pub fn record_deferrals(&mut self, n: u64) {
+        self.deferrals += n;
     }
 
     /// Records an exact reinstatement (original placement intact).
@@ -166,6 +187,16 @@ impl SloLedger {
         self.reconciles
     }
 
+    /// Admission requests shed under backpressure.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Admission requests deferred past their arrival window.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
+    }
+
     /// The simulated time the ledger has accrued up to.
     pub fn time(&self) -> f64 {
         self.last_time
@@ -217,5 +248,18 @@ mod tests {
         l.record_reconcile();
         assert_eq!((l.arrivals(), l.admitted(), l.departures()), (2, 1, 1));
         assert_eq!((l.displacements(), l.reconciles()), (3, 1));
+    }
+
+    #[test]
+    fn sheds_and_deferrals_are_charged() {
+        let mut l = SloLedger::default();
+        l.record_arrival(true);
+        l.record_shed();
+        l.record_shed();
+        l.record_deferrals(3);
+        // A shed request is an arrival that was never admitted.
+        assert_eq!((l.arrivals(), l.admitted()), (3, 1));
+        assert_eq!(l.sheds(), 2);
+        assert_eq!(l.deferrals(), 3);
     }
 }

@@ -1,0 +1,580 @@
+//! The deterministic admission service loop.
+//!
+//! [`AdmissionService::run_traced`] consumes a time-ordered stream of
+//! [`ServiceRequest`]s. Submissions are queued into the current batch
+//! window; every window boundary the queue is drained (up to
+//! `max_batch`) into **one** transaction whose deferred-solve epilogue
+//! runs a single warm BE solve for the whole batch. Probes are answered
+//! immediately from the last committed [`StateSnapshot`] — including
+//! while the writer is still busy with a previous solve, which is
+//! exactly the snapshot-read protocol the plane exists for.
+//!
+//! Time is simulated: the writer's solve cost is modeled by
+//! [`SolveCostModel`] and advances `writer_free_at`; a window whose
+//! boundary falls while the writer is busy is *deferred* wholesale
+//! (every queued request is charged one deferral) and re-examined at the
+//! next boundary. Requests deferred past `max_defer_windows`, or pushed
+//! out of a full ingest queue, are shed — lowest priority first, with
+//! Guaranteed-Rate requests protected by an infinite rank.
+
+#[cfg(feature = "telemetry")]
+use sparcle_core::telemetry::Event;
+use sparcle_core::trace::TraceHandle;
+use sparcle_core::{Admission, DynamicRankingAssigner, SparcleSystem, StateSnapshot, SystemConfig};
+use sparcle_model::{Application, Network, QoeClass};
+use sparcle_runtime::{Monitor, MonitorConfig, SloLedger, TickInput};
+use sparcle_workloads::{RequestKind, ServiceRequest};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Simulated cost of one batched admission solve, in sim-seconds. The
+/// writer is busy for `fixed + per_request × batch_size` after each
+/// commit; windows whose boundary falls inside that interval are
+/// deferred (backpressure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveCostModel {
+    /// Per-solve fixed cost (transaction + warm solve setup).
+    pub fixed: f64,
+    /// Marginal cost per request in the batch (path search).
+    pub per_request: f64,
+}
+
+impl Default for SolveCostModel {
+    fn default() -> Self {
+        SolveCostModel {
+            fixed: 0.05,
+            per_request: 0.01,
+        }
+    }
+}
+
+/// Tunables of the admission service plane.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Micro-batch window length in sim-seconds; every boundary
+    /// `k × batch_window` closes the current batch. Must be positive.
+    pub batch_window: f64,
+    /// Maximum requests coalesced into one transaction; the remainder
+    /// stays queued for the next window.
+    pub max_batch: usize,
+    /// Ingest queue capacity; an arrival that would overflow it sheds
+    /// the lowest-priority queued request (possibly itself).
+    pub queue_capacity: usize,
+    /// A request deferred past this many windows by backpressure is
+    /// shed instead of deferred again.
+    pub max_defer_windows: u64,
+    /// Simulated writer-busy time per batched solve.
+    pub solve_cost: SolveCostModel,
+    /// Optional observability monitor ticked at every window close.
+    pub monitor: Option<MonitorConfig>,
+    /// Configuration of the owned [`SparcleSystem`].
+    pub system: SystemConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batch_window: 1.0,
+            max_batch: 64,
+            queue_capacity: 256,
+            max_defer_windows: 4,
+            solve_cost: SolveCostModel::default(),
+            monitor: None,
+            system: SystemConfig::default(),
+        }
+    }
+}
+
+/// Decision counters of one service run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Batched transactions committed.
+    pub batches: u64,
+    /// Window boundaries deferred because the writer was busy.
+    pub windows_deferred: u64,
+    /// Placement decisions served (admitted + rejected, not shed).
+    pub decisions: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests shed by backpressure (queue overflow or deferral
+    /// budget).
+    pub shed: u64,
+    /// Probes answered from the snapshot.
+    pub probes: u64,
+    /// Probes whose what-if assignment was feasible.
+    pub probes_feasible: u64,
+}
+
+/// The answer to a read-only what-if probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeAnswer {
+    /// Whether a fresh assignment path would clear admission (for GR
+    /// probes the path must also carry the requested minimum rate).
+    pub feasible: bool,
+    /// The rate the found path would carry (`0.0` when none was found).
+    pub rate: f64,
+}
+
+/// A queued placement request awaiting its batch window.
+#[derive(Debug, Clone)]
+struct Pending {
+    index: u64,
+    arrival: f64,
+    app: Arc<Application>,
+    class: &'static str,
+    /// Shedding rank: BE priority, or `+∞` for GR (never shed before
+    /// any BE request).
+    rank: f64,
+    deferred: u64,
+}
+
+/// The admission service: a [`SparcleSystem`] behind an ingest queue,
+/// a micro-batch writer, and a snapshot read path.
+///
+/// `source` materializes the application for a request index — the
+/// service is workload-agnostic; [`sparcle_workloads::RequestStream`]
+/// supplies *when* requests arrive, the source supplies *what* arrives.
+pub struct AdmissionService<F: FnMut(u64) -> Application> {
+    system: SparcleSystem,
+    config: ServiceConfig,
+    source: F,
+    /// Immutable read view, refreshed only after each commit.
+    snapshot: StateSnapshot,
+    /// Dedicated assigner for probes so reads never touch the writer's
+    /// γ-cache state.
+    probe_assigner: DynamicRankingAssigner,
+    ledger: SloLedger,
+    monitor: Option<Monitor>,
+    stats: ServiceStats,
+    decision_waits: Vec<f64>,
+    pending: VecDeque<Pending>,
+    writer_free_at: f64,
+    /// Next window boundary to close is `(window_seq + 1) × batch_window`.
+    window_seq: u64,
+    shed_since_batch: u64,
+}
+
+impl<F: FnMut(u64) -> Application> std::fmt::Debug for AdmissionService<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionService")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .field("pending", &self.pending.len())
+            .field("writer_free_at", &self.writer_free_at)
+            .field("window_seq", &self.window_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(u64) -> Application> AdmissionService<F> {
+    /// Creates a service over `network` whose requests are materialized
+    /// by `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_window` is not finite-positive, or when
+    /// `max_batch` or `queue_capacity` is zero.
+    pub fn new(network: Network, config: ServiceConfig, source: F) -> Self {
+        assert!(
+            config.batch_window.is_finite() && config.batch_window > 0.0,
+            "batch_window must be finite and positive"
+        );
+        assert!(config.max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            config.queue_capacity > 0,
+            "queue_capacity must be at least 1"
+        );
+        let probe_assigner =
+            DynamicRankingAssigner::with_threads(config.system.assigner_threads.max(1))
+                .with_repr(config.system.graph_repr);
+        let monitor = config.monitor.clone().map(Monitor::new);
+        let system = SparcleSystem::with_config(network, config.system.clone());
+        let snapshot = system.snapshot();
+        AdmissionService {
+            system,
+            config,
+            source,
+            snapshot,
+            probe_assigner,
+            ledger: SloLedger::default(),
+            monitor,
+            stats: ServiceStats::default(),
+            decision_waits: Vec::new(),
+            pending: VecDeque::new(),
+            writer_free_at: 0.0,
+            window_seq: 0,
+            shed_since_batch: 0,
+        }
+    }
+
+    /// Drives the service over a time-ordered request stream without
+    /// telemetry. See [`Self::run_traced`].
+    pub fn run(&mut self, requests: impl IntoIterator<Item = ServiceRequest>) {
+        self.run_traced(requests, TraceHandle::none());
+    }
+
+    /// Drives the service over a time-ordered request stream, then
+    /// drains every queued request through its (possibly deferred)
+    /// batch window. Emits `service_*` telemetry events into `trace`.
+    pub fn run_traced(
+        &mut self,
+        requests: impl IntoIterator<Item = ServiceRequest>,
+        trace: TraceHandle<'_>,
+    ) {
+        for request in requests {
+            self.advance_to(request.time, trace);
+            match request.kind {
+                RequestKind::Admit => self.enqueue(request, trace),
+                RequestKind::Probe => {
+                    self.probe(request, trace);
+                }
+            }
+        }
+        // Past the stream: keep closing windows until the queue drains
+        // (deferred windows eventually pass `writer_free_at`).
+        while !self.pending.is_empty() {
+            let boundary = (self.window_seq + 1) as f64 * self.config.batch_window;
+            self.close_window(boundary, trace);
+            self.window_seq += 1;
+        }
+        trace.counter("service.batches", self.stats.batches);
+        trace.counter("service.decisions", self.stats.decisions);
+        trace.counter("service.admitted", self.stats.admitted);
+        trace.counter("service.rejected", self.stats.rejected);
+        trace.counter("service.shed", self.stats.shed);
+        trace.counter("service.probes", self.stats.probes);
+        trace.counter("service.deferrals", self.ledger.deferrals());
+    }
+
+    /// Closes every window boundary at or before `t`, fast-forwarding
+    /// over empty stretches without iterating window by window.
+    fn advance_to(&mut self, t: f64, trace: TraceHandle<'_>) {
+        loop {
+            let boundary = (self.window_seq + 1) as f64 * self.config.batch_window;
+            if boundary > t {
+                return;
+            }
+            if self.pending.is_empty() {
+                // Nothing queued: no boundary up to `t` forms a batch or
+                // defers anything, so skipping them is behaviourally
+                // identical (the empty-window no-op).
+                let skip = (t / self.config.batch_window).floor() as u64;
+                self.window_seq = self.window_seq.max(skip);
+                return;
+            }
+            self.close_window(boundary, trace);
+            self.window_seq += 1;
+        }
+    }
+
+    /// Queues one submission; on overflow sheds the lowest-ranked
+    /// queued request (possibly the one that just arrived).
+    fn enqueue(&mut self, request: ServiceRequest, trace: TraceHandle<'_>) {
+        let app = Arc::new((self.source)(request.index));
+        let (class, rank) = class_and_rank(&app);
+        self.pending.push_back(Pending {
+            index: request.index,
+            arrival: request.time,
+            app,
+            class,
+            rank,
+            deferred: 0,
+        });
+        if self.pending.len() > self.config.queue_capacity {
+            let mut worst = 0;
+            for (i, p) in self.pending.iter().enumerate() {
+                let w = &self.pending[worst];
+                if p.rank < w.rank || (p.rank == w.rank && p.index > w.index) {
+                    worst = i;
+                }
+            }
+            let victim = self.pending.remove(worst).expect("index in range");
+            self.shed(victim, request.time, trace);
+        }
+    }
+
+    /// Answers a what-if probe from the immutable snapshot — never
+    /// touches the writer's state, so it works mid-commit.
+    fn probe(&mut self, request: ServiceRequest, trace: TraceHandle<'_>) -> ProbeAnswer {
+        let app = (self.source)(request.index);
+        // BE probes see the predicted capacities an equal-priority
+        // arrival would be admitted against; GR probes see the raw GR
+        // residual, exactly like the admission path.
+        let capacities = match app.qoe() {
+            QoeClass::BestEffort { priority, .. } => self.snapshot.predicted_capacities(*priority),
+            QoeClass::GuaranteedRate { .. } => self.snapshot.gr_residual().clone(),
+        };
+        let answer = match self
+            .probe_assigner
+            .assign(&app, self.system.network(), &capacities)
+        {
+            Ok(path) => {
+                let clears = path.rate.is_finite() && path.rate > self.config.system.min_path_rate;
+                let feasible = match app.qoe() {
+                    QoeClass::GuaranteedRate { min_rate, .. } => clears && path.rate >= *min_rate,
+                    QoeClass::BestEffort { .. } => clears,
+                };
+                ProbeAnswer {
+                    feasible,
+                    rate: path.rate,
+                }
+            }
+            Err(_) => ProbeAnswer {
+                feasible: false,
+                rate: 0.0,
+            },
+        };
+        self.stats.probes += 1;
+        if answer.feasible {
+            self.stats.probes_feasible += 1;
+        }
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::ServiceProbe {
+                time: request.time,
+                request: request.index,
+                feasible: answer.feasible,
+                rate: answer.rate,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = trace;
+        answer
+    }
+
+    /// Closes the window ending at `t`: defers wholesale if the writer
+    /// is still busy, otherwise commits one batched transaction.
+    fn close_window(&mut self, t: f64, trace: TraceHandle<'_>) {
+        if self.writer_free_at > t {
+            // Backpressure: the previous solve is still running. Every
+            // queued request is charged one deferral; requests past
+            // their deferral budget are shed rather than parked again.
+            self.stats.windows_deferred += 1;
+            self.ledger.record_deferrals(self.pending.len() as u64);
+            let budget = self.config.max_defer_windows;
+            let mut kept = VecDeque::with_capacity(self.pending.len());
+            let mut over: Vec<Pending> = Vec::new();
+            for mut p in self.pending.drain(..) {
+                p.deferred += 1;
+                if p.deferred > budget {
+                    over.push(p);
+                } else {
+                    kept.push_back(p);
+                }
+            }
+            self.pending = kept;
+            for victim in over {
+                self.shed(victim, t, trace);
+            }
+            self.tick_monitor(t, trace);
+            return;
+        }
+
+        let take = self.pending.len().min(self.config.max_batch);
+        if take == 0 {
+            return;
+        }
+        let batch: Vec<Pending> = self.pending.drain(..take).collect();
+        let apps: Vec<Arc<Application>> = batch.iter().map(|p| Arc::clone(&p.app)).collect();
+
+        // Accrue the BE-rate integral at the pre-commit rates before the
+        // batch changes them.
+        self.accrue(t);
+
+        let solves_before = self.system.state_stats().solves;
+        let admissions = {
+            let mut txn = self.system.begin();
+            let admissions = txn
+                .submit_all(&apps)
+                .expect("service batch: application from the request source failed validation");
+            txn.commit();
+            admissions
+        };
+        let batch_solves = self.system.state_stats().solves - solves_before;
+        // Publish the post-commit state to the read path.
+        self.snapshot = self.system.snapshot();
+
+        let mut admitted = 0u64;
+        for (p, admission) in batch.iter().zip(&admissions) {
+            let wait = t - p.arrival;
+            self.decision_waits.push(wait);
+            self.stats.decisions += 1;
+            let (outcome, rate) = match admission {
+                Admission::Admitted(id) => {
+                    admitted += 1;
+                    ("admitted", self.snapshot.rate_of(*id).unwrap_or(0.0))
+                }
+                Admission::Rejected(_) => ("rejected", 0.0),
+            };
+            self.ledger.record_arrival(admission.is_admitted());
+            #[cfg(feature = "telemetry")]
+            if trace.is_enabled() {
+                trace.event(&Event::ServiceDecision {
+                    time: t,
+                    request: p.index,
+                    class: p.class.to_owned(),
+                    outcome: outcome.to_owned(),
+                    wait,
+                    rate,
+                });
+            }
+            #[cfg(not(feature = "telemetry"))]
+            let _ = (outcome, rate);
+        }
+        let rejected = take as u64 - admitted;
+        self.stats.batches += 1;
+        self.stats.admitted += admitted;
+        self.stats.rejected += rejected;
+        self.writer_free_at =
+            t + self.config.solve_cost.fixed + self.config.solve_cost.per_request * take as f64;
+
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::ServiceBatch {
+                time: t,
+                window: self.window_seq,
+                size: take as u64,
+                admitted,
+                rejected,
+                shed: self.shed_since_batch,
+                queue_depth: self.pending.len() as u64,
+                solves: batch_solves,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = batch_solves;
+        self.shed_since_batch = 0;
+        self.tick_monitor(t, trace);
+    }
+
+    /// Drops one request under backpressure, charging the ledger.
+    fn shed(&mut self, victim: Pending, t: f64, trace: TraceHandle<'_>) {
+        self.stats.shed += 1;
+        self.shed_since_batch += 1;
+        self.ledger.record_shed();
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::ServiceDecision {
+                time: t,
+                request: victim.index,
+                class: victim.class.to_owned(),
+                outcome: "shed".to_owned(),
+                wait: t - victim.arrival,
+                rate: 0.0,
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (victim.class, t, trace);
+    }
+
+    /// Accrues the ledger's integrals up to `t` at the current rates.
+    fn accrue(&mut self, t: f64) {
+        let be_rate: f64 = self.system.be_apps().iter().map(|a| a.allocated_rate).sum();
+        self.ledger.advance_to(t, [], be_rate);
+    }
+
+    /// Folds the window close into the observability monitor, emitting
+    /// `monitor_*` events exactly like the churn runtime does.
+    fn tick_monitor(&mut self, t: f64, trace: TraceHandle<'_>) {
+        let Some(monitor) = self.monitor.as_mut() else {
+            return;
+        };
+        let stats = self.system.state_stats();
+        let input = TickInput {
+            gr_violation_seconds: self.ledger.total_gr_violation_seconds(),
+            arrivals: self.ledger.arrivals(),
+            admitted: self.ledger.admitted(),
+            cache_hits: stats.gamma_cache_hits,
+            cache_misses: stats.gamma_cache_misses,
+            solves: stats.solves,
+            warm_inner_iters: stats.inner_iters_warm,
+            be_rate: self.system.be_apps().iter().map(|a| a.allocated_rate).sum(),
+            queue_depth: self.pending.len() as u64,
+            backlog: self.pending.iter().filter(|p| p.deferred > 0).count() as u64,
+            live: (self.system.be_apps().len() + self.system.gr_apps().len()) as u64,
+        };
+        let sample = monitor.tick(t, &input);
+        trace.counter("service.monitor_ticks", 1);
+        #[cfg(feature = "telemetry")]
+        if trace.is_enabled() {
+            trace.event(&Event::MonitorSnapshot {
+                time: sample.time,
+                window: sample.window,
+                gr_burn: sample.gr_burn,
+                gr_violation_s: sample.gr_violation_s,
+                be_rate: sample.be_rate,
+                arrival_rate: sample.arrival_rate,
+                admit_rate: sample.admit_rate,
+                cache_hit_rate: sample.cache_hit_rate,
+                cache_lookups: sample.cache_lookups,
+                warm_iters_per_solve: sample.warm_iters_per_solve,
+                solves: sample.solves,
+                queue_depth: sample.queue_depth,
+                queue_p95: sample.queue_p95,
+                backlog: sample.backlog,
+                live: sample.live,
+                alerts_firing: sample.alerts_firing,
+            });
+            for tr in &sample.transitions {
+                trace.event(&Event::MonitorAlert {
+                    time: t,
+                    rule: tr.rule.to_owned(),
+                    state: if tr.firing { "firing" } else { "cleared" }.to_owned(),
+                    value: tr.value,
+                    threshold: tr.threshold,
+                });
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = sample;
+    }
+
+    /// The owned scheduling system (read-only).
+    pub fn system(&self) -> &SparcleSystem {
+        &self.system
+    }
+
+    /// The last committed state snapshot the read path serves from.
+    pub fn snapshot(&self) -> &StateSnapshot {
+        &self.snapshot
+    }
+
+    /// The SLO ledger charged with sheds, deferrals, and admissions.
+    pub fn ledger(&self) -> &SloLedger {
+        &self.ledger
+    }
+
+    /// Decision counters of the run so far.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Sim-time waits (arrival → decision) of every served decision, in
+    /// decision order. Shed requests are excluded.
+    pub fn decision_waits(&self) -> &[f64] {
+        &self.decision_waits
+    }
+
+    /// Nearest-rank quantile of the decision waits (`NaN` when no
+    /// decision was served). `q` is clamped to `[0, 1]`.
+    pub fn decision_wait_quantile(&self, q: f64) -> f64 {
+        if self.decision_waits.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.decision_waits.clone();
+        sorted.sort_by(f64::total_cmp);
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// The request's class label and shedding rank (GR outranks every BE).
+fn class_and_rank(app: &Application) -> (&'static str, f64) {
+    match app.qoe() {
+        QoeClass::GuaranteedRate { .. } => ("gr", f64::INFINITY),
+        QoeClass::BestEffort { priority, .. } => ("be", *priority),
+    }
+}

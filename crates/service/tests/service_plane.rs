@@ -1,0 +1,371 @@
+//! Batch-coalescing edge cases and backpressure behaviour of the
+//! admission service plane, plus a property test proving that — with
+//! shedding disabled — any interleaving of submissions and probes
+//! reaches exactly the sequential-admission end state.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sparcle_core::SparcleSystem;
+use sparcle_model::{
+    Application, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec, TaskGraphBuilder,
+};
+use sparcle_service::{AdmissionService, ServiceConfig, SolveCostModel};
+use sparcle_workloads::{ArrivalTrace, RequestKind, RequestStream, ServiceRequest};
+
+fn star_network() -> Network {
+    let mut nb = NetworkBuilder::new();
+    let hub = nb.add_ncp("hub", ResourceVec::cpu(50.0));
+    for i in 0..4 {
+        let leaf = nb.add_ncp(format!("leaf{i}"), ResourceVec::cpu(100.0));
+        nb.add_link(format!("l{i}"), hub, leaf, 500.0).unwrap();
+    }
+    nb.build().unwrap()
+}
+
+fn pipeline_app(qoe: QoeClass, cycles: f64, bits: f64) -> Application {
+    let mut tb = TaskGraphBuilder::new();
+    let s = tb.add_ct("s", ResourceVec::new());
+    let w = tb.add_ct("w", ResourceVec::cpu(cycles));
+    let t = tb.add_ct("t", ResourceVec::new());
+    tb.add_tt("sw", s, w, bits).unwrap();
+    tb.add_tt("wt", w, t, bits / 10.0).unwrap();
+    let graph = tb.build().unwrap();
+    Application::new(graph, qoe, [(s, NcpId::new(0)), (t, NcpId::new(0))]).unwrap()
+}
+
+/// The default workload: mostly BE with cycling priorities, every 7th
+/// request GR with a small guarantee.
+fn mixed_app(index: u64) -> Application {
+    if (index + 1).is_multiple_of(7) {
+        pipeline_app(QoeClass::guaranteed_rate(0.5, 0.0), 20.0, 50.0)
+    } else {
+        let priority = 1.0 + (index % 5) as f64;
+        pipeline_app(QoeClass::best_effort(priority), 10.0, 50.0)
+    }
+}
+
+fn free_writer() -> SolveCostModel {
+    SolveCostModel {
+        fixed: 0.0,
+        per_request: 0.0,
+    }
+}
+
+#[test]
+fn probe_only_stream_commits_nothing() {
+    let config = ServiceConfig::default();
+    let mut service = AdmissionService::new(star_network(), config, mixed_app);
+    let requests =
+        RequestStream::new(ArrivalTrace::Poisson { rate: 2.0 }, 20.0, 11).with_probe_every(1);
+    service.run(requests);
+    let stats = *service.stats();
+    assert!(stats.probes > 10, "probe stream produced {stats:?}");
+    assert!(
+        stats.probes_feasible > 0,
+        "an empty network must be feasible"
+    );
+    assert_eq!(
+        (stats.batches, stats.decisions, stats.admitted, stats.shed),
+        (0, 0, 0, 0),
+        "probes must never form a batch"
+    );
+    // Empty windows are a no-op right down to the state core.
+    assert_eq!(service.system().state_stats().solves, 0);
+    assert!(service.system().be_apps().is_empty());
+    assert!(service.snapshot().is_empty());
+}
+
+#[test]
+fn windows_of_one_match_sequential_submission_bitwise() {
+    let config = ServiceConfig {
+        batch_window: 1.0,
+        solve_cost: free_writer(),
+        ..ServiceConfig::default()
+    };
+    let mut service = AdmissionService::new(star_network(), config.clone(), mixed_app);
+    // One submission per window: every batch has size 1, which the core
+    // guarantees is bitwise identical to a plain `submit`.
+    let requests = (0..12).map(|i| ServiceRequest {
+        time: i as f64 + 0.5,
+        index: i,
+        kind: RequestKind::Admit,
+    });
+    service.run(requests);
+
+    let mut reference = SparcleSystem::with_config(star_network(), config.system);
+    for i in 0..12 {
+        reference.submit(mixed_app(i)).unwrap();
+    }
+
+    assert_eq!(service.stats().decisions, 12);
+    assert_eq!(
+        service.stats().admitted as usize,
+        reference.be_apps().len() + reference.gr_apps().len()
+    );
+    let service_rates: Vec<(usize, f64)> = service
+        .system()
+        .be_apps()
+        .iter()
+        .map(|a| (a.id.index(), a.allocated_rate))
+        .collect();
+    let reference_rates: Vec<(usize, f64)> = reference
+        .be_apps()
+        .iter()
+        .map(|a| (a.id.index(), a.allocated_rate))
+        .collect();
+    assert_eq!(
+        service_rates, reference_rates,
+        "size-1 batches must be bitwise"
+    );
+    assert_eq!(service.system().gr_residual(), reference.gr_residual());
+}
+
+#[test]
+fn flash_crowd_batches_share_solves() {
+    let config = ServiceConfig {
+        batch_window: 2.0,
+        solve_cost: free_writer(),
+        ..ServiceConfig::default()
+    };
+    let mut service = AdmissionService::new(star_network(), config, mixed_app);
+    let requests = RequestStream::new(
+        ArrivalTrace::FlashCrowd {
+            rate: 0.5,
+            burst_rate: 10.0,
+            burst_start: 4.0,
+            burst_end: 12.0,
+        },
+        16.0,
+        23,
+    );
+    let total: u64 = {
+        let all: Vec<_> = requests.clone().collect();
+        all.len() as u64
+    };
+    service.run(requests);
+    let stats = *service.stats();
+    assert_eq!(stats.decisions + stats.shed, total, "every request decided");
+    assert_eq!(stats.shed, 0, "default queue absorbs this crowd");
+    assert!(stats.batches < stats.decisions, "windows must coalesce");
+    let be_admitted = service.system().be_apps().len() as u64;
+    let solves = service.system().state_stats().solves;
+    assert!(
+        solves < be_admitted,
+        "batched admission must solve less than once per admitted BE app \
+         (solves {solves}, admitted {be_admitted})"
+    );
+    assert_eq!(service.ledger().arrivals(), total);
+    assert_eq!(service.ledger().admitted(), stats.admitted);
+}
+
+#[test]
+fn overflow_sheds_lowest_priority_first_and_protects_gr() {
+    let config = ServiceConfig {
+        batch_window: 10.0,
+        queue_capacity: 2,
+        solve_cost: free_writer(),
+        ..ServiceConfig::default()
+    };
+    let factory = |index: u64| match index {
+        0 => pipeline_app(QoeClass::best_effort(5.0), 10.0, 50.0),
+        1 => pipeline_app(QoeClass::guaranteed_rate(0.5, 0.0), 20.0, 50.0),
+        2 => pipeline_app(QoeClass::best_effort(1.0), 10.0, 50.0),
+        _ => pipeline_app(QoeClass::best_effort(2.0), 10.0, 50.0),
+    };
+    let mut service = AdmissionService::new(star_network(), config, factory);
+    let requests = (0..4).map(|i| ServiceRequest {
+        time: 0.5 + i as f64 * 0.1,
+        index: i,
+        kind: RequestKind::Admit,
+    });
+    service.run(requests);
+    let stats = *service.stats();
+    // Queue of 2: priorities 1.0 then 2.0 are shed on arrival; the
+    // priority-5 BE app and the (infinitely ranked) GR app survive.
+    assert_eq!(stats.shed, 2);
+    assert_eq!(stats.decisions, 2);
+    assert_eq!(stats.admitted, 2);
+    assert_eq!(service.system().gr_apps().len(), 1, "GR must be protected");
+    assert_eq!(service.system().be_apps().len(), 1);
+    assert_eq!(service.system().be_apps()[0].priority, 5.0);
+    assert_eq!(service.ledger().sheds(), 2);
+}
+
+#[test]
+fn busy_writer_defers_windows_then_sheds_over_budget() {
+    let config = ServiceConfig {
+        batch_window: 1.0,
+        max_defer_windows: 1,
+        solve_cost: SolveCostModel {
+            fixed: 5.0,
+            per_request: 0.0,
+        },
+        ..ServiceConfig::default()
+    };
+    let mut service = AdmissionService::new(star_network(), config, mixed_app);
+    // First submission commits at t=1 and occupies the writer until
+    // t=6; the second (arriving at 1.5) sees its windows at 2.0 and 3.0
+    // deferred, exhausting a budget of one deferral — it is shed.
+    let requests = [
+        ServiceRequest {
+            time: 0.5,
+            index: 0,
+            kind: RequestKind::Admit,
+        },
+        ServiceRequest {
+            time: 1.5,
+            index: 1,
+            kind: RequestKind::Admit,
+        },
+    ];
+    service.run(requests);
+    let stats = *service.stats();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.shed, 1, "over-budget request must be shed");
+    assert!(stats.windows_deferred >= 2, "stats: {stats:?}");
+    assert_eq!(service.ledger().deferrals(), 2);
+    assert_eq!(service.ledger().sheds(), 1);
+}
+
+#[test]
+fn rejected_batch_leaves_snapshot_readers_unperturbed() {
+    // Index 0 is placeable; every later submission asks for an absurd
+    // per-unit cycle count no path can clear, so the whole second batch
+    // is rejected and the committed state must be byte-for-byte the
+    // state after the first batch.
+    let factory = |index: u64| {
+        if index == 0 {
+            pipeline_app(QoeClass::best_effort(1.0), 10.0, 50.0)
+        } else {
+            pipeline_app(QoeClass::best_effort(1.0), 1e12, 50.0)
+        }
+    };
+    let config = ServiceConfig {
+        batch_window: 1.0,
+        solve_cost: free_writer(),
+        ..ServiceConfig::default()
+    };
+    let mut service = AdmissionService::new(star_network(), config, factory);
+    service.run([ServiceRequest {
+        time: 0.5,
+        index: 0,
+        kind: RequestKind::Admit,
+    }]);
+    let snapshot_before = service.snapshot().clone();
+    assert_eq!(snapshot_before.len(), 1);
+
+    let mut requests: Vec<ServiceRequest> = (1..4)
+        .map(|i| ServiceRequest {
+            time: 1.0 + i as f64 * 0.1,
+            index: i,
+            kind: RequestKind::Admit,
+        })
+        .collect();
+    requests.push(ServiceRequest {
+        time: 1.4,
+        index: 4,
+        kind: RequestKind::Probe,
+    });
+    service.run(requests);
+
+    assert_eq!(service.stats().rejected, 3);
+    assert_eq!(
+        service.snapshot(),
+        &snapshot_before,
+        "an all-rejected batch must leave the read snapshot untouched"
+    );
+}
+
+/// One step of a generated request interleaving.
+#[derive(Debug, Clone)]
+struct Step {
+    gap: f64,
+    probe: bool,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    vec(
+        (0.01f64..1.5, 0u32..2).prop_map(|(gap, probe)| Step {
+            gap,
+            probe: probe == 1,
+        }),
+        1..32,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With a free writer and an unbounded queue (no sheds, no
+    /// deferrals), ANY interleaving of submissions and probes reaches
+    /// the same *decisions* as sequentially submitting the same
+    /// applications in arrival order: identical admitted ids,
+    /// placements, and GR residual, bitwise. Probes are pure reads —
+    /// they must never perturb the outcome. Final BE rates are NOT
+    /// compared bitwise here: both schedules run warm solves with a
+    /// truncated barrier schedule, so each carries its own truncation
+    /// error toward the same proportional-fair optimum (exact rate
+    /// equality for size-1 batches is covered above).
+    #[test]
+    fn any_interleaving_matches_sequential_admission(steps in arb_steps()) {
+        let config = ServiceConfig {
+            batch_window: 1.0,
+            solve_cost: free_writer(),
+            queue_capacity: usize::MAX,
+            max_batch: usize::MAX,
+            ..ServiceConfig::default()
+        };
+        let mut t = 0.0;
+        let mut requests = Vec::new();
+        for (i, step) in steps.iter().enumerate() {
+            t += step.gap;
+            requests.push(ServiceRequest {
+                time: t,
+                index: i as u64,
+                kind: if step.probe { RequestKind::Probe } else { RequestKind::Admit },
+            });
+        }
+        let mut service = AdmissionService::new(star_network(), config.clone(), mixed_app);
+        service.run(requests.clone());
+
+        let mut reference = SparcleSystem::with_config(star_network(), config.system);
+        for request in &requests {
+            if request.kind == RequestKind::Admit {
+                reference.submit(mixed_app(request.index)).unwrap();
+            }
+        }
+
+        let admits = requests.iter().filter(|r| r.kind == RequestKind::Admit).count() as u64;
+        prop_assert_eq!(service.stats().decisions, admits);
+        prop_assert_eq!(service.stats().shed, 0);
+
+        let service_be: Vec<usize> =
+            service.system().be_apps().iter().map(|a| a.id.index()).collect();
+        let reference_be: Vec<usize> =
+            reference.be_apps().iter().map(|a| a.id.index()).collect();
+        prop_assert_eq!(service_be, reference_be, "admitted BE ids must match");
+        let service_gr: Vec<usize> =
+            service.system().gr_apps().iter().map(|a| a.id.index()).collect();
+        let reference_gr: Vec<usize> =
+            reference.gr_apps().iter().map(|a| a.id.index()).collect();
+        prop_assert_eq!(service_gr, reference_gr, "admitted GR ids must match");
+        prop_assert_eq!(service.system().gr_residual(), reference.gr_residual());
+        let service_snapshot = service.system().snapshot();
+        let reference_snapshot = reference.snapshot();
+        for app in service.system().be_apps() {
+            prop_assert_eq!(
+                service_snapshot.elements_of(app.id),
+                reference_snapshot.elements_of(app.id),
+                "placement of app {} must be bitwise identical",
+                app.id.index()
+            );
+            prop_assert!(
+                app.allocated_rate.is_finite() && app.allocated_rate > 0.0,
+                "app {} rate {}",
+                app.id.index(),
+                app.allocated_rate
+            );
+        }
+    }
+}

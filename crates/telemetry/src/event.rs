@@ -289,6 +289,60 @@ pub enum Event {
         /// Simulated seconds between the disruption and this pass.
         latency: f64,
     },
+    /// The admission service closed one micro-batch window: every
+    /// request coalesced into it was decided through one batch
+    /// transaction (one joint BE solve).
+    ServiceBatch {
+        /// Simulated time the batch committed.
+        time: f64,
+        /// Monotone window sequence number.
+        window: u64,
+        /// Requests decided in this batch.
+        size: u64,
+        /// Requests admitted.
+        admitted: u64,
+        /// Requests rejected by admission control (infeasible).
+        rejected: u64,
+        /// Requests shed by the backpressure policy before placement.
+        shed: u64,
+        /// Requests still queued for a later window when this one
+        /// closed.
+        queue_depth: u64,
+        /// BE solves the batch cost (1 when anything was admitted, 0
+        /// for an all-reject batch; more only on the sequential-replay
+        /// fallback).
+        solves: u64,
+    },
+    /// One admission decision the service returned to a client.
+    ServiceDecision {
+        /// Simulated time the decision was returned (its batch's
+        /// commit time).
+        time: f64,
+        /// Request sequence number (arrival order).
+        request: u64,
+        /// `"gr"` or `"be"`.
+        class: String,
+        /// `"admitted"`, `"rejected"`, or `"shed"`.
+        outcome: String,
+        /// Simulated seconds between arrival and decision.
+        wait: f64,
+        /// Allocated (BE) or guaranteed (GR) rate; 0 when not admitted.
+        rate: f64,
+    },
+    /// A read-only what-if probe answered from the service's immutable
+    /// state snapshot (never blocks on, or observes, the writer).
+    ServiceProbe {
+        /// Simulated time the probe was answered.
+        time: f64,
+        /// Probe sequence number.
+        request: u64,
+        /// Whether a positive-rate placement exists under the
+        /// snapshot's predicted capacities.
+        feasible: bool,
+        /// The standalone rate the probed placement would achieve (0
+        /// when infeasible).
+        rate: f64,
+    },
 }
 
 impl Event {
@@ -306,6 +360,9 @@ impl Event {
             Event::RuntimeElementState { .. } => "runtime_element_state",
             Event::RuntimeFluctuation { .. } => "runtime_fluctuation",
             Event::RuntimeReconcile { .. } => "runtime_reconcile",
+            Event::ServiceBatch { .. } => "service_batch",
+            Event::ServiceDecision { .. } => "service_decision",
+            Event::ServiceProbe { .. } => "service_probe",
             Event::MonitorSnapshot { .. } => "monitor_snapshot",
             Event::MonitorAlert { .. } => "monitor_alert",
             Event::SpanOpen { .. } => "span_open",
@@ -485,6 +542,54 @@ impl Event {
                 ("failed", Json::Num(*failed as f64)),
                 ("latency", Json::num(*latency)),
             ]),
+            Event::ServiceBatch {
+                time,
+                window,
+                size,
+                admitted,
+                rejected,
+                shed,
+                queue_depth,
+                solves,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("window", Json::Num(*window as f64)),
+                ("size", Json::Num(*size as f64)),
+                ("admitted", Json::Num(*admitted as f64)),
+                ("rejected", Json::Num(*rejected as f64)),
+                ("shed", Json::Num(*shed as f64)),
+                ("queue_depth", Json::Num(*queue_depth as f64)),
+                ("solves", Json::Num(*solves as f64)),
+            ]),
+            Event::ServiceDecision {
+                time,
+                request,
+                class,
+                outcome,
+                wait,
+                rate,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("request", Json::Num(*request as f64)),
+                ("class", Json::Str(class.clone())),
+                ("outcome", Json::Str(outcome.clone())),
+                ("wait", Json::num(*wait)),
+                ("rate", Json::num(*rate)),
+            ]),
+            Event::ServiceProbe {
+                time,
+                request,
+                feasible,
+                rate,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("request", Json::Num(*request as f64)),
+                ("feasible", Json::Bool(*feasible)),
+                ("rate", Json::num(*rate)),
+            ]),
             Event::SpanOpen {
                 id,
                 parent,
@@ -615,6 +720,43 @@ mod tests {
             let json = e.to_json();
             assert_eq!(json.get("type").unwrap().as_str(), Some(e.kind()));
             assert!(e.kind().starts_with("monitor_"), "{}", e.kind());
+            let line = json.render();
+            assert_eq!(crate::json::parse(&line).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn service_events_round_trip() {
+        let events = [
+            Event::ServiceBatch {
+                time: 12.0,
+                window: 3,
+                size: 5,
+                admitted: 3,
+                rejected: 1,
+                shed: 1,
+                queue_depth: 2,
+                solves: 1,
+            },
+            Event::ServiceDecision {
+                time: 12.0,
+                request: 41,
+                class: "gr".into(),
+                outcome: "shed".into(),
+                wait: 1.5,
+                rate: 0.0,
+            },
+            Event::ServiceProbe {
+                time: 12.5,
+                request: 42,
+                feasible: true,
+                rate: 3.25,
+            },
+        ];
+        for e in events {
+            let json = e.to_json();
+            assert_eq!(json.get("type").unwrap().as_str(), Some(e.kind()));
+            assert!(e.kind().starts_with("service_"), "{}", e.kind());
             let line = json.render();
             assert_eq!(crate::json::parse(&line).unwrap(), json);
         }

@@ -56,6 +56,24 @@ const SCHEMAS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "service_batch",
+        &[
+            "time",
+            "window",
+            "size",
+            "admitted",
+            "rejected",
+            "shed",
+            "queue_depth",
+            "solves",
+        ],
+    ),
+    (
+        "service_decision",
+        &["time", "request", "class", "outcome", "wait", "rate"],
+    ),
+    ("service_probe", &["time", "request", "feasible", "rate"]),
+    (
         "monitor_snapshot",
         &[
             "time",
@@ -245,6 +263,45 @@ mod tests {
         trace.push_str(&r.snapshot().to_trace_json().render());
         trace.push('\n');
         assert_eq!(validate_trace(&trace), Ok(3));
+    }
+
+    #[test]
+    fn service_events_validate() {
+        let r = CollectRecorder::new();
+        r.event(&Event::ServiceBatch {
+            time: 2.0,
+            window: 4,
+            size: 3,
+            admitted: 2,
+            rejected: 1,
+            shed: 0,
+            queue_depth: 5,
+            solves: 1,
+        });
+        r.event(&Event::ServiceDecision {
+            time: 2.0,
+            request: 17,
+            class: "be".into(),
+            outcome: "admitted".into(),
+            wait: 0.25,
+            rate: 1.5,
+        });
+        r.event(&Event::ServiceProbe {
+            time: 2.5,
+            request: 18,
+            feasible: false,
+            rate: 0.0,
+        });
+        let mut trace = String::new();
+        for e in r.events() {
+            let line = e.to_json().render();
+            assert_eq!(validate_line(&line), Ok(e.kind()));
+            trace.push_str(&line);
+            trace.push('\n');
+        }
+        trace.push_str(&r.snapshot().to_trace_json().render());
+        trace.push('\n');
+        assert_eq!(validate_trace(&trace), Ok(4));
     }
 
     #[test]

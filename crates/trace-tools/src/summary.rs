@@ -39,6 +39,39 @@ pub struct ReconcileStats {
     pub total_latency: f64,
 }
 
+/// Aggregate over the admission-service plane's `service_*` events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Batched transactions (`service_batch` events).
+    pub batches: u64,
+    /// Summed batch sizes (divide by `batches` for the mean).
+    pub batched_requests: u64,
+    /// Summed warm solves charged to batches.
+    pub solves: u64,
+    /// Highest post-batch ingest queue depth.
+    pub peak_queue_depth: u64,
+    /// Decision count per outcome (`admitted` / `rejected` / `shed`).
+    pub outcomes: BTreeMap<String, u64>,
+    /// Summed arrival→decision wait over all decisions.
+    pub total_wait: f64,
+    /// Largest single arrival→decision wait.
+    pub max_wait: f64,
+    /// Snapshot probes answered (`service_probe` events).
+    pub probes: u64,
+    /// Probes whose what-if placement was feasible.
+    pub probes_feasible: u64,
+}
+
+impl ServiceStats {
+    fn is_empty(&self) -> bool {
+        self.batches == 0 && self.outcomes.is_empty() && self.probes == 0
+    }
+
+    fn decisions(&self) -> u64 {
+        self.outcomes.values().sum()
+    }
+}
+
 /// Everything the `summary` subcommand reports.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
@@ -48,6 +81,8 @@ pub struct TraceSummary {
     pub apps: BTreeMap<u64, AppStats>,
     /// Reconcile aggregates keyed by policy name.
     pub reconciles: BTreeMap<String, ReconcileStats>,
+    /// Admission-service plane rollup (`service_*` events).
+    pub service: ServiceStats,
     /// Highest `sim_queue_depth.depth` sample.
     pub peak_queue_depth: Option<u64>,
     /// Last `sim_queue_depth.processed` sample (monotone in the DES).
@@ -99,6 +134,32 @@ pub fn summarize(events: &[Json]) -> TraceSummary {
                 entry.replaced += num_field(event, "replaced").map_or(0, |v| v as u64);
                 entry.failed += num_field(event, "failed").map_or(0, |v| v as u64);
                 entry.total_latency += num_field(event, "latency").unwrap_or(0.0);
+            }
+            "service_batch" => {
+                s.service.batches += 1;
+                s.service.batched_requests += num_field(event, "size").map_or(0, |v| v as u64);
+                s.service.solves += num_field(event, "solves").map_or(0, |v| v as u64);
+                if let Some(depth) = num_field(event, "queue_depth").map(|v| v as u64) {
+                    s.service.peak_queue_depth = s.service.peak_queue_depth.max(depth);
+                }
+            }
+            "service_decision" => {
+                let outcome = event
+                    .get("outcome")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                *s.service.outcomes.entry(outcome).or_insert(0) += 1;
+                if let Some(wait) = num_field(event, "wait") {
+                    s.service.total_wait += wait;
+                    s.service.max_wait = s.service.max_wait.max(wait);
+                }
+            }
+            "service_probe" => {
+                s.service.probes += 1;
+                if event.get("feasible").and_then(Json::as_bool) == Some(true) {
+                    s.service.probes_feasible += 1;
+                }
             }
             "sim_queue_depth" => {
                 if let Some(depth) = num_field(event, "depth").map(|v| v as u64) {
@@ -171,6 +232,39 @@ impl TraceSummary {
                     r.count, r.restored, r.replaced, r.failed,
                 ));
             }
+        }
+        if !self.service.is_empty() {
+            let svc = &self.service;
+            let decisions = svc.decisions();
+            let mean_batch = if svc.batches == 0 {
+                0.0
+            } else {
+                svc.batched_requests as f64 / svc.batches as f64
+            };
+            let mean_wait = if decisions == 0 {
+                0.0
+            } else {
+                svc.total_wait / decisions as f64
+            };
+            out.push_str("\nadmission service (service_* rollup):\n");
+            out.push_str(&format!(
+                "  batches {:>4}  requests {:>5}  mean batch {mean_batch:.2}  solves {:>4}  \
+                 peak queue {}\n",
+                svc.batches, svc.batched_requests, svc.solves, svc.peak_queue_depth,
+            ));
+            out.push_str(&format!(
+                "  decisions {decisions} ({})  mean wait {mean_wait:.3}  max wait {:.3}\n",
+                svc.outcomes
+                    .iter()
+                    .map(|(o, n)| format!("{o} {n}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                svc.max_wait,
+            ));
+            out.push_str(&format!(
+                "  probes {} ({} feasible)\n",
+                svc.probes, svc.probes_feasible,
+            ));
         }
         if let Some(peak) = self.peak_queue_depth {
             out.push_str(&format!(
@@ -329,6 +423,54 @@ mod tests {
     fn traces_without_system_counters_skip_the_rollup() {
         let report = summarize(&runtime_trace()).render();
         assert!(!report.contains("state core"));
+    }
+
+    fn service_trace() -> Vec<Json> {
+        let lines = [
+            r#"{"type":"service_batch","time":1.0,"window":1,"size":3,"admitted":2,"rejected":1,"shed":0,"queue_depth":2,"solves":1}"#,
+            r#"{"type":"service_batch","time":2.0,"window":2,"size":5,"admitted":5,"rejected":0,"shed":1,"queue_depth":7,"solves":1}"#,
+            r#"{"type":"service_decision","time":1.0,"request":0,"class":"be","outcome":"admitted","wait":0.4,"rate":1.5}"#,
+            r#"{"type":"service_decision","time":1.0,"request":1,"class":"gr","outcome":"rejected","wait":0.2,"rate":0.0}"#,
+            r#"{"type":"service_decision","time":2.0,"request":2,"class":"be","outcome":"shed","wait":1.4,"rate":0.0}"#,
+            r#"{"type":"service_probe","time":1.5,"request":3,"feasible":true,"rate":2.0}"#,
+            r#"{"type":"service_probe","time":1.6,"request":4,"feasible":false,"rate":0.0}"#,
+        ];
+        load_trace(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn service_events_get_a_rollup() {
+        let s = summarize(&service_trace());
+        let svc = &s.service;
+        assert_eq!(svc.batches, 2);
+        assert_eq!(svc.batched_requests, 8);
+        assert_eq!(svc.solves, 2);
+        assert_eq!(svc.peak_queue_depth, 7);
+        assert_eq!(svc.outcomes["admitted"], 1);
+        assert_eq!(svc.outcomes["rejected"], 1);
+        assert_eq!(svc.outcomes["shed"], 1);
+        assert_eq!(svc.decisions(), 3);
+        assert!((svc.total_wait - 2.0).abs() < 1e-9);
+        assert_eq!(svc.max_wait, 1.4);
+        assert_eq!((svc.probes, svc.probes_feasible), (2, 1));
+    }
+
+    #[test]
+    fn service_rollup_renders_a_section() {
+        let report = summarize(&service_trace()).render();
+        assert!(report.contains("admission service (service_* rollup):"));
+        assert!(report.contains("mean batch 4.00"), "{report}");
+        assert!(
+            report.contains("admitted 1, rejected 1, shed 1"),
+            "{report}"
+        );
+        assert!(report.contains("probes 2 (1 feasible)"), "{report}");
+    }
+
+    #[test]
+    fn traces_without_service_events_skip_the_service_section() {
+        let report = summarize(&runtime_trace()).render();
+        assert!(!report.contains("admission service"));
     }
 
     #[test]

@@ -13,13 +13,16 @@
 //! * [`scenario_file`] — the plain-text experiment scenario files the
 //!   paper's emulator reads (parser + writer);
 //! * [`traces`] — seeded arrival-time generators (Poisson, diurnal,
-//!   flash-crowd) for system-level churn studies.
+//!   flash-crowd) for system-level churn studies;
+//! * [`requests`] — the request-stream adapter over [`traces`] feeding
+//!   the admission service plane (submissions + what-if probes).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod face_detection;
 pub mod graphs;
+pub mod requests;
 pub mod scale;
 pub mod scenario_file;
 pub mod scenarios;
@@ -30,6 +33,7 @@ pub use face_detection::{face_detection_app, face_detection_graph, testbed_netwo
 pub use graphs::{
     diamond_task_graph, linear_task_graph, linear_task_graph_multi, random_task_graph,
 };
+pub use requests::{RequestKind, RequestStream, ServiceRequest};
 pub use scale::{ScaleScenario, ScaleSpec};
 pub use scenario_file::{parse_scenario, write_scenario, FileScenario, ScenarioParseError};
 pub use scenarios::{BottleneckCase, GraphKind, Scenario, ScenarioConfig};

@@ -1,0 +1,156 @@
+//! Request streams for the admission service plane.
+//!
+//! The service front-end (DESIGN.md §13) does not consume raw arrival
+//! timestamps: it consumes *requests* — placement submissions to
+//! coalesce into micro-batches, interleaved with read-only what-if
+//! probes answered from the state snapshot. This module adapts the
+//! seeded arrival generators of [`crate::traces`] into exactly that
+//! shape: each arrival becomes a [`ServiceRequest`] tagged with its
+//! kind, with every `probe_every`-th arrival turned into a probe.
+//!
+//! The stream is a thin, lazy wrapper over [`ArrivalEvents`], so it
+//! inherits its guarantees: deterministic per `(trace, horizon, seed)`,
+//! sorted non-decreasing times inside `[0, horizon)`, and properly
+//! fused after exhaustion.
+
+use crate::traces::{ArrivalEvents, ArrivalTrace};
+
+/// What a [`ServiceRequest`] asks the admission service to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Submit an application for placement (queued into the current
+    /// micro-batch window).
+    Admit,
+    /// Ask a read-only what-if/γ-probe question against the service's
+    /// immutable state snapshot (never queued, never batched).
+    Probe,
+}
+
+/// One timestamped request for the admission service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceRequest {
+    /// Arrival timestamp in `[0, horizon)`.
+    pub time: f64,
+    /// Zero-based request sequence number within the stream.
+    pub index: u64,
+    /// Submission or probe.
+    pub kind: RequestKind,
+}
+
+/// Lazy, seeded stream of [`ServiceRequest`]s over an [`ArrivalTrace`].
+///
+/// Obtained from [`RequestStream::new`]; configure the probe cadence
+/// with [`RequestStream::with_probe_every`].
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    arrivals: ArrivalEvents,
+    probe_every: u64,
+}
+
+impl RequestStream {
+    /// A request stream over `trace` with no probes mixed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite/negative rates or horizon (see
+    /// [`ArrivalTrace::events`]).
+    pub fn new(trace: ArrivalTrace, horizon: f64, seed: u64) -> Self {
+        RequestStream {
+            arrivals: trace.events(horizon, seed),
+            probe_every: 0,
+        }
+    }
+
+    /// Turns every `n`-th request (1-based positions `n`, `2n`, …) into
+    /// a [`RequestKind::Probe`]; `0` disables probes entirely.
+    #[must_use]
+    pub fn with_probe_every(mut self, n: u64) -> Self {
+        self.probe_every = n;
+        self
+    }
+
+    /// The horizon beyond which no requests are produced.
+    pub fn horizon(&self) -> f64 {
+        self.arrivals.horizon()
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = ServiceRequest;
+
+    fn next(&mut self) -> Option<ServiceRequest> {
+        let event = self.arrivals.next()?;
+        let kind = if self.probe_every > 0 && (event.index + 1).is_multiple_of(self.probe_every) {
+            RequestKind::Probe
+        } else {
+            RequestKind::Admit
+        };
+        Some(ServiceRequest {
+            time: event.time,
+            index: event.index,
+            kind,
+        })
+    }
+}
+
+impl std::iter::FusedIterator for RequestStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flash_crowd() -> ArrivalTrace {
+        ArrivalTrace::FlashCrowd {
+            rate: 1.0,
+            burst_rate: 8.0,
+            burst_start: 20.0,
+            burst_end: 40.0,
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_in_horizon() {
+        let a: Vec<_> = RequestStream::new(flash_crowd(), 50.0, 7)
+            .with_probe_every(4)
+            .collect();
+        let b: Vec<_> = RequestStream::new(flash_crowd(), 50.0, 7)
+            .with_probe_every(4)
+            .collect();
+        assert_eq!(a, b, "same seed ⇒ identical request stream");
+        assert!(!a.is_empty());
+        for (i, request) in a.iter().enumerate() {
+            assert_eq!(request.index, i as u64);
+            assert!((0.0..50.0).contains(&request.time));
+        }
+        assert!(a.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn probe_cadence_marks_every_nth_request() {
+        let requests: Vec<_> = RequestStream::new(flash_crowd(), 50.0, 7)
+            .with_probe_every(3)
+            .collect();
+        for request in &requests {
+            let expected = if (request.index + 1).is_multiple_of(3) {
+                RequestKind::Probe
+            } else {
+                RequestKind::Admit
+            };
+            assert_eq!(request.kind, expected, "request {}", request.index);
+        }
+        let probes = requests
+            .iter()
+            .filter(|r| r.kind == RequestKind::Probe)
+            .count();
+        assert_eq!(probes, requests.len() / 3);
+    }
+
+    #[test]
+    fn no_probes_by_default_and_stream_fuses() {
+        let mut stream = RequestStream::new(flash_crowd(), 30.0, 9);
+        assert!(stream.all(|r| r.kind == RequestKind::Admit));
+        // `all` exhausted the stream; a fused stream stays exhausted.
+        assert_eq!(stream.next(), None);
+        assert_eq!(stream.next(), None);
+    }
+}
