@@ -1,12 +1,13 @@
 //! Perf-regression baseline harness.
 //!
-//! Six pinned, deterministic workloads (compact cuts of `exp_fig6`,
-//! `exp_scaling`, `exp_scale`, and `exp_churn`, plus the
-//! incremental-state solver timeline and the monitor-overhead ratio)
-//! each produce a [`BenchResult`] — wall time, γ-cache hit rate, DES
-//! events/sec, peak event-queue depth, per-event BE solve cost,
-//! warm-start Newton steps, placements/sec, and the observability
-//! plane's on/off wall-time ratio — serialized to
+//! Eight pinned, deterministic workloads (compact cuts of `exp_fig6`,
+//! `exp_scaling`, `exp_scale`, `exp_churn`, and `exp_service`, plus
+//! the incremental-state solver timeline and the monitor- and
+//! provenance-overhead ratios) each produce a [`BenchResult`] — wall
+//! time, γ-cache hit rate, DES events/sec, peak event-queue depth,
+//! per-event BE solve cost, warm-start Newton steps, placements/sec,
+//! admission throughput and decision latency, and the observability
+//! and provenance planes' on/off wall-time ratios — serialized to
 //! `BENCH_<experiment>.json`. The committed copies
 //! under `benchmarks/` are the baseline; `exp_baseline compare` re-runs
 //! the workloads and exits nonzero when a metric regresses past its
@@ -58,8 +59,8 @@ pub struct MetricSpec {
     pub fixed_tolerance: Option<f64>,
 }
 
-/// The ten gated metrics, in serialization order.
-pub const METRIC_SPECS: [MetricSpec; 10] = [
+/// The eleven gated metrics, in serialization order.
+pub const METRIC_SPECS: [MetricSpec; 11] = [
     MetricSpec {
         name: "wall_time_s",
         higher_is_better: false,
@@ -120,6 +121,12 @@ pub const METRIC_SPECS: [MetricSpec; 10] = [
         deterministic: true,
         fixed_tolerance: None,
     },
+    MetricSpec {
+        name: "provenance_overhead_ratio",
+        higher_is_better: false,
+        deterministic: false,
+        fixed_tolerance: Some(0.05),
+    },
 ];
 
 /// Relative band for deterministic metrics (float formatting slack
@@ -167,11 +174,17 @@ pub struct BenchResult {
     /// deterministic: it gates the batching/backpressure policy itself,
     /// not the machine (0 when no admission service runs).
     pub p99_decision_ms: f64,
+    /// Provenance-on wall time over provenance-off wall time of the
+    /// same traced workload on the same machine (0 when the workload
+    /// does not measure the provenance plane). Like the monitor ratio,
+    /// machine noise cancels, so it rides a fixed 5 % band — the
+    /// decision-provenance plane's overhead budget (DESIGN.md §14).
+    pub provenance_overhead_ratio: f64,
 }
 
 impl BenchResult {
     /// Metric values in [`METRIC_SPECS`] order.
-    pub fn metrics(&self) -> [f64; 10] {
+    pub fn metrics(&self) -> [f64; 11] {
         [
             self.wall_time_s,
             self.gamma_cache_hit_rate,
@@ -183,6 +196,7 @@ impl BenchResult {
             self.monitor_overhead_ratio,
             self.admissions_per_sec,
             self.p99_decision_ms,
+            self.provenance_overhead_ratio,
         ]
     }
 
@@ -219,6 +233,7 @@ impl BenchResult {
             monitor_overhead_ratio: value("monitor_overhead_ratio"),
             admissions_per_sec: value("admissions_per_sec"),
             p99_decision_ms: value("p99_decision_ms"),
+            provenance_overhead_ratio: value("provenance_overhead_ratio"),
         })
     }
 }
@@ -303,13 +318,14 @@ pub type BaselineExperiment = (&'static str, fn() -> BenchResult);
 
 /// The pinned baseline workloads, each a deterministic compact cut of
 /// the experiment it is named after.
-pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 7] = [
+pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 8] = [
     ("fig6_placement", run_fig6_placement),
     ("scaling_assign", run_scaling_assign),
     ("scale_assign", run_scale_assign),
     ("churn_runtime", run_churn_runtime),
     ("churn_solver", run_churn_solver),
     ("churn_monitor", run_churn_monitor),
+    ("churn_provenance", run_churn_provenance),
     ("service_admission", run_service_admission),
 ];
 
@@ -405,6 +421,7 @@ fn run_fig6_placement() -> BenchResult {
         monitor_overhead_ratio: 0.0,
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
+        provenance_overhead_ratio: 0.0,
     }
 }
 
@@ -498,6 +515,7 @@ fn run_scaling_assign() -> BenchResult {
         monitor_overhead_ratio: 0.0,
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
+        provenance_overhead_ratio: 0.0,
     }
 }
 
@@ -542,6 +560,7 @@ fn run_scale_assign() -> BenchResult {
         monitor_overhead_ratio: 0.0,
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
+        provenance_overhead_ratio: 0.0,
     }
 }
 
@@ -627,6 +646,7 @@ fn run_churn_runtime() -> BenchResult {
         monitor_overhead_ratio: 0.0,
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
+        provenance_overhead_ratio: 0.0,
     }
 }
 
@@ -694,6 +714,75 @@ fn run_churn_monitor() -> BenchResult {
         },
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
+        provenance_overhead_ratio: 0.0,
+    }
+}
+
+/// One rep of the churn-runtime workload traced into a throwaway
+/// [`CollectRecorder`], with the provenance plane (lifecycle events,
+/// cause-id bookkeeping, line stamping) on or off, returning its wall
+/// seconds. Same stretched 600 sim-s horizon as [`churn_monitor_rep`]
+/// for the same noise-floor reason.
+fn churn_provenance_rep(provenance: bool) -> f64 {
+    let config = RuntimeConfig {
+        horizon: 600.0,
+        failure_seed: 0xc0de,
+        hold_seed: 0x601d,
+        mean_hold: 25.0,
+        policy: ReconcilePolicy::Fifo,
+        ..RuntimeConfig::default()
+    };
+    let arrivals = ArrivalTrace::Poisson { rate: 1.2 }.events(config.horizon, 0xa11);
+    let mut rt = SparcleRuntime::new(churn_network(0.05), arrivals, churn_app, config);
+    let recorder = CollectRecorder::new();
+    let trace = if provenance {
+        TraceHandle::new(&recorder)
+    } else {
+        TraceHandle::new(&recorder).without_provenance()
+    };
+    let start = Instant::now();
+    rt.run_traced(trace);
+    start.elapsed().as_secs_f64()
+}
+
+/// Decision-provenance overhead cut: the traced churn-runtime workload
+/// with provenance on vs off — both reps record the same base
+/// telemetry, so the ratio isolates exactly what the provenance plane
+/// adds (lifecycle events, cause-id tracking, id stamping). Same
+/// min-of-interleaved-pairs statistic as [`run_churn_monitor`], and the
+/// same fixed 5 % band: the provenance plane's overhead budget
+/// (DESIGN.md §14), not a drift tolerance.
+fn run_churn_provenance() -> BenchResult {
+    const REPS: usize = 5;
+    let start = Instant::now();
+    churn_provenance_rep(false);
+    churn_provenance_rep(true);
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..REPS {
+        let off = churn_provenance_rep(false);
+        let on = churn_provenance_rep(true);
+        if off > 0.0 {
+            best_ratio = best_ratio.min(on / off);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    BenchResult {
+        experiment: "churn_provenance".to_owned(),
+        wall_time_s: wall,
+        gamma_cache_hit_rate: 0.0,
+        events_per_sec: 0.0,
+        peak_queue_depth: 0.0,
+        be_solve_ms_per_event: 0.0,
+        warm_inner_iters_per_solve: 0.0,
+        placements_per_sec: 0.0,
+        monitor_overhead_ratio: 0.0,
+        admissions_per_sec: 0.0,
+        p99_decision_ms: 0.0,
+        provenance_overhead_ratio: if best_ratio.is_finite() {
+            best_ratio
+        } else {
+            0.0
+        },
     }
 }
 
@@ -751,6 +840,7 @@ fn run_churn_solver() -> BenchResult {
         monitor_overhead_ratio: 0.0,
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
+        provenance_overhead_ratio: 0.0,
     }
 }
 
@@ -813,6 +903,7 @@ fn run_service_admission() -> BenchResult {
             0.0
         },
         p99_decision_ms: 1000.0 * service.decision_wait_quantile(0.99),
+        provenance_overhead_ratio: 0.0,
     }
 }
 
@@ -833,6 +924,7 @@ mod tests {
             monitor_overhead_ratio: 0.0,
             admissions_per_sec: 0.0,
             p99_decision_ms: 0.0,
+            provenance_overhead_ratio: 0.0,
         }
     }
 
@@ -903,6 +995,23 @@ mod tests {
         let regressions = compare(&busted, &baseline, 10.0);
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].metric, "monitor_overhead_ratio");
+        assert_eq!(regressions[0].tolerance, 0.05);
+    }
+
+    #[test]
+    fn provenance_overhead_rides_the_fixed_band() {
+        let mut baseline = result(1.0, 0.9, 10_000.0, 40.0);
+        baseline.provenance_overhead_ratio = 1.0;
+        // Same shape as the monitor gate: a fixed 5 % budget, decoupled
+        // from the wall-clock tolerance in both directions.
+        let mut ok = baseline.clone();
+        ok.provenance_overhead_ratio = 1.04;
+        assert!(compare(&ok, &baseline, 0.0).is_empty());
+        let mut busted = baseline.clone();
+        busted.provenance_overhead_ratio = 1.08;
+        let regressions = compare(&busted, &baseline, 10.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].metric, "provenance_overhead_ratio");
         assert_eq!(regressions[0].tolerance, 0.05);
     }
 

@@ -172,11 +172,7 @@ fn determinism_run(threads: usize) -> (String, u64, sparcle_core::StateStats) {
     {
         let recorder = sparcle_telemetry::CollectRecorder::new();
         rt.run_traced(sparcle_core::TraceHandle::new(&recorder));
-        let mut log = String::new();
-        for event in recorder.events() {
-            log.push_str(&event.to_json().render());
-            log.push('\n');
-        }
+        let log = recorder.render_trace();
         let stats = rt.system().state_stats().clone();
         (log, rt.events_processed(), stats)
     }

@@ -95,6 +95,7 @@ fn deterministic_metrics_get_the_tight_band() {
         monitor_overhead_ratio: 1.0,
         admissions_per_sec: 500.0,
         p99_decision_ms: 12.0,
+        provenance_overhead_ratio: 1.0,
     };
     let mut drifted = baseline.clone();
     drifted.peak_queue_depth = 105.0; // +5 % on a deterministic metric

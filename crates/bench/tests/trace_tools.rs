@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparcle_core::{DynamicRankingAssigner, TraceHandle};
-use sparcle_telemetry::{CollectRecorder, SpanTracker};
+use sparcle_telemetry::{stamp_json, CollectRecorder, SpanTracker};
 use sparcle_trace_tools::{diff, load_trace, profile, validate_line, validate_trace};
 use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
 
@@ -38,12 +38,9 @@ fn traced_run(seed: u64, spans: bool) -> String {
     DynamicRankingAssigner::new()
         .assign_with_trace(&scenario.app, &scenario.network, &caps, trace)
         .expect("assignable");
-    let mut out = String::new();
-    for event in recorder.events() {
-        out.push_str(&event.to_json().render());
-        out.push('\n');
-    }
-    out.push_str(&recorder.snapshot().to_trace_json().render());
+    let mut out = recorder.render_trace();
+    let next_id = recorder.stamped_events().len() as u64 + 1;
+    out.push_str(&stamp_json(recorder.snapshot().to_trace_json(), next_id, &[]).render());
     out.push('\n');
     out
 }

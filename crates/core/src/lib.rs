@@ -17,6 +17,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod assignment;
+pub mod cause;
 pub mod engine;
 pub mod error;
 pub mod snapshot;
@@ -29,6 +30,7 @@ pub use assignment::{
     assign_multipath, assign_multipath_diverse, assign_multipath_stats, DynamicRankingAssigner,
     EvalMode,
 };
+pub use cause::{DisplaceCause, RejectCause, ShedCause, DEFER_WRITER_BUSY};
 pub use engine::{
     fewest_hops_path, AssignStats, AssignedPath, GammaRows, PlacementEngine, RoutePolicy,
 };

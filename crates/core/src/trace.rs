@@ -36,14 +36,31 @@ use sparcle_telemetry::{Event, Recorder, SpanTracker};
 /// See the module docs for the two feature configurations. Obtain one
 /// with [`TraceHandle::none`] (always) or [`TraceHandle::new`] /
 /// [`TraceHandle::with_spans`] (feature-gated).
-#[derive(Clone, Copy, Default)]
+#[derive(Clone, Copy)]
 pub struct TraceHandle<'a> {
     #[cfg(feature = "telemetry")]
     recorder: Option<&'a dyn Recorder>,
     #[cfg(feature = "telemetry")]
     spans: Option<&'a SpanTracker>,
+    #[cfg(feature = "telemetry")]
+    provenance: bool,
     #[cfg(not(feature = "telemetry"))]
     _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Default for TraceHandle<'_> {
+    fn default() -> Self {
+        TraceHandle {
+            #[cfg(feature = "telemetry")]
+            recorder: None,
+            #[cfg(feature = "telemetry")]
+            spans: None,
+            #[cfg(feature = "telemetry")]
+            provenance: true,
+            #[cfg(not(feature = "telemetry"))]
+            _marker: std::marker::PhantomData,
+        }
+    }
 }
 
 impl std::fmt::Debug for TraceHandle<'_> {
@@ -68,6 +85,7 @@ impl<'a> TraceHandle<'a> {
         TraceHandle {
             recorder: Some(recorder),
             spans: None,
+            provenance: true,
         }
     }
 
@@ -78,6 +96,39 @@ impl<'a> TraceHandle<'a> {
         TraceHandle {
             recorder: Some(recorder),
             spans: Some(tracker),
+            provenance: true,
+        }
+    }
+
+    /// The same handle with the decision-provenance plane disabled: the
+    /// per-app lifecycle events (`runtime_displace`/`runtime_readmit`/
+    /// `runtime_probe`, `service_ingest`/`service_defer`) and the cause
+    /// bookkeeping behind them are skipped, leaving the pre-provenance
+    /// event stream. This is the off-axis of the
+    /// `provenance_overhead_ratio` perf gate (DESIGN.md §14).
+    #[must_use]
+    pub fn without_provenance(self) -> Self {
+        #[cfg(feature = "telemetry")]
+        {
+            let mut this = self;
+            this.provenance = false;
+            this
+        }
+        #[cfg(not(feature = "telemetry"))]
+        self
+    }
+
+    /// Whether the provenance plane is active (requires an attached
+    /// recorder; always `false` with the `telemetry` feature off).
+    #[inline]
+    pub fn provenance_enabled(&self) -> bool {
+        #[cfg(feature = "telemetry")]
+        {
+            self.recorder.is_some() && self.provenance
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            false
         }
     }
 
@@ -121,12 +172,33 @@ impl<'a> TraceHandle<'a> {
         self.spans
     }
 
-    /// Records a structured event.
+    /// Records a structured event and returns the provenance id the
+    /// sink assigned (`0` when no recorder is attached or the sink does
+    /// not track provenance).
     #[cfg(feature = "telemetry")]
     #[inline]
-    pub fn event(&self, event: &Event) {
-        if let Some(r) = self.recorder {
-            r.event(event);
+    pub fn event(&self, event: &Event) -> u64 {
+        self.event_caused(event, &[])
+    }
+
+    /// Records a structured event with its causal back-references
+    /// (provenance ids of the earlier events that caused it) and
+    /// returns the new event's id.
+    ///
+    /// When the provenance plane is disabled
+    /// ([`TraceHandle::without_provenance`]) the causes are dropped —
+    /// the event is still recorded, but unlinked, and the returned id
+    /// is `0` so downstream bookkeeping short-circuits.
+    #[cfg(feature = "telemetry")]
+    #[inline]
+    pub fn event_caused(&self, event: &Event, causes: &[u64]) -> u64 {
+        match self.recorder {
+            Some(r) if self.provenance => r.event_caused(event, causes),
+            Some(r) => {
+                r.event_caused(event, &[]);
+                0
+            }
+            None => 0,
         }
     }
 
@@ -256,6 +328,30 @@ mod tests {
         // Without a tracker, span() is inert: no span events.
         t.span("quiet").finish();
         assert_eq!(r.events().len(), 1);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn event_caused_threads_provenance_through_the_sink() {
+        let r = sparcle_telemetry::CollectRecorder::new();
+        let t = TraceHandle::new(&r);
+        assert!(t.provenance_enabled());
+        let a = t.event(&Event::RunStart { name: "a".into() });
+        let b = t.event_caused(&Event::RunStart { name: "b".into() }, &[a]);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(r.stamped_events()[1].causes, vec![1]);
+
+        // Disabling the plane records the event but drops the links and
+        // reports id 0 so emitters skip their bookkeeping.
+        let quiet = t.without_provenance();
+        assert!(!quiet.provenance_enabled());
+        assert!(quiet.is_enabled());
+        let c = quiet.event_caused(&Event::RunStart { name: "c".into() }, &[b]);
+        assert_eq!(c, 0);
+        assert!(r.stamped_events()[2].causes.is_empty());
+
+        // A disconnected handle reports both planes off.
+        assert!(!TraceHandle::none().provenance_enabled());
     }
 
     #[cfg(feature = "telemetry")]

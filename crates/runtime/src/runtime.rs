@@ -14,6 +14,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 #[cfg(feature = "telemetry")]
 use sparcle_core::telemetry::Event;
+#[cfg(feature = "telemetry")]
+use sparcle_core::DisplaceCause;
 use sparcle_core::{Admission, DisplacedApp, SparcleSystem, SystemConfig, TraceHandle};
 use sparcle_model::{
     AppId, Application, CapacityMap, Network, NetworkElement, Placement, QoeClass,
@@ -171,6 +173,12 @@ pub struct SparcleRuntime<F> {
     ledger: SloLedger,
     monitor: Option<Monitor>,
     events_processed: u64,
+    /// Arrival index → provenance id of the app's latest lifecycle
+    /// event (arrival/displace/readmit), so the next hop can link back
+    /// to it. Only populated while the provenance plane is on; entries
+    /// leave at departure.
+    #[cfg(feature = "telemetry")]
+    last_event: BTreeMap<u64, u64>,
 }
 
 impl<F> std::fmt::Debug for SparcleRuntime<F> {
@@ -277,6 +285,8 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             ledger: SloLedger::default(),
             monitor,
             events_processed: 0,
+            #[cfg(feature = "telemetry")]
+            last_event: BTreeMap::new(),
         }
     }
 
@@ -430,13 +440,25 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         trace.counter("runtime.arrivals", 1);
         #[cfg(feature = "telemetry")]
         if trace.is_enabled() {
-            trace.event(&Event::RuntimeArrival {
+            // An arrival is exogenous: it roots the app's cause chain
+            // (empty `causes`). The lineage is the arrival index; a
+            // rejection records the binding constraint's cause code.
+            let cause = match &admission {
+                Admission::Rejected(reason) => Some(reason.cause_code().to_owned()),
+                Admission::Admitted(_) => None,
+            };
+            let id = trace.event(&Event::RuntimeArrival {
                 time: t,
                 app: index as u32,
+                lineage: index,
                 class: if is_gr { "gr" } else { "be" }.to_owned(),
                 admitted,
                 rate,
+                cause,
             });
+            if admitted && id != 0 && trace.provenance_enabled() {
+                self.last_event.insert(index, id);
+            }
         }
         #[cfg(not(feature = "telemetry"))]
         let _ = (is_gr, rate);
@@ -462,10 +484,17 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         trace.counter("runtime.departures", 1);
         #[cfg(feature = "telemetry")]
         if trace.is_enabled() {
-            trace.event(&Event::RuntimeDeparture {
-                time: t,
-                app: index as u32,
-            });
+            let prev = self.last_event.remove(&index).unwrap_or(0);
+            let buf = [prev];
+            let causes: &[u64] = if prev != 0 { &buf } else { &[] };
+            trace.event_caused(
+                &Event::RuntimeDeparture {
+                    time: t,
+                    app: index as u32,
+                    lineage: index,
+                },
+                causes,
+            );
         }
         #[cfg(not(feature = "telemetry"))]
         let _ = t;
@@ -478,6 +507,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             self.down.insert(element);
         }
         let mut displaced_now = 0u64;
+        let mut displaced_indices: Vec<u64> = Vec::new();
         if !up {
             // Blast radius: lift every application whose paths cross the
             // failed element in one transaction (a single BE re-solve),
@@ -497,6 +527,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
                     since: t,
                     displaced,
                 });
+                displaced_indices.push(index);
                 displaced_now += 1;
             }
         }
@@ -505,13 +536,42 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         trace.counter("runtime.element_transitions", 1);
         #[cfg(feature = "telemetry")]
         if trace.is_enabled() {
-            trace.event(&Event::RuntimeElementState {
+            let element_id = trace.event(&Event::RuntimeElementState {
                 time: t,
                 element: element_label(element),
                 up,
                 displaced: displaced_now,
             });
+            // Per-app displacement provenance: each evicted app links
+            // back to its latest lifecycle event and to the element
+            // transition that evicted it — the binding constraint.
+            if trace.provenance_enabled() {
+                for &index in &displaced_indices {
+                    let mut causes = Vec::with_capacity(2);
+                    if let Some(&prev) = self.last_event.get(&index) {
+                        causes.push(prev);
+                    }
+                    if element_id != 0 {
+                        causes.push(element_id);
+                    }
+                    let id = trace.event_caused(
+                        &Event::RuntimeDisplace {
+                            time: t,
+                            app: index as u32,
+                            lineage: index,
+                            element: element_label(element),
+                            cause: DisplaceCause::ElementFailure.code().to_owned(),
+                        },
+                        &causes,
+                    );
+                    if id != 0 {
+                        self.last_event.insert(index, id);
+                    }
+                }
+            }
         }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = &displaced_indices;
         if displaced_now > 0 || (up && !self.pending.is_empty()) {
             let delay = self.config.reconcile_base_delay
                 + self.config.reconcile_per_app_delay * self.pending.len() as f64;
@@ -542,12 +602,25 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         let reconcile_span = trace.span("runtime.reconcile");
         let mut batch = std::mem::take(&mut self.pending);
         if self.config.policy == ReconcilePolicy::GammaProbe {
-            self.order_by_probe(&mut batch);
+            self.order_by_probe(&mut batch, t, trace);
         } else {
             self.config.policy.order(&mut batch);
         }
         let (mut restored, mut replaced, mut failed) = (0u64, 0u64, 0u64);
+        // Provenance ids of the lifecycle events (displacements) this
+        // pass is resolving — the aggregate reconcile event links back
+        // to all of them.
+        #[cfg(feature = "telemetry")]
+        let mut pass_causes: Vec<u64> = Vec::new();
         for mut p in batch {
+            #[cfg(feature = "telemetry")]
+            let prev = {
+                let prev = self.last_event.get(&p.index).copied().unwrap_or(0);
+                if prev != 0 {
+                    pass_causes.push(prev);
+                }
+                prev
+            };
             // Cheap path first: reinstate the preserved placement (no γ
             // evaluation) unless it crosses a still-downed element.
             if !self.placement_touches_down(&p.displaced) {
@@ -556,6 +629,16 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
                         restored += 1;
                         self.register(p.index, id);
                         self.ledger.record_restore(t - p.since);
+                        #[cfg(feature = "telemetry")]
+                        self.emit_readmit(
+                            trace,
+                            t,
+                            p.index,
+                            "restored",
+                            self.rate_of(id),
+                            None,
+                            prev,
+                        );
                         continue;
                     }
                     // Ownership comes back on rejection; fall through to
@@ -575,9 +658,23 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
                     replaced += 1;
                     self.register(p.index, id);
                     self.ledger.record_replacement(t - p.since);
+                    #[cfg(feature = "telemetry")]
+                    self.emit_readmit(trace, t, p.index, "replaced", self.rate_of(id), None, prev);
                 }
-                Admission::Rejected(_) => {
+                Admission::Rejected(reason) => {
                     failed += 1;
+                    #[cfg(feature = "telemetry")]
+                    self.emit_readmit(
+                        trace,
+                        t,
+                        p.index,
+                        "failed",
+                        0.0,
+                        Some(reason.cause_code()),
+                        prev,
+                    );
+                    #[cfg(not(feature = "telemetry"))]
+                    let _ = reason;
                     self.pending.push(p);
                 }
             }
@@ -586,14 +683,19 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         trace.counter("runtime.reconciles", 1);
         #[cfg(feature = "telemetry")]
         if trace.is_enabled() {
-            trace.event(&Event::RuntimeReconcile {
-                time: t,
-                policy: self.config.policy.label().to_owned(),
-                restored,
-                replaced,
-                failed,
-                latency: t - cause,
-            });
+            pass_causes.sort_unstable();
+            pass_causes.dedup();
+            trace.event_caused(
+                &Event::RuntimeReconcile {
+                    time: t,
+                    policy: self.config.policy.label().to_owned(),
+                    restored,
+                    replaced,
+                    failed,
+                    latency: t - cause,
+                },
+                &pass_causes,
+            );
         }
         #[cfg(not(feature = "telemetry"))]
         let _ = (t, cause, restored, replaced, failed);
@@ -668,13 +770,55 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
         }
     }
 
+    /// Emits one `runtime_readmit` lifecycle event linking back to the
+    /// app's previous lifecycle hop, and advances the lineage cursor.
+    #[cfg(feature = "telemetry")]
+    #[allow(clippy::too_many_arguments)]
+    fn emit_readmit(
+        &mut self,
+        trace: TraceHandle<'_>,
+        t: f64,
+        index: u64,
+        outcome: &str,
+        rate: f64,
+        cause: Option<&'static str>,
+        prev: u64,
+    ) {
+        if !trace.provenance_enabled() {
+            return;
+        }
+        let buf = [prev];
+        let causes: &[u64] = if prev != 0 { &buf } else { &[] };
+        let id = trace.event_caused(
+            &Event::RuntimeReadmit {
+                time: t,
+                app: index as u32,
+                lineage: index,
+                outcome: outcome.to_owned(),
+                rate,
+                cause: cause.map(str::to_owned),
+            },
+            causes,
+        );
+        if id != 0 {
+            self.last_event.insert(index, id);
+        }
+    }
+
     /// Orders the displaced batch by what-if probes: each application is
     /// submitted inside a rollback-only transaction and the rate it
     /// would get *on the current capacities* is read before the
     /// transaction unwinds — the system (rates, residuals, and the id
     /// counter included) is left bitwise untouched. Highest probed rate
     /// first; failed probes last; ties fall back to the arrival index.
-    fn order_by_probe(&mut self, batch: &mut Vec<PendingApp>) {
+    ///
+    /// With the provenance plane on, each probe's counterfactual answer
+    /// is emitted as a `runtime_probe` event linked to the app's latest
+    /// lifecycle event — the what-if results `sparcle-trace explain`
+    /// attaches to the timeline.
+    fn order_by_probe(&mut self, batch: &mut Vec<PendingApp>, t: f64, trace: TraceHandle<'_>) {
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (t, trace);
         let mut keyed: Vec<(f64, PendingApp)> = batch
             .drain(..)
             .map(|p| {
@@ -694,6 +838,23 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
                     _ => f64::NEG_INFINITY,
                 };
                 txn.rollback();
+                #[cfg(feature = "telemetry")]
+                if trace.provenance_enabled() {
+                    let feasible = probed > f64::NEG_INFINITY;
+                    let prev = self.last_event.get(&p.index).copied().unwrap_or(0);
+                    let buf = [prev];
+                    let causes: &[u64] = if prev != 0 { &buf } else { &[] };
+                    trace.event_caused(
+                        &Event::RuntimeProbe {
+                            time: t,
+                            app: p.index as u32,
+                            lineage: p.index,
+                            feasible,
+                            rate: if feasible { probed } else { 0.0 },
+                        },
+                        causes,
+                    );
+                }
                 (probed, p)
             })
             .collect();

@@ -94,12 +94,7 @@ fn rendered_log_with(threads: usize, monitor: Option<MonitorConfig>) -> String {
     let mut rt = SparcleRuntime::new(two_route_network(), arrivals, app_source, config);
     let recorder = CollectRecorder::new();
     rt.run_traced(TraceHandle::new(&recorder));
-    let mut log = String::new();
-    for event in recorder.events() {
-        log.push_str(&event.to_json().render());
-        log.push('\n');
-    }
-    log
+    recorder.render_trace()
 }
 
 #[test]

@@ -20,7 +20,11 @@
 #[cfg(feature = "telemetry")]
 use sparcle_core::telemetry::Event;
 use sparcle_core::trace::TraceHandle;
-use sparcle_core::{Admission, DynamicRankingAssigner, SparcleSystem, StateSnapshot, SystemConfig};
+#[cfg(feature = "telemetry")]
+use sparcle_core::DEFER_WRITER_BUSY;
+use sparcle_core::{
+    Admission, DynamicRankingAssigner, ShedCause, SparcleSystem, StateSnapshot, SystemConfig,
+};
 use sparcle_model::{Application, Network, QoeClass};
 use sparcle_runtime::{Monitor, MonitorConfig, SloLedger, TickInput};
 use sparcle_workloads::{RequestKind, ServiceRequest};
@@ -128,6 +132,11 @@ struct Pending {
     /// any BE request).
     rank: f64,
     deferred: u64,
+    /// Id of the last provenance event on this request's lineage (the
+    /// `service_ingest`, or the latest `service_defer` that parked it);
+    /// 0 when provenance is off.
+    #[cfg(feature = "telemetry")]
+    last_event: u64,
 }
 
 /// The admission service: a [`SparcleSystem`] behind an ingest queue,
@@ -154,6 +163,11 @@ pub struct AdmissionService<F: FnMut(u64) -> Application> {
     /// Next window boundary to close is `(window_seq + 1) × batch_window`.
     window_seq: u64,
     shed_since_batch: u64,
+    /// Id of the last committed `service_batch` event — the cause of any
+    /// deferral its writer-busy tail forces; 0 before the first commit
+    /// or when provenance is off.
+    #[cfg(feature = "telemetry")]
+    last_batch_id: u64,
 }
 
 impl<F: FnMut(u64) -> Application> std::fmt::Debug for AdmissionService<F> {
@@ -206,6 +220,8 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
             writer_free_at: 0.0,
             window_seq: 0,
             shed_since_batch: 0,
+            #[cfg(feature = "telemetry")]
+            last_batch_id: 0,
         }
     }
 
@@ -274,6 +290,19 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
     fn enqueue(&mut self, request: ServiceRequest, trace: TraceHandle<'_>) {
         let app = Arc::new((self.source)(request.index));
         let (class, rank) = class_and_rank(&app);
+        // Mint the lineage: the ingest event is the causal root of every
+        // later event about this request.
+        #[cfg(feature = "telemetry")]
+        let ingest_id = if trace.is_enabled() && trace.provenance_enabled() {
+            trace.event(&Event::ServiceIngest {
+                time: request.time,
+                request: request.index,
+                lineage: request.index,
+                class: class.to_owned(),
+            })
+        } else {
+            0
+        };
         self.pending.push_back(Pending {
             index: request.index,
             arrival: request.time,
@@ -281,6 +310,8 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
             class,
             rank,
             deferred: 0,
+            #[cfg(feature = "telemetry")]
+            last_event: ingest_id,
         });
         if self.pending.len() > self.config.queue_capacity {
             let mut worst = 0;
@@ -291,7 +322,7 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
                 }
             }
             let victim = self.pending.remove(worst).expect("index in range");
-            self.shed(victim, request.time, trace);
+            self.shed(victim, request.time, ShedCause::QueueOverflow, trace);
         }
     }
 
@@ -335,6 +366,7 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
             trace.event(&Event::ServiceProbe {
                 time: request.time,
                 request: request.index,
+                lineage: request.index,
                 feasible: answer.feasible,
                 rate: answer.rate,
             });
@@ -353,6 +385,44 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
             // their deferral budget are shed rather than parked again.
             self.stats.windows_deferred += 1;
             self.ledger.record_deferrals(self.pending.len() as u64);
+            // The deferral is caused by the batch whose writer-busy tail
+            // covers this boundary; it in turn becomes the latest
+            // lineage event of everything it parked (or pushed over its
+            // deferral budget).
+            #[cfg(feature = "telemetry")]
+            if trace.is_enabled() && trace.provenance_enabled() {
+                // Causes: the batch whose solve is still running, plus
+                // the latest lineage event of every request it parks —
+                // so a later shed still chains back to its ingest
+                // through this deferral.
+                let mut causes: Vec<u64> = Vec::with_capacity(self.pending.len() + 1);
+                if self.last_batch_id != 0 {
+                    causes.push(self.last_batch_id);
+                }
+                causes.extend(
+                    self.pending
+                        .iter()
+                        .map(|p| p.last_event)
+                        .filter(|&c| c != 0),
+                );
+                causes.sort_unstable();
+                causes.dedup();
+                let defer_id = trace.event_caused(
+                    &Event::ServiceDefer {
+                        time: t,
+                        window: self.window_seq,
+                        queue_depth: self.pending.len() as u64,
+                        writer_free: self.writer_free_at,
+                        cause: DEFER_WRITER_BUSY.to_owned(),
+                    },
+                    &causes,
+                );
+                if defer_id != 0 {
+                    for p in self.pending.iter_mut() {
+                        p.last_event = defer_id;
+                    }
+                }
+            }
             let budget = self.config.max_defer_windows;
             let mut kept = VecDeque::with_capacity(self.pending.len());
             let mut over: Vec<Pending> = Vec::new();
@@ -366,7 +436,7 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
             }
             self.pending = kept;
             for victim in over {
-                self.shed(victim, t, trace);
+                self.shed(victim, t, ShedCause::DeferBudget, trace);
             }
             self.tick_monitor(t, trace);
             return;
@@ -396,42 +466,13 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
         // Publish the post-commit state to the read path.
         self.snapshot = self.system.snapshot();
 
-        let mut admitted = 0u64;
-        for (p, admission) in batch.iter().zip(&admissions) {
-            let wait = t - p.arrival;
-            self.decision_waits.push(wait);
-            self.stats.decisions += 1;
-            let (outcome, rate) = match admission {
-                Admission::Admitted(id) => {
-                    admitted += 1;
-                    ("admitted", self.snapshot.rate_of(*id).unwrap_or(0.0))
-                }
-                Admission::Rejected(_) => ("rejected", 0.0),
-            };
-            self.ledger.record_arrival(admission.is_admitted());
-            #[cfg(feature = "telemetry")]
-            if trace.is_enabled() {
-                trace.event(&Event::ServiceDecision {
-                    time: t,
-                    request: p.index,
-                    class: p.class.to_owned(),
-                    outcome: outcome.to_owned(),
-                    wait,
-                    rate,
-                });
-            }
-            #[cfg(not(feature = "telemetry"))]
-            let _ = (outcome, rate);
-        }
+        let admitted = admissions.iter().filter(|a| a.is_admitted()).count() as u64;
         let rejected = take as u64 - admitted;
-        self.stats.batches += 1;
-        self.stats.admitted += admitted;
-        self.stats.rejected += rejected;
-        self.writer_free_at =
-            t + self.config.solve_cost.fixed + self.config.solve_cost.per_request * take as f64;
 
+        // The batch event precedes its member decisions so every
+        // decision can cite the commit that produced it as a cause.
         #[cfg(feature = "telemetry")]
-        if trace.is_enabled() {
+        let batch_id = if trace.is_enabled() {
             trace.event(&Event::ServiceBatch {
                 time: t,
                 window: self.window_seq,
@@ -441,32 +482,92 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
                 shed: self.shed_since_batch,
                 queue_depth: self.pending.len() as u64,
                 solves: batch_solves,
-            });
-        }
+            })
+        } else {
+            0
+        };
         #[cfg(not(feature = "telemetry"))]
         let _ = batch_solves;
+
+        for (p, admission) in batch.iter().zip(&admissions) {
+            let wait = t - p.arrival;
+            self.decision_waits.push(wait);
+            self.stats.decisions += 1;
+            let (outcome, rate, cause) = match admission {
+                Admission::Admitted(id) => {
+                    ("admitted", self.snapshot.rate_of(*id).unwrap_or(0.0), None)
+                }
+                Admission::Rejected(reason) => ("rejected", 0.0, Some(reason.cause_code())),
+            };
+            self.ledger.record_arrival(admission.is_admitted());
+            #[cfg(feature = "telemetry")]
+            if trace.is_enabled() {
+                let mut causes = [0u64; 2];
+                let mut n = 0;
+                if p.last_event != 0 {
+                    causes[n] = p.last_event;
+                    n += 1;
+                }
+                if batch_id != 0 {
+                    causes[n] = batch_id;
+                    n += 1;
+                }
+                trace.event_caused(
+                    &Event::ServiceDecision {
+                        time: t,
+                        request: p.index,
+                        lineage: p.index,
+                        class: p.class.to_owned(),
+                        outcome: outcome.to_owned(),
+                        wait,
+                        rate,
+                        cause: cause.map(str::to_owned),
+                    },
+                    &causes[..n],
+                );
+            }
+            #[cfg(not(feature = "telemetry"))]
+            let _ = (outcome, rate, cause);
+        }
+        self.stats.batches += 1;
+        self.stats.admitted += admitted;
+        self.stats.rejected += rejected;
+        self.writer_free_at =
+            t + self.config.solve_cost.fixed + self.config.solve_cost.per_request * take as f64;
+        #[cfg(feature = "telemetry")]
+        {
+            self.last_batch_id = batch_id;
+        }
         self.shed_since_batch = 0;
         self.tick_monitor(t, trace);
     }
 
-    /// Drops one request under backpressure, charging the ledger.
-    fn shed(&mut self, victim: Pending, t: f64, trace: TraceHandle<'_>) {
+    /// Drops one request under backpressure, charging the ledger and
+    /// attributing the shed to its cause code.
+    fn shed(&mut self, victim: Pending, t: f64, cause: ShedCause, trace: TraceHandle<'_>) {
         self.stats.shed += 1;
         self.shed_since_batch += 1;
         self.ledger.record_shed();
         #[cfg(feature = "telemetry")]
         if trace.is_enabled() {
-            trace.event(&Event::ServiceDecision {
-                time: t,
-                request: victim.index,
-                class: victim.class.to_owned(),
-                outcome: "shed".to_owned(),
-                wait: t - victim.arrival,
-                rate: 0.0,
-            });
+            let causes = [victim.last_event];
+            let n = usize::from(victim.last_event != 0);
+            trace.event_caused(
+                &Event::ServiceDecision {
+                    time: t,
+                    request: victim.index,
+                    lineage: victim.index,
+                    class: victim.class.to_owned(),
+                    outcome: "shed".to_owned(),
+                    wait: t - victim.arrival,
+                    rate: 0.0,
+                    cause: Some(cause.code().to_owned()),
+                },
+                &causes[..n],
+            );
         }
         #[cfg(not(feature = "telemetry"))]
-        let _ = (victim.class, t, trace);
+        let _ = (victim.class, t, trace, cause);
     }
 
     /// Accrues the ledger's integrals up to `t` at the current rates.

@@ -152,6 +152,10 @@ pub enum Event {
         time: f64,
         /// Application index (arrival sequence number).
         app: u32,
+        /// Provenance lineage minted at submission (the arrival index).
+        /// Every later lifecycle event for this app carries the same
+        /// value, so one key selects a full causal timeline.
+        lineage: u64,
         /// QoE class label (`"gr"` or `"be"`).
         class: String,
         /// Whether admission control accepted the application.
@@ -159,6 +163,9 @@ pub enum Event {
         /// Admitted rate (guaranteed for GR, allocated for BE; `0` when
         /// rejected).
         rate: f64,
+        /// Cause code for the binding constraint when rejected
+        /// (`RejectCause::code()`), `None` when admitted.
+        cause: Option<String>,
     },
     /// The online runtime processed an application departure.
     RuntimeDeparture {
@@ -166,6 +173,58 @@ pub enum Event {
         time: f64,
         /// Application index.
         app: u32,
+        /// Provenance lineage (the arrival index).
+        lineage: u64,
+    },
+    /// A running application lost its placement to an element failure.
+    ///
+    /// Per-app companion to the aggregate [`Event::RuntimeElementState`]
+    /// `displaced` count: its `causes` link back to the app's previous
+    /// lifecycle event and to the element transition that evicted it.
+    RuntimeDisplace {
+        /// Simulated time of the displacement.
+        time: f64,
+        /// Application index.
+        app: u32,
+        /// Provenance lineage (the arrival index).
+        lineage: u64,
+        /// The failed element (`"ncp:3"`, `"link:7"`) — the binding
+        /// constraint at decision time.
+        element: String,
+        /// Cause code (`DisplaceCause::code()`).
+        cause: String,
+    },
+    /// A reconcile pass resolved one displaced application.
+    RuntimeReadmit {
+        /// Simulated time of the reconcile pass.
+        time: f64,
+        /// Application index.
+        app: u32,
+        /// Provenance lineage (the arrival index).
+        lineage: u64,
+        /// `"restored"` (original placement reinstated), `"replaced"`
+        /// (fresh placement found), or `"failed"` (left pending).
+        outcome: String,
+        /// Rate after readmission (0 when failed).
+        rate: f64,
+        /// Cause code for the binding constraint when the readmission
+        /// failed, `None` on success.
+        cause: Option<String>,
+    },
+    /// A rollback-only what-if probe run while ordering a reconcile
+    /// batch (the `GammaProbe` policy): the counterfactual rate the app
+    /// would get if readmitted right now, with no state mutated.
+    RuntimeProbe {
+        /// Simulated time of the probe.
+        time: f64,
+        /// Application index.
+        app: u32,
+        /// Provenance lineage (the arrival index).
+        lineage: u64,
+        /// Whether the probe found a feasible placement.
+        feasible: bool,
+        /// The counterfactual rate (0 when infeasible).
+        rate: f64,
     },
     /// A network element failed or recovered under the online runtime.
     RuntimeElementState {
@@ -191,6 +250,9 @@ pub enum Event {
     /// [`crate::SpanTracker`] epoch) — span events are therefore opt-in
     /// and excluded from the byte-identical determinism contract; trace
     /// diffing strips the wall-clock keys.
+    ///
+    /// Serialized under the `"span"` key (not `"id"`): `"id"` is the
+    /// provenance event id every stamped line carries (DESIGN.md §14).
     SpanOpen {
         /// Span id, unique within one tracker's trace.
         id: u64,
@@ -320,6 +382,9 @@ pub enum Event {
         time: f64,
         /// Request sequence number (arrival order).
         request: u64,
+        /// Provenance lineage minted at ingest (the request sequence
+        /// number).
+        lineage: u64,
         /// `"gr"` or `"be"`.
         class: String,
         /// `"admitted"`, `"rejected"`, or `"shed"`.
@@ -328,6 +393,38 @@ pub enum Event {
         wait: f64,
         /// Allocated (BE) or guaranteed (GR) rate; 0 when not admitted.
         rate: f64,
+        /// Cause code for the binding constraint when rejected or shed
+        /// (`RejectCause::code()` / `ShedCause::code()`), `None` when
+        /// admitted.
+        cause: Option<String>,
+    },
+    /// A request entered the admission service's micro-batch queue.
+    ///
+    /// This is where the lineage is minted: every later `service_*`
+    /// event for the request links back (through `causes`) to this one.
+    ServiceIngest {
+        /// Simulated time the request arrived.
+        time: f64,
+        /// Request sequence number (arrival order).
+        request: u64,
+        /// Provenance lineage (the request sequence number).
+        lineage: u64,
+        /// `"gr"` or `"be"`.
+        class: String,
+    },
+    /// The service deferred an entire micro-batch window because the
+    /// writer was still busy committing the previous batch.
+    ServiceDefer {
+        /// Simulated time the window would have closed.
+        time: f64,
+        /// The deferred window's sequence number.
+        window: u64,
+        /// Requests queued (and therefore deferred) at that moment.
+        queue_depth: u64,
+        /// Simulated time the writer becomes free again.
+        writer_free: f64,
+        /// Cause code (`"writer_busy"`).
+        cause: String,
     },
     /// A read-only what-if probe answered from the service's immutable
     /// state snapshot (never blocks on, or observes, the writer).
@@ -336,6 +433,8 @@ pub enum Event {
         time: f64,
         /// Probe sequence number.
         request: u64,
+        /// Provenance lineage (the request sequence number).
+        lineage: u64,
         /// Whether a positive-rate placement exists under the
         /// snapshot's predicted capacities.
         feasible: bool,
@@ -357,11 +456,16 @@ impl Event {
             Event::SimElementState { .. } => "sim_element_state",
             Event::RuntimeArrival { .. } => "runtime_arrival",
             Event::RuntimeDeparture { .. } => "runtime_departure",
+            Event::RuntimeDisplace { .. } => "runtime_displace",
+            Event::RuntimeReadmit { .. } => "runtime_readmit",
+            Event::RuntimeProbe { .. } => "runtime_probe",
             Event::RuntimeElementState { .. } => "runtime_element_state",
             Event::RuntimeFluctuation { .. } => "runtime_fluctuation",
             Event::RuntimeReconcile { .. } => "runtime_reconcile",
             Event::ServiceBatch { .. } => "service_batch",
             Event::ServiceDecision { .. } => "service_decision",
+            Event::ServiceIngest { .. } => "service_ingest",
+            Event::ServiceDefer { .. } => "service_defer",
             Event::ServiceProbe { .. } => "service_probe",
             Event::MonitorSnapshot { .. } => "monitor_snapshot",
             Event::MonitorAlert { .. } => "monitor_alert",
@@ -443,21 +547,76 @@ impl Event {
             Event::RuntimeArrival {
                 time,
                 app,
+                lineage,
                 class,
                 admitted,
+                rate,
+                cause,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("app", Json::Num(*app as f64)),
+                ("lineage", Json::Num(*lineage as f64)),
+                ("class", Json::Str(class.clone())),
+                ("admitted", Json::Bool(*admitted)),
+                ("rate", Json::num(*rate)),
+                (
+                    "cause",
+                    cause.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
+                ),
+            ]),
+            Event::RuntimeDeparture { time, app, lineage } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("app", Json::Num(*app as f64)),
+                ("lineage", Json::Num(*lineage as f64)),
+            ]),
+            Event::RuntimeDisplace {
+                time,
+                app,
+                lineage,
+                element,
+                cause,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("app", Json::Num(*app as f64)),
+                ("lineage", Json::Num(*lineage as f64)),
+                ("element", Json::Str(element.clone())),
+                ("cause", Json::Str(cause.clone())),
+            ]),
+            Event::RuntimeReadmit {
+                time,
+                app,
+                lineage,
+                outcome,
+                rate,
+                cause,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("app", Json::Num(*app as f64)),
+                ("lineage", Json::Num(*lineage as f64)),
+                ("outcome", Json::Str(outcome.clone())),
+                ("rate", Json::num(*rate)),
+                (
+                    "cause",
+                    cause.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
+                ),
+            ]),
+            Event::RuntimeProbe {
+                time,
+                app,
+                lineage,
+                feasible,
                 rate,
             } => Json::obj([
                 ("type", Json::Str(self.kind().to_owned())),
                 ("time", Json::num(*time)),
                 ("app", Json::Num(*app as f64)),
-                ("class", Json::Str(class.clone())),
-                ("admitted", Json::Bool(*admitted)),
+                ("lineage", Json::Num(*lineage as f64)),
+                ("feasible", Json::Bool(*feasible)),
                 ("rate", Json::num(*rate)),
-            ]),
-            Event::RuntimeDeparture { time, app } => Json::obj([
-                ("type", Json::Str(self.kind().to_owned())),
-                ("time", Json::num(*time)),
-                ("app", Json::Num(*app as f64)),
             ]),
             Event::RuntimeElementState {
                 time,
@@ -565,28 +724,63 @@ impl Event {
             Event::ServiceDecision {
                 time,
                 request,
+                lineage,
                 class,
                 outcome,
                 wait,
                 rate,
+                cause,
             } => Json::obj([
                 ("type", Json::Str(self.kind().to_owned())),
                 ("time", Json::num(*time)),
                 ("request", Json::Num(*request as f64)),
+                ("lineage", Json::Num(*lineage as f64)),
                 ("class", Json::Str(class.clone())),
                 ("outcome", Json::Str(outcome.clone())),
                 ("wait", Json::num(*wait)),
                 ("rate", Json::num(*rate)),
+                (
+                    "cause",
+                    cause.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
+                ),
+            ]),
+            Event::ServiceIngest {
+                time,
+                request,
+                lineage,
+                class,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("request", Json::Num(*request as f64)),
+                ("lineage", Json::Num(*lineage as f64)),
+                ("class", Json::Str(class.clone())),
+            ]),
+            Event::ServiceDefer {
+                time,
+                window,
+                queue_depth,
+                writer_free,
+                cause,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("window", Json::Num(*window as f64)),
+                ("queue_depth", Json::Num(*queue_depth as f64)),
+                ("writer_free", Json::num(*writer_free)),
+                ("cause", Json::Str(cause.clone())),
             ]),
             Event::ServiceProbe {
                 time,
                 request,
+                lineage,
                 feasible,
                 rate,
             } => Json::obj([
                 ("type", Json::Str(self.kind().to_owned())),
                 ("time", Json::num(*time)),
                 ("request", Json::Num(*request as f64)),
+                ("lineage", Json::Num(*lineage as f64)),
                 ("feasible", Json::Bool(*feasible)),
                 ("rate", Json::num(*rate)),
             ]),
@@ -597,7 +791,7 @@ impl Event {
                 t_ns,
             } => Json::obj([
                 ("type", Json::Str(self.kind().to_owned())),
-                ("id", Json::Num(*id as f64)),
+                ("span", Json::Num(*id as f64)),
                 ("parent", parent.map_or(Json::Null, |p| Json::Num(p as f64))),
                 ("name", Json::Str((*name).to_owned())),
                 ("t_ns", Json::Num(*t_ns as f64)),
@@ -609,7 +803,7 @@ impl Event {
                 aborted,
             } => Json::obj([
                 ("type", Json::Str(self.kind().to_owned())),
-                ("id", Json::Num(*id as f64)),
+                ("span", Json::Num(*id as f64)),
                 ("name", Json::Str((*name).to_owned())),
                 ("dur_ns", Json::Num(*dur_ns as f64)),
                 ("aborted", Json::Bool(*aborted)),
@@ -654,11 +848,48 @@ mod tests {
             Event::RuntimeArrival {
                 time: 1.5,
                 app: 4,
+                lineage: 4,
                 class: "gr".into(),
                 admitted: true,
                 rate: 2.25,
+                cause: None,
             },
-            Event::RuntimeDeparture { time: 2.0, app: 4 },
+            Event::RuntimeArrival {
+                time: 1.75,
+                app: 5,
+                lineage: 5,
+                class: "be".into(),
+                admitted: false,
+                rate: 0.0,
+                cause: Some("availability_unreachable".into()),
+            },
+            Event::RuntimeDeparture {
+                time: 2.0,
+                app: 4,
+                lineage: 4,
+            },
+            Event::RuntimeDisplace {
+                time: 2.5,
+                app: 4,
+                lineage: 4,
+                element: "ncp:1".into(),
+                cause: "element_failure".into(),
+            },
+            Event::RuntimeReadmit {
+                time: 2.75,
+                app: 4,
+                lineage: 4,
+                outcome: "replaced".into(),
+                rate: 1.5,
+                cause: None,
+            },
+            Event::RuntimeProbe {
+                time: 2.6,
+                app: 4,
+                lineage: 4,
+                feasible: true,
+                rate: 1.5,
+            },
             Event::RuntimeElementState {
                 time: 3.0,
                 element: "ncp:1".into(),
@@ -685,6 +916,18 @@ mod tests {
             let line = json.render();
             assert_eq!(crate::json::parse(&line).unwrap(), json);
         }
+        // A rejected arrival carries its cause code; an admitted one
+        // serializes the missing cause as JSON null.
+        let admitted = Event::RuntimeArrival {
+            time: 0.0,
+            app: 0,
+            lineage: 0,
+            class: "be".into(),
+            admitted: true,
+            rate: 1.0,
+            cause: None,
+        };
+        assert_eq!(admitted.to_json().get("cause"), Some(&Json::Null));
     }
 
     #[test]
@@ -741,14 +984,30 @@ mod tests {
             Event::ServiceDecision {
                 time: 12.0,
                 request: 41,
+                lineage: 41,
                 class: "gr".into(),
                 outcome: "shed".into(),
                 wait: 1.5,
                 rate: 0.0,
+                cause: Some("queue_overflow".into()),
+            },
+            Event::ServiceIngest {
+                time: 11.5,
+                request: 41,
+                lineage: 41,
+                class: "gr".into(),
+            },
+            Event::ServiceDefer {
+                time: 11.75,
+                window: 3,
+                queue_depth: 4,
+                writer_free: 12.0,
+                cause: "writer_busy".into(),
             },
             Event::ServiceProbe {
                 time: 12.5,
                 request: 42,
+                lineage: 42,
                 feasible: true,
                 rate: 3.25,
             },
@@ -796,7 +1055,9 @@ mod tests {
             let line = json.render();
             assert_eq!(crate::json::parse(&line).unwrap(), json);
         }
-        // A root span serializes its missing parent as JSON null.
+        // A root span serializes its missing parent as JSON null, and
+        // the span id lives under "span" — "id" is reserved for the
+        // provenance event id stamped by the recorder.
         let root = Event::SpanOpen {
             id: 7,
             parent: None,
@@ -804,6 +1065,8 @@ mod tests {
             t_ns: 0,
         };
         assert_eq!(root.to_json().get("parent"), Some(&Json::Null));
+        assert_eq!(root.to_json().get("span"), Some(&Json::Num(7.0)));
+        assert_eq!(root.to_json().get("id"), None);
     }
 
     #[test]

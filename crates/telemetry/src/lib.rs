@@ -40,7 +40,9 @@ pub mod window;
 pub use event::{Candidate, CommitRecord, CtTieBreak, Event, HostTieBreak, PlacementDecision};
 pub use json::{parse as parse_json, Json, ParseError};
 pub use metrics::{Histogram, MetricsSnapshot};
-pub use recorder::{CollectRecorder, JsonlRecorder, NoopRecorder, Recorder};
+pub use recorder::{
+    stamp_json, CollectRecorder, JsonlRecorder, NoopRecorder, Recorder, StampedEvent,
+};
 pub use span::{Span, SpanTracker};
 pub use window::{RateEstimator, WindowedCounter, WindowedHistogram};
 

@@ -309,9 +309,13 @@ mod tests {
         let inner = t.open(&r, "inner");
         drop(inner);
         outer.finish();
-        for e in r.events() {
-            let line = e.to_json().render();
-            assert_eq!(crate::schema::validate_line(&line), Ok(e.kind()), "{line}");
+        for s in r.stamped_events() {
+            let line = s.to_json().render();
+            assert_eq!(
+                crate::schema::validate_line(&line),
+                Ok(s.event.kind()),
+                "{line}"
+            );
         }
     }
 }

@@ -1,0 +1,419 @@
+//! `sparcle-trace explain` — reconstructs one application's (or service
+//! request's) causal lifecycle from a provenance-stamped trace.
+//!
+//! Every trace line carries a monotonic `id` and, for caused events, a
+//! `causes` back-reference list (DESIGN.md §14). Given a subject — an
+//! app id, a lineage, or a picked outcome — this module:
+//!
+//! 1. selects the subject's **lifecycle events** (`runtime_arrival`,
+//!    `runtime_displace`, `runtime_readmit`, `runtime_probe`,
+//!    `runtime_departure`; `service_ingest`, `service_decision`,
+//!    `service_probe`);
+//! 2. pulls in the **causal context** — the transitive closure of their
+//!    `causes` edges (failing elements, batch commits, window
+//!    deferrals, earlier reconcile state);
+//! 3. checks **completeness**: every non-root lifecycle hop must reach
+//!    a lifecycle root (the arrival or ingest) through cause edges —
+//!    an event that cannot is an *orphan* and fails the explanation;
+//! 4. renders the timeline in id order with each hop's cause links,
+//!    what-if probe answers attached, and the trace-wide cause
+//!    taxonomy as a footer.
+//!
+//! The output is a pure function of the trace bytes, so it inherits the
+//! emitters' determinism contract: byte-identical across runs and
+//! evaluator thread counts.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sparcle_telemetry::Json;
+
+use crate::summary::collect_causes;
+use crate::{kind_of, num_field};
+
+/// Per-subject lifecycle kinds: events that narrate one app/request.
+const LIFECYCLE_KINDS: &[&str] = &[
+    "runtime_arrival",
+    "runtime_displace",
+    "runtime_readmit",
+    "runtime_probe",
+    "runtime_departure",
+    "service_ingest",
+    "service_decision",
+    "service_probe",
+];
+
+/// Kinds that root a lifecycle: they may have no causes.
+const ROOT_KINDS: &[&str] = &["runtime_arrival", "service_ingest"];
+
+/// Read-only what-if probes: attached to the timeline but exempt from
+/// the completeness check when uncaused (a snapshot read is exogenous).
+const PROBE_KINDS: &[&str] = &["runtime_probe", "service_probe"];
+
+/// How the explain subject is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selector {
+    /// Match `app` (runtime family) or `request` (service family).
+    App(u64),
+    /// Match the `lineage` key on either family.
+    Lineage(u64),
+}
+
+impl std::fmt::Display for Selector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Selector::App(n) => write!(f, "app {n}"),
+            Selector::Lineage(n) => write!(f, "lineage {n}"),
+        }
+    }
+}
+
+/// One rendered hop of the causal timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// The event's provenance id.
+    pub id: u64,
+    /// Its cause ids (possibly empty).
+    pub causes: Vec<u64>,
+    /// The event's `type` tag.
+    pub kind: String,
+    /// `key=value` detail of every other field.
+    pub detail: String,
+    /// False for the subject's own lifecycle events, true for causal
+    /// context pulled in through `causes` edges.
+    pub context: bool,
+}
+
+/// A reconstructed causal lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The subject as selected (`app N` / `lineage N`).
+    pub subject: String,
+    /// Every included event, in id (= emission) order.
+    pub timeline: Vec<TimelineEntry>,
+    /// Ids of lifecycle events that cannot reach a lifecycle root
+    /// through cause edges. Empty for a complete explanation.
+    pub orphans: Vec<u64>,
+    /// The trace-wide cause-taxonomy footer.
+    pub taxonomy: String,
+}
+
+impl Explanation {
+    /// Whether every lifecycle hop is cause-linked back to its root.
+    pub fn is_complete(&self) -> bool {
+        self.orphans.is_empty()
+    }
+
+    /// The human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = format!("causal lifecycle of {}:\n", self.subject);
+        let width = self
+            .timeline
+            .iter()
+            .map(|e| e.id.to_string().len())
+            .max()
+            .unwrap_or(1);
+        for entry in &self.timeline {
+            let marker = if entry.context { " " } else { "*" };
+            let links = if entry.causes.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "  <- {}",
+                    entry
+                        .causes
+                        .iter()
+                        .map(|c| format!("#{c}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            };
+            out.push_str(&format!(
+                "{marker} #{:>width$} {:<20} {}{links}\n",
+                entry.id, entry.kind, entry.detail
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} lifecycle event(s) (*), {} context event(s); ",
+            self.timeline.iter().filter(|e| !e.context).count(),
+            self.timeline.iter().filter(|e| e.context).count(),
+        ));
+        if self.is_complete() {
+            out.push_str("every hop cause-linked to its root\n");
+        } else {
+            out.push_str(&format!(
+                "INCOMPLETE: orphan event(s) {}\n",
+                self.orphans
+                    .iter()
+                    .map(|c| format!("#{c}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out.push_str(&self.taxonomy);
+        out
+    }
+}
+
+fn id_of(event: &Json) -> Option<u64> {
+    num_field(event, "id").map(|v| v as u64)
+}
+
+fn causes_of(event: &Json) -> Vec<u64> {
+    match event.get("causes") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(Json::as_num)
+            .map(|v| v as u64)
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn matches(event: &Json, selector: Selector) -> bool {
+    match selector {
+        Selector::App(n) => {
+            num_field(event, "app").map(|v| v as u64) == Some(n)
+                || num_field(event, "request").map(|v| v as u64) == Some(n)
+        }
+        Selector::Lineage(n) => num_field(event, "lineage").map(|v| v as u64) == Some(n),
+    }
+}
+
+/// Every field except the provenance stamps and the `type` tag, as
+/// deterministic `key=value` pairs in emission order.
+fn detail_of(event: &Json) -> String {
+    let Json::Obj(pairs) = event else {
+        return String::new();
+    };
+    pairs
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "type" | "id" | "causes"))
+        .map(|(k, v)| match v {
+            Json::Str(s) => format!("{k}={s}"),
+            other => format!("{k}={}", other.render()),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Picks the first lineage whose final service/runtime outcome matches
+/// `outcome` (`"admitted"`, `"rejected"`, or `"shed"`) — the nightly
+/// CI's way of selecting a subject without hardcoding ids.
+pub fn pick_lineage(events: &[Json], outcome: &str) -> Option<u64> {
+    for event in events {
+        let hit = match kind_of(event) {
+            "service_decision" => event.get("outcome").and_then(Json::as_str) == Some(outcome),
+            "runtime_arrival" => {
+                let admitted = event.get("admitted").and_then(Json::as_bool);
+                (outcome == "admitted" && admitted == Some(true))
+                    || (outcome == "rejected" && admitted == Some(false))
+            }
+            _ => false,
+        };
+        if hit {
+            if let Some(lineage) = num_field(event, "lineage").map(|v| v as u64) {
+                return Some(lineage);
+            }
+        }
+    }
+    None
+}
+
+/// Reconstructs the causal lifecycle of `selector`'s subject.
+///
+/// # Errors
+///
+/// Returns a message when the trace has no lifecycle events for the
+/// subject (wrong id, or a trace recorded without provenance).
+pub fn explain(events: &[Json], selector: Selector) -> Result<Explanation, String> {
+    let mut by_id: BTreeMap<u64, &Json> = BTreeMap::new();
+    for event in events {
+        if let Some(id) = id_of(event) {
+            by_id.insert(id, event);
+        }
+    }
+
+    let lifecycle: BTreeSet<u64> = events
+        .iter()
+        .filter(|e| LIFECYCLE_KINDS.contains(&kind_of(e)) && matches(e, selector))
+        .filter_map(id_of)
+        .collect();
+    if lifecycle.is_empty() {
+        return Err(format!(
+            "no lifecycle events for {selector} — wrong id, or the trace was recorded without \
+             provenance"
+        ));
+    }
+
+    // Causal closure: everything the lifecycle transitively cites.
+    let mut include = lifecycle.clone();
+    let mut stack: Vec<u64> = include
+        .iter()
+        .filter_map(|id| by_id.get(id))
+        .flat_map(|e| causes_of(e))
+        .collect();
+    while let Some(id) = stack.pop() {
+        if include.insert(id) {
+            if let Some(event) = by_id.get(&id) {
+                stack.extend(causes_of(event));
+            }
+        }
+    }
+
+    // Completeness: each lifecycle event must reach a lifecycle root of
+    // this subject through cause edges. Roots pass trivially; uncaused
+    // probes are exogenous reads and exempt.
+    let roots: BTreeSet<u64> = lifecycle
+        .iter()
+        .filter(|id| {
+            by_id
+                .get(id)
+                .is_some_and(|e| ROOT_KINDS.contains(&kind_of(e)))
+        })
+        .copied()
+        .collect();
+    let mut orphans = Vec::new();
+    for &id in &lifecycle {
+        let event = by_id[&id];
+        if roots.contains(&id) {
+            continue;
+        }
+        if PROBE_KINDS.contains(&kind_of(event)) && causes_of(event).is_empty() {
+            continue;
+        }
+        let mut seen = BTreeSet::new();
+        let mut frontier = causes_of(event);
+        let mut reached = false;
+        while let Some(c) = frontier.pop() {
+            if roots.contains(&c) {
+                reached = true;
+                break;
+            }
+            if seen.insert(c) {
+                if let Some(e) = by_id.get(&c) {
+                    frontier.extend(causes_of(e));
+                }
+            }
+        }
+        if !reached {
+            orphans.push(id);
+        }
+    }
+
+    let timeline = include
+        .iter()
+        .filter_map(|id| by_id.get(id).map(|e| (*id, *e)))
+        .map(|(id, event)| TimelineEntry {
+            id,
+            causes: causes_of(event),
+            kind: kind_of(event).to_owned(),
+            detail: detail_of(event),
+            context: !lifecycle.contains(&id),
+        })
+        .collect();
+
+    Ok(Explanation {
+        subject: selector.to_string(),
+        timeline,
+        orphans,
+        taxonomy: collect_causes(events).render(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_trace;
+
+    /// A service lineage: ingest -> (batch) -> deferred -> shed; plus an
+    /// unrelated admitted request and a what-if probe on the subject.
+    fn service_trace() -> Vec<Json> {
+        let lines = [
+            r#"{"type":"service_ingest","id":1,"time":0.1,"request":0,"lineage":0,"class":"be"}"#,
+            r#"{"type":"service_ingest","id":2,"time":0.2,"request":1,"lineage":1,"class":"gr"}"#,
+            r#"{"type":"service_batch","id":3,"time":1.0,"window":1,"size":1,"admitted":1,"rejected":0,"shed":0,"queue_depth":1,"solves":1}"#,
+            r#"{"type":"service_decision","id":4,"time":1.0,"request":1,"lineage":1,"class":"gr","outcome":"admitted","wait":0.8,"rate":2.0,"cause":null,"causes":[2,3]}"#,
+            r#"{"type":"service_defer","id":5,"time":2.0,"window":2,"queue_depth":1,"writer_free":2.5,"cause":"writer_busy","causes":[1,3]}"#,
+            r#"{"type":"service_probe","id":6,"time":2.2,"request":0,"lineage":0,"feasible":false,"rate":0.0}"#,
+            r#"{"type":"service_decision","id":7,"time":3.0,"request":0,"lineage":0,"class":"be","outcome":"shed","wait":2.9,"rate":0.0,"cause":"defer_budget","causes":[5]}"#,
+        ];
+        load_trace(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn explain_reconstructs_a_complete_cause_linked_lifecycle() {
+        let events = service_trace();
+        let x = explain(&events, Selector::Lineage(0)).unwrap();
+        assert!(x.is_complete(), "orphans: {:?}", x.orphans);
+        let ids: Vec<u64> = x.timeline.iter().map(|e| e.id).collect();
+        // Lifecycle 1, 6, 7 plus context 5 (the deferral) and 3 (the
+        // batch the deferral blames) — but NOT the other lineage's
+        // ingest/decision.
+        assert_eq!(ids, vec![1, 3, 5, 6, 7]);
+        let shed = x.timeline.iter().find(|e| e.id == 7).unwrap();
+        assert!(!shed.context);
+        assert!(
+            shed.detail.contains("cause=defer_budget"),
+            "{}",
+            shed.detail
+        );
+        let defer = x.timeline.iter().find(|e| e.id == 5).unwrap();
+        assert!(defer.context, "the deferral is context, not lifecycle");
+    }
+
+    #[test]
+    fn explain_by_app_selects_request_events_too() {
+        let events = service_trace();
+        let x = explain(&events, Selector::App(1)).unwrap();
+        assert!(x.is_complete());
+        let ids: Vec<u64> = x.timeline.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn render_marks_lifecycle_hops_and_links_causes() {
+        let events = service_trace();
+        let report = explain(&events, Selector::Lineage(0)).unwrap().render();
+        assert!(report.contains("causal lifecycle of lineage 0"), "{report}");
+        assert!(report.contains("* #7 service_decision"), "{report}");
+        assert!(report.contains("<- #5"), "{report}");
+        assert!(
+            report.contains("every hop cause-linked to its root"),
+            "{report}"
+        );
+        assert!(report.contains("cause taxonomy"), "{report}");
+    }
+
+    #[test]
+    fn orphaned_lifecycle_events_fail_completeness() {
+        // A displace that cites nothing: the chain to its arrival is
+        // broken, so the explanation must say INCOMPLETE.
+        let events = load_trace(
+            &[
+                r#"{"type":"runtime_arrival","id":1,"time":0.5,"app":3,"lineage":3,"class":"be","admitted":true,"rate":1.0,"cause":null}"#,
+                r#"{"type":"runtime_displace","id":2,"time":1.0,"app":3,"lineage":3,"element":"node:1","cause":"element_failure"}"#,
+            ]
+            .join("\n"),
+        )
+        .unwrap();
+        let x = explain(&events, Selector::App(3)).unwrap();
+        assert_eq!(x.orphans, vec![2]);
+        assert!(x.render().contains("INCOMPLETE"), "{}", x.render());
+    }
+
+    #[test]
+    fn unknown_subjects_error_instead_of_rendering_nothing() {
+        let events = service_trace();
+        let err = explain(&events, Selector::App(99)).unwrap_err();
+        assert!(err.contains("no lifecycle events"), "{err}");
+        assert!(err.contains("app 99"), "{err}");
+    }
+
+    #[test]
+    fn pick_lineage_finds_the_first_matching_outcome() {
+        let events = service_trace();
+        assert_eq!(pick_lineage(&events, "admitted"), Some(1));
+        assert_eq!(pick_lineage(&events, "shed"), Some(0));
+        assert_eq!(pick_lineage(&events, "rejected"), None);
+    }
+}

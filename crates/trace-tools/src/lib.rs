@@ -6,7 +6,10 @@
 //! and the in-process tests:
 //!
 //! * [`summary`] — per-kind event counts plus per-app rate/SLO rollups
-//!   from the `runtime_*`/`sim_*` event families;
+//!   from the `runtime_*`/`sim_*` event families, and the cause-
+//!   taxonomy rollup of every negative decision;
+//! * [`explain`] — reconstructs one app's/request's causal lifecycle
+//!   from the provenance `id`/`causes` stamps (DESIGN.md §14);
 //! * [`report`] — the observability plane's `monitor_*` families as a
 //!   health-over-time table and an alert timeline;
 //! * [`profile`] — reconstructs the `span_open`/`span_close` tree and
@@ -25,11 +28,12 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod explain;
 pub mod profile;
 pub mod report;
 pub mod summary;
 
-pub use sparcle_telemetry::schema::{validate_line, validate_trace};
+pub use sparcle_telemetry::schema::{validate_line, validate_trace, validate_trace_lenient};
 use sparcle_telemetry::{parse_json, Json};
 
 /// A trace that failed to load: 1-based line number plus a message.
@@ -74,6 +78,39 @@ pub fn load_trace(contents: &str) -> Result<Vec<Json>, TraceError> {
     Ok(events)
 }
 
+/// Like [`load_trace`], but tolerant of a truncated final line — the
+/// signature of a writer killed mid-`write` (crash, OOM, disk full).
+/// Returns the parsed events plus whether the final line was dropped,
+/// so callers can warn instead of refusing the whole trace.
+///
+/// Only the *last* non-empty line gets this leniency: a parse failure
+/// anywhere earlier is still corruption and still errors.
+///
+/// # Errors
+///
+/// Returns the first non-final line that is not valid JSON.
+pub fn load_trace_lenient(contents: &str) -> Result<(Vec<Json>, bool), TraceError> {
+    let lines: Vec<(usize, &str)> = contents
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let mut events = Vec::with_capacity(lines.len());
+    for (pos, &(i, line)) in lines.iter().enumerate() {
+        match parse_json(line) {
+            Ok(json) => events.push(json),
+            Err(_) if pos + 1 == lines.len() => return Ok((events, true)),
+            Err(e) => {
+                return Err(TraceError {
+                    line: i + 1,
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok((events, false))
+}
+
 /// The `type` tag of one parsed trace line (`"?"` when absent).
 pub fn kind_of(event: &Json) -> &str {
     event.get("type").and_then(Json::as_str).unwrap_or("?")
@@ -96,5 +133,27 @@ mod tests {
 
         let err = load_trace("{\"ok\":1}\nnot json\n").unwrap_err();
         assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn lenient_load_skips_only_a_truncated_final_line() {
+        // A writer killed mid-line leaves a half-written tail: drop it.
+        let (events, truncated) =
+            load_trace_lenient("{\"type\":\"run_start\",\"id\":1,\"name\":\"x\"}\n{\"type\":\"com")
+                .unwrap();
+        assert!(truncated);
+        assert_eq!(events.len(), 1);
+        assert_eq!(kind_of(&events[0]), "run_start");
+
+        // An intact trace reports no truncation.
+        let (events, truncated) =
+            load_trace_lenient("{\"type\":\"run_start\",\"id\":1,\"name\":\"x\"}\n").unwrap();
+        assert!(!truncated);
+        assert_eq!(events.len(), 1);
+
+        // Mid-file corruption is not truncation: still an error, with
+        // the position of the bad line.
+        let err = load_trace_lenient("garbage\n{\"ok\":1}\n").unwrap_err();
+        assert_eq!(err.line, 1);
     }
 }

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! sparcle-trace summary  <trace.jsonl>              per-kind counts + rollups
+//!                                                   + cause taxonomy
+//! sparcle-trace explain  <trace.jsonl> --app N      one app's/request's causal
+//!                        | --lineage N | --pick O   lifecycle from id/causes
 //! sparcle-trace report   <trace.jsonl>              monitor snapshot table +
 //!                                                   alert timeline
 //! sparcle-trace profile  <trace.jsonl> [--folded F] span self/total table,
@@ -12,15 +15,26 @@
 //! sparcle-trace validate <trace.jsonl>              offline schema check
 //! ```
 //!
-//! Exit codes: `0` success (for `diff`: traces equivalent), `1` finding
-//! (divergence / invalid trace), `2` usage or I/O error.
+//! `diff` and `validate` tolerate a truncated final line (a writer
+//! killed mid-write) with a warning on stderr instead of refusing the
+//! trace.
+//!
+//! Exit codes: `0` success (for `diff`: traces equivalent; for
+//! `explain`: complete lifecycle), `1` finding (divergence / invalid
+//! trace / orphaned lifecycle), `2` usage or I/O error.
 
 use std::process::ExitCode;
 
-use sparcle_trace_tools::{diff, load_trace, profile, report, summary, validate_trace};
+use sparcle_trace_tools::{
+    diff, explain, load_trace, load_trace_lenient, profile, report, summary, validate_trace_lenient,
+};
 
-const USAGE: &str = "usage: sparcle-trace <summary|report|profile|diff|validate> <trace.jsonl> ...
-  summary  <trace>                per-kind counts, app/reconcile/queue rollups
+const USAGE: &str =
+    "usage: sparcle-trace <summary|explain|report|profile|diff|validate> <trace.jsonl> ...
+  summary  <trace>                per-kind counts, rollups, cause taxonomy
+  explain  <trace> --app <id>     one subject's causal lifecycle (id/causes
+           | --lineage <id>       chain, what-if probes, cause codes); --pick
+           | --pick <outcome>     selects the first admitted|rejected|shed
   report   <trace>                monitor snapshot table + alert timeline
   profile  <trace> [--folded <out>]  span profile, critical paths, folded stacks
   diff     <a> <b>                first diverging event (wall-clock-insensitive)
@@ -51,6 +65,47 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let events = load_trace(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
             print!("{}", summary::summarize(&events).render());
             Ok(ExitCode::SUCCESS)
+        }
+        "explain" => {
+            let (path, selector) = match rest {
+                [path, flag, id] if flag == "--app" => {
+                    let id = id
+                        .parse()
+                        .map_err(|_| format!("--app {id}: not a number"))?;
+                    (path, Some(explain::Selector::App(id)))
+                }
+                [path, flag, id] if flag == "--lineage" => {
+                    let id = id
+                        .parse()
+                        .map_err(|_| format!("--lineage {id}: not a number"))?;
+                    (path, Some(explain::Selector::Lineage(id)))
+                }
+                [path, flag, _] if flag == "--pick" => (path, None),
+                _ => return Err(USAGE.to_owned()),
+            };
+            let (events, truncated) =
+                load_trace_lenient(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+            if truncated {
+                eprintln!("sparcle-trace: warning: {path}: skipped truncated final line");
+            }
+            let selector = match selector {
+                Some(s) => s,
+                None => {
+                    let outcome = &rest[2];
+                    let lineage = explain::pick_lineage(&events, outcome).ok_or(format!(
+                        "{path}: no decision with outcome {outcome:?} in trace"
+                    ))?;
+                    explain::Selector::Lineage(lineage)
+                }
+            };
+            let explanation =
+                explain::explain(&events, selector).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", explanation.render());
+            Ok(if explanation.is_complete() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
         }
         "report" => {
             let [path] = rest else {
@@ -94,8 +149,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let [path_a, path_b] = rest else {
                 return Err(USAGE.to_owned());
             };
-            let a = load_trace(&read(path_a)?).map_err(|e| format!("{path_a}: {e}"))?;
-            let b = load_trace(&read(path_b)?).map_err(|e| format!("{path_b}: {e}"))?;
+            let (a, trunc_a) =
+                load_trace_lenient(&read(path_a)?).map_err(|e| format!("{path_a}: {e}"))?;
+            let (b, trunc_b) =
+                load_trace_lenient(&read(path_b)?).map_err(|e| format!("{path_b}: {e}"))?;
+            for (path, truncated) in [(path_a, trunc_a), (path_b, trunc_b)] {
+                if truncated {
+                    eprintln!("sparcle-trace: warning: {path}: skipped truncated final line");
+                }
+            }
             match diff::diff_traces(&a, &b) {
                 None => {
                     println!(
@@ -114,8 +176,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let [path] = rest else {
                 return Err(USAGE.to_owned());
             };
-            match validate_trace(&read(path)?) {
-                Ok(count) => {
+            match validate_trace_lenient(&read(path)?) {
+                Ok((count, truncated)) => {
+                    if truncated {
+                        eprintln!("sparcle-trace: warning: {path}: skipped truncated final line");
+                    }
                     println!("{path}: {count} events, schema OK");
                     Ok(ExitCode::SUCCESS)
                 }

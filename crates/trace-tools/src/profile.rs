@@ -3,7 +3,8 @@
 //!
 //! Input is the `span_open`/`span_close` event pairs emitted by
 //! `sparcle_telemetry::span` (enabled with `--trace-spans` on the
-//! experiment binaries). `span_open` carries the id, parent id, and a
+//! experiment binaries). `span_open` carries the span id (the `span`
+//! key — `id` is the line's provenance stamp), parent id, and a
 //! monotonic-relative `t_ns`; `span_close` carries the measured
 //! `dur_ns` and the `aborted` flag. From those this module rebuilds the
 //! span forest and derives:
@@ -66,7 +67,7 @@ impl SpanForest {
         for event in events {
             match kind_of(event) {
                 "span_open" => {
-                    let Some(id) = num_field(event, "id").map(|v| v as u64) else {
+                    let Some(id) = num_field(event, "span").map(|v| v as u64) else {
                         continue;
                     };
                     let parent = num_field(event, "parent").map(|v| v as u64);
@@ -93,7 +94,7 @@ impl SpanForest {
                     }
                 }
                 "span_close" => {
-                    let Some(idx) = num_field(event, "id")
+                    let Some(idx) = num_field(event, "span")
                         .map(|v| v as u64)
                         .and_then(|id| index_of.get(&id).copied())
                     else {
@@ -320,17 +321,17 @@ mod tests {
     /// assign > rank_round > {row_fill, rank_merge}.
     fn engine_trace() -> Vec<Json> {
         let lines = [
-            r#"{"type":"run_start","name":"t"}"#,
-            r#"{"type":"span_open","id":0,"parent":null,"name":"engine.assign","t_ns":0}"#,
-            r#"{"type":"span_open","id":1,"parent":0,"name":"engine.rank_round","t_ns":10}"#,
-            r#"{"type":"span_open","id":2,"parent":1,"name":"engine.row_fill","t_ns":20}"#,
-            r#"{"type":"span_close","id":2,"name":"engine.row_fill","dur_ns":600,"aborted":false}"#,
-            r#"{"type":"span_open","id":3,"parent":1,"name":"engine.rank_merge","t_ns":700}"#,
-            r#"{"type":"span_close","id":3,"name":"engine.rank_merge","dur_ns":200,"aborted":false}"#,
-            r#"{"type":"span_close","id":1,"name":"engine.rank_round","dur_ns":1000,"aborted":false}"#,
-            r#"{"type":"span_open","id":4,"parent":0,"name":"engine.rank_round","t_ns":1100}"#,
-            r#"{"type":"span_close","id":4,"name":"engine.rank_round","dur_ns":300,"aborted":false}"#,
-            r#"{"type":"span_close","id":0,"name":"engine.assign","dur_ns":2000,"aborted":false}"#,
+            r#"{"type":"run_start","id":1,"name":"t"}"#,
+            r#"{"type":"span_open","id":2,"span":0,"parent":null,"name":"engine.assign","t_ns":0}"#,
+            r#"{"type":"span_open","id":3,"span":1,"parent":0,"name":"engine.rank_round","t_ns":10}"#,
+            r#"{"type":"span_open","id":4,"span":2,"parent":1,"name":"engine.row_fill","t_ns":20}"#,
+            r#"{"type":"span_close","id":5,"span":2,"name":"engine.row_fill","dur_ns":600,"aborted":false}"#,
+            r#"{"type":"span_open","id":6,"span":3,"parent":1,"name":"engine.rank_merge","t_ns":700}"#,
+            r#"{"type":"span_close","id":7,"span":3,"name":"engine.rank_merge","dur_ns":200,"aborted":false}"#,
+            r#"{"type":"span_close","id":8,"span":1,"name":"engine.rank_round","dur_ns":1000,"aborted":false}"#,
+            r#"{"type":"span_open","id":9,"span":4,"parent":0,"name":"engine.rank_round","t_ns":1100}"#,
+            r#"{"type":"span_close","id":10,"span":4,"name":"engine.rank_round","dur_ns":300,"aborted":false}"#,
+            r#"{"type":"span_close","id":11,"span":0,"name":"engine.assign","dur_ns":2000,"aborted":false}"#,
         ];
         load_trace(&lines.join("\n")).unwrap()
     }
@@ -406,8 +407,8 @@ mod tests {
         // id must not panic.
         let events = load_trace(
             &[
-                r#"{"type":"span_open","id":7,"parent":null,"name":"x","t_ns":5}"#,
-                r#"{"type":"span_close","id":99,"name":"y","dur_ns":1,"aborted":true}"#,
+                r#"{"type":"span_open","id":1,"span":7,"parent":null,"name":"x","t_ns":5}"#,
+                r#"{"type":"span_close","id":2,"span":99,"name":"y","dur_ns":1,"aborted":true}"#,
             ]
             .join("\n"),
         )

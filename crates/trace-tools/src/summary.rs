@@ -72,6 +72,105 @@ impl ServiceStats {
     }
 }
 
+/// Negative-decision counts by stable cause code (DESIGN.md §14), plus
+/// the per-element displacement rollup that names the bottlenecks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CauseTaxonomy {
+    /// Rejections by cause code: `runtime_arrival` with
+    /// `admitted=false`, `service_decision` with `outcome="rejected"`,
+    /// and `runtime_readmit` with `outcome="failed"`.
+    pub rejections: BTreeMap<String, u64>,
+    /// Sheds by cause code (`service_decision` with `outcome="shed"`).
+    pub sheds: BTreeMap<String, u64>,
+    /// Deferred windows by cause code (`service_defer`).
+    pub deferrals: BTreeMap<String, u64>,
+    /// Displacements by cause code (`runtime_displace`).
+    pub displacements: BTreeMap<String, u64>,
+    /// Displacements per failing element — the elements that actually
+    /// cost placements, most-destructive first in the render.
+    pub bottleneck_elements: BTreeMap<String, u64>,
+}
+
+impl CauseTaxonomy {
+    /// True when the trace carried no cause-coded negative decisions.
+    pub fn is_empty(&self) -> bool {
+        self.rejections.is_empty()
+            && self.sheds.is_empty()
+            && self.deferrals.is_empty()
+            && self.displacements.is_empty()
+    }
+
+    fn add(map: &mut BTreeMap<String, u64>, code: &str) {
+        *map.entry(code.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Folds one parsed event into the taxonomy (no-op for kinds that
+    /// carry no cause code).
+    pub fn observe(&mut self, event: &Json) {
+        fn cause(e: &Json) -> Option<&str> {
+            e.get("cause").and_then(Json::as_str)
+        }
+        match kind_of(event) {
+            "runtime_arrival" if event.get("admitted").and_then(Json::as_bool) == Some(false) => {
+                Self::add(&mut self.rejections, cause(event).unwrap_or("?"));
+            }
+            "runtime_readmit" if event.get("outcome").and_then(Json::as_str) == Some("failed") => {
+                Self::add(&mut self.rejections, cause(event).unwrap_or("?"));
+            }
+            "runtime_displace" => {
+                Self::add(&mut self.displacements, cause(event).unwrap_or("?"));
+                if let Some(element) = event.get("element").and_then(Json::as_str) {
+                    Self::add(&mut self.bottleneck_elements, element);
+                }
+            }
+            "service_decision" => match event.get("outcome").and_then(Json::as_str) {
+                Some("rejected") => Self::add(&mut self.rejections, cause(event).unwrap_or("?")),
+                Some("shed") => Self::add(&mut self.sheds, cause(event).unwrap_or("?")),
+                _ => {}
+            },
+            "service_defer" => Self::add(&mut self.deferrals, cause(event).unwrap_or("?")),
+            _ => {}
+        }
+    }
+
+    /// The cause-taxonomy table: one row per (family, code), then the
+    /// top bottleneck elements by displacement count.
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("\ncause taxonomy (negative decisions by cause code):\n");
+        for (family, map) in [
+            ("rejected", &self.rejections),
+            ("shed", &self.sheds),
+            ("deferred", &self.deferrals),
+            ("displaced", &self.displacements),
+        ] {
+            for (code, count) in map {
+                out.push_str(&format!("  {family:<10} {code:<28} {count:>6}\n"));
+            }
+        }
+        if !self.bottleneck_elements.is_empty() {
+            out.push_str("  top bottleneck elements (by displacements):\n");
+            let mut elements: Vec<(&String, &u64)> = self.bottleneck_elements.iter().collect();
+            elements.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+            for (element, count) in elements.into_iter().take(5) {
+                out.push_str(&format!("    {element:<26} {count:>6}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Folds a whole parsed trace into its [`CauseTaxonomy`].
+pub fn collect_causes(events: &[Json]) -> CauseTaxonomy {
+    let mut taxonomy = CauseTaxonomy::default();
+    for event in events {
+        taxonomy.observe(event);
+    }
+    taxonomy
+}
+
 /// Everything the `summary` subcommand reports.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TraceSummary {
@@ -83,6 +182,8 @@ pub struct TraceSummary {
     pub reconciles: BTreeMap<String, ReconcileStats>,
     /// Admission-service plane rollup (`service_*` events).
     pub service: ServiceStats,
+    /// Negative decisions by cause code (DESIGN.md §14).
+    pub causes: CauseTaxonomy,
     /// Highest `sim_queue_depth.depth` sample.
     pub peak_queue_depth: Option<u64>,
     /// Last `sim_queue_depth.processed` sample (monotone in the DES).
@@ -98,6 +199,7 @@ pub fn summarize(events: &[Json]) -> TraceSummary {
     for event in events {
         let kind = kind_of(event);
         *s.kind_counts.entry(kind.to_owned()).or_insert(0) += 1;
+        s.causes.observe(event);
         match kind {
             "runtime_arrival" => {
                 let Some(app) = num_field(event, "app").map(|v| v as u64) else {
@@ -266,6 +368,7 @@ impl TraceSummary {
                 svc.probes, svc.probes_feasible,
             ));
         }
+        out.push_str(&self.causes.render());
         if let Some(peak) = self.peak_queue_depth {
             out.push_str(&format!(
                 "\nDES: peak queue depth {peak}, events processed {}\n",
@@ -471,6 +574,59 @@ mod tests {
     fn traces_without_service_events_skip_the_service_section() {
         let report = summarize(&runtime_trace()).render();
         assert!(!report.contains("admission service"));
+    }
+
+    fn caused_trace() -> Vec<Json> {
+        let lines = [
+            r#"{"type":"runtime_arrival","id":1,"time":0.5,"app":0,"lineage":0,"class":"be","admitted":false,"rate":1.0,"cause":"no_path"}"#,
+            r#"{"type":"runtime_displace","id":2,"time":1.0,"app":1,"lineage":1,"element":"link:2->4","cause":"element_failure"}"#,
+            r#"{"type":"runtime_displace","id":3,"time":1.5,"app":2,"lineage":2,"element":"link:2->4","cause":"element_failure"}"#,
+            r#"{"type":"runtime_displace","id":4,"time":1.6,"app":3,"lineage":3,"element":"node:7","cause":"element_failure"}"#,
+            r#"{"type":"runtime_readmit","id":5,"time":2.0,"app":1,"lineage":1,"outcome":"failed","rate":0.0,"cause":"placement_unfit","causes":[2]}"#,
+            r#"{"type":"service_decision","id":6,"time":3.0,"request":9,"lineage":9,"class":"be","outcome":"shed","wait":1.0,"rate":0.0,"cause":"defer_budget"}"#,
+            r#"{"type":"service_decision","id":7,"time":3.0,"request":10,"lineage":10,"class":"gr","outcome":"rejected","wait":0.5,"rate":0.0,"cause":"availability_unreachable"}"#,
+            r#"{"type":"service_defer","id":8,"time":4.0,"window":4,"queue_depth":3,"writer_free":4.5,"cause":"writer_busy"}"#,
+        ];
+        load_trace(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn cause_taxonomy_counts_by_family_and_code() {
+        let s = summarize(&caused_trace());
+        assert_eq!(s.causes.rejections["no_path"], 1);
+        assert_eq!(s.causes.rejections["placement_unfit"], 1);
+        assert_eq!(s.causes.rejections["availability_unreachable"], 1);
+        assert_eq!(s.causes.sheds["defer_budget"], 1);
+        assert_eq!(s.causes.deferrals["writer_busy"], 1);
+        assert_eq!(s.causes.displacements["element_failure"], 3);
+        assert_eq!(s.causes.bottleneck_elements["link:2->4"], 2);
+    }
+
+    #[test]
+    fn cause_taxonomy_renders_with_bottleneck_elements_first_by_count() {
+        let report = summarize(&caused_trace()).render();
+        assert!(report.contains("cause taxonomy"), "{report}");
+        assert!(report.contains("rejected   no_path"), "{report}");
+        assert!(report.contains("shed       defer_budget"), "{report}");
+        assert!(report.contains("deferred   writer_busy"), "{report}");
+        assert!(report.contains("displaced  element_failure"), "{report}");
+        let link = report.find("link:2->4").expect("busiest element listed");
+        let node = report.find("node:7").expect("other element listed");
+        assert!(link < node, "elements must sort by displacement count");
+    }
+
+    #[test]
+    fn traces_without_causes_skip_the_taxonomy() {
+        let report = summarize(&service_trace()).render();
+        // The fixture's decisions carry no cause codes for the negative
+        // outcomes, so they land in the "?" bucket — but a trace with
+        // only positive decisions must skip the section entirely.
+        let positive = load_trace(
+            r#"{"type":"service_decision","id":1,"time":1.0,"request":0,"lineage":0,"class":"be","outcome":"admitted","wait":0.4,"rate":1.5}"#,
+        )
+        .unwrap();
+        assert!(!summarize(&positive).render().contains("cause taxonomy"));
+        assert!(report.contains("cause taxonomy"), "{report}");
     }
 
     #[test]

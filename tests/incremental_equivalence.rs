@@ -157,11 +157,7 @@ fn run(trace: &ArrivalTrace, flaky: f64, maintenance: StateMaintenance) -> RunOu
         let ledger = rt
             .run_traced(sparcle_core::TraceHandle::new(&recorder))
             .clone();
-        let mut event_log = String::new();
-        for event in recorder.events() {
-            event_log.push_str(&event.to_json().render());
-            event_log.push('\n');
-        }
+        let event_log = recorder.render_trace();
         let counters = recorder.snapshot().counters;
         let events_processed = rt.events_processed();
         RunOutput {

@@ -230,11 +230,7 @@ fn service_logs_byte_identical_across_thread_counts() {
         let recorder = CollectRecorder::new();
         let mut service = AdmissionService::new(service_network(), config, service_app);
         service.run_traced(request_stream(), TraceHandle::new(&recorder));
-        recorder
-            .events()
-            .iter()
-            .map(|e| e.to_json().render() + "\n")
-            .collect()
+        recorder.render_trace()
     };
 
     let log_1 = run(1);
