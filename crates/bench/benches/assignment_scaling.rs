@@ -9,7 +9,7 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sparcle_core::{DynamicRankingAssigner, PlacementEngine};
+use sparcle_core::{DynamicRankingAssigner, EngineScratch, PlacementEngine};
 use sparcle_workloads::{BottleneckCase, GraphKind, ScenarioConfig, TopologyKind};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -76,6 +76,52 @@ fn zero_alloc_check() {
     }
     assert!(rounds > 0, "the check must exercise at least one commit");
     println!("zero-alloc check: unplaced() stayed allocation-free over {rounds} commits");
+}
+
+/// The system's probe loops (γ reconcile, defrag migration what-ifs)
+/// hoist one [`EngineScratch`] across thousands of assignments. This
+/// asserts the hoist pays: a warm scratch-reusing assignment must issue
+/// strictly fewer allocator calls than the same assignment building its
+/// buffers fresh. Single-threaded cached mode keeps the counts
+/// deterministic (no worker threads racing the counter).
+fn scratch_reuse_check() {
+    let mut cfg = ScenarioConfig::new(
+        BottleneckCase::Balanced,
+        GraphKind::Linear { stages: 8 },
+        TopologyKind::Star,
+    );
+    cfg.ncps = 16;
+    let scenario = cfg
+        .sample(&mut StdRng::seed_from_u64(11))
+        .expect("valid scenario");
+    let caps = scenario.network.capacity_map();
+    let assigner = DynamicRankingAssigner::with_threads(1);
+    let mut scratch = EngineScratch::default();
+    // First scratch call grows the buffers to this shape; later calls
+    // reuse them at capacity.
+    let warm_path = assigner
+        .assign_scratch_with_stats(&mut scratch, &scenario.app, &scenario.network, &caps)
+        .expect("assignable")
+        .0;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let hot_path = assigner
+        .assign_scratch_with_stats(&mut scratch, &scenario.app, &scenario.network, &caps)
+        .expect("assignable")
+        .0;
+    let warm = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let cold_path = assigner
+        .assign_with_stats(&scenario.app, &scenario.network, &caps)
+        .expect("assignable")
+        .0;
+    let cold = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(black_box(warm_path).rate, black_box(&hot_path).rate);
+    assert_eq!(hot_path.rate, black_box(cold_path).rate);
+    assert!(
+        warm < cold,
+        "scratch reuse must cut allocator calls: warm {warm} vs cold {cold}"
+    );
+    println!("scratch reuse check: warm assignment {warm} allocator calls vs cold {cold}");
 }
 
 fn bench_network_size(c: &mut Criterion) {
@@ -219,6 +265,7 @@ criterion_group!(
 // the timed groups.
 fn main() {
     zero_alloc_check();
+    scratch_reuse_check();
     let mut criterion = Criterion::from_args();
     benches(&mut criterion);
     criterion.final_summary();

@@ -59,8 +59,8 @@ pub struct MetricSpec {
     pub fixed_tolerance: Option<f64>,
 }
 
-/// The eleven gated metrics, in serialization order.
-pub const METRIC_SPECS: [MetricSpec; 11] = [
+/// The thirteen gated metrics, in serialization order.
+pub const METRIC_SPECS: [MetricSpec; 13] = [
     MetricSpec {
         name: "wall_time_s",
         higher_is_better: false,
@@ -127,6 +127,18 @@ pub const METRIC_SPECS: [MetricSpec; 11] = [
         deterministic: false,
         fixed_tolerance: Some(0.05),
     },
+    MetricSpec {
+        name: "delivered_rate_uplift",
+        higher_is_better: true,
+        deterministic: true,
+        fixed_tolerance: None,
+    },
+    MetricSpec {
+        name: "defrag_overhead_ratio",
+        higher_is_better: false,
+        deterministic: false,
+        fixed_tolerance: None,
+    },
 ];
 
 /// Relative band for deterministic metrics (float formatting slack
@@ -180,11 +192,24 @@ pub struct BenchResult {
     /// machine noise cancels, so it rides a fixed 5 % band — the
     /// decision-provenance plane's overhead budget (DESIGN.md §14).
     pub provenance_overhead_ratio: f64,
+    /// Defrag-on BE delivered-work integral over defrag-off on the same
+    /// churn timeline at the default migration budget (0 when the
+    /// workload does not exercise the defrag plane). Pure sim-time,
+    /// hence deterministic: the gate pins the re-optimizer's value, not
+    /// the machine — a drop means defrag stopped finding (or started
+    /// mis-scoring) net-positive moves.
+    pub delivered_rate_uplift: f64,
+    /// Defrag-on wall time over defrag-off wall time of the same churn
+    /// workload on the same machine (0 when not measured). The probe
+    /// pass does real assignment work, so this rides the wall band
+    /// rather than a fixed few-percent budget; it catches the probe
+    /// loop regressing into rebuild-everything behaviour.
+    pub defrag_overhead_ratio: f64,
 }
 
 impl BenchResult {
     /// Metric values in [`METRIC_SPECS`] order.
-    pub fn metrics(&self) -> [f64; 11] {
+    pub fn metrics(&self) -> [f64; 13] {
         [
             self.wall_time_s,
             self.gamma_cache_hit_rate,
@@ -197,6 +222,8 @@ impl BenchResult {
             self.admissions_per_sec,
             self.p99_decision_ms,
             self.provenance_overhead_ratio,
+            self.delivered_rate_uplift,
+            self.defrag_overhead_ratio,
         ]
     }
 
@@ -234,6 +261,8 @@ impl BenchResult {
             admissions_per_sec: value("admissions_per_sec"),
             p99_decision_ms: value("p99_decision_ms"),
             provenance_overhead_ratio: value("provenance_overhead_ratio"),
+            delivered_rate_uplift: value("delivered_rate_uplift"),
+            defrag_overhead_ratio: value("defrag_overhead_ratio"),
         })
     }
 }
@@ -318,7 +347,7 @@ pub type BaselineExperiment = (&'static str, fn() -> BenchResult);
 
 /// The pinned baseline workloads, each a deterministic compact cut of
 /// the experiment it is named after.
-pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 8] = [
+pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 9] = [
     ("fig6_placement", run_fig6_placement),
     ("scaling_assign", run_scaling_assign),
     ("scale_assign", run_scale_assign),
@@ -327,6 +356,7 @@ pub const BASELINE_EXPERIMENTS: [BaselineExperiment; 8] = [
     ("churn_monitor", run_churn_monitor),
     ("churn_provenance", run_churn_provenance),
     ("service_admission", run_service_admission),
+    ("churn_defrag", run_churn_defrag),
 ];
 
 /// Runs one registered baseline experiment by name.
@@ -422,6 +452,8 @@ fn run_fig6_placement() -> BenchResult {
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
         provenance_overhead_ratio: 0.0,
+        delivered_rate_uplift: 0.0,
+        defrag_overhead_ratio: 0.0,
     }
 }
 
@@ -516,6 +548,8 @@ fn run_scaling_assign() -> BenchResult {
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
         provenance_overhead_ratio: 0.0,
+        delivered_rate_uplift: 0.0,
+        defrag_overhead_ratio: 0.0,
     }
 }
 
@@ -561,6 +595,8 @@ fn run_scale_assign() -> BenchResult {
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
         provenance_overhead_ratio: 0.0,
+        delivered_rate_uplift: 0.0,
+        defrag_overhead_ratio: 0.0,
     }
 }
 
@@ -647,6 +683,8 @@ fn run_churn_runtime() -> BenchResult {
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
         provenance_overhead_ratio: 0.0,
+        delivered_rate_uplift: 0.0,
+        defrag_overhead_ratio: 0.0,
     }
 }
 
@@ -715,6 +753,8 @@ fn run_churn_monitor() -> BenchResult {
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
         provenance_overhead_ratio: 0.0,
+        delivered_rate_uplift: 0.0,
+        defrag_overhead_ratio: 0.0,
     }
 }
 
@@ -783,6 +823,75 @@ fn run_churn_provenance() -> BenchResult {
         } else {
             0.0
         },
+        delivered_rate_uplift: 0.0,
+        defrag_overhead_ratio: 0.0,
+    }
+}
+
+/// One rep of the defrag workload — the `exp_defrag` churn timeline at
+/// the stormier 0.08 flake rate — returning the ledger's BE
+/// delivered-work integral and the rep's wall seconds.
+fn churn_defrag_rep(defrag: bool) -> (f64, f64) {
+    let config = RuntimeConfig {
+        horizon: 300.0,
+        failure_seed: 0xc0de,
+        hold_seed: 0x601d,
+        mean_hold: 25.0,
+        policy: ReconcilePolicy::Fifo,
+        defrag: defrag.then(sparcle_runtime::DefragConfig::default),
+        ..RuntimeConfig::default()
+    };
+    let arrivals = ArrivalTrace::Poisson { rate: 1.2 }.events(config.horizon, 0xa11);
+    let mut rt = SparcleRuntime::new(churn_network(0.08), arrivals, churn_app, config);
+    let start = Instant::now();
+    let delivered = rt.run_traced(TraceHandle::none()).be_rate_integral();
+    (delivered, start.elapsed().as_secs_f64())
+}
+
+/// Defrag-plane cut: the churn workload with the background
+/// re-optimizer on vs off at the default migration budget.
+/// `delivered_rate_uplift` is the sim-time on/off delivered-work ratio
+/// — deterministic, so the gate pins the re-optimizer's value itself;
+/// `defrag_overhead_ratio` is the min-of-interleaved-pairs wall ratio
+/// (same statistic as [`run_churn_monitor`]) and catches the probe
+/// pass regressing into rebuild-everything behaviour.
+fn run_churn_defrag() -> BenchResult {
+    const REPS: usize = 3;
+    let start = Instant::now();
+    let (off_delivered, _) = churn_defrag_rep(false);
+    let (on_delivered, _) = churn_defrag_rep(true);
+    let mut best_ratio = f64::INFINITY;
+    for _ in 0..REPS {
+        let (_, off_wall) = churn_defrag_rep(false);
+        let (_, on_wall) = churn_defrag_rep(true);
+        if off_wall > 0.0 {
+            best_ratio = best_ratio.min(on_wall / off_wall);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    BenchResult {
+        experiment: "churn_defrag".to_owned(),
+        wall_time_s: wall,
+        gamma_cache_hit_rate: 0.0,
+        events_per_sec: 0.0,
+        peak_queue_depth: 0.0,
+        be_solve_ms_per_event: 0.0,
+        warm_inner_iters_per_solve: 0.0,
+        placements_per_sec: 0.0,
+        monitor_overhead_ratio: 0.0,
+        admissions_per_sec: 0.0,
+        p99_decision_ms: 0.0,
+        provenance_overhead_ratio: 0.0,
+        delivered_rate_uplift: if off_delivered > 0.0 {
+            on_delivered / off_delivered
+        } else {
+            0.0
+        },
+        defrag_overhead_ratio: if best_ratio.is_finite() {
+            best_ratio
+        } else {
+            0.0
+        },
     }
 }
 
@@ -841,6 +950,8 @@ fn run_churn_solver() -> BenchResult {
         admissions_per_sec: 0.0,
         p99_decision_ms: 0.0,
         provenance_overhead_ratio: 0.0,
+        delivered_rate_uplift: 0.0,
+        defrag_overhead_ratio: 0.0,
     }
 }
 
@@ -904,6 +1015,8 @@ fn run_service_admission() -> BenchResult {
         },
         p99_decision_ms: 1000.0 * service.decision_wait_quantile(0.99),
         provenance_overhead_ratio: 0.0,
+        delivered_rate_uplift: 0.0,
+        defrag_overhead_ratio: 0.0,
     }
 }
 
@@ -925,6 +1038,8 @@ mod tests {
             admissions_per_sec: 0.0,
             p99_decision_ms: 0.0,
             provenance_overhead_ratio: 0.0,
+            delivered_rate_uplift: 0.0,
+            defrag_overhead_ratio: 0.0,
         }
     }
 

@@ -1,0 +1,233 @@
+//! Background-defragmentation experiment: what planned migration buys
+//! on a long churn run (DESIGN.md §15).
+//!
+//! An edge/hub network with flaky hub links runs a long Poisson arrival
+//! timeline twice per cell — defrag off, then defrag on with a swept
+//! displaced-seconds-per-epoch budget. Churn strands applications on
+//! whatever paths were best at their last reconcile; the defragmenter's
+//! rollback-only probes find the net-positive planned moves and commit
+//! them through the transactional core under the budget. The table
+//! reports, per budget: committed migrations, probe volume, the BE
+//! delivered-work integral and its uplift over the defrag-off run, and
+//! the admission rate.
+//!
+//! Two invariants are asserted on every defrag-on cell:
+//!
+//! * the ledger's planned displaced-seconds never exceed
+//!   `passes × budget` (the budget is a hard cap, not a hint);
+//! * at the default budget the delivered-work integral strictly beats
+//!   the defrag-off run (the plane pays for its churn).
+//!
+//! Extra flags on top of the shared harness ones:
+//!
+//! * `--horizon <s>` — simulated seconds per run (default 300).
+//! * `--budgets <list>` — comma-separated displaced-seconds-per-epoch
+//!   budgets to sweep (default `0.25,1,4`; the defrag-off run is always
+//!   included as the `off` row).
+//!
+//! Pair with the provenance plane to follow one migrated subject:
+//!
+//! ```sh
+//! cargo run --release -p sparcle-bench --bin exp_defrag -- \
+//!     --trace-out defrag.jsonl
+//! cargo run --release -p sparcle-trace-tools --bin sparcle-trace -- \
+//!     explain defrag.jsonl --pick migrated
+//! ```
+
+use sparcle_bench::{ExpFlags, ExpHarness, Table};
+use sparcle_core::TraceHandle;
+use sparcle_model::{
+    Application, LinkDirection, NcpId, Network, NetworkBuilder, QoeClass, ResourceVec,
+};
+use sparcle_runtime::{DefragConfig, ReconcilePolicy, RuntimeConfig, SparcleRuntime};
+use sparcle_workloads::graphs::linear_task_graph;
+use sparcle_workloads::ArrivalTrace;
+
+/// Four edge hosts, two compute hubs; the fast hub's links are the
+/// flaky ones, so failures strand applications on the slow hub — the
+/// fragmentation the defragmenter exists to repair.
+fn churn_network(flaky: f64) -> Network {
+    let mut b = NetworkBuilder::new();
+    let edges: Vec<NcpId> = (0..4)
+        .map(|i| b.add_ncp(format!("edge{i}"), ResourceVec::cpu(20.0)))
+        .collect();
+    let fast = b.add_ncp("hub-fast", ResourceVec::cpu(2000.0));
+    let slow = b.add_ncp("hub-slow", ResourceVec::cpu(1500.0));
+    for (i, &e) in edges.iter().enumerate() {
+        b.add_link_full(
+            format!("fast{i}"),
+            e,
+            fast,
+            2e4,
+            LinkDirection::Undirected,
+            flaky,
+        )
+        .expect("valid link");
+        b.add_link_full(
+            format!("slow{i}"),
+            e,
+            slow,
+            8e3,
+            LinkDirection::Undirected,
+            flaky / 4.0,
+        )
+        .expect("valid link");
+    }
+    b.build().expect("valid network")
+}
+
+/// Deterministic per-index mix: every third arrival Guaranteed-Rate,
+/// Best-Effort priorities cycling 1..=4, endpoints walking the edges.
+fn churn_app(index: u64) -> Application {
+    let graph = if index.is_multiple_of(2) {
+        linear_task_graph(&[60.0], &[1200.0, 600.0])
+    } else {
+        linear_task_graph(&[40.0, 40.0], &[1000.0, 800.0, 400.0])
+    }
+    .expect("valid graph");
+    let (src, sink) = (graph.sources()[0], graph.sinks()[0]);
+    let qoe = if index.is_multiple_of(3) {
+        QoeClass::guaranteed_rate(1.5, 0.5)
+    } else {
+        QoeClass::best_effort(1.0 + (index % 4) as f64)
+    };
+    let src_host = NcpId::new((index % 4) as u32);
+    let sink_host = NcpId::new(((index + 1) % 4) as u32);
+    Application::new(graph, qoe, [(src, src_host), (sink, sink_host)]).expect("valid app")
+}
+
+struct CellResult {
+    migrations: u64,
+    passes: u64,
+    probes: u64,
+    delivered: f64,
+    admitted: u64,
+    arrivals: u64,
+    displaced_seconds: f64,
+}
+
+fn run_cell(horizon: f64, defrag: Option<DefragConfig>, trace: TraceHandle<'_>) -> CellResult {
+    let config = RuntimeConfig {
+        horizon,
+        failure_seed: 0xc0de,
+        hold_seed: 0x601d,
+        mean_hold: 25.0,
+        policy: ReconcilePolicy::Fifo,
+        defrag,
+        ..RuntimeConfig::default()
+    };
+    let arrivals = ArrivalTrace::Poisson { rate: 1.2 }.events(config.horizon, 0xa11);
+    let mut rt = SparcleRuntime::new(churn_network(0.08), arrivals, churn_app, config);
+    let ledger = rt.run_traced(trace).clone();
+    let (passes, probes) = rt.defrag().map_or((0, 0), |d| (d.passes(), d.probes()));
+    CellResult {
+        migrations: ledger.migrations(),
+        passes,
+        probes,
+        delivered: ledger.be_rate_integral(),
+        admitted: ledger.admitted(),
+        arrivals: ledger.arrivals(),
+        displaced_seconds: ledger.migration_displaced_seconds(),
+    }
+}
+
+fn main() {
+    let mut flags = ExpFlags::new();
+    flags
+        .value("horizon", "simulated seconds per run", "300")
+        .value(
+            "budgets",
+            "comma-separated displaced-seconds-per-epoch budgets",
+            "0.25,1,4",
+        );
+    let parsed = flags.parse();
+    let horizon = parsed.f64("horizon");
+    assert!(horizon > 0.0, "--horizon must be positive");
+    let budgets: Vec<f64> = parsed
+        .str("budgets")
+        .split(',')
+        .map(|b| b.trim().parse().expect("--budgets must be numbers"))
+        .collect();
+    let harness = ExpHarness::with_args("exp_defrag", parsed.shared());
+    let default_budget = DefragConfig::default().budget_per_epoch;
+
+    println!("=== Defragmentation: planned migration on a long churn run ===");
+    let mut table = Table::new([
+        "budget (disp-s/epoch)",
+        "migrations",
+        "passes",
+        "probes",
+        "BE delivered",
+        "uplift vs off",
+        "admission rate",
+    ]);
+
+    let off = run_cell(horizon, None, TraceHandle::none());
+    table.row([
+        "off".to_owned(),
+        off.migrations.to_string(),
+        "-".to_owned(),
+        "-".to_owned(),
+        format!("{:.0}", off.delivered),
+        "-".to_owned(),
+        format!("{:.3}", off.admitted as f64 / off.arrivals.max(1) as f64),
+    ]);
+
+    let mut default_uplift: Option<f64> = None;
+    for &budget in &budgets {
+        let cfg = DefragConfig {
+            budget_per_epoch: budget,
+            ..DefragConfig::default()
+        };
+        // Only the default-budget cell carries the trace, so the event
+        // log holds one defrag timeline for `sparcle-trace explain`,
+        // not one per swept budget.
+        let traced = (budget - default_budget).abs() < 1e-12;
+        let trace = if traced {
+            harness.trace()
+        } else {
+            TraceHandle::none()
+        };
+        let on = run_cell(horizon, Some(cfg), trace);
+        // The budget is a hard cap: planned displaced-seconds can never
+        // exceed what the epochs granted.
+        assert!(
+            on.displaced_seconds <= on.passes as f64 * budget + 1e-9,
+            "budget exceeded: {} displaced-seconds over {} passes at budget {budget}",
+            on.displaced_seconds,
+            on.passes,
+        );
+        let uplift = on.delivered / off.delivered.max(1e-12);
+        if traced {
+            default_uplift = Some(uplift);
+            harness
+                .trace()
+                .counter("exp_defrag.migrations", on.migrations);
+        }
+        table.row([
+            format!("{budget}"),
+            on.migrations.to_string(),
+            on.passes.to_string(),
+            on.probes.to_string(),
+            format!("{:.0}", on.delivered),
+            format!("{:+.2}%", 100.0 * (uplift - 1.0)),
+            format!("{:.3}", on.admitted as f64 / on.arrivals.max(1) as f64),
+        ]);
+    }
+
+    println!("{}", table.render());
+    if let Some(uplift) = default_uplift {
+        assert!(
+            uplift > 1.0,
+            "defrag at the default budget must beat defrag-off: uplift {uplift:.4}"
+        );
+        println!(
+            "defrag at the default budget ({default_budget} disp-s/epoch) delivered \
+             {:+.2}% BE work over defrag-off",
+            100.0 * (uplift - 1.0)
+        );
+    }
+    let csv = table.write_csv("exp_defrag");
+    println!("wrote {}", csv.display());
+    harness.finish();
+}

@@ -14,7 +14,7 @@
 //!   also runs `n/2`). Nightly smoke runs pass a reduced size.
 //! * `--reps <n>` — timed assignments per (size, repr) cell (default 3).
 
-use sparcle_bench::{ExpArgs, ExpHarness, Table};
+use sparcle_bench::{ExpFlags, ExpHarness, Table};
 use sparcle_core::{DynamicRankingAssigner, GraphRepr};
 use sparcle_workloads::ScaleSpec;
 use std::time::Instant;
@@ -22,37 +22,25 @@ use std::time::Instant;
 struct ScaleArgs {
     ncps: usize,
     reps: usize,
-    rest: Vec<String>,
-}
-
-fn parse_scale_args() -> ScaleArgs {
-    let mut out = ScaleArgs {
-        ncps: 5_000,
-        reps: 3,
-        rest: Vec::new(),
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--ncps" => {
-                let v = it.next().expect("--ncps requires a count");
-                out.ncps = v.parse().expect("--ncps must be an integer");
-                assert!(out.ncps >= 8, "--ncps must be at least 8");
-            }
-            "--reps" => {
-                let v = it.next().expect("--reps requires a count");
-                out.reps = v.parse().expect("--reps must be an integer");
-                assert!(out.reps >= 1, "--reps must be at least 1");
-            }
-            _ => out.rest.push(arg),
-        }
-    }
-    out
 }
 
 fn main() {
-    let args = parse_scale_args();
-    let harness = ExpHarness::with_args("exp_scale", ExpArgs::parse_from(args.rest.clone()));
+    let mut flags = ExpFlags::new();
+    flags
+        .value(
+            "ncps",
+            "largest topology size (the sweep also runs n/2)",
+            "5000",
+        )
+        .value("reps", "timed assignments per (size, repr) cell", "3");
+    let parsed = flags.parse();
+    let args = ScaleArgs {
+        ncps: parsed.usize("ncps"),
+        reps: parsed.usize("reps"),
+    };
+    assert!(args.ncps >= 8, "--ncps must be at least 8");
+    assert!(args.reps >= 1, "--reps must be at least 1");
+    let harness = ExpHarness::with_args("exp_scale", parsed.shared());
     println!(
         "=== Scale: Algorithm 2 on hub-and-spoke topologies (mean of {} runs) ===",
         args.reps

@@ -96,6 +96,164 @@ impl ExpArgs {
     }
 }
 
+/// Declarative experiment-specific flags layered over the shared
+/// [`ExpArgs`] set, so `exp_*` binaries declare what they accept instead
+/// of hand-rolling an argument loop each:
+///
+/// ```no_run
+/// use sparcle_bench::{ExpFlags, ExpHarness};
+///
+/// let mut flags = ExpFlags::new();
+/// flags.value("ncps", "largest topology size", "5000");
+/// flags.switch("fast", "skip the large sweep");
+/// let parsed = flags.parse();
+/// let ncps: usize = parsed.usize("ncps");
+/// let harness = ExpHarness::with_args("exp_example", parsed.shared());
+/// ```
+///
+/// Declared flags accept both `--name value` and `--name=value`
+/// spellings; anything undeclared falls through to the shared
+/// [`ExpArgs`] parser (which warns on true unknowns), so every
+/// experiment keeps `--trace-out`/`--summary`/`--metrics-out` for free.
+#[derive(Debug, Default)]
+pub struct ExpFlags {
+    values: Vec<(&'static str, &'static str, String)>,
+    switches: Vec<(&'static str, &'static str)>,
+}
+
+impl ExpFlags {
+    /// An empty declaration set (shared harness flags only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a value-carrying flag `--name <v>` with its default.
+    pub fn value(&mut self, name: &'static str, help: &'static str, default: &str) -> &mut Self {
+        self.values.push((name, help, default.to_owned()));
+        self
+    }
+
+    /// Declares a boolean switch `--name`.
+    pub fn switch(&mut self, name: &'static str, help: &'static str) -> &mut Self {
+        self.switches.push((name, help));
+        self
+    }
+
+    /// Parses the process arguments against the declarations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a declared value flag is given without its operand.
+    pub fn parse(&self) -> ParsedFlags {
+        self.parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`Self::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a declared value flag is given without its operand.
+    pub fn parse_from<I, S>(&self, args: I) -> ParsedFlags
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut values: std::collections::BTreeMap<&'static str, String> = self
+            .values
+            .iter()
+            .map(|(name, _, default)| (*name, default.clone()))
+            .collect();
+        let mut on: std::collections::BTreeSet<&'static str> = std::collections::BTreeSet::new();
+        let mut rest: Vec<String> = Vec::new();
+        let mut it = args.into_iter().map(Into::into);
+        'args: while let Some(arg) = it.next() {
+            for (name, _, _) in &self.values {
+                let flag = format!("--{name}");
+                if arg == flag {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("{flag} requires a value"));
+                    values.insert(name, v);
+                    continue 'args;
+                }
+                if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                    values.insert(name, v.to_owned());
+                    continue 'args;
+                }
+            }
+            for (name, _) in &self.switches {
+                if arg == format!("--{name}") {
+                    on.insert(name);
+                    continue 'args;
+                }
+            }
+            rest.push(arg);
+        }
+        ParsedFlags {
+            values,
+            on,
+            shared: ExpArgs::parse_from(rest),
+        }
+    }
+}
+
+/// The result of [`ExpFlags::parse`]: typed access to the declared
+/// flags plus the shared [`ExpArgs`] for [`ExpHarness::with_args`].
+#[derive(Debug)]
+pub struct ParsedFlags {
+    values: std::collections::BTreeMap<&'static str, String>,
+    on: std::collections::BTreeSet<&'static str>,
+    shared: ExpArgs,
+}
+
+impl ParsedFlags {
+    /// The raw string value of a declared flag (its default when the
+    /// flag was not given).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` was never declared — a bug in the binary.
+    pub fn str(&self, name: &str) -> &str {
+        self.values
+            .get(name)
+            .unwrap_or_else(|| panic!("flag --{name} was not declared"))
+    }
+
+    /// A declared value flag parsed as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undeclared flag or a non-integer value.
+    pub fn usize(&self, name: &str) -> usize {
+        self.str(name)
+            .parse()
+            .unwrap_or_else(|e| panic!("--{name} must be an integer: {e}"))
+    }
+
+    /// A declared value flag parsed as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undeclared flag or a non-numeric value.
+    pub fn f64(&self, name: &str) -> f64 {
+        self.str(name)
+            .parse()
+            .unwrap_or_else(|e| panic!("--{name} must be a number: {e}"))
+    }
+
+    /// Whether a declared switch was given.
+    pub fn on(&self, name: &str) -> bool {
+        self.on.contains(name)
+    }
+
+    /// The shared harness arguments parsed from everything the declared
+    /// flags did not consume.
+    pub fn shared(&self) -> ExpArgs {
+        self.shared.clone()
+    }
+}
+
 #[cfg(feature = "telemetry")]
 enum Sink {
     /// No flag given: recording disabled, zero overhead.
@@ -298,6 +456,41 @@ mod tests {
             b.trace_out.as_deref(),
             Some(std::path::Path::new("/tmp/u.jsonl"))
         );
+    }
+
+    #[test]
+    fn declared_flags_parse_with_defaults_and_both_spellings() {
+        let mut flags = ExpFlags::new();
+        flags.value("ncps", "size", "5000").switch("fast", "quick");
+        let p = flags.parse_from(["--ncps", "128", "--fast", "--summary"]);
+        assert_eq!(p.usize("ncps"), 128);
+        assert!(p.on("fast"));
+        assert!(p.shared().summary);
+        let q = flags.parse_from(["--ncps=64"]);
+        assert_eq!(q.usize("ncps"), 64);
+        assert!(!q.on("fast"));
+        let d = flags.parse_from(Vec::<String>::new());
+        assert_eq!(d.usize("ncps"), 5000);
+    }
+
+    #[test]
+    fn undeclared_flags_fall_through_to_shared_args() {
+        let mut flags = ExpFlags::new();
+        flags.value("budget", "displaced-seconds", "1.0");
+        let p = flags.parse_from(["--budget", "0.5", "--trace-out", "/tmp/x.jsonl"]);
+        assert!((p.f64("budget") - 0.5).abs() < 1e-12);
+        assert_eq!(
+            p.shared().trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/x.jsonl"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--ncps requires a value")]
+    fn declared_value_flag_needs_operand() {
+        let mut flags = ExpFlags::new();
+        flags.value("ncps", "size", "5000");
+        let _ = flags.parse_from(["--ncps"]);
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod baseline;
 pub mod harness;
 pub mod svg;
 
-pub use harness::{ExpArgs, ExpHarness};
+pub use harness::{ExpArgs, ExpFlags, ExpHarness, ParsedFlags};
 
 /// The experiment registry: every `exp_*` binary of this crate (except
 /// the `exp_all` driver itself) with a one-line description.
@@ -69,6 +69,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "exp_service",
         "Service plane: batched admission vs per-request under flash crowds",
+    ),
+    (
+        "exp_defrag",
+        "Defrag plane: planned-migration uplift under a budget sweep",
     ),
     (
         "exp_baseline",

@@ -80,7 +80,8 @@ fn deterministic_metrics_get_the_tight_band() {
         specs.iter().any(|s| s.name == "gamma_cache_hit_rate")
             && specs.iter().any(|s| s.name == "peak_queue_depth")
             && specs.iter().any(|s| s.name == "warm_inner_iters_per_solve")
-            && specs.iter().any(|s| s.name == "p99_decision_ms"),
+            && specs.iter().any(|s| s.name == "p99_decision_ms")
+            && specs.iter().any(|s| s.name == "delivered_rate_uplift"),
         "run-to-run-identical metrics must be gated deterministically"
     );
     let baseline = BenchResult {
@@ -96,6 +97,8 @@ fn deterministic_metrics_get_the_tight_band() {
         admissions_per_sec: 500.0,
         p99_decision_ms: 12.0,
         provenance_overhead_ratio: 1.0,
+        delivered_rate_uplift: 1.1,
+        defrag_overhead_ratio: 1.2,
     };
     let mut drifted = baseline.clone();
     drifted.peak_queue_depth = 105.0; // +5 % on a deterministic metric

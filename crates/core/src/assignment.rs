@@ -16,7 +16,7 @@
 //! [`assign_multipath`] repeats the algorithm with residual capacities to
 //! extract additional task assignment paths for availability (§IV-D).
 
-use crate::engine::{AssignStats, AssignedPath, PlacementEngine};
+use crate::engine::{AssignStats, AssignedPath, EngineScratch, PlacementEngine};
 use crate::error::AssignError;
 use crate::trace::TraceHandle;
 use sparcle_model::{Application, CapacityMap, GraphRepr, Network};
@@ -208,36 +208,95 @@ impl DynamicRankingAssigner {
         capacities: &CapacityMap,
         trace: TraceHandle<'_>,
     ) -> Result<(AssignedPath, AssignStats), AssignError> {
+        self.assign_scratch_traced_with_stats(
+            &mut EngineScratch::default(),
+            app,
+            network,
+            capacities,
+            trace,
+        )
+    }
+
+    /// [`Self::assign_with_stats`] over caller-hoisted buffers: the
+    /// engine takes its sweep/routing scratch out of `scratch` and hands
+    /// it back before returning, so a warm probe loop (γ reconcile
+    /// probes, defrag what-if migrations) stops paying per-assignment
+    /// allocations for every content-independent buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::assign`].
+    pub fn assign_scratch_with_stats(
+        &self,
+        scratch: &mut EngineScratch,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+    ) -> Result<(AssignedPath, AssignStats), AssignError> {
+        self.assign_scratch_traced_with_stats(
+            scratch,
+            app,
+            network,
+            capacities,
+            TraceHandle::none(),
+        )
+    }
+
+    /// [`Self::assign_scratch_with_stats`] with a telemetry handle — the
+    /// most general assignment entry point; every other `assign_*`
+    /// method funnels here. The scratch is reclaimed on error exits too.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::assign`].
+    pub fn assign_scratch_traced_with_stats(
+        &self,
+        scratch: &mut EngineScratch,
+        app: &Application,
+        network: &Network,
+        capacities: &CapacityMap,
+        trace: TraceHandle<'_>,
+    ) -> Result<(AssignedPath, AssignStats), AssignError> {
         // Root span for one full Algorithm-2 assignment; every
         // rank-round and commit span nests underneath. An error exit
         // drops the guard, closing the span as aborted.
         let assign_span = trace.span("engine.assign");
-        let mut engine =
-            PlacementEngine::new_traced_with_repr(app, network, capacities, trace, self.repr)?;
-        match self.mode {
-            EvalMode::Reference => loop {
-                // Rank: for each unplaced CT, its best achievable γ;
-                // commit the CT with the smallest best (most constrained
-                // first).
-                let mut pick: Option<(f64, sparcle_model::CtId, sparcle_model::NcpId)> = None;
-                for ct in engine.unplaced() {
-                    let (host, g) = engine.best_host(ct).ok_or(AssignError::NoHostForCt(ct))?;
-                    if pick.is_none_or(|(bg, _, _)| g < bg) {
-                        pick = Some((g, ct, host));
+        let mut engine = PlacementEngine::new_traced_with_scratch(
+            app, network, capacities, trace, self.repr, scratch,
+        )?;
+        // Run the ranking loop through a closure so the scratch is
+        // reclaimed on ranking errors as well as on success.
+        let ranked = (|| -> Result<(), AssignError> {
+            match self.mode {
+                EvalMode::Reference => loop {
+                    // Rank: for each unplaced CT, its best achievable γ;
+                    // commit the CT with the smallest best (most
+                    // constrained first).
+                    let mut pick: Option<(f64, sparcle_model::CtId, sparcle_model::NcpId)> = None;
+                    for ct in engine.unplaced() {
+                        let (host, g) = engine.best_host(ct).ok_or(AssignError::NoHostForCt(ct))?;
+                        if pick.is_none_or(|(bg, _, _)| g < bg) {
+                            pick = Some((g, ct, host));
+                        }
                     }
-                }
-                let Some((_, ct, host)) = pick else {
-                    break;
-                };
-                engine.commit(ct, host)?;
-            },
-            EvalMode::Cached { threads } => {
-                while let Some((ct, host, _)) = engine.rank_round(threads)? {
+                    let Some((_, ct, host)) = pick else {
+                        return Ok(());
+                    };
                     engine.commit(ct, host)?;
+                },
+                EvalMode::Cached { threads } => {
+                    while let Some((ct, host, _)) = engine.rank_round(threads)? {
+                        engine.commit(ct, host)?;
+                    }
+                    Ok(())
                 }
             }
-        }
+        })();
         let stats = engine.stats();
+        // `finish` never touches the scratch buffers, so they can go
+        // back to the caller before it consumes the engine.
+        engine.reclaim_scratch(scratch);
+        ranked?;
         let assigned = engine.finish()?;
         assign_span.finish();
         Ok((assigned, stats))
@@ -308,9 +367,34 @@ pub fn assign_multipath_stats(
     max_paths: usize,
     min_rate: f64,
 ) -> (Vec<AssignedPath>, CapacityMap, AssignStats) {
+    assign_multipath_scratch_stats(
+        assigner,
+        &mut EngineScratch::default(),
+        app,
+        network,
+        capacities,
+        max_paths,
+        min_rate,
+    )
+}
+
+/// [`assign_multipath_stats`] over caller-hoisted [`EngineScratch`]:
+/// every per-path engine in the extraction loop reuses — and refills —
+/// the same buffers, so a probe loop placing many apps over one network
+/// stays off the allocator for the content-independent scratch.
+#[allow(clippy::too_many_arguments)] // mirrors assign_multipath_stats + scratch
+pub fn assign_multipath_scratch_stats(
+    assigner: &DynamicRankingAssigner,
+    scratch: &mut EngineScratch,
+    app: &Application,
+    network: &Network,
+    capacities: &CapacityMap,
+    max_paths: usize,
+    min_rate: f64,
+) -> (Vec<AssignedPath>, CapacityMap, AssignStats) {
     let mut stats = AssignStats::default();
     let (paths, residual) = multipath_inner(
-        assigner, app, network, capacities, max_paths, min_rate, 1.0, &mut stats,
+        assigner, scratch, app, network, capacities, max_paths, min_rate, 1.0, &mut stats,
     );
     (paths, residual, stats)
 }
@@ -342,6 +426,7 @@ pub fn assign_multipath_diverse(
     let mut stats = AssignStats::default();
     multipath_inner(
         assigner,
+        &mut EngineScratch::default(),
         app,
         network,
         capacities,
@@ -355,6 +440,7 @@ pub fn assign_multipath_diverse(
 #[allow(clippy::too_many_arguments)] // internal: the public wrappers curry
 fn multipath_inner(
     assigner: &DynamicRankingAssigner,
+    scratch: &mut EngineScratch,
     app: &Application,
     network: &Network,
     capacities: &CapacityMap,
@@ -371,7 +457,7 @@ fn multipath_inner(
     let mut biased = capacities.clone();
     let mut paths: Vec<AssignedPath> = Vec::new();
     for _ in 0..max_paths {
-        let mut path = match assigner.assign_with_stats(app, network, &biased) {
+        let mut path = match assigner.assign_scratch_with_stats(scratch, app, network, &biased) {
             Ok((p, s)) => {
                 stats.merge(&s);
                 p

@@ -148,6 +148,31 @@ impl fmt::Display for DisplaceCause {
     }
 }
 
+/// Why a placed application was deliberately moved to a new placement
+/// (a planned migration, as opposed to a failure-driven displacement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MigrationCause {
+    /// A background defragmentation pass found a net-positive move on
+    /// the current capacities.
+    Defragmentation,
+}
+
+impl MigrationCause {
+    /// The stable cause code carried on trace lines.
+    pub fn code(self) -> &'static str {
+        match self {
+            MigrationCause::Defragmentation => "defrag_net_gain",
+        }
+    }
+}
+
+impl fmt::Display for MigrationCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
 /// Cause code for a wholesale window deferral (the writer was still
 /// busy committing the previous batch). A constant rather than an enum:
 /// deferral has exactly one cause today, but the code string is schema
@@ -188,5 +213,14 @@ mod tests {
         assert_eq!(DisplaceCause::ElementFailure.code(), "element_failure");
         assert_eq!(ShedCause::DeferBudget.to_string(), "defer_budget");
         assert_eq!(DEFER_WRITER_BUSY, "writer_busy");
+    }
+
+    #[test]
+    fn migration_codes_are_stable() {
+        assert_eq!(MigrationCause::Defragmentation.code(), "defrag_net_gain");
+        assert_eq!(
+            MigrationCause::Defragmentation.to_string(),
+            "defrag_net_gain"
+        );
     }
 }

@@ -192,6 +192,23 @@ struct RowScratch {
     csr: CsrWidestTree,
 }
 
+/// Reusable assignment buffers a long-lived caller hoists across engine
+/// lifetimes: the serial row-sweep buffers, both routing scratches, and
+/// the ranking loop's missing-row list. A fresh engine allocates these
+/// lazily per assignment; the system's rollback-only probe paths (γ
+/// reconcile probes, defrag migration probes) run thousands of
+/// assignments over one network, so taking the buffers from — and
+/// returning them to — a hoisted `EngineScratch` keeps warm probes off
+/// the allocator for every content-independent buffer
+/// (`benches/assignment_scaling.rs` holds the probe loop to it).
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    row: RowScratch,
+    route: DijkstraScratch,
+    csr_route: CsrScratch,
+    missing: Vec<CtId>,
+}
+
 /// The graph structure the sweeps traverse, per [`GraphRepr`].
 #[derive(Clone, Copy)]
 enum ReprView<'e> {
@@ -445,6 +462,34 @@ impl<'a> PlacementEngine<'a> {
         trace: TraceHandle<'a>,
         repr: GraphRepr,
     ) -> Result<Self, AssignError> {
+        Self::new_traced_with_scratch(
+            app,
+            network,
+            capacities,
+            trace,
+            repr,
+            &mut EngineScratch::default(),
+        )
+    }
+
+    /// Like [`Self::new_traced_with_repr`], taking the reusable buffers
+    /// out of a caller-hoisted [`EngineScratch`] instead of allocating
+    /// fresh ones. Pair with [`Self::reclaim_scratch`] to hand them back
+    /// once the assignment is done; warmed buffers make repeated
+    /// assignments (probe loops) allocation-free for every
+    /// content-independent structure.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn new_traced_with_scratch(
+        app: &'a Application,
+        network: &'a Network,
+        capacities: &'a CapacityMap,
+        trace: TraceHandle<'a>,
+        repr: GraphRepr,
+        scratch: &mut EngineScratch,
+    ) -> Result<Self, AssignError> {
         app.check_against_network(network)?;
         assert_eq!(
             capacities.ncp_count(),
@@ -467,13 +512,13 @@ impl<'a> PlacementEngine<'a> {
             csr,
             generation: network.generation(),
             cache: vec![None; app.graph().ct_count()],
-            row_scratch: RowScratch::default(),
+            row_scratch: std::mem::take(&mut scratch.row),
             // Both routing scratches resize lazily on first use, so the
             // representation not in play costs nothing.
-            route_scratch: DijkstraScratch::default(),
-            csr_route_scratch: CsrScratch::default(),
+            route_scratch: std::mem::take(&mut scratch.route),
+            csr_route_scratch: std::mem::take(&mut scratch.csr_route),
             trace,
-            missing_scratch: Vec::new(),
+            missing_scratch: std::mem::take(&mut scratch.missing),
             pinned_done: false,
             unpinned_committed: false,
             stats: AssignStats::default(),
@@ -481,7 +526,11 @@ impl<'a> PlacementEngine<'a> {
             round: 0,
         };
         for (&ct, &host) in app.pinned() {
-            engine.commit(ct, host)?;
+            if let Err(e) = engine.commit(ct, host) {
+                // A rejected pin must not swallow the caller's buffers.
+                engine.reclaim_scratch(scratch);
+                return Err(e);
+            }
         }
         engine.pinned_done = true;
         Ok(engine)
@@ -1103,6 +1152,20 @@ impl<'a> PlacementEngine<'a> {
             }
         }
         adopted
+    }
+
+    /// Hands the reusable buffers back to a caller-hoisted
+    /// [`EngineScratch`] so the *next* engine built over it starts warm.
+    /// Call once the ranking loop is done — [`Self::finish`] does not
+    /// touch any of these buffers. Reclaiming into a different scratch
+    /// than the one the engine was built from is harmless (the buffers
+    /// carry no placement content, only capacity).
+    pub fn reclaim_scratch(&mut self, scratch: &mut EngineScratch) {
+        scratch.row = std::mem::take(&mut self.row_scratch);
+        scratch.route = std::mem::take(&mut self.route_scratch);
+        scratch.csr_route = std::mem::take(&mut self.csr_route_scratch);
+        scratch.missing = std::mem::take(&mut self.missing_scratch);
+        scratch.missing.clear();
     }
 
     /// Finishes the assignment: validates the placement and computes the

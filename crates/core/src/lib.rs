@@ -27,12 +27,13 @@ pub mod trace;
 pub mod widest_path;
 
 pub use assignment::{
-    assign_multipath, assign_multipath_diverse, assign_multipath_stats, DynamicRankingAssigner,
-    EvalMode,
+    assign_multipath, assign_multipath_diverse, assign_multipath_scratch_stats,
+    assign_multipath_stats, DynamicRankingAssigner, EvalMode,
 };
-pub use cause::{DisplaceCause, RejectCause, ShedCause, DEFER_WRITER_BUSY};
+pub use cause::{DisplaceCause, MigrationCause, RejectCause, ShedCause, DEFER_WRITER_BUSY};
 pub use engine::{
-    fewest_hops_path, AssignStats, AssignedPath, GammaRows, PlacementEngine, RoutePolicy,
+    fewest_hops_path, AssignStats, AssignedPath, EngineScratch, GammaRows, PlacementEngine,
+    RoutePolicy,
 };
 pub use error::AssignError;
 pub use snapshot::{SnapshotBeApp, SnapshotGrApp, StateSnapshot};
@@ -41,8 +42,8 @@ pub use sparcle_model::GraphRepr;
 pub use sparcle_telemetry as telemetry;
 pub use state::{StateMaintenance, StateStats, SystemState};
 pub use system::{
-    Admission, AllocationPolicy, DisplacedApp, PlacedBeApp, PlacedGrApp, RejectReason,
-    SparcleSystem, SystemConfig, SystemTxn,
+    Admission, AllocationPolicy, DisplacedApp, MigrationOutcome, PlacedBeApp, PlacedGrApp,
+    RejectReason, SparcleSystem, SystemConfig, SystemTxn,
 };
 pub use trace::{SpanGuard, TraceHandle};
 pub use widest_path::{

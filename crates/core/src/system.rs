@@ -15,8 +15,13 @@
 //!   BE applications are re-computed by solving the weighted
 //!   proportional-fair problem (4).
 //!
-//! Task placements are never migrated after admission (the paper's
-//! no-migration constraint); only BE rates are re-allocated.
+//! Task placements are never migrated *implicitly* (the paper's
+//! no-migration constraint): admission and rate re-allocation alone
+//! never move a placed application. Planned moves are an explicit,
+//! transactional operation — [`SystemTxn::migrate`] atomically releases
+//! a placement and re-runs the admission pipeline inside one undo log,
+//! so a rejected move is invisible and a committed one is a single
+//! atomic placement change.
 //!
 //! ## Transactions
 //!
@@ -32,8 +37,9 @@
 //! back, and the system — including the id counter and every BE rate —
 //! is exactly as before.
 
-use crate::assignment::{assign_multipath_stats, DynamicRankingAssigner};
+use crate::assignment::{assign_multipath_scratch_stats, DynamicRankingAssigner};
 use crate::engine::AssignedPath;
+use crate::engine::EngineScratch;
 use crate::error::AssignError;
 use crate::state::{
     gr_touched_elements, StateMaintenance, StateStats, SystemState, TxnLog, UndoOp,
@@ -160,6 +166,35 @@ impl DisplacedApp {
             DisplacedApp::Gr(_) => f64::INFINITY,
             DisplacedApp::Be(a) => a.priority,
         }
+    }
+}
+
+/// The result of one planned migration ([`SystemTxn::migrate`]): the
+/// application was atomically lifted and the admission pipeline re-run
+/// on the freed capacities inside the same undo log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationOutcome {
+    /// The id the application held before the move.
+    pub old_id: AppId,
+    /// Rate before the move (guaranteed rate for GR, allocated rate for
+    /// BE).
+    pub old_rate: f64,
+    /// The fresh admission: `Admitted(new_id)` when the move landed,
+    /// `Rejected(..)` when the move was unwound and the old placement
+    /// kept.
+    pub admission: Admission,
+}
+
+impl MigrationOutcome {
+    /// `true` when the application now sits on its new placement.
+    pub fn moved(&self) -> bool {
+        self.admission.is_admitted()
+    }
+
+    /// The id under the new placement (`None` when the move was
+    /// rejected and the old placement — and id — kept).
+    pub fn new_id(&self) -> Option<AppId> {
+        self.admission.id()
     }
 }
 
@@ -302,6 +337,11 @@ pub struct SparcleSystem {
     config: SystemConfig,
     assigner: DynamicRankingAssigner,
     state: SystemState,
+    /// Hoisted placement-engine buffers, reused by every assignment the
+    /// system runs (admissions, reconcile probes, migration probes) so
+    /// probe loops stay off the allocator for content-independent
+    /// scratch. Carries no placement state — rollback never touches it.
+    engine_scratch: EngineScratch,
 }
 
 impl SparcleSystem {
@@ -320,6 +360,7 @@ impl SparcleSystem {
             config,
             assigner,
             state,
+            engine_scratch: EngineScratch::default(),
         }
     }
 
@@ -606,7 +647,11 @@ impl SparcleSystem {
     /// when [`Self::apply_capacity_fluctuation`] flags a GR application,
     /// `reschedule` finds it new paths that fit the shrunken network (or
     /// proves none exist). It deliberately breaks the paper's
-    /// no-migration rule, so it is never invoked implicitly.
+    /// no-migration rule, so it is never invoked implicitly. For a
+    /// planned move inside a larger transaction (or one whose
+    /// displaced-seconds the caller wants to budget), use
+    /// [`SystemTxn::migrate`] / [`SparcleSystem::migrate`] instead — the
+    /// first-class primitive this wrapper predates.
     ///
     /// Returns `None` for an unknown id; `Some(admission)` otherwise,
     /// where a rejection means the old placement is still in force.
@@ -635,6 +680,21 @@ impl SparcleSystem {
             txn.rollback();
         }
         Some(admission)
+    }
+
+    /// Migrates an admitted application to a fresh placement in one
+    /// transaction (see [`SystemTxn::migrate`]): commits when the move
+    /// lands, rolls back — leaving the old placement bitwise intact —
+    /// when the fresh admission fails. Returns `None` for an unknown id.
+    pub fn migrate(&mut self, id: AppId) -> Option<MigrationOutcome> {
+        let mut txn = self.begin();
+        let outcome = txn.migrate(id)?;
+        if outcome.moved() {
+            txn.commit();
+        } else {
+            txn.rollback();
+        }
+        Some(outcome)
     }
 
     /// Solves problem (4) over all admitted BE applications against the
@@ -893,6 +953,52 @@ impl SystemTxn<'_> {
         false
     }
 
+    /// Atomically moves an admitted application to a fresh placement
+    /// inside this transaction: the current placement is released
+    /// (delta-maintaining residuals and priority loads), the full
+    /// admission pipeline re-runs on the freed capacities, and the BE
+    /// allocation is re-solved **once** over the combined remove +
+    /// re-place — never the intermediate state a displace + resubmit
+    /// pair would expose.
+    ///
+    /// Both halves share one undo log: if the fresh admission fails,
+    /// the migration unwinds to its own savepoint, reinstating the old
+    /// placement (and every BE rate, and the id counter) bitwise while
+    /// leaving the transaction's earlier operations intact; and a
+    /// rollback of the enclosing transaction undoes a *successful* move
+    /// just as exactly — which is what makes rollback-only migration
+    /// what-if probes free. Returns `None` for an unknown id.
+    pub fn migrate(&mut self, id: AppId) -> Option<MigrationOutcome> {
+        let (app, old_rate) = {
+            let state = &self.sys.state;
+            if let Some(a) = state.gr_apps.iter().find(|a| a.id == id) {
+                (a.app.clone(), a.guaranteed_rate())
+            } else if let Some(a) = state.be_apps.iter().find(|a| a.id == id) {
+                (a.app.clone(), a.allocated_rate)
+            } else {
+                return None;
+            }
+        };
+        let savepoint = self.log.savepoint();
+        // Lift without the intermediate BE solve: the submission half
+        // solves once over the final membership.
+        assert!(
+            self.displace_inner(id, false),
+            "id was found in the state above"
+        );
+        let admission = self
+            .submit_inner(app, false)
+            .expect("previously admitted apps are well-formed");
+        if !admission.is_admitted() {
+            self.unwind_to(savepoint);
+        }
+        Some(MigrationOutcome {
+            old_id: id,
+            old_rate,
+            admission,
+        })
+    }
+
     /// Makes the transaction's changes permanent. Returns the entries
     /// displaced during the transaction (ownership leaves the log here,
     /// so displacement never clones a placement).
@@ -964,8 +1070,11 @@ impl SystemTxn<'_> {
         } else {
             1
         };
-        let (all_paths, _, assign_stats) = assign_multipath_stats(
+        // `assigner`/`network` (shared) and `engine_scratch` (mutable)
+        // are disjoint fields, so the borrows coexist.
+        let (all_paths, _, assign_stats) = assign_multipath_scratch_stats(
             &sys.assigner,
+            &mut sys.engine_scratch,
             &app,
             &sys.network,
             &predicted,
@@ -1107,18 +1216,19 @@ impl SystemTxn<'_> {
         let mut achieved = 0.0;
         for _ in 0..self.sys.config.max_paths_per_app {
             let sys = &mut *self.sys;
-            let path =
-                match sys
-                    .assigner
-                    .assign_with_stats(app, &sys.network, &sys.state.gr_residual)
-                {
-                    Ok((p, s)) if p.rate > sys.config.min_path_rate && p.rate.is_finite() => {
-                        sys.state.stats.gamma_cache_hits += s.cache_hits;
-                        sys.state.stats.gamma_cache_misses += s.cache_misses;
-                        p
-                    }
-                    _ => break,
-                };
+            let path = match sys.assigner.assign_scratch_with_stats(
+                &mut sys.engine_scratch,
+                app,
+                &sys.network,
+                &sys.state.gr_residual,
+            ) {
+                Ok((p, s)) if p.rate > sys.config.min_path_rate && p.rate.is_finite() => {
+                    sys.state.stats.gamma_cache_hits += s.cache_hits;
+                    sys.state.stats.gamma_cache_misses += s.cache_misses;
+                    p
+                }
+                _ => break,
+            };
             // Reserving more than R_J on one path buys no QoE.
             let reserved = path.rate.min(min_rate);
             let touched = path.load.loaded_elements();
@@ -1654,6 +1764,109 @@ mod tests {
         let net = star_network(0.0);
         let mut sys = SparcleSystem::new(net);
         assert!(sys.reschedule(AppId::new(42)).is_none());
+    }
+
+    #[test]
+    fn migrate_moves_an_app_in_one_txn() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let be_id = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        sys.submit(simple_app(QoeClass::best_effort(2.0), 10.0, 50.0))
+            .unwrap();
+        let commits_before = sys.state_stats().txn_commits;
+        let outcome = sys.migrate(be_id).expect("known id");
+        assert!(outcome.moved(), "{outcome:?}");
+        assert_eq!(outcome.old_id, be_id);
+        let new_id = outcome.new_id().expect("moved");
+        assert_ne!(new_id, be_id);
+        assert!(outcome.old_rate > 0.0);
+        // Same population, new identity; exactly one commit.
+        assert_eq!(sys.be_apps().len(), 2);
+        assert!(!sys.contains(be_id));
+        assert!(sys.contains(new_id));
+        assert_eq!(sys.state_stats().txn_commits, commits_before + 1);
+    }
+
+    #[test]
+    fn rejected_migration_is_invisible() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        let id = sys
+            .submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        sys.submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap();
+        // Collapse the network so the fresh placement search must fail;
+        // the old reservation (taken at full capacity) stays in force.
+        let mut caps = sys.network().capacity_map();
+        for ncp in sys.network().ncp_ids() {
+            caps.ncp_mut(ncp).scale(1e-6);
+        }
+        for link in sys.network().link_ids() {
+            let bw = caps.link(link);
+            caps.set_link(link, bw * 1e-6);
+        }
+        sys.apply_capacity_fluctuation(caps);
+        let residual = sys.gr_residual().clone();
+        let rates: Vec<f64> = sys.be_apps().iter().map(|a| a.allocated_rate).collect();
+        let outcome = sys.migrate(id).expect("known id");
+        assert!(!outcome.moved(), "{outcome:?}");
+        assert_eq!(outcome.new_id(), None);
+        // Bitwise no-op: placement, residual, BE rates, and the id
+        // counter are exactly as before the attempt.
+        assert!(sys.contains(id));
+        assert_eq!(sys.gr_residual(), &residual);
+        let after: Vec<f64> = sys.be_apps().iter().map(|a| a.allocated_rate).collect();
+        assert_eq!(rates, after);
+    }
+
+    #[test]
+    fn rolled_back_migration_txn_is_invisible() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        sys.submit(simple_app(QoeClass::guaranteed_rate(2.0, 0.9), 10.0, 50.0))
+            .unwrap();
+        let be_id = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        let residual = sys.gr_residual().clone();
+        let rates: Vec<f64> = sys.be_apps().iter().map(|a| a.allocated_rate).collect();
+        // A rollback-only migration probe: the move lands inside the
+        // txn, then the whole thing unwinds.
+        let mut txn = sys.begin();
+        let outcome = txn.migrate(be_id).expect("known id");
+        assert!(outcome.moved());
+        assert!(!txn.system().contains(be_id));
+        txn.rollback();
+        assert!(sys.contains(be_id));
+        assert_eq!(sys.gr_residual(), &residual, "residual restored bitwise");
+        let after: Vec<f64> = sys.be_apps().iter().map(|a| a.allocated_rate).collect();
+        assert_eq!(rates, after, "rates restored bitwise");
+        // The id counter rewound too: the next admission takes the id
+        // the probe briefly held.
+        let next = sys
+            .submit(simple_app(QoeClass::best_effort(1.0), 10.0, 50.0))
+            .unwrap()
+            .id()
+            .unwrap();
+        assert_eq!(Some(next), outcome.new_id());
+    }
+
+    #[test]
+    fn migrate_unknown_id_is_none() {
+        let net = star_network(0.0);
+        let mut sys = SparcleSystem::new(net);
+        assert!(sys.migrate(AppId::new(7)).is_none());
+        let mut txn = sys.begin();
+        assert!(txn.migrate(AppId::new(7)).is_none());
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! The background **defragmentation re-optimizer** (DESIGN.md §15):
+//! bookkeeping for the runtime's periodic migration pass.
+//!
+//! Long churn runs fragment the network: every failure, recovery, and
+//! capacity step re-places applications on whatever paths were best *at
+//! that moment*, so after enough churn many placements sit on paths the
+//! current capacities no longer favour. The paper's no-migration
+//! constraint means admission alone can never repair this — only an
+//! explicit, planned move can ([`sparcle_core::SystemTxn::migrate`]).
+//!
+//! The defragmenter is deliberately split in two:
+//!
+//! * the **pass itself** lives in the runtime event loop (a
+//!   [`crate::ChurnEvent::DefragTick`] handler) because it needs the
+//!   live system, the arrival-index maps, and the trace handle;
+//! * this module owns the **accounting**: the writer cost model gating
+//!   (a pass only starts when the modeled writer is idle, and a
+//!   committed pass occupies it for
+//!   [`SolveCostModel::batch_cost`]`(moves)` — the same currency the
+//!   admission service charges itself per PR 8), the per-epoch
+//!   displaced-seconds budget, and the pass/probe/move counters the
+//!   differential and budget tests assert on.
+//!
+//! Everything here is pure state-in/state-out on simulated time; a run
+//! with `defrag: None` never constructs a [`Defragmenter`] and is
+//! byte-identical to a run built before this plane existed.
+
+use crate::cost::SolveCostModel;
+
+/// Tunables of the background defragmentation pass.
+#[derive(Debug, Clone)]
+pub struct DefragConfig {
+    /// Simulated seconds between defragmentation passes. One period is
+    /// also one **budget epoch**: every pass starts with a fresh
+    /// [`Self::budget_per_epoch`] allowance.
+    pub period: f64,
+    /// Displaced-seconds of planned unavailability the defragmenter may
+    /// spend per epoch. Each committed move consumes
+    /// [`Self::move_cost`]; the pass stops selecting moves when the
+    /// remaining allowance cannot cover another one.
+    pub budget_per_epoch: f64,
+    /// Modeled displaced-seconds of unavailability charged to the
+    /// [`crate::SloLedger`] per committed move (the app is briefly
+    /// off-path while its placement switches).
+    pub move_cost: f64,
+    /// Minimum total-BE-delivered-rate improvement a move must show (at
+    /// probe time *and* again at commit time) to be worth its churn.
+    pub min_gain: f64,
+    /// Writer cost model: a pass that commits `n` moves occupies the
+    /// modeled writer for `batch_cost(n)` sim-seconds; a tick that lands
+    /// while the writer is still busy skips its pass entirely.
+    pub solve_cost: SolveCostModel,
+}
+
+impl Default for DefragConfig {
+    fn default() -> Self {
+        DefragConfig {
+            period: 5.0,
+            budget_per_epoch: 1.0,
+            move_cost: 0.25,
+            min_gain: 1e-9,
+            solve_cost: SolveCostModel::default(),
+        }
+    }
+}
+
+/// Accounting state of the background defragmenter: writer-busy
+/// horizon, per-epoch budget, and the counters
+/// (passes/skips/probes/moves) the budget invariant is asserted from.
+#[derive(Debug, Clone)]
+pub struct Defragmenter {
+    config: DefragConfig,
+    /// Simulated time the modeled writer becomes idle again.
+    writer_free_at: f64,
+    passes: u64,
+    skipped: u64,
+    probes: u64,
+    moves: u64,
+}
+
+impl Defragmenter {
+    /// Builds the accounting state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive period or move cost, or a negative
+    /// budget or gain threshold.
+    pub fn new(config: DefragConfig) -> Self {
+        assert!(
+            config.period.is_finite() && config.period > 0.0,
+            "defrag period must be positive"
+        );
+        assert!(
+            config.budget_per_epoch >= 0.0,
+            "defrag budget must be non-negative"
+        );
+        assert!(config.move_cost > 0.0, "defrag move cost must be positive");
+        assert!(
+            config.min_gain >= 0.0,
+            "defrag min gain must be non-negative"
+        );
+        Defragmenter {
+            config,
+            writer_free_at: 0.0,
+            passes: 0,
+            skipped: 0,
+            probes: 0,
+            moves: 0,
+        }
+    }
+
+    /// The configuration this defragmenter runs under.
+    pub fn config(&self) -> &DefragConfig {
+        &self.config
+    }
+
+    /// `true` when the modeled writer is idle at `t` — the precondition
+    /// for starting a pass.
+    pub fn writer_idle(&self, t: f64) -> bool {
+        t >= self.writer_free_at
+    }
+
+    /// Records a tick that skipped its pass (writer busy or a reconcile
+    /// owed).
+    pub(crate) fn note_skip(&mut self) {
+        self.skipped += 1;
+    }
+
+    /// Starts one pass and returns its fresh epoch budget in
+    /// displaced-seconds.
+    pub(crate) fn begin_pass(&mut self) -> f64 {
+        self.passes += 1;
+        self.config.budget_per_epoch
+    }
+
+    /// Records `n` rollback-only what-if probes.
+    pub(crate) fn note_probes(&mut self, n: u64) {
+        self.probes += n;
+    }
+
+    /// Records the committed moves of a pass ending at `t`, occupying
+    /// the modeled writer for `batch_cost(moves)`. Probe-only passes
+    /// (zero moves) are modeled as snapshot reads and leave the writer
+    /// idle.
+    pub(crate) fn note_moves(&mut self, t: f64, moves: u64) {
+        self.moves += moves;
+        if moves > 0 {
+            self.writer_free_at = t + self.config.solve_cost.batch_cost(moves as usize);
+        }
+    }
+
+    /// Passes that ran (ticks that passed the idle/backlog gate).
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Ticks that skipped their pass.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Rollback-only migration probes issued.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Planned migrations committed.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// The simulated time the modeled writer becomes idle.
+    pub fn writer_free_at(&self) -> f64 {
+        self.writer_free_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_gating_follows_the_cost_model() {
+        let mut d = Defragmenter::new(DefragConfig::default());
+        assert!(d.writer_idle(0.0));
+        let budget = d.begin_pass();
+        assert_eq!(budget, 1.0);
+        d.note_moves(5.0, 3);
+        // 0.05 fixed + 3 × 0.01 marginal.
+        assert!((d.writer_free_at() - 5.08).abs() < 1e-12);
+        assert!(!d.writer_idle(5.05));
+        assert!(d.writer_idle(5.08));
+        assert_eq!((d.passes(), d.moves()), (1, 3));
+    }
+
+    #[test]
+    fn probe_only_passes_leave_the_writer_idle() {
+        let mut d = Defragmenter::new(DefragConfig::default());
+        d.begin_pass();
+        d.note_probes(1);
+        d.note_moves(5.0, 0);
+        assert!(d.writer_idle(5.0));
+        assert_eq!((d.probes(), d.moves(), d.skipped()), (1, 0, 0));
+        d.note_skip();
+        assert_eq!(d.skipped(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_is_rejected() {
+        Defragmenter::new(DefragConfig {
+            period: 0.0,
+            ..DefragConfig::default()
+        });
+    }
+}

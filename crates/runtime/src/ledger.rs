@@ -37,6 +37,12 @@ pub struct SloLedger {
     /// later batch (each deferral is one window of added decision
     /// latency).
     deferrals: u64,
+    /// Planned migrations committed by the background defragmenter.
+    migrations: u64,
+    /// Modeled seconds of per-app unavailability charged for those
+    /// migrations — the currency the defragmenter's per-epoch budget is
+    /// denominated in.
+    migration_displaced_seconds: f64,
 }
 
 impl SloLedger {
@@ -108,6 +114,17 @@ impl SloLedger {
     pub fn record_replacement(&mut self, latency: f64) {
         self.placement_churn += 1;
         self.reaction_latencies.push(latency);
+    }
+
+    /// Records one committed planned migration, charging its modeled
+    /// per-app unavailability. Migrations are deliberate churn: they
+    /// count toward [`Self::placement_churn`] like a failure-driven
+    /// re-placement, and their displaced-seconds are tracked separately
+    /// so budget enforcement can be asserted from the ledger alone.
+    pub fn record_migration(&mut self, displaced_seconds: f64) {
+        self.migrations += 1;
+        self.placement_churn += 1;
+        self.migration_displaced_seconds += displaced_seconds;
     }
 
     /// Total GR violation-seconds across all applications.
@@ -197,6 +214,16 @@ impl SloLedger {
         self.deferrals
     }
 
+    /// Planned migrations committed by the defragmenter.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Modeled displaced-seconds charged for planned migrations.
+    pub fn migration_displaced_seconds(&self) -> f64 {
+        self.migration_displaced_seconds
+    }
+
     /// The simulated time the ledger has accrued up to.
     pub fn time(&self) -> f64 {
         self.last_time
@@ -248,6 +275,20 @@ mod tests {
         l.record_reconcile();
         assert_eq!((l.arrivals(), l.admitted(), l.departures()), (2, 1, 1));
         assert_eq!((l.displacements(), l.reconciles()), (3, 1));
+    }
+
+    #[test]
+    fn migrations_are_charged_as_planned_churn() {
+        let mut l = SloLedger::default();
+        l.record_replacement(0.5);
+        l.record_migration(0.2);
+        l.record_migration(0.3);
+        assert_eq!(l.migrations(), 2);
+        // Migrations are churn too, but carry no reaction latency (they
+        // are planned, not disruption responses).
+        assert_eq!(l.placement_churn(), 3);
+        assert_eq!(l.reaction_latencies().len(), 1);
+        assert!((l.migration_displaced_seconds() - 0.5).abs() < 1e-12);
     }
 
     #[test]

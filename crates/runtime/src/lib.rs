@@ -12,14 +12,21 @@
 //!   ([`sparcle_sim::FluctuationModel`]).
 //!
 //! The paper treats SPARCLE as an *online* scheduler — applications
-//! "arrive over time" (§III-A), placements never migrate, and admission
-//! reacts to the network as it is *now*. The batch experiments elsewhere
-//! in this workspace study each mechanism in isolation; this crate
-//! closes the loop: disruptions displace applications, a pluggable
+//! "arrive over time" (§III-A), placements never move *implicitly*, and
+//! admission reacts to the network as it is *now*. The batch experiments
+//! elsewhere in this workspace study each mechanism in isolation; this
+//! crate closes the loop: disruptions displace applications, a pluggable
 //! [`ReconcilePolicy`] decides the order in which they are re-placed
 //! after a configurable control-plane delay, and an [`SloLedger`]
 //! integrates the damage (GR violation-seconds, BE delivered-rate,
 //! reaction latency, placement churn) between events.
+//!
+//! Planned moves are the one sanctioned exception: the optional
+//! [`defrag`] plane periodically probes placed applications with
+//! rollback-only what-if migrations
+//! ([`sparcle_core::SystemTxn::migrate`]) and commits the net-positive
+//! ones under a bounded displaced-seconds-per-epoch budget, charged to
+//! the ledger as deliberate churn.
 //!
 //! Everything is driven off the deterministic
 //! [`sparcle_sim::des::EventQueue`]: the same seeds produce a
@@ -36,11 +43,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cost;
+pub mod defrag;
 pub mod ledger;
 pub mod monitor;
 pub mod policy;
 pub mod runtime;
 
+pub use cost::SolveCostModel;
+pub use defrag::{DefragConfig, Defragmenter};
 pub use ledger::SloLedger;
 pub use monitor::{
     AlertRules, AlertTransition, Monitor, MonitorConfig, MonitorSample, TickInput, ALERT_RULES,

@@ -143,6 +143,9 @@ pub struct TickInput {
     pub backlog: u64,
     /// Instantaneous live (placed) application count.
     pub live: u64,
+    /// Total planned migrations committed by the defragmenter
+    /// ([`crate::SloLedger::migrations`]); 0 with defrag off.
+    pub migrations: u64,
 }
 
 /// One alert rule crossing its threshold (either direction).
@@ -193,6 +196,9 @@ pub struct MonitorSample {
     pub backlog: u64,
     /// Instantaneous live application count.
     pub live: u64,
+    /// Planned migrations in the window (the defrag-churn gauge; 0 with
+    /// defrag off).
+    pub defrag_churn: u64,
     /// Rules in the firing state after this tick.
     pub alerts_firing: u64,
     /// Edge transitions produced by this tick, in rule order.
@@ -212,6 +218,7 @@ pub struct Monitor {
     cache_misses: WindowedCounter,
     solves: WindowedCounter,
     warm_iters: WindowedCounter,
+    migrations: WindowedCounter,
     queue_depths: WindowedHistogram,
     last: TickInput,
     /// Firing state per rule, indexed like [`ALERT_RULES`].
@@ -248,6 +255,7 @@ impl Monitor {
             cache_misses: WindowedCounter::new(w, n),
             solves: WindowedCounter::new(w, n),
             warm_iters: WindowedCounter::new(w, n),
+            migrations: WindowedCounter::new(w, n),
             queue_depths: WindowedHistogram::new(w, n),
             config,
             last: TickInput::default(),
@@ -306,6 +314,8 @@ impl Monitor {
                 .warm_inner_iters
                 .saturating_sub(self.last.warm_inner_iters),
         );
+        self.migrations
+            .record(t, input.migrations.saturating_sub(self.last.migrations));
         self.queue_depths.record(t, input.queue_depth);
         self.last = *input;
 
@@ -391,6 +401,7 @@ impl Monitor {
             queue_p95: self.queue_depths.quantile(0.95).unwrap_or(0),
             backlog: input.backlog,
             live: input.live,
+            defrag_churn: self.migrations.sum(),
             alerts_firing: self.firing.iter().filter(|&&f| f).count() as u64,
             transitions,
         }
@@ -471,6 +482,11 @@ impl Monitor {
             "sparcle_live_apps",
             "Applications currently placed",
             format!("{}", sample.live),
+        );
+        gauge(
+            "sparcle_defrag_churn",
+            "Planned migrations committed in the window",
+            format!("{}", sample.defrag_churn),
         );
         gauge(
             "sparcle_alerts_firing",

@@ -16,6 +16,8 @@ use rand::{Rng, SeedableRng};
 use sparcle_core::telemetry::Event;
 #[cfg(feature = "telemetry")]
 use sparcle_core::DisplaceCause;
+#[cfg(feature = "telemetry")]
+use sparcle_core::MigrationCause;
 use sparcle_core::{Admission, DisplacedApp, SparcleSystem, SystemConfig, TraceHandle};
 use sparcle_model::{
     AppId, Application, CapacityMap, Network, NetworkElement, Placement, QoeClass,
@@ -24,6 +26,7 @@ use sparcle_sim::des::EventQueue;
 use sparcle_sim::{ElementStateStream, FluctuationModel};
 use sparcle_workloads::ArrivalEvent;
 
+use crate::defrag::{DefragConfig, Defragmenter};
 use crate::ledger::SloLedger;
 use crate::monitor::{Monitor, MonitorConfig, TickInput};
 use crate::policy::ReconcilePolicy;
@@ -71,6 +74,10 @@ pub enum ChurnEvent {
     /// The observability monitor samples the run (periodic, consumes no
     /// randomness — enabling it never perturbs the timeline).
     MonitorTick,
+    /// The background defragmenter considers planned migrations
+    /// (periodic, consumes no randomness; with `defrag: None` the event
+    /// is never scheduled and the timeline is bitwise pre-defrag).
+    DefragTick,
 }
 
 /// Capacity-fluctuation configuration of the runtime timeline.
@@ -110,6 +117,9 @@ pub struct RuntimeConfig {
     /// Optional observability monitor (windowed health signals and
     /// burn-rate alerting on a periodic tick).
     pub monitor: Option<MonitorConfig>,
+    /// Optional background defragmentation pass (periodic, budgeted
+    /// planned migrations through [`sparcle_core::SystemTxn::migrate`]).
+    pub defrag: Option<DefragConfig>,
     /// Configuration of the owned [`SparcleSystem`] (notably
     /// `assigner_threads`, which must not change results).
     pub system: SystemConfig,
@@ -128,6 +138,7 @@ impl Default for RuntimeConfig {
             reconcile_per_app_delay: 0.01,
             policy: ReconcilePolicy::Fifo,
             monitor: None,
+            defrag: None,
             system: SystemConfig::default(),
         }
     }
@@ -172,6 +183,7 @@ pub struct SparcleRuntime<F> {
     violating: BTreeSet<u64>,
     ledger: SloLedger,
     monitor: Option<Monitor>,
+    defrag: Option<Defragmenter>,
     events_processed: u64,
     /// Arrival index → provenance id of the app's latest lifecycle
     /// event (arrival/displace/readmit), so the next hop can link back
@@ -267,6 +279,16 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             }
             mon
         });
+        // Same pattern for the defragmenter: first tick one period in,
+        // the handler reschedules the rest. With `defrag: None` nothing
+        // is scheduled and the timeline is bitwise pre-defrag.
+        let defrag = config.defrag.clone().map(|d| {
+            let df = Defragmenter::new(d);
+            if df.config().period <= config.horizon {
+                queue.schedule(df.config().period, ChurnEvent::DefragTick);
+            }
+            df
+        });
         let hold_rng = StdRng::seed_from_u64(config.hold_seed);
         let system = SparcleSystem::with_config(network, config.system.clone());
         SparcleRuntime {
@@ -284,6 +306,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             violating: BTreeSet::new(),
             ledger: SloLedger::default(),
             monitor,
+            defrag,
             events_processed: 0,
             #[cfg(feature = "telemetry")]
             last_event: BTreeMap::new(),
@@ -313,6 +336,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
                 ChurnEvent::Fluctuation { step } => self.on_fluctuation(t, step, trace),
                 ChurnEvent::Reconcile { cause } => self.on_reconcile(t, cause, trace),
                 ChurnEvent::MonitorTick => self.on_monitor_tick(t, trace),
+                ChurnEvent::DefragTick => self.on_defrag_tick(t, trace),
             }
         }
         self.accrue(self.config.horizon);
@@ -722,6 +746,7 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
             queue_depth: self.queue.len() as u64,
             backlog: self.pending.len() as u64,
             live: self.live.len() as u64,
+            migrations: self.ledger.migrations(),
         };
         let sample = monitor.tick(t, &input);
         let next = t + monitor.config().period;
@@ -768,6 +793,130 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
                 );
             }
         }
+    }
+
+    /// One background defragmentation pass (DESIGN.md §15). Reconcile
+    /// repair always outranks optimization churn: the pass is skipped
+    /// outright while displaced applications wait or while the modeled
+    /// writer is still busy with a previous pass (the PR-8 cost model,
+    /// shared with the admission service). A pass that does run:
+    ///
+    /// 1. **Probes** every live application with a rollback-only
+    ///    [`sparcle_core::SystemTxn::migrate`] and scores the move by
+    ///    the *system-wide* BE delivered-rate delta — per-app deltas
+    ///    would miss moves whose value is the capacity they free for
+    ///    everyone else (and would never move a GR app, whose own rate
+    ///    is fixed at R_J wherever it sits).
+    /// 2. **Selects greedily**: best probed gain first (arrival index
+    ///    breaks ties), bounded by the epoch's displaced-seconds budget
+    ///    (each commit consumes `move_cost`).
+    /// 3. **Re-validates and commits**: earlier commits shift the
+    ///    allocation, so each selected move is re-probed against the
+    ///    current state and committed only if still net-positive;
+    ///    otherwise its transaction rolls back (outcome `"kept"`).
+    ///
+    /// Committed moves are charged to the [`SloLedger`] as planned
+    /// churn (`record_migration`), re-keyed in the arrival-index maps
+    /// (the index stays the stable identity across the new [`AppId`]),
+    /// and emitted as `runtime_migrate` lifecycle events chained to the
+    /// app's previous lifecycle hop.
+    fn on_defrag_tick(&mut self, t: f64, trace: TraceHandle<'_>) {
+        let Some(d) = &self.defrag else {
+            return;
+        };
+        let cfg = d.config().clone();
+        let writer_idle = d.writer_idle(t);
+        let next = t + cfg.period;
+        if next <= self.config.horizon {
+            self.queue.schedule(next, ChurnEvent::DefragTick);
+        }
+        trace.counter("runtime.defrag_ticks", 1);
+        if !self.pending.is_empty() || !writer_idle {
+            self.defrag.as_mut().expect("checked above").note_skip();
+            return;
+        }
+        let pass_span = trace.span("runtime.defrag");
+        let mut budget = self.defrag.as_mut().expect("checked above").begin_pass();
+        let be_total =
+            |sys: &SparcleSystem| -> f64 { sys.be_apps().iter().map(|a| a.allocated_rate).sum() };
+        // Probe phase (rollback-only; the system is bitwise untouched).
+        let before = be_total(&self.system);
+        let mut probes = 0u64;
+        let mut candidates: Vec<(f64, u64)> = Vec::new();
+        for (&index, &id) in &self.live {
+            let mut txn = self.system.begin();
+            let gain = match txn.migrate(id) {
+                Some(o) if o.moved() => be_total(txn.system()) - before,
+                _ => f64::NEG_INFINITY,
+            };
+            txn.rollback();
+            probes += 1;
+            if gain > cfg.min_gain {
+                candidates.push((gain, index));
+            }
+        }
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        // Commit phase: re-validate each selected move on the current
+        // (post-earlier-commits) state, under the epoch budget.
+        let mut moves = 0u64;
+        for (_, index) in candidates {
+            if budget < cfg.move_cost {
+                break;
+            }
+            let id = self.live[&index];
+            let current = be_total(&self.system);
+            let mut txn = self.system.begin();
+            let outcome = txn.migrate(id).expect("live apps are placed");
+            let committed = outcome.moved() && be_total(txn.system()) - current > cfg.min_gain;
+            if committed {
+                txn.commit();
+            } else {
+                txn.rollback();
+            }
+            let mut new_rate = outcome.old_rate;
+            if committed {
+                let new_id = outcome.new_id().expect("committed moves were admitted");
+                self.live.insert(index, new_id);
+                self.index_of.remove(&outcome.old_id);
+                self.index_of.insert(new_id, index);
+                // The move re-ran admission on the current capacities,
+                // so a previously violated guarantee is fit again.
+                self.violating.remove(&index);
+                budget -= cfg.move_cost;
+                moves += 1;
+                self.ledger.record_migration(cfg.move_cost);
+                new_rate = self.rate_of(new_id);
+            }
+            #[cfg(feature = "telemetry")]
+            if trace.is_enabled() {
+                let prev = self.last_event.get(&index).copied().unwrap_or(0);
+                let buf = [prev];
+                let causes: &[u64] = if prev != 0 { &buf } else { &[] };
+                let eid = trace.event_caused(
+                    &Event::RuntimeMigrate {
+                        time: t,
+                        app: index as u32,
+                        lineage: index,
+                        outcome: if committed { "migrated" } else { "kept" }.to_owned(),
+                        old_rate: outcome.old_rate,
+                        new_rate,
+                        cause: MigrationCause::Defragmentation.code().to_owned(),
+                    },
+                    causes,
+                );
+                if committed && eid != 0 && trace.provenance_enabled() {
+                    self.last_event.insert(index, eid);
+                }
+            }
+            #[cfg(not(feature = "telemetry"))]
+            let _ = new_rate;
+        }
+        let d = self.defrag.as_mut().expect("checked above");
+        d.note_probes(probes);
+        d.note_moves(t, moves);
+        trace.counter("runtime.defrag_passes", 1);
+        trace.counter("runtime.defrag_moves", moves);
+        pass_span.finish();
     }
 
     /// Emits one `runtime_readmit` lifecycle event linking back to the
@@ -883,6 +1032,12 @@ impl<F: FnMut(u64) -> Application> SparcleRuntime<F> {
     /// inspection (`ticks()`, `alerts_total()`, `firing()`).
     pub fn monitor(&self) -> Option<&Monitor> {
         self.monitor.as_ref()
+    }
+
+    /// The background defragmenter, when enabled — for post-run budget
+    /// and churn inspection (`passes()`, `probes()`, `moves()`).
+    pub fn defrag(&self) -> Option<&Defragmenter> {
+        self.defrag.as_ref()
     }
 
     /// Applications currently displaced and waiting for a reconcile.
@@ -1113,6 +1268,70 @@ mod tests {
             on.events_processed(),
             off.events_processed() + monitor.ticks()
         );
+    }
+
+    #[test]
+    fn defrag_commits_budgeted_net_positive_moves() {
+        // A churny run fragments placements across the two routes; the
+        // defragmenter must find net-positive moves and stay inside its
+        // displaced-seconds budget (asserted from the ledger alone).
+        let run = |defrag: Option<DefragConfig>, threads: usize| {
+            let mut cfg = config(ReconcilePolicy::Fifo, threads);
+            cfg.horizon = 80.0;
+            cfg.defrag = defrag;
+            let arrivals = ArrivalTrace::Poisson { rate: 1.0 }.events(cfg.horizon, 42);
+            let mut rt = SparcleRuntime::new(two_route_network(0.15), arrivals, app_source, cfg);
+            rt.run();
+            rt
+        };
+        let on = run(Some(DefragConfig::default()), 1);
+        let d = on.defrag().expect("defrag was enabled");
+        assert!(d.passes() > 0, "an 80 s run must fit several passes");
+        assert!(d.probes() > 0, "passes must probe live apps");
+        assert!(
+            on.ledger().migrations() > 0,
+            "a fragmented run must yield at least one net-positive move"
+        );
+        assert_eq!(on.ledger().migrations(), d.moves());
+        // The budget invariant, from the ledger alone: every pass spends
+        // at most one epoch's allowance.
+        let budget = DefragConfig::default().budget_per_epoch;
+        assert!(
+            on.ledger().migration_displaced_seconds() <= d.passes() as f64 * budget + 1e-12,
+            "displaced-seconds {} exceed {} passes × {} budget",
+            on.ledger().migration_displaced_seconds(),
+            d.passes(),
+            budget
+        );
+        // Migrated apps stay fully registered: the system and the
+        // arrival-index maps agree.
+        assert_eq!(on.system().app_ids().len(), on.live_indices().len());
+        // Planned moves never change the exogenous arrival volume
+        // (displacement counts *may* differ: migrated apps sit on
+        // different paths, so failure blast radii shift).
+        let off = run(None, 1);
+        assert_eq!(off.ledger().arrivals(), on.ledger().arrivals());
+        assert_eq!(off.ledger().migrations(), 0);
+    }
+
+    #[test]
+    fn defrag_is_deterministic_across_threads() {
+        // Migration probes and commits go through the same transactional
+        // core as admission: a defragmenting run stays a pure function
+        // of the timeline across γ-evaluator thread counts.
+        let run = |threads: usize| {
+            let mut cfg = config(ReconcilePolicy::GammaProbe, threads);
+            cfg.horizon = 60.0;
+            cfg.defrag = Some(DefragConfig::default());
+            let arrivals = ArrivalTrace::Poisson { rate: 1.0 }.events(cfg.horizon, 42);
+            let mut rt = SparcleRuntime::new(two_route_network(0.15), arrivals, app_source, cfg);
+            rt.run();
+            (format!("{:?}", rt.ledger()), rt.ledger().migrations())
+        };
+        let (a, moves_a) = run(1);
+        let (b, moves_b) = run(8);
+        assert_eq!(a, b);
+        assert_eq!(moves_a, moves_b);
     }
 
     #[test]

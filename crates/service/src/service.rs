@@ -31,26 +31,10 @@ use sparcle_workloads::{RequestKind, ServiceRequest};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Simulated cost of one batched admission solve, in sim-seconds. The
-/// writer is busy for `fixed + per_request × batch_size` after each
-/// commit; windows whose boundary falls inside that interval are
-/// deferred (backpressure).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SolveCostModel {
-    /// Per-solve fixed cost (transaction + warm solve setup).
-    pub fixed: f64,
-    /// Marginal cost per request in the batch (path search).
-    pub per_request: f64,
-}
-
-impl Default for SolveCostModel {
-    fn default() -> Self {
-        SolveCostModel {
-            fixed: 0.05,
-            per_request: 0.01,
-        }
-    }
-}
+// The writer cost model is shared with the runtime's background
+// defragmenter, so it lives in `sparcle-runtime` and is re-exported
+// here for the service plane's historical public path.
+pub use sparcle_runtime::SolveCostModel;
 
 /// Tunables of the admission service plane.
 #[derive(Debug, Clone)]
@@ -532,8 +516,7 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
         self.stats.batches += 1;
         self.stats.admitted += admitted;
         self.stats.rejected += rejected;
-        self.writer_free_at =
-            t + self.config.solve_cost.fixed + self.config.solve_cost.per_request * take as f64;
+        self.writer_free_at = t + self.config.solve_cost.batch_cost(take);
         #[cfg(feature = "telemetry")]
         {
             self.last_batch_id = batch_id;
@@ -595,6 +578,7 @@ impl<F: FnMut(u64) -> Application> AdmissionService<F> {
             queue_depth: self.pending.len() as u64,
             backlog: self.pending.iter().filter(|p| p.deferred > 0).count() as u64,
             live: (self.system.be_apps().len() + self.system.gr_apps().len()) as u64,
+            migrations: self.ledger.migrations(),
         };
         let sample = monitor.tick(t, &input);
         trace.counter("service.monitor_ticks", 1);

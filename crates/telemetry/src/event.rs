@@ -211,6 +211,26 @@ pub enum Event {
         /// failed, `None` on success.
         cause: Option<String>,
     },
+    /// A background defragmentation pass moved (or tried to move) a
+    /// placed application to a fresh placement through the transactional
+    /// migrate primitive — a planned move, not a failure reaction.
+    RuntimeMigrate {
+        /// Simulated time of the migration.
+        time: f64,
+        /// Application index.
+        app: u32,
+        /// Provenance lineage (the arrival index).
+        lineage: u64,
+        /// `"migrated"` (the move committed) or `"kept"` (the probe
+        /// found no admissible placement and the txn rolled back).
+        outcome: String,
+        /// Rate before the move.
+        old_rate: f64,
+        /// Rate after the move (equals `old_rate` when kept).
+        new_rate: f64,
+        /// Cause code (`MigrationCause::code()`).
+        cause: String,
+    },
     /// A rollback-only what-if probe run while ordering a reconcile
     /// batch (the `GammaProbe` policy): the counterfactual rate the app
     /// would get if readmitted right now, with no state mutated.
@@ -458,6 +478,7 @@ impl Event {
             Event::RuntimeDeparture { .. } => "runtime_departure",
             Event::RuntimeDisplace { .. } => "runtime_displace",
             Event::RuntimeReadmit { .. } => "runtime_readmit",
+            Event::RuntimeMigrate { .. } => "runtime_migrate",
             Event::RuntimeProbe { .. } => "runtime_probe",
             Event::RuntimeElementState { .. } => "runtime_element_state",
             Event::RuntimeFluctuation { .. } => "runtime_fluctuation",
@@ -603,6 +624,24 @@ impl Event {
                     "cause",
                     cause.as_ref().map_or(Json::Null, |c| Json::Str(c.clone())),
                 ),
+            ]),
+            Event::RuntimeMigrate {
+                time,
+                app,
+                lineage,
+                outcome,
+                old_rate,
+                new_rate,
+                cause,
+            } => Json::obj([
+                ("type", Json::Str(self.kind().to_owned())),
+                ("time", Json::num(*time)),
+                ("app", Json::Num(*app as f64)),
+                ("lineage", Json::Num(*lineage as f64)),
+                ("outcome", Json::Str(outcome.clone())),
+                ("old_rate", Json::num(*old_rate)),
+                ("new_rate", Json::num(*new_rate)),
+                ("cause", Json::Str(cause.clone())),
             ]),
             Event::RuntimeProbe {
                 time,
@@ -882,6 +921,15 @@ mod tests {
                 outcome: "replaced".into(),
                 rate: 1.5,
                 cause: None,
+            },
+            Event::RuntimeMigrate {
+                time: 2.8,
+                app: 4,
+                lineage: 4,
+                outcome: "migrated".into(),
+                old_rate: 1.5,
+                new_rate: 2.0,
+                cause: "defrag_net_gain".into(),
             },
             Event::RuntimeProbe {
                 time: 2.6,

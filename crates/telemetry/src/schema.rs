@@ -55,6 +55,12 @@ const SCHEMAS: &[(&str, &[&str])] = &[
         &["time", "app", "lineage", "outcome", "rate", "cause"],
     ),
     (
+        "runtime_migrate",
+        &[
+            "time", "app", "lineage", "outcome", "old_rate", "new_rate", "cause",
+        ],
+    ),
+    (
         "runtime_probe",
         &["time", "app", "lineage", "feasible", "rate"],
     ),
@@ -332,6 +338,18 @@ mod tests {
             &[displace],
         );
         r.event_caused(
+            &Event::RuntimeMigrate {
+                time: 2.25,
+                app: 0,
+                lineage: 0,
+                outcome: "migrated".into(),
+                old_rate: 1.0,
+                new_rate: 1.5,
+                cause: "defrag_net_gain".into(),
+            },
+            &[readmit],
+        );
+        r.event_caused(
             &Event::RuntimeReconcile {
                 time: 1.5,
                 policy: "fifo".into(),
@@ -358,7 +376,7 @@ mod tests {
             let line = s.to_json().render();
             assert_eq!(validate_line(&line), Ok(s.event.kind()));
         }
-        assert_eq!(validate_trace(&full_trace(&r)), Ok(9));
+        assert_eq!(validate_trace(&full_trace(&r)), Ok(10));
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! app id, a lineage, or a picked outcome — this module:
 //!
 //! 1. selects the subject's **lifecycle events** (`runtime_arrival`,
-//!    `runtime_displace`, `runtime_readmit`, `runtime_probe`,
-//!    `runtime_departure`; `service_ingest`, `service_decision`,
-//!    `service_probe`);
+//!    `runtime_displace`, `runtime_readmit`, `runtime_migrate`,
+//!    `runtime_probe`, `runtime_departure`; `service_ingest`,
+//!    `service_decision`, `service_probe`);
 //! 2. pulls in the **causal context** — the transitive closure of their
 //!    `causes` edges (failing elements, batch commits, window
 //!    deferrals, earlier reconcile state);
@@ -35,6 +35,7 @@ const LIFECYCLE_KINDS: &[&str] = &[
     "runtime_arrival",
     "runtime_displace",
     "runtime_readmit",
+    "runtime_migrate",
     "runtime_probe",
     "runtime_departure",
     "service_ingest",
@@ -197,8 +198,8 @@ fn detail_of(event: &Json) -> String {
 }
 
 /// Picks the first lineage whose final service/runtime outcome matches
-/// `outcome` (`"admitted"`, `"rejected"`, or `"shed"`) — the nightly
-/// CI's way of selecting a subject without hardcoding ids.
+/// `outcome` (`"admitted"`, `"rejected"`, `"shed"`, or `"migrated"`) —
+/// the nightly CI's way of selecting a subject without hardcoding ids.
 pub fn pick_lineage(events: &[Json], outcome: &str) -> Option<u64> {
     for event in events {
         let hit = match kind_of(event) {
@@ -207,6 +208,10 @@ pub fn pick_lineage(events: &[Json], outcome: &str) -> Option<u64> {
                 let admitted = event.get("admitted").and_then(Json::as_bool);
                 (outcome == "admitted" && admitted == Some(true))
                     || (outcome == "rejected" && admitted == Some(false))
+            }
+            "runtime_migrate" => {
+                outcome == "migrated"
+                    && event.get("outcome").and_then(Json::as_str) == Some("migrated")
             }
             _ => false,
         };
@@ -415,5 +420,50 @@ mod tests {
         assert_eq!(pick_lineage(&events, "admitted"), Some(1));
         assert_eq!(pick_lineage(&events, "shed"), Some(0));
         assert_eq!(pick_lineage(&events, "rejected"), None);
+    }
+
+    /// A runtime lifecycle that includes a planned migration: arrival ->
+    /// migrate (defrag) -> departure, each hop citing the previous one.
+    fn migration_trace() -> Vec<Json> {
+        let lines = [
+            r#"{"type":"runtime_arrival","id":1,"time":0.5,"app":4,"lineage":4,"class":"be","admitted":true,"rate":1.0,"cause":null}"#,
+            r#"{"type":"runtime_migrate","id":2,"time":5.0,"app":4,"lineage":4,"outcome":"migrated","old_rate":1.0,"new_rate":2.5,"cause":"defrag_net_gain","causes":[1]}"#,
+            r#"{"type":"runtime_departure","id":3,"time":9.0,"app":4,"lineage":4,"causes":[2]}"#,
+        ];
+        load_trace(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn migrations_are_lifecycle_hops() {
+        let events = migration_trace();
+        let x = explain(&events, Selector::App(4)).unwrap();
+        assert!(x.is_complete(), "orphans: {:?}", x.orphans);
+        let ids: Vec<u64> = x.timeline.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let migrate = x.timeline.iter().find(|e| e.id == 2).unwrap();
+        assert!(!migrate.context, "a planned move narrates the subject");
+        assert!(
+            migrate.detail.contains("cause=defrag_net_gain"),
+            "{}",
+            migrate.detail
+        );
+        // The departure chains through the migration to the arrival.
+        assert!(
+            x.render().contains("* #2 runtime_migrate"),
+            "{}",
+            x.render()
+        );
+    }
+
+    #[test]
+    fn pick_lineage_selects_migrated_subjects() {
+        let events = migration_trace();
+        assert_eq!(pick_lineage(&events, "migrated"), Some(4));
+        // A kept (rolled-back) probe is not a migrated subject.
+        let kept = load_trace(
+            r#"{"type":"runtime_migrate","id":1,"time":5.0,"app":7,"lineage":7,"outcome":"kept","old_rate":1.0,"new_rate":1.0,"cause":"defrag_net_gain"}"#,
+        )
+        .unwrap();
+        assert_eq!(pick_lineage(&kept, "migrated"), None);
     }
 }
